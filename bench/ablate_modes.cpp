@@ -1,0 +1,56 @@
+// Ablation: execution modes (§3) — the paper applied time-based analysis to
+// scalar, vector, and concurrent executions of the Livermore suite, finding
+// sequential and vector approximations "extremely accurate" and concurrent
+// accuracy dependent on dependence structure.
+//
+// For a set of vectorizable loops this bench compares, per mode: actual
+// time, measured slowdown under full statement instrumentation, and the
+// time-based approximation error.  Vector mode records one event per
+// 32-element strip, so its data volume — and perturbation — is ~32x smaller
+// per element than scalar mode.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "loops/kernels.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perturb;
+  const support::Cli cli(argc, argv);
+  const auto setup = bench::setup_from_cli(cli);
+  const auto n = bench::trip_from_cli(cli);
+
+  bench::print_header(
+      "Ablation — Execution Modes: Scalar / Vector / Concurrent (§3)",
+      "Time-based analysis of full statement instrumentation per mode.\n"
+      "Vector mode emits one event per strip; concurrent (DOALL) divides\n"
+      "events across processors.");
+
+  std::printf("%-5s %-11s %12s %10s %10s %10s\n", "loop", "mode", "actual",
+              "events", "slowdown", "tb err%");
+  for (const int loop : {1, 7, 12, 22}) {
+    struct Mode {
+      const char* name;
+      experiments::LoopRun run;
+    };
+    const Mode modes[] = {
+        {"scalar", experiments::run_sequential_experiment(loop, n, setup)},
+        {"vector", experiments::run_vector_experiment(loop, n, setup)},
+        {"concurrent", experiments::run_concurrent_experiment(
+                           loop, n, setup,
+                           experiments::PlanKind::kStatementsOnly)},
+    };
+    for (const auto& m : modes) {
+      std::printf("%-5d %-11s %12lld %10zu %9.2fx %+9.2f%%\n", loop, m.name,
+                  static_cast<long long>(m.run.actual.total_time()),
+                  m.run.measured.size(),
+                  m.run.tb_quality.measured_over_actual,
+                  m.run.tb_quality.percent_error);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: vector mode is both faster and far less perturbed (fewer\n"
+      "events); time-based approximations are accurate in all three modes\n"
+      "for these dependence-free loops, matching §3.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: instrumentation volume vs. approximation accuracy — the
+// Instrumentation Uncertainty Principle (§1) and its apparent violation
+// (§5.2).
+//
+// Sweeps (a) the statement probe cost and (b) the instrumentation plan, for
+// loops 3 and 17, reporting measured slowdown and both analyses' errors.
+// The paper's point: adding *more* instrumentation (sync events) increases
+// perturbation but enables event-based analysis, which is far more accurate
+// than time-based analysis on less perturbed data.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "support/text.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perturb;
+  const support::Cli cli(argc, argv);
+  const auto n = bench::trip_from_cli(cli);
+
+  bench::print_header(
+      "Ablation — Instrumentation Volume vs. Approximation Accuracy",
+      "Probe-cost and plan sweep on DOACROSS loops 3 and 17.");
+
+  std::printf("%-5s %-10s %-12s | %9s | %9s %9s\n", "loop", "plan",
+              "stmt probe", "slowdown", "tb err%", "eb err%");
+  std::printf("---------------------------------+-----------+--------------------\n");
+
+  for (const int loop : {3, 17}) {
+    for (const double probe : {40.0, 90.0, 175.0, 350.0, 700.0}) {
+      for (const auto kind : {experiments::PlanKind::kStatementsOnly,
+                              experiments::PlanKind::kFull}) {
+        experiments::Setup setup = bench::setup_from_cli(cli);
+        setup.stmt.mean = probe;
+        const auto run =
+            experiments::run_concurrent_experiment(loop, n, setup, kind);
+        const bool full = kind == experiments::PlanKind::kFull;
+        std::string eb = "n/a";
+        if (full)
+          eb = support::strf("%+8.1f%%", run.eb_quality.percent_error);
+        std::printf("%-5d %-10s %-12.0f | %8.2fx | %+8.1f%% %9s\n", loop,
+                    full ? "full" : "stmts", probe,
+                    run.tb_quality.measured_over_actual,
+                    run.tb_quality.percent_error, eb.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading: event-based error stays within a few percent as\n"
+              "slowdown grows; time-based error diverges with probe cost.\n"
+              "(eb err is only meaningful for the full plan, which records\n"
+              "the synchronization events the analysis needs.)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared helpers for the reproduction benches: paper reference values and
+// common printing.  Each bench binary regenerates one table or figure of
+// Malony, "Event-Based Performance Perturbation: A Case Study" (PPoPP 1991)
+// and prints the paper's reported values next to the reproduced ones.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiments/experiments.hpp"
+#include "support/cli.hpp"
+#include "support/text.hpp"
+
+namespace perturb::bench {
+
+/// Paper Table 1 (time-based analysis, full statement instrumentation).
+struct PaperRatioRow {
+  int loop;
+  double measured_over_actual;
+  double approx_over_actual;
+};
+
+inline const std::vector<PaperRatioRow>& paper_table1() {
+  static const std::vector<PaperRatioRow> rows = {
+      {3, 2.48, 0.37}, {4, 2.64, 0.57}, {17, 9.97, 8.31}};
+  return rows;
+}
+
+/// Paper Table 2 (event-based analysis, statements + synchronization).
+inline const std::vector<PaperRatioRow>& paper_table2() {
+  static const std::vector<PaperRatioRow> rows = {
+      {3, 4.56, 0.96}, {4, 3.38, 1.06}, {17, 14.08, 0.97}};
+  return rows;
+}
+
+/// Paper Table 3: per-processor DOACROSS waiting time in loop 17 (percent).
+inline const std::vector<double>& paper_table3_waiting() {
+  static const std::vector<double> pct = {4.05, 8.09, 4.05, 2.70,
+                                          4.05, 5.40, 2.70, 4.05};
+  return pct;
+}
+
+/// Figure 5's headline number: average parallelism of loop 17 excluding the
+/// sequential portions.
+inline constexpr double kPaperLoop17AvgParallelism = 7.5;
+
+inline void print_header(const char* artifact, const char* description) {
+  std::printf("== %s ==\n%s\n\n", artifact, description);
+}
+
+inline void print_ratio_table(const std::vector<PaperRatioRow>& paper,
+                              const std::vector<PaperRatioRow>& ours) {
+  std::printf("%-6s | %-21s | %-21s\n", "", "Measured/Actual", "Approx/Actual");
+  std::printf("%-6s | %10s %10s | %10s %10s\n", "Loop", "paper", "ours",
+              "paper", "ours");
+  std::printf("-------+-----------------------+----------------------\n");
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    std::printf("%-6d | %10.2f %10.2f | %10.2f %10.2f\n", paper[i].loop,
+                paper[i].measured_over_actual, ours[i].measured_over_actual,
+                paper[i].approx_over_actual, ours[i].approx_over_actual);
+  }
+  std::printf("\n");
+}
+
+/// Standard experiment setup shared by the benches (overridable via CLI).
+inline experiments::Setup setup_from_cli(const support::Cli& cli) {
+  experiments::Setup setup;
+  setup.machine.num_procs = static_cast<std::uint32_t>(
+      cli.get_int("procs", setup.machine.num_procs));
+  setup.stmt.mean = cli.get_double("stmt-probe", setup.stmt.mean);
+  setup.sync.mean = cli.get_double("sync-probe", setup.sync.mean);
+  setup.control.mean = cli.get_double("control-probe", setup.control.mean);
+  setup.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1991));
+  return setup;
+}
+
+inline std::int64_t trip_from_cli(const support::Cli& cli,
+                                  std::int64_t def = 1001) {
+  return cli.get_int("n", def);
+}
+
+}  // namespace perturb::bench

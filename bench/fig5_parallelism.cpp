@@ -1,0 +1,54 @@
+// Reproduces Figure 5: parallelism over time in Livermore loop 17, from the
+// event-based approximation, plus the paper's headline number — an average
+// parallelism of 7.5 (8 processors) excluding the sequential portions.
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/parallelism.hpp"
+#include "analysis/timeline.hpp"
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perturb;
+  const support::Cli cli(argc, argv);
+  const auto setup = bench::setup_from_cli(cli);
+  const auto n = bench::trip_from_cli(cli, 240);
+
+  bench::print_header(
+      "Figure 5 — Approximated Parallelism Behavior in Livermore Loop 17",
+      "Number of non-waiting active processors over time, from the\n"
+      "event-based approximation.");
+
+  const auto run = experiments::run_concurrent_experiment(
+      17, n, setup, experiments::PlanKind::kFull);
+  const auto plan = experiments::make_plan(experiments::PlanKind::kFull, setup);
+  const auto ov = experiments::overheads_for(plan, setup.machine);
+
+  analysis::WaitClassifier classifier;
+  classifier.await_nowait = ov.s_nowait;
+  classifier.lock_acquire = ov.lock_acquire;
+  classifier.barrier_depart = ov.barrier_depart;
+  classifier.tolerance = 2;
+
+  const auto profile =
+      analysis::parallelism_profile(run.event_based.approx, classifier);
+  std::printf("%s\n",
+              analysis::render_parallelism_plot(run.event_based.approx, profile)
+                  .c_str());
+  std::printf("average parallelism (whole run):      %.2f\n", profile.average);
+  std::printf("average parallelism (parallel region): %.2f   [paper: %.1f]\n",
+              profile.average_parallel, bench::kPaperLoop17AvgParallelism);
+
+  const auto actual_profile =
+      analysis::parallelism_profile(run.actual, classifier);
+  std::printf("ground truth (actual trace):           %.2f\n",
+              actual_profile.average_parallel);
+
+  if (cli.has("csv")) {
+    const std::string path = cli.get("csv", "fig5_parallelism.csv");
+    std::ofstream out(path);
+    analysis::write_parallelism_csv(out, profile);
+    std::printf("step data written to %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Google-benchmark micro-suite: throughput of the building blocks —
+// simulation, trace handling, and both perturbation analyses — plus the
+// real-threads tracer's per-event recording cost (the α this library exists
+// to compensate for).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/eventbased.hpp"
+#include "core/timebased.hpp"
+#include "experiments/experiments.hpp"
+#include "loops/kernels.hpp"
+#include "loops/programs.hpp"
+#include "rt/tracer.hpp"
+#include "trace/io.hpp"
+#include "trace/validate.hpp"
+
+namespace {
+
+using namespace perturb;
+
+experiments::Setup default_setup() { return experiments::Setup{}; }
+
+void BM_SimulateActualLoop17(benchmark::State& state) {
+  const auto prog = loops::make_concurrent_ir(17, state.range(0));
+  const auto setup = default_setup();
+  for (auto _ : state) {
+    auto t = sim::simulate_actual(setup.machine, prog, "bench");
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateActualLoop17)->Arg(256)->Arg(1024);
+
+void BM_SimulateMeasuredLoop17(benchmark::State& state) {
+  const auto prog = loops::make_concurrent_ir(17, state.range(0));
+  const auto setup = default_setup();
+  const auto plan =
+      experiments::make_plan(experiments::PlanKind::kFull, setup);
+  for (auto _ : state) {
+    auto t = sim::simulate(setup.machine, prog, plan, "bench");
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateMeasuredLoop17)->Arg(256)->Arg(1024);
+
+void BM_TimeBasedAnalysis(benchmark::State& state) {
+  const auto prog = loops::make_concurrent_ir(17, state.range(0));
+  const auto setup = default_setup();
+  const auto plan = experiments::make_plan(experiments::PlanKind::kFull, setup);
+  const auto ov = experiments::overheads_for(plan, setup.machine);
+  const auto measured = sim::simulate(setup.machine, prog, plan, "bench");
+  for (auto _ : state) {
+    auto approx = core::time_based_approximation(measured, ov);
+    benchmark::DoNotOptimize(approx.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(measured.size()));
+}
+BENCHMARK(BM_TimeBasedAnalysis)->Arg(256)->Arg(1024);
+
+void BM_EventBasedAnalysis(benchmark::State& state) {
+  const auto prog = loops::make_concurrent_ir(17, state.range(0));
+  const auto setup = default_setup();
+  const auto plan = experiments::make_plan(experiments::PlanKind::kFull, setup);
+  const auto ov = experiments::overheads_for(plan, setup.machine);
+  const auto measured = sim::simulate(setup.machine, prog, plan, "bench");
+  for (auto _ : state) {
+    auto result = core::event_based_approximation(measured, ov);
+    benchmark::DoNotOptimize(result.approx.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(measured.size()));
+}
+BENCHMARK(BM_EventBasedAnalysis)->Arg(256)->Arg(1024);
+
+void BM_TraceValidate(benchmark::State& state) {
+  const auto prog = loops::make_concurrent_ir(17, state.range(0));
+  const auto setup = default_setup();
+  const auto t = sim::simulate_actual(setup.machine, prog, "bench");
+  for (auto _ : state) {
+    auto violations = trace::validate(t);
+    benchmark::DoNotOptimize(violations.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_TraceValidate)->Arg(1024);
+
+void BM_TraceBinaryRoundtrip(benchmark::State& state) {
+  const auto prog = loops::make_concurrent_ir(17, 512);
+  const auto setup = default_setup();
+  const auto t = sim::simulate_actual(setup.machine, prog, "bench");
+  for (auto _ : state) {
+    std::stringstream ss;
+    trace::write_binary(ss, t);
+    auto back = trace::read_binary(ss);
+    benchmark::DoNotOptimize(back.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_TraceBinaryRoundtrip);
+
+void BM_RtTracerRecord(benchmark::State& state) {
+  rt::Tracer tracer(1, 1u << 22);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    tracer.record(0, trace::EventKind::kStmtEnter, 1, 0,
+                  static_cast<std::int64_t>(i++));
+    if (i % (1u << 21) == 0) tracer.harvest("drain");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RtTracerRecord);
+
+void BM_NativeKernel(benchmark::State& state) {
+  loops::LfkData data(1001);
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loops::run_kernel(k, data));
+  }
+}
+BENCHMARK(BM_NativeKernel)->Arg(3)->Arg(4)->Arg(17);
+
+}  // namespace
+
+BENCHMARK_MAIN();

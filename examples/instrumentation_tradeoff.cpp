@@ -1,0 +1,78 @@
+// Instrumentation volume vs. accuracy: an interactive tour of the
+// Instrumentation Uncertainty Principle (§1) and why perturbation analysis
+// relaxes it (§5.2).
+//
+// For Livermore loop 3, sweeps four measurement strategies:
+//   1. sync-only instrumentation      (low volume, low perturbation)
+//   2. statements-only instrumentation (the §3 experiment)
+//   3. full instrumentation, raw       (high volume, heavy perturbation)
+//   4. full instrumentation + event-based analysis (the paper's answer)
+// and reports data volume, measured slowdown, and total-time error.
+//
+// Options: --n <trip> --procs <p>
+#include <cstdio>
+
+#include <algorithm>
+
+#include "experiments/experiments.hpp"
+#include "instr/budget.hpp"
+#include "loops/programs.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perturb;
+  const support::Cli cli(argc, argv);
+  experiments::Setup setup;
+  setup.machine.num_procs =
+      static_cast<std::uint32_t>(cli.get_int("procs", 8));
+  const auto n = cli.get_int("n", 1001);
+
+  std::printf("Instrumentation volume vs. accuracy — Livermore loop 3\n\n");
+  std::printf("%-34s %10s %10s %12s\n", "strategy", "events", "slowdown",
+              "time err%");
+
+  struct Row {
+    const char* name;
+    experiments::PlanKind plan;
+    bool event_based;  ///< score the event-based (vs time-based) approximation
+  };
+  const Row rows[] = {
+      {"sync events only + event model", experiments::PlanKind::kSyncOnly, true},
+      {"statements only + time model", experiments::PlanKind::kStatementsOnly,
+       false},
+      {"full + time model", experiments::PlanKind::kFull, false},
+      {"full + event model", experiments::PlanKind::kFull, true},
+  };
+
+  for (const Row& row : rows) {
+    const auto run =
+        experiments::run_concurrent_experiment(3, n, setup, row.plan);
+    const auto& q = row.event_based ? run.eb_quality : run.tb_quality;
+    std::printf("%-34s %10zu %9.2fx %+11.1f%%\n", row.name,
+                run.measured.size(), q.measured_over_actual, q.percent_error);
+  }
+
+  std::printf(
+      "\nThe principle says more events => more perturbation, and it holds\n"
+      "(slowdown grows with volume).  But the *error after analysis* does\n"
+      "not follow: the heaviest instrumentation plus event-based analysis\n"
+      "beats every lighter strategy, because the extra synchronization\n"
+      "events are precisely the knowledge the analysis needs (§5.2).\n");
+
+  // Bonus: when even the sync-instrumented volume is too much, the budget
+  // planner picks which statement sites fit a target event count.
+  const auto program = loops::make_concurrent_ir(17, n);
+  const auto unlimited =
+      instr::plan_for_budget(setup.machine, program, 1u << 30);
+  const auto half = instr::plan_for_budget(setup.machine, program,
+                                           unlimited.selected_events / 2);
+  std::printf("\nbudget planner on loop 17: full statement volume %llu "
+              "events;\na 50%% budget keeps %llu events across %zu of %zu "
+              "sites (least-frequent first).\n",
+              static_cast<unsigned long long>(unlimited.selected_events),
+              static_cast<unsigned long long>(half.selected_events),
+              static_cast<std::size_t>(
+                  std::count(half.enabled.begin(), half.enabled.end(), true)),
+              half.profiles.size());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Full Livermore-suite perturbation study: runs every kernel of the paper's
+// loop sets through the measurement pipeline and prints a combined report —
+// sequential loops under time-based analysis (Figure 1's experiment) and the
+// DOACROSS loops under both analyses (Tables 1 and 2), plus the native C++
+// kernels' checksums as a functional cross-check of the workload suite.
+//
+// Options: --n <trip> --procs <p> --stmt-probe <cycles> --seed <s>
+#include <algorithm>
+#include <cstdio>
+
+#include "experiments/experiments.hpp"
+#include "loops/kernels.hpp"
+#include "analysis/report.hpp"
+#include "loops/programs.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perturb;
+  const support::Cli cli(argc, argv);
+  experiments::Setup setup;
+  setup.machine.num_procs =
+      static_cast<std::uint32_t>(cli.get_int("procs", 8));
+  setup.stmt.mean = cli.get_double("stmt-probe", setup.stmt.mean);
+  setup.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1991));
+  const auto n = cli.get_int("n", 1001);
+
+  std::printf("Livermore loop perturbation study  (P=%u, n=%lld, stmt probe "
+              "%.0f cycles)\n\n",
+              setup.machine.num_procs, static_cast<long long>(n),
+              setup.stmt.mean);
+
+  std::printf("-- native kernels (functional check) --\n");
+  loops::LfkData data(n);
+  for (int k = 1; k <= loops::kNumKernels; ++k) {
+    data.reset();
+    const double checksum = loops::run_kernel(k, data);
+    std::printf("  lfk%-3d %-34s checksum %.6e\n", k, loops::kernel_name(k),
+                checksum);
+  }
+
+  std::printf("\n-- sequential loops, full statement instrumentation, "
+              "time-based analysis --\n");
+  std::printf("  %-5s %-34s %9s %9s\n", "loop", "kernel", "slowdown", "err%");
+  for (const int loop : loops::sequential_study_loops()) {
+    const auto run = experiments::run_sequential_experiment(loop, n, setup);
+    std::printf("  %-5d %-34s %8.2fx %+8.2f%%\n", loop,
+                loops::kernel_name(loop), run.tb_quality.measured_over_actual,
+                run.tb_quality.percent_error);
+  }
+
+  std::printf("\n-- DOACROSS loops, time-based vs event-based --\n");
+  std::printf("  %-5s %-34s %9s %9s %9s\n", "loop", "kernel", "slowdown",
+              "tb err%", "eb err%");
+  for (const int loop : loops::doacross_study_loops()) {
+    const auto t1 = experiments::run_concurrent_experiment(
+        loop, n, setup, experiments::PlanKind::kStatementsOnly);
+    const auto t2 = experiments::run_concurrent_experiment(
+        loop, n, setup, experiments::PlanKind::kFull);
+    std::printf("  %-5d %-34s %8.2fx %+8.1f%% %+8.1f%%\n", loop,
+                loops::kernel_name(loop), t2.eb_quality.measured_over_actual,
+                t1.tb_quality.percent_error, t2.eb_quality.percent_error);
+  }
+
+  std::printf("\nevent-based analysis keeps dependent-loop approximations\n"
+              "within a few percent while time-based analysis misses by\n"
+              "double-digit factors in both directions.\n");
+
+  // Deep dive: the full §5.3-style report for loop 17, generated from the
+  // event-based approximation of the measured trace.
+  std::printf("\n");
+  const auto deep = experiments::run_concurrent_experiment(
+      17, std::min<std::int64_t>(n, 240), setup, experiments::PlanKind::kFull);
+  const auto plan = experiments::make_plan(experiments::PlanKind::kFull, setup);
+  const auto ov = experiments::overheads_for(plan, setup.machine);
+  analysis::ReportOptions report;
+  report.classifier.await_nowait = ov.s_nowait;
+  report.classifier.lock_acquire = ov.lock_acquire;
+  report.classifier.barrier_depart = ov.barrier_depart;
+  report.classifier.tolerance = 2;
+  std::printf("%s", analysis::render_report(deep.event_based.approx,
+                                            &deep.eb_quality, report)
+                        .c_str());
+  return 0;
+}

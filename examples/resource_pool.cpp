@@ -1,0 +1,90 @@
+// Semaphore case study: a DOALL loop whose iterations each need one of a
+// small pool of identical resources (think memory ports, DMA engines, or
+// I/O buffers), modelled with a counting semaphore.
+//
+// Instrumentation inside the resource-holding region stretches the holding
+// time, inflating pool contention in the measurement — the loop-17 mechanism,
+// but through a capacity-c semaphore rather than a serializing chain.  The
+// example shows:
+//   1. time-based analysis over-approximates (it cannot remove the inflated
+//      queueing),
+//   2. event-based analysis *without* capacity knowledge does no better
+//      (semaphores need external information, like scheduling in §4.2.3),
+//   3. event-based analysis with the declared capacity recovers the actual
+//      time within a few percent.
+//
+// Options: --n <iterations> --capacity <c> --procs <p>
+#include <cstdio>
+
+#include "core/eventbased.hpp"
+#include "core/timebased.hpp"
+#include "experiments/experiments.hpp"
+#include "support/cli.hpp"
+#include "trace/validate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perturb;
+  const support::Cli cli(argc, argv);
+  const auto n = cli.get_int("n", 400);
+  const auto capacity = cli.get_int("capacity", 2);
+  experiments::Setup setup;
+  setup.machine.num_procs =
+      static_cast<std::uint32_t>(cli.get_int("procs", 8));
+
+  // The program: independent work, then a semaphore-guarded "resource use"
+  // region whose statements are instrumentation sites.
+  sim::Program program;
+  const auto pool = program.declare_semaphore("pool", capacity);
+  sim::Block region;
+  region.nodes.push_back(sim::compute("stage into buffer", 30));
+  region.nodes.push_back(sim::compute("operate on resource", 45));
+  sim::Block body;
+  body.nodes.push_back(sim::compute("prepare", 140));
+  body.nodes.push_back(sim::semaphore_region(pool, std::move(region)));
+  body.nodes.push_back(sim::compute("consume result", 60));
+  program.root().nodes.push_back(
+      sim::par_loop("pool-loop", sim::LoopKind::kDoall, sim::Schedule::kCyclic,
+                    n, std::move(body)));
+  program.finalize();
+
+  const auto plan = experiments::make_plan(experiments::PlanKind::kFull, setup);
+  auto ov = experiments::overheads_for(plan, setup.machine);
+  ov.sem_acquire = setup.machine.sem_acquire_cost;
+
+  const auto actual = sim::simulate_actual(setup.machine, program, "actual");
+  const auto measured =
+      sim::simulate(setup.machine, program, plan, "measured");
+
+  const auto ratio = [&](trace::Tick t) {
+    return static_cast<double>(t) / static_cast<double>(actual.total_time());
+  };
+
+  std::printf("resource pool: %lld iterations, capacity %lld, %u processors\n",
+              static_cast<long long>(n), static_cast<long long>(capacity),
+              setup.machine.num_procs);
+  std::printf("actual:    %8lld cycles\n",
+              static_cast<long long>(actual.total_time()));
+  std::printf("measured:  %8lld cycles  (%.2fx)\n",
+              static_cast<long long>(measured.total_time()),
+              ratio(measured.total_time()));
+
+  const auto tb = core::time_based_approximation(measured, ov);
+  std::printf("time-based approx:                 %8lld  (%.2fx)\n",
+              static_cast<long long>(tb.total_time()), ratio(tb.total_time()));
+
+  const auto eb_blind = core::event_based_approximation(measured, ov, {});
+  std::printf("event-based, capacity unknown:     %8lld  (%.2fx)\n",
+              static_cast<long long>(eb_blind.approx.total_time()),
+              ratio(eb_blind.approx.total_time()));
+
+  core::EventBasedOptions opt;
+  opt.semaphore_capacity[pool] = capacity;
+  const auto eb = core::event_based_approximation(measured, ov, opt);
+  std::printf("event-based, capacity declared:    %8lld  (%.2fx)\n",
+              static_cast<long long>(eb.approx.total_time()),
+              ratio(eb.approx.total_time()));
+
+  const auto violations = trace::validate(eb.approx);
+  std::printf("approximation causality violations: %zu\n", violations.size());
+  return violations.empty() ? 0 : 1;
+}

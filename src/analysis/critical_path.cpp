@@ -1,0 +1,144 @@
+#include "analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "support/text.hpp"
+#include "trace/event.hpp"
+
+namespace perturb::analysis {
+
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+using trace::ObjectId;
+using trace::ProcId;
+using trace::SyncKey;
+using trace::SyncKeyHash;
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+CriticalPathStats critical_path(const trace::Trace& t) {
+  CriticalPathStats stats;
+  stats.time_by_proc.assign(t.info().num_procs, 0);
+  if (t.empty()) return stats;
+
+  const std::size_t n = t.size();
+
+  // Dependency indexing (mirrors the reconstruction's model).
+  std::vector<std::size_t> prev_on_proc(n, kNone);
+  std::vector<std::size_t> cross_dep(n, kNone);
+  {
+    std::unordered_map<ProcId, std::size_t> last_on_proc;
+    std::unordered_map<SyncKey, std::size_t, SyncKeyHash> advance_of;
+    std::unordered_map<ObjectId, std::size_t> last_release;
+    std::map<std::pair<ObjectId, std::int64_t>, std::size_t> last_arrival;
+    // A processor's first event inside a parallel loop is caused by the
+    // loop's spawn (fork), so the path can trace back through the master.
+    std::size_t current_loop_begin = kNone;
+    std::unordered_map<ProcId, bool> joined;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event& e = t[i];
+      if (e.kind == EventKind::kLoopBegin) {
+        current_loop_begin = i;
+        joined.clear();
+        joined[e.proc] = true;
+      } else if (e.kind == EventKind::kLoopEnd) {
+        current_loop_begin = kNone;
+      } else if (current_loop_begin != kNone && !joined[e.proc]) {
+        joined[e.proc] = true;
+        if (cross_dep[i] == kNone) cross_dep[i] = current_loop_begin;
+      }
+      const auto lp = last_on_proc.find(e.proc);
+      if (lp != last_on_proc.end()) prev_on_proc[i] = lp->second;
+      last_on_proc[e.proc] = i;
+
+      switch (e.kind) {
+        case EventKind::kAdvance:
+          advance_of[{e.object, e.payload}] = i;
+          break;
+        case EventKind::kAwaitEnd: {
+          const auto adv = advance_of.find({e.object, e.payload});
+          if (adv != advance_of.end()) cross_dep[i] = adv->second;
+          break;
+        }
+        case EventKind::kLockAcquire: {
+          const auto lr = last_release.find(e.object);
+          if (lr != last_release.end()) cross_dep[i] = lr->second;
+          break;
+        }
+        case EventKind::kLockRelease:
+          last_release[e.object] = i;
+          break;
+        case EventKind::kBarrierArrive: {
+          const auto key = std::make_pair(e.object, e.payload);
+          const auto it = last_arrival.find(key);
+          if (it == last_arrival.end() || t[it->second].time < e.time)
+            last_arrival[key] = i;
+          break;
+        }
+        case EventKind::kBarrierDepart: {
+          const auto it = last_arrival.find({e.object, e.payload});
+          if (it != last_arrival.end()) cross_dep[i] = it->second;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // Start from the latest event and walk critical predecessors backwards.
+  std::size_t cur = 0;
+  for (std::size_t i = 1; i < n; ++i)
+    if (t[i].time >= t[cur].time) cur = i;
+
+  std::vector<std::size_t> reversed;
+  while (cur != kNone) {
+    reversed.push_back(cur);
+    const std::size_t same = prev_on_proc[cur];
+    const std::size_t cross = cross_dep[cur];
+    std::size_t pred = same;
+    // The critical predecessor is the dependency that completed last; ties
+    // resolve toward the same-processor chain.
+    if (cross != kNone && (same == kNone || t[cross].time > t[same].time))
+      pred = cross;
+    if (pred != kNone) {
+      const Tick link = t[cur].time - t[pred].time;
+      stats.time_by_kind[static_cast<std::size_t>(t[cur].kind)] += link;
+      if (t[cur].proc < stats.time_by_proc.size())
+        stats.time_by_proc[t[cur].proc] += link;
+      if (t[pred].proc != t[cur].proc) ++stats.cross_processor_links;
+    }
+    cur = pred;
+  }
+  stats.path.assign(reversed.rbegin(), reversed.rend());
+  stats.length = t[stats.path.back()].time - t[stats.path.front()].time;
+  return stats;
+}
+
+std::string render_critical_path(const CriticalPathStats& stats) {
+  std::string out = support::strf(
+      "critical path: %zu events, %lld ticks, %zu cross-processor links\n",
+      stats.path.size(), static_cast<long long>(stats.length),
+      stats.cross_processor_links);
+  for (std::size_t k = 0; k < trace::kNumEventKinds; ++k) {
+    if (stats.time_by_kind[k] == 0) continue;
+    const double pct = stats.length > 0
+                           ? 100.0 * static_cast<double>(stats.time_by_kind[k]) /
+                                 static_cast<double>(stats.length)
+                           : 0.0;
+    out += support::strf("  %-12s %10lld  (%5.1f%%)\n",
+                         trace::event_kind_name(static_cast<EventKind>(k)),
+                         static_cast<long long>(stats.time_by_kind[k]), pct);
+  }
+  return out;
+}
+
+}  // namespace perturb::analysis

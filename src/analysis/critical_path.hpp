@@ -1,0 +1,51 @@
+// Critical-path analysis of event traces.
+//
+// The makespan of a parallel execution is realized by a chain of dependent
+// events: each event's *critical predecessor* is whichever dependency
+// completed last — the same-processor predecessor, the advance an awaitE
+// waited for, the release a lock acquisition waited for, or the last arrival
+// a barrier departure waited for.  Walking that chain back from the final
+// event yields the critical path; attributing each link's duration to the
+// kind of event it ends at shows where the bottleneck time went (compute,
+// synchronization waiting, barrier skew).
+//
+// Works on any trace — actual, measured, or approximated — so it can show
+// *how instrumentation moved the critical path* (e.g. loop 17's path
+// shifting from compute onto the advance/await chain when probes inflate the
+// guarded region).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace perturb::analysis {
+
+using trace::Tick;
+
+struct CriticalPathStats {
+  /// Event indices (into the analyzed trace) along the path, start → end.
+  std::vector<std::size_t> path;
+  /// Total path duration: time of the last event minus time of the first.
+  Tick length = 0;
+  /// Path time attributed to the kind of the event each link arrives at.
+  std::array<Tick, trace::kNumEventKinds> time_by_kind{};
+  /// Path time spent on each processor (attributed to the arriving event's
+  /// processor).
+  std::vector<Tick> time_by_proc;
+  /// Number of links that cross processors (dependency hand-offs).
+  std::size_t cross_processor_links = 0;
+};
+
+/// Computes the critical path ending at the trace's last event.  The trace
+/// must be happened-before consistent; ties between candidate predecessors
+/// resolve toward the same-processor chain.
+CriticalPathStats critical_path(const trace::Trace& trace);
+
+/// Renders a per-kind breakdown table of the path time.
+std::string render_critical_path(const CriticalPathStats& stats);
+
+}  // namespace perturb::analysis

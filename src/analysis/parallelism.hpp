@@ -1,0 +1,33 @@
+// Parallelism-over-time analysis (§5.3, Figure 5).
+//
+// A processor is *active* between its first and last trace event and *useful*
+// while active and not inside a synchronization-waiting interval.  The
+// parallelism level at time t is the number of useful processors; the paper
+// reports its time history and the average over the parallel region
+// (loop 17: 7.5 on 8 processors).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "analysis/waiting.hpp"
+#include "trace/trace.hpp"
+
+namespace perturb::analysis {
+
+struct ParallelismProfile {
+  /// Step function: (time, level) change points, level held until the next.
+  std::vector<std::pair<Tick, double>> steps;
+  /// Time-weighted average level over the whole trace span.
+  double average = 0.0;
+  /// Average over the parallel region only (level >= 2), the figure the
+  /// paper quotes; 0 when the trace never goes parallel.
+  double average_parallel = 0.0;
+  Tick span_begin = 0;
+  Tick span_end = 0;
+};
+
+ParallelismProfile parallelism_profile(const trace::Trace& trace,
+                                       const WaitClassifier& classifier);
+
+}  // namespace perturb::analysis

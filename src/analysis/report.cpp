@@ -1,0 +1,70 @@
+#include "analysis/report.hpp"
+
+#include "analysis/critical_path.hpp"
+#include "analysis/parallelism.hpp"
+#include "analysis/timeline.hpp"
+#include <algorithm>
+
+#include "support/stats.hpp"
+#include "support/text.hpp"
+
+namespace perturb::analysis {
+
+std::string render_report(const trace::Trace& approx,
+                          const core::ApproximationQuality* quality,
+                          const ReportOptions& options) {
+  std::string out;
+  out += support::strf("=== performance report: %s ===\n",
+                       approx.info().name.c_str());
+  out += support::strf("events: %zu   processors: %u   total time: %lld\n",
+                       approx.size(), approx.info().num_procs,
+                       static_cast<long long>(approx.total_time()));
+  if (quality) {
+    out += support::strf(
+        "recovery: measured %.2fx of actual, approximated %.3fx "
+        "(%+.1f%% error)\n",
+        quality->measured_over_actual, quality->approx_over_actual,
+        quality->percent_error);
+    out += support::strf(
+        "per-event |error|: mean %.1f, median %.1f, p95 %.1f ticks over %zu "
+        "events\n",
+        quality->mean_abs_event_error, quality->p50_event_error,
+        quality->p95_event_error, quality->matched_events);
+  }
+
+  const auto waits = waiting_analysis(approx, options.classifier);
+  out += "\n-- waiting --\n";
+  out += render_waiting_table(waits);
+  if (!waits.intervals.empty()) {
+    // Duration histogram: distinguishes many short stalls from few long ones.
+    Tick longest = 0;
+    for (const auto& w : waits.intervals)
+      longest = std::max(longest, w.end - w.begin);
+    support::Histogram hist(0.0, static_cast<double>(longest) + 1.0, 8);
+    for (const auto& w : waits.intervals)
+      hist.add(static_cast<double>(w.end - w.begin));
+    out += support::strf("wait durations (%zu intervals):", 
+                         waits.intervals.size());
+    for (std::size_t b = 0; b < hist.bins(); ++b)
+      out += support::strf(" [%.0f,%.0f):%zu", hist.bin_lo(b), hist.bin_hi(b),
+                           hist.bin_count(b));
+    out += '\n';
+  }
+  if (options.include_timeline && !waits.intervals.empty())
+    out += render_waiting_timeline(approx, waits, options.timeline_width);
+
+  const auto profile = parallelism_profile(approx, options.classifier);
+  out += support::strf(
+      "\n-- parallelism --\naverage %.2f (parallel region %.2f)\n",
+      profile.average, profile.average_parallel);
+  if (options.include_parallelism_plot && !profile.steps.empty())
+    out += render_parallelism_plot(approx, profile, options.timeline_width);
+
+  if (options.include_critical_path) {
+    out += "\n-- critical path --\n";
+    out += render_critical_path(critical_path(approx));
+  }
+  return out;
+}
+
+}  // namespace perturb::analysis

@@ -1,0 +1,29 @@
+// Combined loop performance report: the §5.3-style summary the paper derives
+// from an event-based approximation — execution-time recovery, waiting,
+// parallelism, and critical-path breakdown in one text block.
+#pragma once
+
+#include <string>
+
+#include "analysis/waiting.hpp"
+#include "core/quality.hpp"
+#include "trace/trace.hpp"
+
+namespace perturb::analysis {
+
+struct ReportOptions {
+  WaitClassifier classifier;  ///< thresholds for waiting classification
+  std::size_t timeline_width = 80;
+  bool include_timeline = true;
+  bool include_parallelism_plot = true;
+  bool include_critical_path = true;
+};
+
+/// Renders a full performance report of `approx` (typically the event-based
+/// approximation).  When `quality` is non-null its recovery ratios are
+/// included at the top.
+std::string render_report(const trace::Trace& approx,
+                          const core::ApproximationQuality* quality,
+                          const ReportOptions& options);
+
+}  // namespace perturb::analysis

@@ -1,0 +1,82 @@
+#include "analysis/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/ascii_chart.hpp"
+#include "support/csv.hpp"
+#include "support/text.hpp"
+#include "trace/event.hpp"
+
+namespace perturb::analysis {
+
+namespace {
+
+std::int64_t to_us(Tick t, double ticks_per_us, bool convert) {
+  if (!convert || ticks_per_us <= 0.0) return t;
+  return static_cast<std::int64_t>(
+      std::llround(static_cast<double>(t) / ticks_per_us));
+}
+
+}  // namespace
+
+std::string render_waiting_timeline(const trace::Trace& t,
+                                    const WaitingStats& stats,
+                                    std::size_t width,
+                                    bool in_microseconds) {
+  const double scale = t.info().ticks_per_us;
+  const std::int64_t t0 = to_us(t.start_time(), scale, in_microseconds);
+  std::int64_t t1 = to_us(t.end_time(), scale, in_microseconds);
+  if (t1 <= t0) t1 = t0 + 1;
+
+  std::vector<support::TimelineRow> rows(t.info().num_procs);
+  for (std::size_t p = 0; p < rows.size(); ++p)
+    rows[p].label = support::strf("Processor %zu waiting", p);
+  for (const auto& w : stats.intervals) {
+    if (w.proc >= rows.size()) continue;
+    rows[w.proc].intervals.push_back({to_us(w.begin, scale, in_microseconds),
+                                      to_us(w.end, scale, in_microseconds)});
+  }
+  std::string out = support::render_timeline(rows, t0, t1, width);
+  out += in_microseconds ? "Time (microseconds)\n" : "Time (ticks)\n";
+  return out;
+}
+
+std::string render_parallelism_plot(const trace::Trace& t,
+                                    const ParallelismProfile& profile,
+                                    std::size_t width, std::size_t height,
+                                    bool in_microseconds) {
+  const double scale = t.info().ticks_per_us;
+  std::vector<std::pair<std::int64_t, double>> steps;
+  steps.reserve(profile.steps.size());
+  double vmax = 1.0;
+  for (const auto& [time, level] : profile.steps) {
+    steps.emplace_back(to_us(time, scale, in_microseconds), level);
+    vmax = std::max(vmax, level);
+  }
+  const std::int64_t t0 = to_us(profile.span_begin, scale, in_microseconds);
+  std::int64_t t1 = to_us(profile.span_end, scale, in_microseconds);
+  if (t1 <= t0) t1 = t0 + 1;
+  std::string out =
+      support::render_step_plot(steps, t0, t1, vmax, width, height);
+  out += in_microseconds ? "Time (microseconds)\n" : "Time (ticks)\n";
+  return out;
+}
+
+void write_waiting_csv(std::ostream& out, const WaitingStats& stats) {
+  support::CsvWriter csv(out);
+  csv.rowv("proc", "begin", "end", "cause");
+  for (const auto& w : stats.intervals)
+    csv.rowv(static_cast<unsigned>(w.proc), static_cast<long long>(w.begin),
+             static_cast<long long>(w.end), trace::event_kind_name(w.cause));
+}
+
+void write_parallelism_csv(std::ostream& out,
+                           const ParallelismProfile& profile) {
+  support::CsvWriter csv(out);
+  csv.rowv("time", "level");
+  for (const auto& [time, level] : profile.steps)
+    csv.rowv(static_cast<long long>(time), level);
+}
+
+}  // namespace perturb::analysis

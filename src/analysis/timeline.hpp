@@ -1,0 +1,33 @@
+// Figure 4 / Figure 5 renderings: per-processor waiting timelines and the
+// parallelism step plot, in both ASCII and CSV forms.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "analysis/parallelism.hpp"
+#include "analysis/waiting.hpp"
+
+namespace perturb::analysis {
+
+/// ASCII timeline with one row per processor; '#' cells mark waiting
+/// intervals (Figure 4's "waiting" rows).  Times are rescaled to
+/// microseconds using the trace's ticks_per_us when `in_microseconds`.
+std::string render_waiting_timeline(const trace::Trace& trace,
+                                    const WaitingStats& stats,
+                                    std::size_t width = 80,
+                                    bool in_microseconds = true);
+
+/// ASCII step plot of the parallelism level over time (Figure 5).
+std::string render_parallelism_plot(const trace::Trace& trace,
+                                    const ParallelismProfile& profile,
+                                    std::size_t width = 80,
+                                    std::size_t height = 8,
+                                    bool in_microseconds = true);
+
+/// CSV dumps of the same series: (proc,begin,end,cause) and (time,level).
+void write_waiting_csv(std::ostream& out, const WaitingStats& stats);
+void write_parallelism_csv(std::ostream& out,
+                           const ParallelismProfile& profile);
+
+}  // namespace perturb::analysis

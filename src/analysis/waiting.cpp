@@ -1,0 +1,107 @@
+#include "analysis/waiting.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "support/text.hpp"
+
+namespace perturb::analysis {
+
+using trace::Event;
+using trace::EventKind;
+using trace::ProcId;
+using trace::SyncKey;
+
+WaitingStats waiting_analysis(const trace::Trace& t,
+                              const WaitClassifier& c) {
+  WaitingStats stats;
+  stats.waiting_time.assign(t.info().num_procs, 0);
+  stats.waiting_percent.assign(t.info().num_procs, 0.0);
+  stats.total_time = t.total_time();
+
+  // Per-processor previous event time (for lock-wait attribution) and the
+  // per-(key, proc) awaitB / barrier-arrive times.
+  std::unordered_map<ProcId, Tick> prev_time;
+  std::map<std::pair<SyncKey, ProcId>, Tick> await_b;
+  std::map<std::pair<SyncKey, ProcId>, Tick> arrive;
+
+  auto add = [&](ProcId proc, Tick begin, Tick end, EventKind cause) {
+    if (end <= begin) return;
+    if (proc < stats.waiting_time.size())
+      stats.waiting_time[proc] += end - begin;
+    stats.intervals.push_back({proc, begin, end, cause});
+  };
+
+  for (const Event& e : t) {
+    const SyncKey key{e.object, e.payload};
+    switch (e.kind) {
+      case EventKind::kAwaitBegin:
+        await_b[{key, e.proc}] = e.time;
+        break;
+      case EventKind::kAwaitEnd: {
+        const auto it = await_b.find({key, e.proc});
+        if (it != await_b.end()) {
+          const Tick duration = e.time - it->second;
+          if (duration > c.await_nowait + c.tolerance)
+            add(e.proc, it->second, e.time, EventKind::kAwaitEnd);
+          await_b.erase(it);
+        }
+        break;
+      }
+      case EventKind::kLockAcquire: {
+        const auto pt = prev_time.find(e.proc);
+        if (pt != prev_time.end()) {
+          const Tick duration = e.time - pt->second;
+          if (duration > c.lock_acquire + c.tolerance)
+            add(e.proc, pt->second, e.time, EventKind::kLockAcquire);
+        }
+        break;
+      }
+      case EventKind::kSemAcquire: {
+        const auto pt = prev_time.find(e.proc);
+        if (pt != prev_time.end()) {
+          const Tick duration = e.time - pt->second;
+          if (duration > c.sem_acquire + c.tolerance)
+            add(e.proc, pt->second, e.time, EventKind::kSemAcquire);
+        }
+        break;
+      }
+      case EventKind::kBarrierArrive:
+        arrive[{key, e.proc}] = e.time;
+        break;
+      case EventKind::kBarrierDepart: {
+        const auto it = arrive.find({key, e.proc});
+        if (it != arrive.end()) {
+          const Tick duration = e.time - it->second;
+          if (duration > c.barrier_depart + c.tolerance)
+            add(e.proc, it->second, e.time, EventKind::kBarrierDepart);
+          arrive.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    prev_time[e.proc] = e.time;
+  }
+
+  if (stats.total_time > 0) {
+    for (std::size_t p = 0; p < stats.waiting_time.size(); ++p)
+      stats.waiting_percent[p] = 100.0 *
+                                 static_cast<double>(stats.waiting_time[p]) /
+                                 static_cast<double>(stats.total_time);
+  }
+  return stats;
+}
+
+std::string render_waiting_table(const WaitingStats& stats) {
+  std::string head = "Processor ";
+  std::string row = "Waiting   ";
+  for (std::size_t p = 0; p < stats.waiting_percent.size(); ++p) {
+    head += support::strf("%8zu", p);
+    row += support::strf("%7.2f%%", stats.waiting_percent[p]);
+  }
+  return head + "\n" + row + "\n";
+}
+
+}  // namespace perturb::analysis

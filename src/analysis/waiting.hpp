@@ -1,0 +1,51 @@
+// Waiting-time analysis (§5.3, Table 3, Figure 4).
+//
+// Extracts per-processor synchronization-waiting intervals from a trace
+// (actual, measured, or approximated — the paper computes them from the
+// event-based approximation) and summarizes waiting as a percentage of total
+// execution time per processor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace perturb::analysis {
+
+using trace::Tick;
+
+/// Costs used to distinguish waiting from mere synchronization processing:
+/// an await (lock, barrier) is classified as *waiting* when its observed
+/// duration exceeds the no-wait processing cost by more than `tolerance`.
+struct WaitClassifier {
+  std::int64_t await_nowait = 0;   ///< awaitE-awaitB cost without waiting
+  std::int64_t lock_acquire = 0;   ///< uncontended acquire cost
+  std::int64_t sem_acquire = 0;    ///< uncontended semaphore P() cost
+  std::int64_t barrier_depart = 0; ///< depart-arrive cost when last to arrive
+  std::int64_t tolerance = 0;
+};
+
+struct WaitInterval {
+  trace::ProcId proc = 0;
+  Tick begin = 0;
+  Tick end = 0;
+  trace::EventKind cause = trace::EventKind::kAwaitEnd;
+};
+
+struct WaitingStats {
+  std::vector<Tick> waiting_time;       ///< per processor
+  std::vector<double> waiting_percent;  ///< per processor, of total time
+  Tick total_time = 0;
+  std::vector<WaitInterval> intervals;  ///< in trace order
+};
+
+WaitingStats waiting_analysis(const trace::Trace& trace,
+                              const WaitClassifier& classifier);
+
+/// Renders the per-processor waiting percentages as a one-row table
+/// (Table 3's layout).
+std::string render_waiting_table(const WaitingStats& stats);
+
+}  // namespace perturb::analysis

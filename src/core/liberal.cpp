@@ -1,0 +1,192 @@
+#include "core/liberal.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/ir.hpp"
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace perturb::core {
+
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+using trace::ProcId;
+using trace::Trace;
+
+constexpr std::int64_t kPairStride = std::int64_t{1} << 32;
+
+}  // namespace
+
+DoacrossShape extract_doacross_shape(const Trace& measured,
+                                     const AnalysisOverheads& ov) {
+  DoacrossShape shape;
+  bool saw_loop = false;
+  std::int64_t trip_hint = -1;
+
+  enum class Segment { kOutside, kPre, kWaiting, kChain, kPost };
+  struct ProcCursor {
+    bool has_prev = false;
+    Tick prev_time = 0;
+    Segment segment = Segment::kOutside;
+    IterationShape current;
+  };
+  std::unordered_map<ProcId, ProcCursor> procs;
+  std::unordered_map<std::int64_t, IterationShape> done;
+  bool have_distance = false;
+
+  auto finish = [&](ProcCursor& c) {
+    PERTURB_CHECK_MSG(!done.count(c.current.iteration),
+                      "iteration executed twice in measured trace");
+    done[c.current.iteration] = c.current;
+    c.segment = Segment::kOutside;
+  };
+
+  for (const Event& e : measured) {
+    if (e.kind == EventKind::kLoopBegin) {
+      PERTURB_CHECK_MSG(!saw_loop,
+                        "liberal analysis supports a single parallel loop");
+      saw_loop = true;
+      shape.loop_object = e.object;
+    }
+    ProcCursor& c = procs[e.proc];
+    const Tick gap_raw = c.has_prev ? e.time - c.prev_time : 0;
+    Tick gap = gap_raw - ov.probe_for(e.kind);
+    if (gap < 0) gap = 0;
+    c.prev_time = e.time;
+    c.has_prev = true;
+
+    auto add_gap = [&](Cycles amount) {
+      switch (c.segment) {
+        case Segment::kPre: c.current.pre += amount; break;
+        case Segment::kChain: c.current.chain += amount; break;
+        case Segment::kPost: c.current.post += amount; break;
+        default: break;
+      }
+    };
+
+    switch (e.kind) {
+      case EventKind::kIterBegin:
+        if (!saw_loop || e.object != shape.loop_object) break;
+        c.current = IterationShape{};
+        c.current.iteration = e.payload;
+        c.segment = Segment::kPre;
+        trip_hint = std::max(trip_hint, e.payload + 1);
+        break;
+      case EventKind::kIterEnd:
+        if (c.segment == Segment::kOutside) break;
+        add_gap(gap);
+        finish(c);
+        break;
+      case EventKind::kAwaitBegin: {
+        if (c.segment == Segment::kOutside) break;
+        PERTURB_CHECK_MSG(c.segment == Segment::kPre,
+                          "multiple awaits per iteration unsupported");
+        add_gap(gap);  // arrival at the await ends the pre segment
+        c.current.has_await = true;
+        const std::int64_t idx = e.payload % kPairStride;
+        const std::int64_t d = c.current.iteration - idx;
+        PERTURB_CHECK_MSG(d > 0, "non-forward dependence in measured trace");
+        if (have_distance) {
+          PERTURB_CHECK_MSG(d == shape.distance,
+                            "non-constant dependence distance");
+        } else {
+          shape.distance = d;
+          have_distance = true;
+        }
+        c.segment = Segment::kWaiting;
+        break;
+      }
+      case EventKind::kAwaitEnd:
+        if (c.segment == Segment::kOutside) break;
+        // waiting + synchronization processing: excluded from work
+        c.segment = Segment::kChain;
+        break;
+      case EventKind::kAdvance:
+        if (c.segment == Segment::kOutside) break;
+        // The gap is the advance operation itself: excluded (the replay's
+        // machine model re-adds it).  An advance with no preceding await
+        // (first d iterations) simply ends the pre segment.
+        c.current.has_advance = true;
+        c.segment = Segment::kPost;
+        break;
+      default:
+        add_gap(gap);
+        break;
+    }
+  }
+
+  PERTURB_CHECK_MSG(saw_loop, "no parallel loop in measured trace");
+  PERTURB_CHECK_MSG(trip_hint > 0, "no iterations observed");
+  shape.iterations.resize(static_cast<std::size_t>(trip_hint));
+  for (std::int64_t i = 0; i < trip_hint; ++i) {
+    const auto it = done.find(i);
+    PERTURB_CHECK_MSG(it != done.end(),
+                      support::strf("iteration %lld missing from trace",
+                                    static_cast<long long>(i)));
+    shape.iterations[static_cast<std::size_t>(i)] = it->second;
+  }
+  return shape;
+}
+
+LiberalResult liberal_approximation(const DoacrossShape& shape,
+                                    const LiberalOptions& options) {
+  const auto iters =
+      std::make_shared<const std::vector<IterationShape>>(shape.iterations);
+  const auto trip = static_cast<std::int64_t>(iters->size());
+  PERTURB_CHECK(trip > 0);
+
+  bool any_advance = false;
+  bool any_await = false;
+  for (const auto& it : *iters) {
+    any_advance |= it.has_advance;
+    any_await |= it.has_await;
+  }
+
+  sim::Program prog;
+  sim::Block body;
+  body.nodes.push_back(sim::compute_fn("pre", [iters](std::int64_t i) {
+    return (*iters)[static_cast<std::size_t>(i)].pre;
+  }));
+  if (any_advance) {
+    const auto var = prog.declare_sync_var("A");
+    if (any_await) {
+      PERTURB_CHECK_MSG(shape.distance > 0, "await without distance");
+      body.nodes.push_back(sim::await(var, {1, -shape.distance}));
+    }
+    body.nodes.push_back(sim::compute_fn("chain", [iters](std::int64_t i) {
+      return (*iters)[static_cast<std::size_t>(i)].chain;
+    }));
+    body.nodes.push_back(sim::advance(var, {1, 0}));
+  }
+  body.nodes.push_back(sim::compute_fn("post", [iters](std::int64_t i) {
+    return (*iters)[static_cast<std::size_t>(i)].post;
+  }));
+
+  prog.root().nodes.push_back(sim::par_loop(
+      "liberal-replay",
+      any_advance ? sim::LoopKind::kDoacross : sim::LoopKind::kDoall,
+      options.schedule, trip, std::move(body)));
+  prog.finalize();
+
+  LiberalResult result;
+  result.approx =
+      sim::simulate_actual(options.machine, prog, "liberal-replay");
+
+  Tick begin = 0;
+  Tick end = 0;
+  result.iteration_to_proc.assign(static_cast<std::size_t>(trip), 0);
+  for (const Event& e : result.approx) {
+    if (e.kind == EventKind::kLoopBegin) begin = e.time;
+    if (e.kind == EventKind::kLoopEnd) end = e.time;
+    if (e.kind == EventKind::kIterBegin)
+      result.iteration_to_proc[static_cast<std::size_t>(e.payload)] = e.proc;
+  }
+  result.loop_time = end - begin;
+  return result;
+}
+
+}  // namespace perturb::core

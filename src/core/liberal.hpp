@@ -1,0 +1,73 @@
+// Liberal perturbation analysis: scheduling re-simulation (§4.2.3, §4.3).
+//
+// Conservative analysis must keep the measured iteration→processor mapping,
+// but under dynamic self-scheduling instrumentation remaps work across
+// processors, so the conservative approximation reproduces a mapping the
+// uninstrumented program would never have produced.  When the analyst can
+// assert external execution information — "this was a constant-distance
+// DOACROSS loop scheduled by policy S" — the analysis may go further:
+//
+//   1. extract each iteration's de-instrumented segment costs from the
+//      measured trace (pre-await work, awaitE→advance chain work, post
+//      work, and the dependence distance d),
+//   2. re-simulate the loop on the machine model under policy S.
+//
+// Step 2 reuses the simulator: the extracted shape is lowered back to an IR
+// DOACROSS program with per-iteration cost functions and executed with
+// NullInstrumentation.  The result is a *liberal approximation* — usually
+// closer to the likely execution, but no longer guaranteed to preserve the
+// measured total order.
+//
+// Scope: single-chain, constant-distance DOACROSS loops (the paper's §4.3
+// model and the shape of Livermore loops 3, 4, and 17).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/overheads.hpp"
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+#include "trace/trace.hpp"
+
+namespace perturb::core {
+
+/// Per-iteration de-instrumented costs extracted from a measured trace.
+struct IterationShape {
+  std::int64_t iteration = 0;
+  Cycles pre = 0;    ///< work before the await (or before the advance if none)
+  Cycles chain = 0;  ///< work between awaitE and advance (the guarded region)
+  Cycles post = 0;   ///< work after the advance
+  bool has_await = false;
+  bool has_advance = false;
+};
+
+struct DoacrossShape {
+  std::vector<IterationShape> iterations;  ///< indexed by iteration
+  std::int64_t distance = 0;  ///< constant dependence distance (0 = DOALL)
+  trace::ObjectId loop_object = 0;
+};
+
+/// Extracts the shape of the (single) parallel loop in `measured`.
+/// Requires loop/iteration markers and (for DOACROSS) sync events in the
+/// trace; throws CheckError if the trace does not fit the model (multiple
+/// advances per iteration, non-constant distance, ...).
+DoacrossShape extract_doacross_shape(const trace::Trace& measured,
+                                     const AnalysisOverheads& overheads);
+
+struct LiberalOptions {
+  sim::MachineConfig machine;  ///< machine model for the re-simulation
+  sim::Schedule schedule = sim::Schedule::kCyclic;  ///< asserted loop policy
+};
+
+struct LiberalResult {
+  trace::Trace approx;  ///< synthetic trace of the re-simulated loop
+  Tick loop_time = 0;   ///< LoopEnd - LoopBegin of the re-simulation
+  std::vector<trace::ProcId> iteration_to_proc;  ///< re-simulated mapping
+};
+
+/// Re-simulates the extracted loop under the asserted scheduling policy.
+LiberalResult liberal_approximation(const DoacrossShape& shape,
+                                    const LiberalOptions& options);
+
+}  // namespace perturb::core

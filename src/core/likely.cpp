@@ -1,0 +1,71 @@
+#include "core/likely.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace perturb::core {
+
+double LikelyDistribution::percentile_of(Tick t) const {
+  if (loop_times.empty()) return 0.0;
+  const auto it = std::upper_bound(loop_times.begin(), loop_times.end(), t);
+  return static_cast<double>(it - loop_times.begin()) /
+         static_cast<double>(loop_times.size());
+}
+
+LikelyDistribution likely_executions(const DoacrossShape& shape,
+                                     const LikelyOptions& options) {
+  PERTURB_CHECK(options.samples > 0);
+  PERTURB_CHECK(options.cost_uncertainty >= 0.0 &&
+                options.cost_uncertainty < 1.0);
+
+  LikelyDistribution dist;
+  dist.loop_times.reserve(options.samples);
+
+  for (std::size_t s = 0; s < options.samples; ++s) {
+    // Perturb the iteration costs within the uncertainty band.  The
+    // uncertainty has two physical components: a *correlated* factor per
+    // sample (systematic calibration error — it shifts every cost together
+    // and does not average out over iterations) and an *independent* factor
+    // per (iteration, segment) (data-dependent noise).  Both are
+    // deterministic in (seed, sample).
+    DoacrossShape sample = shape;
+    const std::uint64_t sample_key =
+        support::hash_combine(options.seed, s);
+    const double correlated =
+        1.0 + options.cost_uncertainty *
+                  support::keyed_jitter(sample_key, 0xc0, 0xde);
+    for (auto& it : sample.iterations) {
+      auto scale = [&](Cycles c, std::uint64_t segment) {
+        const double j = support::keyed_jitter(
+            sample_key, static_cast<std::uint64_t>(it.iteration), segment);
+        const double factor =
+            correlated * (1.0 + options.cost_uncertainty * j);
+        const auto scaled = static_cast<Cycles>(
+            std::llround(static_cast<double>(c) * factor));
+        return scaled < 0 ? Cycles{0} : scaled;
+      };
+      it.pre = scale(it.pre, 1);
+      it.chain = scale(it.chain, 2);
+      it.post = scale(it.post, 3);
+    }
+
+    LiberalOptions replay;
+    replay.machine = options.machine;
+    replay.schedule = options.schedule;
+    dist.loop_times.push_back(liberal_approximation(sample, replay).loop_time);
+  }
+
+  std::sort(dist.loop_times.begin(), dist.loop_times.end());
+  dist.min = dist.loop_times.front();
+  dist.max = dist.loop_times.back();
+  dist.median = dist.loop_times[dist.loop_times.size() / 2];
+  dist.p95 =
+      dist.loop_times[std::min(dist.loop_times.size() - 1,
+                               dist.loop_times.size() * 95 / 100)];
+  return dist;
+}
+
+}  // namespace perturb::core

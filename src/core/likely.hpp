@@ -1,0 +1,49 @@
+// Monte-Carlo exploration of likely executions (§4.1).
+//
+// A conservative approximation is guaranteed to be a *feasible* execution,
+// but the paper stresses that the interesting question is whether it is a
+// *likely* one — and that computing the likelihood distribution of feasible
+// executions "is an extremely difficult problem, requiring a model of time
+// and concurrent execution".  The simulator is exactly such a model, so this
+// module estimates the distribution empirically: it re-simulates the
+// extracted loop many times with the per-iteration costs perturbed inside a
+// stated uncertainty band, yielding a sampled distribution of loop times
+// against which an approximation can be placed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/liberal.hpp"
+
+namespace perturb::core {
+
+struct LikelyOptions {
+  sim::MachineConfig machine;
+  sim::Schedule schedule = sim::Schedule::kCyclic;
+  std::size_t samples = 64;
+  /// Relative uniform cost uncertainty: each sampled run scales every
+  /// iteration segment by a factor in [1-u, 1+u].
+  double cost_uncertainty = 0.05;
+  std::uint64_t seed = 1991;
+};
+
+struct LikelyDistribution {
+  std::vector<Tick> loop_times;  ///< sorted ascending, one per sample
+  Tick min = 0;
+  Tick median = 0;
+  Tick p95 = 0;
+  Tick max = 0;
+
+  /// Fraction of sampled executions no slower than `t` (0 = faster than all
+  /// samples, 1 = slower than all).  An approximation far outside [0, 1]'s
+  /// interior is feasible but unlikely.
+  double percentile_of(Tick t) const;
+};
+
+/// Samples the loop-time distribution of the extracted loop under the given
+/// scheduling policy and cost uncertainty.
+LikelyDistribution likely_executions(const DoacrossShape& shape,
+                                     const LikelyOptions& options);
+
+}  // namespace perturb::core

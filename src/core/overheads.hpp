@@ -1,0 +1,41 @@
+// Inputs to perturbation analysis: what the analysis knows about costs.
+//
+// The analysis never sees the true per-event probe costs (they jitter); it is
+// given mean per-kind probe overheads — the "measured costs of
+// instrumentation" of §2 — plus the empirically calibrated synchronization
+// processing overheads s_nowait and s_wait of §4.2.3.
+#pragma once
+
+#include <array>
+
+#include "sim/ir.hpp"
+#include "trace/event.hpp"
+
+namespace perturb::core {
+
+using sim::Cycles;
+using trace::EventKind;
+using trace::Tick;
+
+struct AnalysisOverheads {
+  /// Mean probe cost per event kind; subtracted per recorded event.
+  std::array<Cycles, trace::kNumEventKinds> probe{};
+
+  /// awaitE = awaitB + s_nowait when the approximation decides no waiting
+  /// occurs (§4.2.3).
+  Cycles s_nowait = 0;
+  /// awaitE = advance + s_wait when the approximation decides waiting occurs.
+  Cycles s_wait = 0;
+  /// Lock-acquisition processing cost applied after the lock becomes free.
+  Cycles lock_acquire = 0;
+  /// Semaphore P() processing cost applied after a permit becomes free.
+  Cycles sem_acquire = 0;
+  /// Barrier departure latency applied after the last arrival.
+  Cycles barrier_depart = 0;
+
+  Cycles probe_for(EventKind kind) const noexcept {
+    return probe[static_cast<std::size_t>(kind)];
+  }
+};
+
+}  // namespace perturb::core

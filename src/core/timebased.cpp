@@ -1,0 +1,46 @@
+#include "core/timebased.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace perturb::core {
+
+using trace::Event;
+using trace::ProcId;
+using trace::Trace;
+
+Trace time_based_approximation(const Trace& measured,
+                               const AnalysisOverheads& overheads) {
+  struct ProcState {
+    bool started = false;
+    Tick cumulative_overhead = 0;
+    Tick last_approx = 0;
+  };
+  std::unordered_map<ProcId, ProcState> procs;
+
+  Trace approx(measured.info());
+  approx.info().name = measured.info().name + "/time-based";
+
+  // Telescoping the per-event recurrence gives
+  //   t_a(e_k) = t_m(e_k) - sum_{j<=k} alpha(e_j)   (per processor),
+  // which lets per-event jitter residuals cancel instead of accumulating;
+  // clamping enforces only per-processor monotonicity and t >= 0.
+  for (const Event& e : measured) {
+    ProcState& st = procs[e.proc];
+    st.cumulative_overhead += overheads.probe_for(e.kind);
+    Tick t = e.time - st.cumulative_overhead;
+    if (t < 0) t = 0;
+    if (st.started) t = std::max(t, st.last_approx);
+    st.started = true;
+    st.last_approx = t;
+    Event out = e;
+    out.time = t;
+    approx.append(out);
+  }
+  approx.sort_canonical();
+  return approx;
+}
+
+}  // namespace perturb::core

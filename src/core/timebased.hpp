@@ -1,0 +1,32 @@
+// Time-based perturbation analysis (§3).
+//
+// Assumes events on different processors are independent: the only effect of
+// instrumentation is the execution-time overhead of the probes.  Each
+// processor's events are re-timed by subtracting the cumulative mean probe
+// overhead accrued on that processor:
+//
+//    t_a(e_k) = t_a(e_{k-1}) + [t_m(e_k) - t_m(e_{k-1})] - alpha(e_k)
+//
+// This is exact for sequential and independent fork-join execution, but — as
+// the paper demonstrates on Livermore loops 3, 4 and 17 — fails for
+// dependent concurrent execution, because measured waiting (which
+// instrumentation shrank or grew) is carried into the approximation
+// unchanged.
+#pragma once
+
+#include "core/overheads.hpp"
+#include "trace/trace.hpp"
+
+namespace perturb::core {
+
+/// Re-times `measured` under the event-independence assumption and returns
+/// the approximated trace (same events, adjusted times, re-sorted into a
+/// time order with measured order as the tie-break).
+///
+/// Gaps are clamped at zero: per-event jitter can make a measured gap smaller
+/// than the mean overhead, and times within one processor must stay
+/// monotone.
+trace::Trace time_based_approximation(const trace::Trace& measured,
+                                      const AnalysisOverheads& overheads);
+
+}  // namespace perturb::core

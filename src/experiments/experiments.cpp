@@ -1,0 +1,72 @@
+#include "experiments/experiments.hpp"
+
+#include "instr/calibrate.hpp"
+#include "loops/programs.hpp"
+#include "support/check.hpp"
+
+namespace perturb::experiments {
+
+instr::InstrumentationPlan make_plan(PlanKind kind, const Setup& setup) {
+  switch (kind) {
+    case PlanKind::kStatementsOnly:
+      return instr::InstrumentationPlan::statements_only(setup.stmt, setup.seed);
+    case PlanKind::kFull:
+      return instr::InstrumentationPlan::full(setup.stmt, setup.sync,
+                                              setup.control, setup.seed);
+    case PlanKind::kSyncOnly:
+      return instr::InstrumentationPlan::sync_only(setup.sync, setup.seed);
+  }
+  PERTURB_CHECK_MSG(false, "unknown plan kind");
+  return instr::InstrumentationPlan::sync_only({}, 0);
+}
+
+core::AnalysisOverheads overheads_for(const instr::InstrumentationPlan& plan,
+                                      const sim::MachineConfig& machine) {
+  core::AnalysisOverheads ov;
+  for (std::uint8_t k = 0; k < trace::kNumEventKinds; ++k)
+    ov.probe[k] = plan.mean_cost(static_cast<trace::EventKind>(k));
+  const instr::SyncOverheads sync = instr::calibrate_sync(machine);
+  ov.s_nowait = sync.await_nowait;
+  ov.s_wait = sync.await_wait;
+  ov.lock_acquire = machine.lock_acquire_cost;
+  ov.barrier_depart = machine.barrier_depart_cost;
+  return ov;
+}
+
+LoopRun run_program_experiment(const sim::Program& program, const Setup& setup,
+                               PlanKind plan_kind, const std::string& name) {
+  const instr::InstrumentationPlan plan = make_plan(plan_kind, setup);
+  const core::AnalysisOverheads ov = overheads_for(plan, setup.machine);
+
+  LoopRun run;
+  run.actual = sim::simulate_actual(setup.machine, program, name + "/actual");
+  run.measured = sim::simulate(setup.machine, program, plan, name + "/measured");
+  run.time_based = core::time_based_approximation(run.measured, ov);
+  run.event_based = core::event_based_approximation(run.measured, ov);
+  run.tb_quality = core::assess(run.measured, run.time_based, run.actual);
+  run.eb_quality = core::assess(run.measured, run.event_based.approx, run.actual);
+  return run;
+}
+
+LoopRun run_sequential_experiment(int loop, std::int64_t n, const Setup& setup,
+                                  PlanKind plan_kind) {
+  const auto program = loops::make_sequential_ir(loop, n);
+  return run_program_experiment(program, setup, plan_kind,
+                                "lfk" + std::to_string(loop) + "-seq");
+}
+
+LoopRun run_concurrent_experiment(int loop, std::int64_t n, const Setup& setup,
+                                  PlanKind plan_kind, sim::Schedule schedule) {
+  const auto program = loops::make_concurrent_ir(loop, n, schedule);
+  return run_program_experiment(program, setup, plan_kind,
+                                "lfk" + std::to_string(loop) + "-con");
+}
+
+LoopRun run_vector_experiment(int loop, std::int64_t n, const Setup& setup,
+                              PlanKind plan_kind) {
+  const auto program = loops::make_vector_ir(loop, n);
+  return run_program_experiment(program, setup, plan_kind,
+                                "lfk" + std::to_string(loop) + "-vec");
+}
+
+}  // namespace perturb::experiments

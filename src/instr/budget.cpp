@@ -1,0 +1,45 @@
+#include "instr/budget.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace perturb::instr {
+
+BudgetPlan plan_for_budget(const sim::MachineConfig& machine,
+                           const sim::Program& program,
+                           std::uint64_t max_statement_events) {
+  PERTURB_CHECK_MSG(program.finalized(), "program must be finalized");
+
+  // Profile: one zero-perturbation run, counting statement events per site.
+  const auto t = sim::simulate_actual(machine, program, "budget-profile");
+  std::unordered_map<trace::EventId, std::uint64_t> counts;
+  for (const auto& e : t) {
+    if (e.kind == trace::EventKind::kStmtEnter ||
+        e.kind == trace::EventKind::kStmtExit)
+      ++counts[e.id];
+  }
+
+  BudgetPlan plan;
+  plan.profiles.reserve(counts.size());
+  for (const auto& [site, events] : counts)
+    plan.profiles.push_back({site, events});
+  std::sort(plan.profiles.begin(), plan.profiles.end(),
+            [](const SiteProfile& a, const SiteProfile& b) {
+              if (a.events != b.events) return a.events > b.events;
+              return a.site < b.site;
+            });
+
+  plan.enabled.assign(program.num_sites(), false);
+  // Greedy selection, least-frequent sites first: maximizes the number of
+  // distinct instrumented locations under the budget.
+  for (auto it = plan.profiles.rbegin(); it != plan.profiles.rend(); ++it) {
+    if (plan.selected_events + it->events > max_statement_events) continue;
+    plan.enabled[it->site] = true;
+    plan.selected_events += it->events;
+  }
+  return plan;
+}
+
+}  // namespace perturb::instr

@@ -1,0 +1,46 @@
+// Instrumentation budgeting: choose which statement sites to instrument
+// under an event-count budget.
+//
+// The Instrumentation Uncertainty Principle (§1) forces a measurement to
+// trade volume against accuracy.  Given a program and a target event count,
+// this planner dry-runs the *uninstrumented* program once, counts how many
+// events each statement site would generate, and selects sites greedily —
+// cheapest (least-executed) first, so the measurement covers as many
+// distinct program locations as the budget allows.  The result is a site
+// filter for an InstrumentationPlan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "instr/plan.hpp"
+#include "sim/engine.hpp"
+#include "sim/ir.hpp"
+#include "sim/machine.hpp"
+
+namespace perturb::instr {
+
+struct SiteProfile {
+  trace::EventId site = 0;
+  std::uint64_t events = 0;  ///< statement events the site generates per run
+};
+
+struct BudgetPlan {
+  /// Site filter (indexed by site id) enabling the selected sites.
+  std::vector<bool> enabled;
+  /// Profiles of all statement sites, most frequent first.
+  std::vector<SiteProfile> profiles;
+  /// Statement events the selected sites will generate.
+  std::uint64_t selected_events = 0;
+};
+
+/// Profiles `program` on `machine` (one uninstrumented run) and selects the
+/// largest set of statement sites whose combined event count fits
+/// `max_statement_events`, preferring less-frequent sites (breadth of
+/// coverage over depth).  Sync/control events are not budgeted here — they
+/// are governed by the plan kind.
+BudgetPlan plan_for_budget(const sim::MachineConfig& machine,
+                           const sim::Program& program,
+                           std::uint64_t max_statement_events);
+
+}  // namespace perturb::instr

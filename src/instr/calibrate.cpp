@@ -1,0 +1,131 @@
+#include "instr/calibrate.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/ir.hpp"
+#include "support/check.hpp"
+#include "trace/trace.hpp"
+
+namespace perturb::instr {
+
+namespace {
+
+using sim::Cycles;
+using trace::Event;
+using trace::EventKind;
+using trace::Tick;
+
+/// Builds: doacross i in [0, trip):  work(cost); await(A, i-1); body(small);
+/// advance(A, i).  With a large `work` the awaits always wait; with work = 0
+/// and a long pre-advance gap they never do (dependence satisfied long ago).
+sim::Program make_chain(std::int64_t trip, Cycles independent_work,
+                        Cycles chain_work) {
+  sim::Program prog;
+  const auto var = prog.declare_sync_var("A");
+  sim::Block body;
+  if (independent_work > 0)
+    body.nodes.push_back(sim::compute("work", independent_work));
+  body.nodes.push_back(sim::await(var, {1, -1}));
+  body.nodes.push_back(sim::compute("chain", chain_work));
+  body.nodes.push_back(sim::advance(var, {1, 0}));
+  prog.root().nodes.push_back(
+      sim::par_loop("cal", sim::LoopKind::kDoacross, sim::Schedule::kCyclic,
+                    trip, std::move(body)));
+  prog.finalize();
+  return prog;
+}
+
+struct AwaitObservation {
+  Tick await_b = 0;
+  Tick await_e = 0;
+  Tick advance = 0;
+  bool waited = false;
+};
+
+/// Extracts per-pair await observations from an actual trace.
+std::vector<AwaitObservation> observe(const trace::Trace& t) {
+  std::unordered_map<std::int64_t, AwaitObservation> by_pair;
+  for (const Event& e : t) {
+    switch (e.kind) {
+      case EventKind::kAdvance:
+        by_pair[e.payload].advance = e.time;
+        break;
+      case EventKind::kAwaitBegin:
+        by_pair[e.payload].await_b = e.time;
+        break;
+      case EventKind::kAwaitEnd:
+        by_pair[e.payload].await_e = e.time;
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<AwaitObservation> out;
+  for (auto& [pair, obs] : by_pair) {
+    if (obs.await_e == 0) continue;  // advance with no awaiter
+    obs.waited = obs.advance > obs.await_b;
+    out.push_back(obs);
+  }
+  return out;
+}
+
+}  // namespace
+
+SyncOverheads calibrate_sync(const sim::MachineConfig& config) {
+  sim::MachineConfig cfg = config;
+  cfg.num_procs = 2;
+
+  SyncOverheads result;
+
+  // Waiting chain: no independent work, so every await on the second
+  // processor waits for its predecessor.
+  {
+    const auto prog = make_chain(/*trip=*/8, /*independent_work=*/0,
+                                 /*chain_work=*/200);
+    const auto t = sim::simulate_actual(cfg, prog, "calibrate-wait");
+    bool found = false;
+    for (const auto& obs : observe(t)) {
+      if (!obs.waited) continue;
+      result.await_wait = obs.await_e - obs.advance;
+      found = true;
+      break;
+    }
+    PERTURB_CHECK_MSG(found, "calibration: no waiting await observed");
+
+    // Advance cost: advance event minus the preceding chain-statement exit on
+    // the same processor.
+    Tick prev_exit = -1;
+    bool adv_found = false;
+    for (const Event& e : t) {
+      if (e.kind == EventKind::kStmtExit && e.proc == 0) prev_exit = e.time;
+      if (e.kind == EventKind::kAdvance && e.proc == 0 && prev_exit >= 0) {
+        result.advance_op = e.time - prev_exit;
+        adv_found = true;
+        break;
+      }
+    }
+    PERTURB_CHECK_MSG(adv_found, "calibration: no advance observed");
+  }
+
+  // Non-waiting chain: a large independent prefix means every dependence is
+  // satisfied long before the await executes.
+  {
+    const auto prog = make_chain(/*trip=*/8, /*independent_work=*/5000,
+                                 /*chain_work=*/10);
+    const auto t = sim::simulate_actual(cfg, prog, "calibrate-nowait");
+    bool found = false;
+    for (const auto& obs : observe(t)) {
+      if (obs.waited) continue;
+      result.await_nowait = obs.await_e - obs.await_b;
+      found = true;
+      break;
+    }
+    PERTURB_CHECK_MSG(found, "calibration: no waitless await observed");
+  }
+
+  return result;
+}
+
+}  // namespace perturb::instr

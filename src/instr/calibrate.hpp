@@ -1,0 +1,30 @@
+// Empirical calibration of synchronization overheads.
+//
+// The paper's perturbation analysis takes the await overheads s_nowait and
+// s_wait as *empirically determined* inputs (§4.2.3).  This module plays that
+// role: it runs tiny uninstrumented micro-programs on the simulator and
+// derives the overheads from the resulting traces — never by peeking at the
+// MachineConfig fields directly — so the analysis consumes calibrated values
+// exactly as the paper's tooling did.
+#pragma once
+
+#include "sim/machine.hpp"
+#include "trace/event.hpp"
+
+namespace perturb::instr {
+
+struct SyncOverheads {
+  /// Cost of the advance operation (event time minus preceding event).
+  sim::Cycles advance_op = 0;
+  /// awaitE - awaitB when the await is satisfied on arrival (s_nowait).
+  sim::Cycles await_nowait = 0;
+  /// awaitE - advance when the await had to wait (s_wait).
+  sim::Cycles await_wait = 0;
+};
+
+/// Calibrates by running two micro-programs: a distance-1 DOACROSS chain
+/// whose awaits always wait (yields s_wait and the advance cost) and one
+/// whose awaits never wait (yields s_nowait).
+SyncOverheads calibrate_sync(const sim::MachineConfig& config);
+
+}  // namespace perturb::instr

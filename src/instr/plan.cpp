@@ -1,0 +1,132 @@
+#include "instr/plan.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/prng.hpp"
+
+namespace perturb::instr {
+
+ProbeCategory category_of(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kStmtEnter:
+    case EventKind::kStmtExit:
+    case EventKind::kUser:
+      return ProbeCategory::kStatement;
+    case EventKind::kAdvance:
+    case EventKind::kAwaitBegin:
+    case EventKind::kAwaitEnd:
+    case EventKind::kLockAcquire:
+    case EventKind::kLockRelease:
+    case EventKind::kBarrierArrive:
+    case EventKind::kBarrierDepart:
+    case EventKind::kSemAcquire:
+    case EventKind::kSemRelease:
+      return ProbeCategory::kSync;
+    case EventKind::kLoopBegin:
+    case EventKind::kLoopEnd:
+    case EventKind::kIterBegin:
+    case EventKind::kIterEnd:
+    case EventKind::kProgramBegin:
+    case EventKind::kProgramEnd:
+      return ProbeCategory::kControl;
+  }
+  return ProbeCategory::kControl;
+}
+
+InstrumentationPlan InstrumentationPlan::statements_only(ProbeCost stmt,
+                                                         std::uint64_t seed) {
+  InstrumentationPlan p;
+  p.seed_ = seed;
+  for (std::uint8_t k = 0; k < trace::kNumEventKinds; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    switch (category_of(kind)) {
+      case ProbeCategory::kStatement:
+        p.record_[k] = true;
+        p.cost_[k] = stmt;
+        break;
+      case ProbeCategory::kControl:
+        // Program markers are kept (zero cost) so measured total time is
+        // well defined; loop/iteration markers are not recorded.
+        if (kind == EventKind::kProgramBegin || kind == EventKind::kProgramEnd)
+          p.record_[k] = true;
+        break;
+      case ProbeCategory::kSync:
+        break;
+    }
+  }
+  return p;
+}
+
+InstrumentationPlan InstrumentationPlan::full(ProbeCost stmt, ProbeCost sync,
+                                              ProbeCost control,
+                                              std::uint64_t seed) {
+  InstrumentationPlan p;
+  p.seed_ = seed;
+  for (std::uint8_t k = 0; k < trace::kNumEventKinds; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    p.record_[k] = true;
+    switch (category_of(kind)) {
+      case ProbeCategory::kStatement: p.cost_[k] = stmt; break;
+      case ProbeCategory::kSync: p.cost_[k] = sync; break;
+      case ProbeCategory::kControl: p.cost_[k] = control; break;
+    }
+  }
+  // Program markers delimit the run; they carry no probe cost so measured
+  // and actual runs agree on where time zero is.
+  p.cost_[static_cast<std::size_t>(EventKind::kProgramBegin)] = {};
+  p.cost_[static_cast<std::size_t>(EventKind::kProgramEnd)] = {};
+  return p;
+}
+
+InstrumentationPlan InstrumentationPlan::sync_only(ProbeCost sync,
+                                                   std::uint64_t seed) {
+  InstrumentationPlan p;
+  p.seed_ = seed;
+  for (std::uint8_t k = 0; k < trace::kNumEventKinds; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (category_of(kind) == ProbeCategory::kSync) {
+      p.record_[k] = true;
+      p.cost_[k] = sync;
+    } else if (kind == EventKind::kProgramBegin ||
+               kind == EventKind::kProgramEnd) {
+      p.record_[k] = true;
+    }
+  }
+  return p;
+}
+
+Cycles InstrumentationPlan::mean_cost(EventKind kind) const noexcept {
+  const auto k = static_cast<std::size_t>(kind);
+  if (!record_[k]) return 0;
+  return static_cast<Cycles>(std::llround(cost_[k].mean));
+}
+
+bool InstrumentationPlan::records(EventKind kind, EventId id) const {
+  const auto k = static_cast<std::size_t>(kind);
+  if (!record_[k]) return false;
+  if (kind == EventKind::kStmtExit && !record_stmt_exit_) return false;
+  if (site_filter_ &&
+      (kind == EventKind::kStmtEnter || kind == EventKind::kStmtExit)) {
+    if (id >= site_filter_->size() || !(*site_filter_)[id]) return false;
+  }
+  return true;
+}
+
+Cycles InstrumentationPlan::probe_cost(EventKind kind, EventId /*id*/,
+                                       ProcId proc,
+                                       std::uint64_t proc_event_index) const {
+  const auto k = static_cast<std::size_t>(kind);
+  PERTURB_DCHECK(record_[k]);
+  const ProbeCost& c = cost_[k];
+  if (c.mean <= 0.0) return 0;
+  const double jitter =
+      c.jitter_frac == 0.0
+          ? 0.0
+          : c.mean * c.jitter_frac *
+                support::keyed_jitter(seed_, proc, proc_event_index);
+  const auto cycles = static_cast<Cycles>(std::llround(c.mean + jitter));
+  return cycles < 0 ? 0 : cycles;
+}
+
+}  // namespace perturb::instr

@@ -1,0 +1,64 @@
+// Native C++ implementations of the 24 Livermore Fortran Kernels (LFK,
+// McMahon 1986) — the workload suite of the paper's case study.
+//
+// These are real numeric kernels operating on deterministic data; each
+// returns a checksum so tests can pin behaviour.  The real-threads runtime
+// (src/rt) executes kernels 3, 4 and 17 as DOACROSS loops with advance/await
+// synchronization, mirroring what the Alliant compiler did; the simulator
+// experiments use the IR lowerings in programs.hpp instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perturb::loops {
+
+/// Workspace arrays shared by the kernels, deterministically initialized.
+class LfkData {
+ public:
+  /// `n` controls the primary loop length (the classic suite uses 1001 for
+  /// most kernels); `seed` drives the deterministic initialization.
+  explicit LfkData(std::int64_t n = 1001, std::uint64_t seed = 1991);
+
+  std::int64_t n() const noexcept { return n_; }
+
+  // 1-D arrays (sized generously; kernels index up to n + small offsets).
+  std::vector<double> x, y, z, u, v, w, g, xz;
+  // 2-D arrays stored row-major with fixed minor dimensions.
+  std::vector<double> px, cx, zx, vy, vs;  // particle / hydro work arrays
+  std::vector<double> za, zb, zm, zp, zq, zr, zu, zv, zz;  // kernel 18/23
+  std::vector<std::int64_t> ix, ir;        // index arrays for PIC kernels
+  std::vector<double> vx, xx, grd;         // kernel 13/14 particle state
+  // Scalars used by several kernels.
+  double r = 4.86, t = 276.0, q = 0.0, sig = 0.5, stb5 = 0.1;
+  double dm22 = 0.1, dm23 = 0.2, dm24 = 0.3, dm25 = 0.4, dm26 = 0.5,
+         dm27 = 0.6, dm28 = 0.7;
+
+  /// Re-initializes all arrays to the seeded state.
+  void reset();
+
+ private:
+  std::int64_t n_;
+  std::uint64_t seed_;
+};
+
+/// Runs kernel `k` (1..24) once over `data` and returns a checksum of the
+/// results.  Throws CheckError for unknown kernel numbers.
+double run_kernel(int k, LfkData& data);
+
+/// Human-readable kernel name ("Inner Product", ...).
+const char* kernel_name(int k);
+
+/// Number of kernels in the suite.
+constexpr int kNumKernels = 24;
+
+/// True for kernels with loop-carried dependences that execute as DOACROSS
+/// loops in the paper's concurrent experiments (3, 4, 17).
+bool is_doacross_kernel(int k) noexcept;
+
+/// The loop subsets studied by the paper.
+const std::vector<int>& sequential_study_loops();  ///< Figure 1's loop set
+const std::vector<int>& doacross_study_loops();    ///< {3, 4, 17}
+
+}  // namespace perturb::loops

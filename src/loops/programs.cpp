@@ -1,0 +1,234 @@
+#include "loops/programs.hpp"
+
+#include "loops/kernels.hpp"
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/prng.hpp"
+#include "support/text.hpp"
+
+namespace perturb::loops {
+
+namespace {
+
+using sim::Cycles;
+
+std::vector<LoopIrSpec> build_specs() {
+  std::vector<LoopIrSpec> specs(25);
+  auto set = [&](int k, std::vector<StatementSpec> pre,
+                 std::vector<StatementSpec> guarded,
+                 std::vector<StatementSpec> post, std::int64_t distance,
+                 bool parallel) {
+    specs[static_cast<std::size_t>(k)] = {k, "", std::move(pre),
+                                          std::move(guarded), std::move(post),
+                                          distance, parallel};
+  };
+
+  // Independent / vectorizable kernels: statement shapes sized so that full
+  // statement instrumentation yields the Figure 1 slowdown spread (cheap
+  // statements → large ratios).
+  set(1, {{"x[k]=q+y[k]*(r*z[k+10]+t*z[k+11])", 22}}, {}, {}, 0, true);
+  set(2, {{"i=ipntp-k", 24}, {"x[i]=x[k]-v[k]*x[k-1]-v[k+1]*x[k+1]", 48}}, {},
+      {}, 0, false);
+  set(5, {{"x[i]=z[i]*(y[i]-x[i-1])", 30}}, {}, {}, 0, false);
+  set(6, {{"s+=zx[j]*y[i-j]", 34}, {"w[i]+=0.01+s", 36}}, {}, {}, 0, false);
+  set(7, {{"x[k]=u[k]+r*(z[k]+r*y[k])+t*(...)", 46}}, {}, {}, 0, true);
+  set(8, {{"du=zu[i+1]-zu[i-1]", 38},
+          {"za[i]=zb[i]+sig*du*zm[i]", 52},
+          {"zr[i]=za[i]*stb5+zq[i]", 40}},
+      {}, {}, 0, true);
+  set(9, {{"px[0]=dm*px[...]+c0*(px[4]+px[5])+px[2]", 64}}, {}, {}, 0, true);
+  set(10, {{"ar=cx[4]; br=ar-px[4]", 30}, {"cr=br-px[5]; px[6]=cr-px[6]", 34}},
+      {}, {}, 0, true);
+  set(11, {{"x[k]=x[k-1]+y[k]", 18}}, {}, {}, 0, false);
+  set(12, {{"x[k]=y[k+1]-y[k]", 16}}, {}, {}, 0, true);
+  set(13, {{"i1=ix[ip]; j1=ir[ip]", 44},
+           {"vx[ip]+=u[i1]+v[j1]", 56},
+           {"xx[ip]+=vx[ip]", 48},
+           {"y[i1]+=1.0", 62}},
+      {}, {}, 0, true);
+  set(14, {{"ixk=grd[k]", 36}, {"xx[k]=grd[ixk]+x[k]-0.5", 44},
+           {"vx[k]+=xx[k]*1e-3", 38}},
+      {}, {}, 0, true);
+  set(15, {{"branch vy[k]", 28}, {"vs[k]=f(za,zb)", 52}}, {}, {}, 0, true);
+  set(16, {{"j=hash(k)", 70}, {"compare z[j],x[k]", 96}, {"update m", 94}},
+      {}, {}, 0, false);
+  set(18, {{"za[i]=flux a", 88}, {"zb[i]=flux b", 86}, {"zu[i],zv[i] update", 92}},
+      {}, {}, 0, true);
+  set(19, {{"x[k]=g[k]+r*z[k]+t*stb5", 34}, {"stb5=x[k]-stb5", 22}}, {}, {},
+      0, false);
+  set(20, {{"di=y[k]-g[k]/(xx+z[k])", 92},
+           {"dn=clamp(z[k]/di)", 88},
+           {"x[k]=((w[k]+v[k]*dn)*xx+u[k])/(vx[k]+v[k]*dn)", 110},
+           {"xx=(x[k]-y[k])*dn+xx", 90}},
+      {}, {}, 0, false);
+  set(21, {{"px[j][i]+=vy[k]*cx[j][k]", 54}}, {}, {}, 0, true);
+  set(22, {{"y[k]=u[k]/v[k]", 92}, {"w[k]=x[k]/(exp(y[k])-1)", 148}}, {}, {},
+      0, true);
+  set(23, {{"qa=stencil(za,zr,zb,zu,zv,zz)", 120}, {"za[i]+=0.175*(qa-za[i])", 56}},
+      {}, {}, 0, true);
+  set(24, {{"compare x[k]<x[m]", 20}, {"update m", 12}}, {}, {}, 0, false);
+
+  // --- the DOACROSS case-study loops (Figure 3 structure) ---
+
+  // Loop 3, Inner Product: DOACROSS with a distance-1 chain through the
+  // shared accumulator.  The source statement (the product) is instrumented;
+  // the guarded update is compiler-generated scalar code (untraced).
+  set(3, {{"t=z[k]*x[k]", 36}},
+      {{"q=q+t", /*cost=*/6, /*traced=*/false}}, {}, 1, false);
+
+  // Loop 4, Banded Linear Equations: larger independent band work, small
+  // guarded update of x[k-1].
+  set(4, {{"temp-=xz[lw]*y[j] (band)", 90}, {"lw++, loop control", 61}},
+      {{"x[k-1]=y[4]*temp", /*cost=*/32, /*traced=*/false}}, {}, 1, false);
+
+  // Loop 17, Implicit Conditional Computation: the guarded region is *large*
+  // and contains source statements (probes land inside the critical
+  // section).  The independent work keeps the uninstrumented execution just
+  // below chain saturation, so waiting is scattered and data-dependent (the
+  // conditional branches vary iteration costs) — Table 3 / Figures 4 and 5;
+  // instrumentation inside the region then tips the loop into heavy
+  // contention (Table 1's over-approximation).
+  set(17, {{"e3=xz[i]*scale+e6 (setup)", 230, true, 40},
+           {"xnei=xx[i]; xnc=scale*x[i]", 230, true, 40},
+           {"branch select xnm*4>xnc", 230, true, 40}},
+      {{"e6 update", 30, true, 12},
+       {"vx[i]=e6", 30, true, 12},
+       {"xnm update", 30, true, 12}},
+      {{"loop index update", 60}}, 1, false);
+
+  for (int k = 1; k <= 24; ++k) {
+    specs[static_cast<std::size_t>(k)].number = k;
+    specs[static_cast<std::size_t>(k)].name = kernel_name(k);
+  }
+  return specs;
+}
+
+const std::vector<LoopIrSpec>& specs() {
+  static const std::vector<LoopIrSpec> s = build_specs();
+  return s;
+}
+
+void append_statements(sim::Block& block, int loop,
+                       const std::vector<StatementSpec>& stmts) {
+  for (const auto& s : stmts) {
+    sim::NodePtr node;
+    if (s.spread > 0) {
+      // Deterministic per-iteration variation keyed on (loop, site ordinal,
+      // iteration): identical across instrumented and uninstrumented runs.
+      const std::uint64_t key =
+          support::hash_combine(static_cast<std::uint64_t>(loop),
+                                block.nodes.size());
+      const sim::Cycles base = s.cost;
+      const sim::Cycles spread = s.spread;
+      node = sim::compute_fn(s.label, [key, base, spread](std::int64_t i) {
+        const double j =
+            support::keyed_jitter(key, 0, static_cast<std::uint64_t>(i));
+        const auto c = base + static_cast<sim::Cycles>(
+                                  std::llround(static_cast<double>(spread) * j));
+        return c < 0 ? sim::Cycles{0} : c;
+      });
+    } else {
+      node = sim::compute(s.label, s.cost);
+    }
+    if (!s.traced) node->traced = false;
+    block.nodes.push_back(std::move(node));
+  }
+}
+
+}  // namespace
+
+const LoopIrSpec& loop_ir_spec(int k) {
+  PERTURB_CHECK_MSG(k >= 1 && k <= 24, "kernel number out of range");
+  return specs()[static_cast<std::size_t>(k)];
+}
+
+sim::Program make_sequential_ir(int k, std::int64_t n) {
+  const LoopIrSpec& spec = loop_ir_spec(k);
+  sim::Program prog;
+  sim::Block body;
+  append_statements(body, k, spec.pre);
+  append_statements(body, k, spec.guarded);
+  append_statements(body, k, spec.post);
+  prog.root().nodes.push_back(
+      sim::seq_loop(support::strf("lfk%d", k), n, std::move(body)));
+  prog.finalize();
+  return prog;
+}
+
+sim::Program make_concurrent_ir(int k, std::int64_t n, sim::Schedule schedule) {
+  const LoopIrSpec& spec = loop_ir_spec(k);
+  if (spec.distance == 0 && !spec.parallelizable) return make_sequential_ir(k, n);
+
+  sim::Program prog;
+  sim::Block body;
+  append_statements(body, k, spec.pre);
+  if (spec.distance > 0) {
+    const auto var = prog.declare_sync_var(support::strf("S%d", k));
+    body.nodes.push_back(sim::await(var, {1, -spec.distance}));
+    append_statements(body, k, spec.guarded);
+    body.nodes.push_back(sim::advance(var, {1, 0}));
+  } else {
+    append_statements(body, k, spec.guarded);
+  }
+  append_statements(body, k, spec.post);
+  prog.root().nodes.push_back(sim::par_loop(
+      support::strf("lfk%d", k),
+      spec.distance > 0 ? sim::LoopKind::kDoacross : sim::LoopKind::kDoall,
+      schedule, n, std::move(body)));
+  prog.finalize();
+  return prog;
+}
+
+sim::Program make_vector_ir(int k, std::int64_t n, const VectorParams& params) {
+  const LoopIrSpec& spec = loop_ir_spec(k);
+  if (!spec.parallelizable) return make_sequential_ir(k, n);
+  PERTURB_CHECK(params.vector_length > 0);
+  PERTURB_CHECK(params.element_speedup > 0.0);
+
+  const std::int64_t vl = params.vector_length;
+  const std::int64_t strips = (n + vl - 1) / vl;
+
+  sim::Program prog;
+  sim::Block body;
+  auto add_vector_statements = [&](const std::vector<StatementSpec>& stmts) {
+    for (const auto& s : stmts) {
+      // One vector operation per strip: startup plus the scalar per-element
+      // cost compressed by the vector unit.  The last strip is partial.
+      const sim::Cycles unit = s.cost;
+      const sim::Cycles startup = params.startup;
+      const double speedup = params.element_speedup;
+      auto node = sim::compute_fn(
+          s.label + " (vector)",
+          [unit, startup, speedup, vl, n](std::int64_t strip) {
+            const std::int64_t elems = std::min(vl, n - strip * vl);
+            const double work =
+                static_cast<double>(unit) * static_cast<double>(elems) / speedup;
+            return startup + static_cast<sim::Cycles>(std::llround(work));
+          });
+      if (!s.traced) node->traced = false;
+      body.nodes.push_back(std::move(node));
+    }
+  };
+  add_vector_statements(spec.pre);
+  add_vector_statements(spec.guarded);
+  add_vector_statements(spec.post);
+  prog.root().nodes.push_back(
+      sim::seq_loop(support::strf("lfk%d-vector", k), strips, std::move(body)));
+  prog.finalize();
+  return prog;
+}
+
+std::int64_t default_trip(int k) {
+  switch (k) {
+    case 6: return 64;      // O(n^2) recurrence
+    case 8: return 200;     // 2-D sweeps
+    case 18: return 200;
+    case 21: return 400;
+    case 23: return 200;
+    default: return 1001;   // the classic LFK length
+  }
+}
+
+}  // namespace perturb::loops

@@ -1,0 +1,83 @@
+// IR lowerings of the Livermore loops for the machine simulator.
+//
+// Each loop has a per-iteration statement shape: independent statements
+// ("pre"), an optional guarded region executed between await and advance
+// (the critical section of loops 3, 4 and 17, Figure 3), and trailing
+// statements ("post").  Statement costs are cycle approximations of the
+// kernels' per-iteration work on a CE-class processor; the three DOACROSS
+// loops follow the synchronization placement of Figure 3:
+//
+//  - loops 3 and 4: the guarded update is compiler-generated scalar code and
+//    not a source-level instrumentation site (raw_compute) — the source
+//    statement's probe executes before the await, so instrumentation
+//    inflates the independent part and *reduces* blocking (§3's analysis of
+//    the Table 1 under-approximation);
+//  - loop 17: the guarded region consists of several source statements that
+//    carry probes, so instrumentation inflates the serialized region and
+//    *increases* contention (§3's analysis of the over-approximation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/ir.hpp"
+
+namespace perturb::loops {
+
+struct StatementSpec {
+  std::string label;
+  sim::Cycles cost = 0;
+  bool traced = true;  ///< false: not a source-level instrumentation site
+  /// Deterministic per-iteration cost variation amplitude: the statement
+  /// costs cost + spread*j(i) cycles with j(i) in [-1, 1] keyed on the
+  /// statement and iteration.  Models data-dependent branches (loop 17 is an
+  /// *implicit conditional* computation); identical in instrumented and
+  /// uninstrumented runs.
+  sim::Cycles spread = 0;
+};
+
+struct LoopIrSpec {
+  int number = 0;
+  const char* name = "";
+  std::vector<StatementSpec> pre;      ///< independent, before the region
+  std::vector<StatementSpec> guarded;  ///< between await and advance
+  std::vector<StatementSpec> post;     ///< independent, after the region
+  std::int64_t distance = 0;           ///< dependence distance (0 = none)
+  bool parallelizable = false;         ///< DOALL-safe when distance == 0
+};
+
+/// Statement shape of kernel `k` (1..24).
+const LoopIrSpec& loop_ir_spec(int k);
+
+/// Sequential program: a single seq_loop over all statements (sync structure
+/// elided — sequential execution needs none).
+sim::Program make_sequential_ir(int k, std::int64_t n);
+
+/// Concurrent program: DOACROSS with advance/await for loops with a
+/// dependence distance (3, 4, 17), DOALL for parallelizable loops, and a
+/// sequential loop otherwise (matching how the Alliant compiler would run
+/// an unparallelizable kernel).
+sim::Program make_concurrent_ir(int k, std::int64_t n,
+                                sim::Schedule schedule = sim::Schedule::kCyclic);
+
+/// Vector-mode parameters (the FX/80 CEs had vector units; §3 ran the suite
+/// in scalar, vector, and concurrent modes).
+struct VectorParams {
+  std::int64_t vector_length = 32;  ///< elements per vector operation
+  double element_speedup = 6.0;     ///< per-element speedup over scalar
+  sim::Cycles startup = 15;         ///< vector-instruction startup cost
+};
+
+/// Vector program: the loop strip-mined into ceil(n / vector_length) strips;
+/// each vectorizable statement becomes one vector operation per strip (so a
+/// full instrumentation records one event per *strip*, not per iteration —
+/// which is why the paper's vector-mode slowdowns were mild).  Kernels with
+/// loop-carried dependences fall back to the sequential lowering.
+sim::Program make_vector_ir(int k, std::int64_t n,
+                            const VectorParams& params = {});
+
+/// Default iteration counts used in the paper-scale experiments.
+std::int64_t default_trip(int k);
+
+}  // namespace perturb::loops

@@ -1,0 +1,65 @@
+// Real-threads DOACROSS executor.
+//
+// Runs iterations 0..n-1 across worker threads with cyclic assignment
+// (Alliant-style) and constant-distance advance/await synchronization around
+// a guarded section — the runtime twin of the simulator's parallel loops.
+// The traced variant records the same event vocabulary the simulator emits
+// (iteration markers, awaitB/awaitE, advance, barrier), so traces captured
+// from real executions feed directly into src/core's perturbation analyses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "rt/tracer.hpp"
+#include "trace/trace.hpp"
+
+namespace perturb::rt {
+
+/// Per-iteration body, split at the synchronization points.
+struct DoacrossBody {
+  /// Independent work, executed before the await.
+  std::function<void(std::int64_t iter)> pre;
+  /// Guarded work, executed between await(iter - distance) and advance(iter).
+  std::function<void(std::int64_t iter)> guarded;
+  /// Independent work after the advance (may be empty).
+  std::function<void(std::int64_t iter)> post;
+};
+
+/// Iteration assignment policy (mirrors the simulator's schedulers).
+enum class RtSchedule : std::uint8_t {
+  kCyclic,  ///< thread t runs iterations t, t+T, ...
+  kSelf,    ///< dynamic self-scheduling off a shared atomic counter
+};
+
+struct DoacrossOptions {
+  std::int64_t iterations = 0;
+  std::int64_t distance = 1;     ///< dependence distance; 0 = DOALL
+  std::uint32_t num_threads = 2;
+  RtSchedule schedule = RtSchedule::kCyclic;
+};
+
+/// Fixed instrumentation-site ids used by the traced executor, mirroring a
+/// finalized IR program's pre-order numbering.
+struct DoacrossSites {
+  static constexpr trace::EventId kLoop = 1;
+  static constexpr trace::EventId kPre = 2;
+  static constexpr trace::EventId kAwait = 3;
+  static constexpr trace::EventId kGuarded = 4;
+  static constexpr trace::EventId kAdvance = 5;
+  static constexpr trace::EventId kPost = 6;
+  static constexpr trace::ObjectId kSyncVar = 1;
+};
+
+/// Executes the loop without tracing.
+void run_doacross(const DoacrossBody& body, const DoacrossOptions& options);
+
+/// Executes the loop with full tracing and returns the measured trace
+/// (nanosecond ticks).  The recording cost is real: this trace is perturbed
+/// exactly the way the paper's measured traces were.
+trace::Trace run_doacross_traced(const DoacrossBody& body,
+                                 const DoacrossOptions& options,
+                                 const std::string& trace_name);
+
+}  // namespace perturb::rt

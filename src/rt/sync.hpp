@@ -1,0 +1,136 @@
+// Advance/await synchronization and barriers over std::atomic.
+//
+// The software analogue of the Alliant FX/80 synchronization hardware the
+// paper's DOACROSS loops used: a SyncVar stores the history of advance
+// operations (one flag per index), an await spins (with yields — this runs
+// correctly even on a single hardware thread) until its index is advanced.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace perturb::rt {
+
+class SyncVar {
+ public:
+  /// Indices 0 .. max_index-1 may be advanced/awaited.
+  explicit SyncVar(std::int64_t max_index)
+      : size_(max_index),
+        flags_(std::make_unique<std::atomic<std::uint8_t>[]>(
+            static_cast<std::size_t>(max_index))) {
+    PERTURB_CHECK(max_index > 0);
+    for (std::int64_t i = 0; i < max_index; ++i)
+      flags_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+
+  /// Marks index `i` advanced.  Release order: writes before the advance are
+  /// visible to any thread whose await(i) succeeds.
+  void advance(std::int64_t i) {
+    PERTURB_CHECK(i >= 0 && i < size_);
+    flags_[static_cast<std::size_t>(i)].store(1, std::memory_order_release);
+  }
+
+  /// True if index `i` has been advanced.
+  bool poll(std::int64_t i) const {
+    PERTURB_CHECK(i >= 0 && i < size_);
+    return flags_[static_cast<std::size_t>(i)].load(
+               std::memory_order_acquire) != 0;
+  }
+
+  /// Blocks (spin + yield) until index `i` is advanced.  Indices < 0 are
+  /// dependence-free and return immediately, matching the simulator.
+  /// Returns true if waiting was required.
+  bool await(std::int64_t i) const {
+    if (i < 0) return false;
+    if (poll(i)) return false;
+    do {
+      std::this_thread::yield();
+    } while (!poll(i));
+    return true;
+  }
+
+  /// Clears all flags (between loop executions).
+  void reset() {
+    for (std::int64_t i = 0; i < size_; ++i)
+      flags_[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::int64_t size_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> flags_;
+};
+
+/// Counting semaphore over an atomic permit counter (spin + yield).  The
+/// real-threads analogue of the simulator's semaphore regions.
+class CountingSemaphore {
+ public:
+  explicit CountingSemaphore(std::int64_t capacity) : permits_(capacity) {
+    PERTURB_CHECK(capacity >= 1);
+  }
+
+  /// P(): takes a permit, spinning until one is free.  Returns true if
+  /// waiting was required.
+  bool acquire() {
+    bool waited = false;
+    for (;;) {
+      std::int64_t available = permits_.load(std::memory_order_acquire);
+      while (available > 0) {
+        if (permits_.compare_exchange_weak(available, available - 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire))
+          return waited;
+      }
+      waited = true;
+      std::this_thread::yield();
+    }
+  }
+
+  /// Non-blocking P(): true on success.
+  bool try_acquire() {
+    std::int64_t available = permits_.load(std::memory_order_acquire);
+    while (available > 0) {
+      if (permits_.compare_exchange_weak(available, available - 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+        return true;
+    }
+    return false;
+  }
+
+  /// V(): returns a permit.
+  void release() { permits_.fetch_add(1, std::memory_order_release); }
+
+ private:
+  std::atomic<std::int64_t> permits_;
+};
+
+/// Sense-reversing spin barrier (yields while waiting).
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t participants)
+      : participants_(participants), remaining_(participants) {
+    PERTURB_CHECK(participants > 0);
+  }
+
+  void arrive_and_wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(participants_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return;
+    }
+    while (sense_.load(std::memory_order_acquire) != my_sense)
+      std::this_thread::yield();
+  }
+
+ private:
+  const std::uint32_t participants_;
+  std::atomic<std::uint32_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace perturb::rt

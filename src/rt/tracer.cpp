@@ -1,0 +1,38 @@
+#include "rt/tracer.hpp"
+
+#include "support/check.hpp"
+
+namespace perturb::rt {
+
+Tracer::Tracer(std::uint32_t num_threads, std::size_t capacity_per_thread)
+    : buffers_(num_threads), epoch_(std::chrono::steady_clock::now()) {
+  PERTURB_CHECK(num_threads > 0);
+  for (auto& b : buffers_) b.events.reserve(capacity_per_thread);
+}
+
+trace::Trace Tracer::harvest(const std::string& name) {
+  trace::TraceInfo info;
+  info.name = name;
+  info.num_procs = num_threads();
+  info.ticks_per_us = 1000.0;  // nanosecond ticks
+
+  std::vector<trace::Trace> parts;
+  parts.reserve(buffers_.size());
+  for (auto& b : buffers_) {
+    trace::Trace part;
+    for (const auto& e : b.events) part.append(e);
+    part.sort_canonical();  // steady_clock is monotone per thread already
+    parts.push_back(std::move(part));
+    b.events.clear();
+    b.dropped = 0;
+  }
+  return trace::Trace::merge(info, parts);
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buffers_) total += b.dropped;
+  return total;
+}
+
+}  // namespace perturb::rt

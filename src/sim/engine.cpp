@@ -1,0 +1,597 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace perturb::sim {
+
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+using trace::ProcId;
+using trace::Tick;
+
+/// Advance/await payloads are episode * kPairStride + index, so pairs stay
+/// unique across repeated executions of the same loop.
+constexpr std::int64_t kPairStride = std::int64_t{1} << 32;
+
+struct Frame {
+  enum class Kind : std::uint8_t {
+    kBlock,       ///< executing a block of nodes
+    kSeqLoop,     ///< sequential loop control
+    kCritical,    ///< lock acquire / body / release
+    kSemaphore,   ///< semaphore P() / body / V()
+    kAwaitCheck,  ///< the satisfaction test of an await (pop = read time)
+    kParWorker,   ///< parallel-loop worker: dispatch / iteration end
+  };
+  Kind kind;
+  const Block* block = nullptr;  ///< kBlock
+  std::size_t pc = 0;            ///< kBlock
+  const Node* node = nullptr;    ///< all other kinds
+  std::int64_t iter = 0;  ///< kSeqLoop: next iter; kParWorker: current iter;
+                          ///< kAwaitCheck: pair index
+  int phase = 0;          ///< kCritical / kParWorker state
+};
+
+struct Proc {
+  ProcId id = 0;
+  Tick clock = 0;
+  std::vector<Frame> stack;
+  std::uint64_t events_recorded = 0;
+  bool queued = false;
+  std::int64_t par_iter = -1;  ///< current parallel-loop iteration, -1 outside
+};
+
+struct VarState {
+  std::unordered_map<std::int64_t, Tick> advanced;  ///< pair → visibility time
+  std::unordered_map<std::int64_t, std::vector<ProcId>> waiters;
+};
+
+struct LockState {
+  bool held = false;
+  Tick free_since = 0;
+  std::deque<ProcId> waiters;  ///< FIFO by request (pop) time
+};
+
+struct BarrierState {
+  std::uint32_t arrived = 0;
+  Tick max_arrival = 0;
+  std::vector<ProcId> waiters;
+};
+
+struct SemState {
+  std::int64_t capacity = 0;
+  std::vector<Tick> permits;   ///< visibility times of free permits
+  std::deque<ProcId> waiters;  ///< FIFO by request (pop) time
+};
+
+class Engine {
+ public:
+  Engine(const MachineConfig& cfg, const Program& prog,
+         const InstrumentationHook& hook, const std::string& run_name)
+      : cfg_(cfg), prog_(prog), hook_(hook) {
+    PERTURB_CHECK_MSG(prog.finalized(), "program must be finalized");
+    PERTURB_CHECK(cfg.num_procs > 0);
+    trace::TraceInfo info;
+    info.name = run_name;
+    info.num_procs = cfg.num_procs;
+    info.ticks_per_us = cfg.ticks_per_us;
+    trace_ = trace::Trace(info);
+    procs_.resize(cfg.num_procs);
+    for (std::uint32_t q = 0; q < cfg.num_procs; ++q)
+      procs_[q].id = static_cast<ProcId>(q);
+    vars_.resize(prog.num_sync_vars() + 1);
+    locks_.resize(prog.num_locks() + 1);
+    sems_.resize(prog.num_semaphores() + 1);
+    for (std::uint32_t sid = 1; sid <= prog.num_semaphores(); ++sid) {
+      sems_[sid].capacity = prog.semaphore_capacity(sid);
+      sems_[sid].permits.assign(
+          static_cast<std::size_t>(sems_[sid].capacity), 0);
+    }
+  }
+
+  trace::Trace run() {
+    Proc& master = procs_[0];
+    emit(master, EventKind::kProgramBegin, 0, 0, 0);
+    master.stack.push_back(
+        {Frame::Kind::kBlock, &prog_.root(), 0, nullptr, 0, 0});
+    enqueue(master);
+
+    while (!heap_.empty()) {
+      const auto [t, pid] = heap_.top();
+      heap_.pop();
+      Proc& p = procs_[pid];
+      PERTURB_CHECK(p.queued);
+      PERTURB_CHECK_MSG(t == p.clock, "stale heap entry");
+      p.queued = false;
+      step(p);
+    }
+    check_quiescent();
+    // Events were appended in action-processing order (nondecreasing action
+    // start times), but an action may emit events later than a subsequently
+    // processed action's events.  The stable sort restores global time order
+    // while keeping the happened-before-consistent order among ties.
+    trace_.sort_canonical();
+    return std::move(trace_);
+  }
+
+ private:
+  // ---- event emission -------------------------------------------------
+
+  void emit(Proc& p, EventKind kind, trace::EventId id, trace::ObjectId object,
+            std::int64_t payload) {
+    if (!hook_.records(kind, id)) return;
+    const Cycles probe = hook_.probe_cost(kind, id, p.id, p.events_recorded);
+    PERTURB_CHECK_MSG(probe >= 0, "negative probe cost");
+    p.clock += probe;
+    Event e;
+    e.time = p.clock;
+    e.payload = payload;
+    e.id = id;
+    e.object = object;
+    e.proc = p.id;
+    e.kind = kind;
+    trace_.append(e);
+    ++p.events_recorded;
+  }
+
+  void enqueue(Proc& p) {
+    PERTURB_CHECK(!p.queued);
+    p.queued = true;
+    heap_.push({p.clock, p.id});
+  }
+
+  // ---- stepping --------------------------------------------------------
+
+  void step(Proc& p) {
+    PERTURB_CHECK(!p.stack.empty());
+    Frame& f = p.stack.back();
+    switch (f.kind) {
+      case Frame::Kind::kBlock: {
+        if (f.pc == f.block->nodes.size()) {
+          p.stack.pop_back();
+          after_frame_pop(p);
+          return;
+        }
+        const Node& n = *f.block->nodes[f.pc++];
+        exec_node(p, n);
+        return;
+      }
+      case Frame::Kind::kSeqLoop: {
+        if (f.iter == f.node->trip) {
+          p.stack.pop_back();
+          after_frame_pop(p);
+          return;
+        }
+        ++f.iter;
+        p.clock += cfg_.seq_loop_iter_cost;
+        p.stack.push_back(
+            {Frame::Kind::kBlock, &f.node->body, 0, nullptr, 0, 0});
+        enqueue(p);
+        return;
+      }
+      case Frame::Kind::kCritical: {
+        if (f.phase == 0) {
+          request_lock(p, f);
+        } else {
+          release_lock(p, f);
+        }
+        return;
+      }
+      case Frame::Kind::kSemaphore: {
+        if (f.phase == 0) {
+          request_semaphore(p, f);
+        } else {
+          release_semaphore(p, f);
+        }
+        return;
+      }
+      case Frame::Kind::kAwaitCheck: {
+        await_check(p, f);
+        return;
+      }
+      case Frame::Kind::kParWorker: {
+        if (f.phase == 1) {
+          // Finish the iteration, then re-enqueue so the next dispatch's
+          // shared-counter read happens at its own pop time.
+          emit(p, EventKind::kIterEnd, f.node->id, f.node->id, f.iter);
+          f.phase = 0;
+          enqueue(p);
+          return;
+        }
+        dispatch_iteration(p, f);
+        return;
+      }
+    }
+  }
+
+  void after_frame_pop(Proc& p) {
+    if (p.stack.empty()) {
+      // Only the master's sequential flow can drain its stack this way;
+      // workers are popped by the barrier release.
+      PERTURB_CHECK_MSG(p.id == 0, "non-master processor ran out of work");
+      emit(p, EventKind::kProgramEnd, 0, 0, 0);
+      return;  // idle: not re-enqueued
+    }
+    enqueue(p);
+  }
+
+  void exec_node(Proc& p, const Node& n) {
+    switch (n.kind) {
+      case NodeKind::kCompute: {
+        const std::int64_t payload = p.par_iter >= 0 ? p.par_iter : 0;
+        if (n.traced) emit(p, EventKind::kStmtEnter, n.id, 0, payload);
+        const Cycles cost = n.cost_fn ? n.cost_fn(iteration_context(p)) : n.cost;
+        PERTURB_CHECK_MSG(cost >= 0, "negative computed statement cost");
+        p.clock += cost;
+        if (n.traced) emit(p, EventKind::kStmtExit, n.id, 0, payload);
+        enqueue(p);
+        return;
+      }
+      case NodeKind::kSeqLoop: {
+        p.stack.push_back({Frame::Kind::kSeqLoop, nullptr, 0, &n, 0, 0});
+        enqueue(p);
+        return;
+      }
+      case NodeKind::kParLoop: {
+        start_par_loop(p, n);
+        return;
+      }
+      case NodeKind::kCritical: {
+        p.stack.push_back({Frame::Kind::kCritical, nullptr, 0, &n, 0, 0});
+        enqueue(p);
+        return;
+      }
+      case NodeKind::kSemRegion: {
+        p.stack.push_back({Frame::Kind::kSemaphore, nullptr, 0, &n, 0, 0});
+        enqueue(p);
+        return;
+      }
+      case NodeKind::kAdvance: {
+        do_advance(p, n);
+        return;
+      }
+      case NodeKind::kAwait: {
+        do_await(p, n);
+        return;
+      }
+    }
+  }
+
+  /// Iteration index a per-iteration cost function is evaluated with: the
+  /// parallel-loop iteration when inside one, else the innermost sequential
+  /// loop's current iteration, else 0.
+  static std::int64_t iteration_context(const Proc& p) {
+    if (p.par_iter >= 0) return p.par_iter;
+    for (auto it = p.stack.rbegin(); it != p.stack.rend(); ++it)
+      if (it->kind == Frame::Kind::kSeqLoop) return it->iter - 1;
+    return 0;
+  }
+
+  // ---- advance / await -------------------------------------------------
+
+  std::int64_t pair_index(std::int64_t idx) const {
+    return par_episode_ * kPairStride + idx;
+  }
+
+  void do_advance(Proc& p, const Node& n) {
+    PERTURB_CHECK_MSG(par_loop_ != nullptr, "advance outside parallel loop");
+    PERTURB_CHECK(p.par_iter >= 0);
+    const std::int64_t idx = n.index.eval(p.par_iter);
+    PERTURB_CHECK_MSG(idx >= 0 && idx < kPairStride, "advance index range");
+    const std::int64_t pair = pair_index(idx);
+
+    p.clock += cfg_.advance_cost;
+    const Tick visibility = p.clock;  // visible before the probe runs
+    VarState& v = vars_[n.object];
+    const bool inserted = v.advanced.insert({pair, visibility}).second;
+    PERTURB_CHECK_MSG(inserted, "duplicate advance of " + n.label);
+
+    emit(p, EventKind::kAdvance, n.id, n.object, pair);
+
+    const auto w = v.waiters.find(pair);
+    if (w != v.waiters.end()) {
+      for (const ProcId q : w->second) wake_awaiter(procs_[q], visibility);
+      v.waiters.erase(w);
+    }
+    enqueue(p);
+  }
+
+  void do_await(Proc& p, const Node& n) {
+    PERTURB_CHECK_MSG(par_loop_ != nullptr, "await outside parallel loop");
+    PERTURB_CHECK(p.par_iter >= 0);
+    const std::int64_t idx = n.index.eval(p.par_iter);
+    if (idx < 0 || idx >= par_loop_->trip) {
+      // Dependence-free (e.g. the first d iterations of a distance-d chain):
+      // the await is a no-op and generates no events.
+      enqueue(p);
+      return;
+    }
+    emit(p, EventKind::kAwaitBegin, n.id, n.object, pair_index(idx));
+    p.clock += cfg_.await_check_cost;
+    p.stack.push_back(
+        {Frame::Kind::kAwaitCheck, nullptr, 0, &n, pair_index(idx), 0});
+    enqueue(p);
+  }
+
+  void await_check(Proc& p, Frame& f) {
+    const Node& n = *f.node;
+    const std::int64_t pair = f.iter;
+    VarState& v = vars_[n.object];
+    const auto it = v.advanced.find(pair);
+    if (it == v.advanced.end()) {
+      // Not yet advanced anywhere at or before our clock: block.  The
+      // matching advance will wake us (heap order guarantees it has not been
+      // processed yet).
+      v.waiters[pair].push_back(p.id);
+      return;  // not enqueued
+    }
+    if (it->second <= p.clock) {
+      // Satisfied without waiting.
+      p.stack.pop_back();
+      emit(p, EventKind::kAwaitEnd, n.id, n.object, pair);
+      enqueue(p);
+      return;
+    }
+    // The advance was executed by an earlier-start action but becomes visible
+    // in our future: wait for visibility.
+    p.clock = it->second + cfg_.await_resume_cost;
+    p.stack.pop_back();
+    emit(p, EventKind::kAwaitEnd, n.id, n.object, pair);
+    enqueue(p);
+  }
+
+  void wake_awaiter(Proc& q, Tick visibility) {
+    PERTURB_CHECK(!q.queued);
+    PERTURB_CHECK(!q.stack.empty() &&
+                  q.stack.back().kind == Frame::Kind::kAwaitCheck);
+    const Frame f = q.stack.back();
+    q.stack.pop_back();
+    q.clock = std::max(q.clock, visibility) + cfg_.await_resume_cost;
+    emit(q, EventKind::kAwaitEnd, f.node->id, f.node->object, f.iter);
+    enqueue(q);
+  }
+
+  // ---- critical sections ------------------------------------------------
+
+  void request_lock(Proc& p, Frame& f) {
+    LockState& l = locks_[f.node->object];
+    if (l.held || !l.waiters.empty()) {
+      l.waiters.push_back(p.id);  // blocked; granted FIFO on release
+      return;
+    }
+    l.held = true;
+    p.clock = std::max(p.clock, l.free_since) + cfg_.lock_acquire_cost;
+    enter_critical(p, f);
+  }
+
+  void enter_critical(Proc& p, Frame& f) {
+    emit(p, EventKind::kLockAcquire, f.node->id, f.node->object,
+         p.par_iter >= 0 ? p.par_iter : 0);
+    f.phase = 1;
+    p.stack.push_back({Frame::Kind::kBlock, &f.node->body, 0, nullptr, 0, 0});
+    enqueue(p);
+  }
+
+  void release_lock(Proc& p, Frame& f) {
+    LockState& l = locks_[f.node->object];
+    p.clock += cfg_.lock_release_cost;
+    const Tick visibility = p.clock;  // visible before the probe runs
+    l.held = false;
+    l.free_since = visibility;
+    emit(p, EventKind::kLockRelease, f.node->id, f.node->object,
+         p.par_iter >= 0 ? p.par_iter : 0);
+    p.stack.pop_back();
+    enqueue(p);
+
+    if (!l.waiters.empty()) {
+      const ProcId qid = l.waiters.front();
+      l.waiters.pop_front();
+      Proc& q = procs_[qid];
+      PERTURB_CHECK(!q.queued && !q.stack.empty());
+      Frame& qf = q.stack.back();
+      PERTURB_CHECK(qf.kind == Frame::Kind::kCritical && qf.phase == 0);
+      l.held = true;
+      q.clock = std::max(q.clock, visibility) + cfg_.lock_acquire_cost;
+      enter_critical(q, qf);
+    }
+  }
+
+  // ---- semaphore regions ---------------------------------------------------
+
+  void request_semaphore(Proc& p, Frame& f) {
+    SemState& sem = sems_[f.node->object];
+    if (!sem.waiters.empty() || sem.permits.empty()) {
+      sem.waiters.push_back(p.id);  // blocked; granted FIFO on release
+      return;
+    }
+    // Take the earliest-visible permit.
+    const auto best = std::min_element(sem.permits.begin(), sem.permits.end());
+    const Tick available = *best;
+    sem.permits.erase(best);
+    p.clock = std::max(p.clock, available) + cfg_.sem_acquire_cost;
+    enter_semaphore(p, f);
+  }
+
+  void enter_semaphore(Proc& p, Frame& f) {
+    emit(p, EventKind::kSemAcquire, f.node->id, f.node->object,
+         p.par_iter >= 0 ? p.par_iter : 0);
+    f.phase = 1;
+    p.stack.push_back({Frame::Kind::kBlock, &f.node->body, 0, nullptr, 0, 0});
+    enqueue(p);
+  }
+
+  void release_semaphore(Proc& p, Frame& f) {
+    SemState& sem = sems_[f.node->object];
+    p.clock += cfg_.sem_release_cost;
+    const Tick visibility = p.clock;  // visible before the probe runs
+    emit(p, EventKind::kSemRelease, f.node->id, f.node->object,
+         p.par_iter >= 0 ? p.par_iter : 0);
+    p.stack.pop_back();
+    enqueue(p);
+
+    if (!sem.waiters.empty()) {
+      const ProcId qid = sem.waiters.front();
+      sem.waiters.pop_front();
+      Proc& q = procs_[qid];
+      PERTURB_CHECK(!q.queued && !q.stack.empty());
+      Frame& qf = q.stack.back();
+      PERTURB_CHECK(qf.kind == Frame::Kind::kSemaphore && qf.phase == 0);
+      q.clock = std::max(q.clock, visibility) + cfg_.sem_acquire_cost;
+      enter_semaphore(q, qf);
+    } else {
+      sem.permits.push_back(visibility);
+    }
+  }
+
+  // ---- parallel loops ----------------------------------------------------
+
+  void start_par_loop(Proc& p, const Node& n) {
+    PERTURB_CHECK_MSG(par_loop_ == nullptr, "nested parallel loop at runtime");
+    par_episode_ = loop_episodes_[&n]++;
+    par_loop_ = &n;
+    par_master_ = p.id;
+    emit(p, EventKind::kLoopBegin, n.id, n.id, par_episode_);
+    p.clock += cfg_.loop_spawn_cost;
+
+    // Fresh synchronization state per loop execution; nothing may be in
+    // flight between parallel loops.
+    for (auto& v : vars_) {
+      PERTURB_CHECK_MSG(v.waiters.empty(), "awaiter leaked across loops");
+      v.advanced.clear();
+    }
+    scheduler_ = make_scheduler(n.schedule, n.trip, cfg_.num_procs, cfg_);
+    barrier_ = {};
+
+    for (auto& q : procs_) {
+      if (q.id != p.id) {
+        PERTURB_CHECK_MSG(q.stack.empty(), "worker busy at loop start");
+        q.clock = std::max(q.clock, p.clock);
+      }
+      q.stack.push_back({Frame::Kind::kParWorker, nullptr, 0, &n, -1, 0});
+      enqueue(q);
+    }
+  }
+
+  void dispatch_iteration(Proc& p, Frame& f) {
+    Tick ready = p.clock;
+    const std::int64_t iter = scheduler_->next(p.id, p.clock, &ready);
+    if (iter < 0) {
+      barrier_arrive(p);
+      return;
+    }
+    PERTURB_CHECK(ready >= p.clock);
+    p.clock = ready;
+    p.par_iter = iter;
+    f.iter = iter;
+    f.phase = 1;
+    emit(p, EventKind::kIterBegin, f.node->id, f.node->id, iter);
+    p.stack.push_back({Frame::Kind::kBlock, &f.node->body, 0, nullptr, 0, 0});
+    enqueue(p);
+  }
+
+  void barrier_arrive(Proc& p) {
+    emit(p, EventKind::kBarrierArrive, par_loop_->id, par_loop_->id,
+         par_episode_);
+    barrier_.max_arrival = std::max(barrier_.max_arrival, p.clock);
+    barrier_.waiters.push_back(p.id);
+    if (++barrier_.arrived == cfg_.num_procs) release_barrier();
+    // else: blocked, woken by the last arriver
+  }
+
+  void release_barrier() {
+    const Node& loop = *par_loop_;
+    const Tick release = barrier_.max_arrival;
+    const std::int64_t episode = par_episode_;
+    const ProcId master = par_master_;
+
+    // Clear loop state before re-enqueueing the master, whose continuation
+    // may immediately start another parallel loop.
+    par_loop_ = nullptr;
+    scheduler_.reset();
+    const std::vector<ProcId> waiters = std::move(barrier_.waiters);
+    barrier_ = {};
+
+    for (const ProcId qid : waiters) {
+      Proc& q = procs_[qid];
+      PERTURB_CHECK(!q.queued);
+      PERTURB_CHECK(!q.stack.empty() &&
+                    q.stack.back().kind == Frame::Kind::kParWorker);
+      q.stack.pop_back();
+      q.par_iter = -1;
+      q.clock = std::max(q.clock, release) + cfg_.barrier_depart_cost;
+      emit(q, EventKind::kBarrierDepart, loop.id, loop.id, episode);
+      if (q.id == master) emit(q, EventKind::kLoopEnd, loop.id, loop.id, episode);
+      if (!q.stack.empty()) enqueue(q);
+    }
+  }
+
+  // ---- termination --------------------------------------------------------
+
+  void check_quiescent() const {
+    for (const auto& p : procs_) {
+      PERTURB_CHECK_MSG(
+          p.stack.empty(),
+          support::strf("deadlock: processor %u still has %zu frames",
+                        unsigned(p.id), p.stack.size()));
+    }
+    for (const auto& v : vars_)
+      PERTURB_CHECK_MSG(v.waiters.empty(), "deadlock: awaiter never woken");
+    for (const auto& l : locks_)
+      PERTURB_CHECK_MSG(!l.held && l.waiters.empty(),
+                        "deadlock: lock held or contended at exit");
+    for (const auto& sem : sems_)
+      PERTURB_CHECK_MSG(
+          sem.waiters.empty() &&
+              static_cast<std::int64_t>(sem.permits.size()) == sem.capacity,
+          "deadlock: semaphore held or contended at exit");
+  }
+
+  const MachineConfig& cfg_;
+  const Program& prog_;
+  const InstrumentationHook& hook_;
+  trace::Trace trace_;
+  std::vector<Proc> procs_;
+  std::vector<VarState> vars_;    ///< indexed by sync-var id (0 unused)
+  std::vector<LockState> locks_;  ///< indexed by lock id (0 unused)
+  std::vector<SemState> sems_;    ///< indexed by semaphore id (0 unused)
+
+  // Min-heap of (action start time, processor); ties resolve by processor id.
+  std::priority_queue<std::pair<Tick, ProcId>,
+                      std::vector<std::pair<Tick, ProcId>>,
+                      std::greater<>>
+      heap_;
+
+  // Active parallel loop (at most one).
+  const Node* par_loop_ = nullptr;
+  std::int64_t par_episode_ = 0;
+  ProcId par_master_ = 0;
+  std::unique_ptr<IterationScheduler> scheduler_;
+  BarrierState barrier_;
+  std::unordered_map<const Node*, std::int64_t> loop_episodes_;
+};
+
+}  // namespace
+
+trace::Trace simulate(const MachineConfig& config, const Program& program,
+                      const InstrumentationHook& hook,
+                      const std::string& run_name) {
+  return Engine(config, program, hook, run_name).run();
+}
+
+trace::Trace simulate_actual(const MachineConfig& config,
+                             const Program& program,
+                             const std::string& run_name) {
+  const NullInstrumentation hook;
+  return simulate(config, program, hook, run_name);
+}
+
+}  // namespace perturb::sim

@@ -1,0 +1,49 @@
+// Instrumentation hook interface between the simulator and the
+// instrumentation layer.
+//
+// The engine calls the hook at every potential event point.  The hook decides
+// whether the event is recorded and what the probe costs; the engine charges
+// that cost to the processor clock *before* taking the timestamp, so a
+// measured event time includes its own probe overhead — exactly the
+// convention the paper's time-based model assumes when it subtracts the
+// per-event overhead α (§3, §4.2.3).
+//
+// A run with NullInstrumentation records every event at zero cost: that trace
+// is the logical event trace of §2 — the program's *actual* performance.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/ir.hpp"
+#include "trace/event.hpp"
+
+namespace perturb::sim {
+
+class InstrumentationHook {
+ public:
+  virtual ~InstrumentationHook() = default;
+
+  /// True if an event of this kind at this site is recorded into the trace.
+  virtual bool records(trace::EventKind kind, trace::EventId id) const = 0;
+
+  /// Probe cost in cycles charged for recording this event.  Called once per
+  /// recorded event; `proc_event_index` is the count of events previously
+  /// recorded on this processor (lets implementations produce deterministic
+  /// per-event jitter).
+  virtual Cycles probe_cost(trace::EventKind kind, trace::EventId id,
+                            trace::ProcId proc,
+                            std::uint64_t proc_event_index) const = 0;
+};
+
+/// Zero-perturbation observer: records everything, costs nothing.  Runs with
+/// this hook produce the ground-truth ("actual") trace.
+class NullInstrumentation final : public InstrumentationHook {
+ public:
+  bool records(trace::EventKind, trace::EventId) const override { return true; }
+  Cycles probe_cost(trace::EventKind, trace::EventId, trace::ProcId,
+                    std::uint64_t) const override {
+    return 0;
+  }
+};
+
+}  // namespace perturb::sim

@@ -1,0 +1,286 @@
+#include "sim/ir.hpp"
+
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace perturb::sim {
+
+using support::strf;
+
+const char* schedule_name(Schedule s) noexcept {
+  switch (s) {
+    case Schedule::kCyclic: return "cyclic";
+    case Schedule::kBlock: return "block";
+    case Schedule::kSelf: return "self";
+  }
+  return "unknown";
+}
+
+const char* loop_kind_name(LoopKind k) noexcept {
+  switch (k) {
+    case LoopKind::kDoall: return "doall";
+    case LoopKind::kDoacross: return "doacross";
+  }
+  return "unknown";
+}
+
+NodePtr compute(std::string label, Cycles cost) {
+  PERTURB_CHECK_MSG(cost >= 0, "negative statement cost");
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kCompute;
+  n->label = std::move(label);
+  n->cost = cost;
+  return n;
+}
+
+NodePtr compute_fn(std::string label,
+                   std::function<Cycles(std::int64_t)> cost_of_iter) {
+  PERTURB_CHECK_MSG(cost_of_iter != nullptr, "null cost function");
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kCompute;
+  n->label = std::move(label);
+  n->cost_fn = std::move(cost_of_iter);
+  return n;
+}
+
+NodePtr raw_compute(std::string label, Cycles cost) {
+  auto n = compute(std::move(label), cost);
+  n->traced = false;
+  return n;
+}
+
+NodePtr seq_loop(std::string label, std::int64_t trip, Block body) {
+  PERTURB_CHECK_MSG(trip >= 0, "negative trip count");
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kSeqLoop;
+  n->label = std::move(label);
+  n->trip = trip;
+  n->body = std::move(body);
+  return n;
+}
+
+NodePtr par_loop(std::string label, LoopKind kind, Schedule sched,
+                 std::int64_t trip, Block body) {
+  PERTURB_CHECK_MSG(trip >= 0, "negative trip count");
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kParLoop;
+  n->label = std::move(label);
+  n->loop_kind = kind;
+  n->schedule = sched;
+  n->trip = trip;
+  n->body = std::move(body);
+  return n;
+}
+
+NodePtr critical(ObjectId lock, Block body) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kCritical;
+  n->label = "critical";
+  n->object = lock;
+  n->body = std::move(body);
+  return n;
+}
+
+NodePtr semaphore_region(ObjectId semaphore, Block body) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kSemRegion;
+  n->label = "semaphore";
+  n->object = semaphore;
+  n->body = std::move(body);
+  return n;
+}
+
+NodePtr advance(ObjectId var, IndexExpr index) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kAdvance;
+  n->label = "advance";
+  n->object = var;
+  n->index = index;
+  return n;
+}
+
+NodePtr await(ObjectId var, IndexExpr index) {
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::kAwait;
+  n->label = "await";
+  n->object = var;
+  n->index = index;
+  return n;
+}
+
+ObjectId Program::declare_sync_var(std::string name) {
+  sync_var_names_.push_back(std::move(name));
+  return static_cast<ObjectId>(sync_var_names_.size());  // ids start at 1
+}
+
+ObjectId Program::declare_lock(std::string name) {
+  lock_names_.push_back(std::move(name));
+  return static_cast<ObjectId>(lock_names_.size());  // ids start at 1
+}
+
+ObjectId Program::declare_semaphore(std::string name, std::int64_t capacity) {
+  PERTURB_CHECK_MSG(capacity >= 1, "semaphore capacity must be >= 1");
+  semaphores_.emplace_back(std::move(name), capacity);
+  return static_cast<ObjectId>(semaphores_.size());  // ids start at 1
+}
+
+const std::string& Program::sync_var_name(ObjectId id) const {
+  PERTURB_CHECK(id >= 1 && id <= sync_var_names_.size());
+  return sync_var_names_[id - 1];
+}
+
+const std::string& Program::lock_name(ObjectId id) const {
+  PERTURB_CHECK(id >= 1 && id <= lock_names_.size());
+  return lock_names_[id - 1];
+}
+
+const std::string& Program::semaphore_name(ObjectId id) const {
+  PERTURB_CHECK(id >= 1 && id <= semaphores_.size());
+  return semaphores_[id - 1].first;
+}
+
+std::int64_t Program::semaphore_capacity(ObjectId id) const {
+  PERTURB_CHECK(id >= 1 && id <= semaphores_.size());
+  return semaphores_[id - 1].second;
+}
+
+void Program::finalize() {
+  if (finalized_) return;
+  next_site_ = 1;
+  assign_ids(root_);
+  validate(root_, 0);
+  finalized_ = true;
+}
+
+void Program::assign_ids(Block& b) {
+  for (auto& n : b.nodes) {
+    n->id = next_site_++;
+    switch (n->kind) {
+      case NodeKind::kSeqLoop:
+      case NodeKind::kParLoop:
+      case NodeKind::kCritical:
+      case NodeKind::kSemRegion:
+        assign_ids(n->body);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void Program::validate(const Block& b, int par_depth) const {
+  for (const auto& n : b.nodes) {
+    switch (n->kind) {
+      case NodeKind::kCompute:
+        break;
+      case NodeKind::kSeqLoop:
+        validate(n->body, par_depth);
+        break;
+      case NodeKind::kParLoop:
+        PERTURB_CHECK_MSG(par_depth == 0, "nested parallel loops unsupported");
+        validate(n->body, par_depth + 1);
+        break;
+      case NodeKind::kCritical:
+        PERTURB_CHECK_MSG(par_depth > 0,
+                          "critical section outside parallel loop");
+        PERTURB_CHECK_MSG(n->object >= 1 && n->object <= lock_names_.size(),
+                          "undeclared lock id");
+        validate(n->body, par_depth);
+        break;
+      case NodeKind::kAdvance:
+      case NodeKind::kAwait:
+        PERTURB_CHECK_MSG(par_depth > 0,
+                          "advance/await outside parallel loop");
+        PERTURB_CHECK_MSG(n->object >= 1 && n->object <= sync_var_names_.size(),
+                          "undeclared sync variable id");
+        break;
+      case NodeKind::kSemRegion:
+        PERTURB_CHECK_MSG(par_depth > 0,
+                          "semaphore region outside parallel loop");
+        PERTURB_CHECK_MSG(n->object >= 1 && n->object <= semaphores_.size(),
+                          "undeclared semaphore id");
+        validate(n->body, par_depth);
+        break;
+    }
+  }
+}
+
+const Node* Program::find_site(EventId id) const {
+  return find_site_in(root_, id);
+}
+
+const Node* Program::find_site_in(const Block& b, EventId id) const {
+  for (const auto& n : b.nodes) {
+    if (n->id == id) return n.get();
+    switch (n->kind) {
+      case NodeKind::kSeqLoop:
+      case NodeKind::kParLoop:
+      case NodeKind::kCritical:
+      case NodeKind::kSemRegion: {
+        const Node* hit = find_site_in(n->body, id);
+        if (hit) return hit;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return nullptr;
+}
+
+std::string Program::dump() const {
+  std::string out;
+  dump_block(root_, 0, out);
+  return out;
+}
+
+void Program::dump_block(const Block& b, int depth, std::string& out) const {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  for (const auto& n : b.nodes) {
+    switch (n->kind) {
+      case NodeKind::kCompute:
+        out += strf("%s[%u] stmt %-24s cost=%lld\n", indent.c_str(),
+                    unsigned(n->id), n->label.c_str(),
+                    static_cast<long long>(n->cost));
+        break;
+      case NodeKind::kSeqLoop:
+        out += strf("%s[%u] for %s (trip=%lld)\n", indent.c_str(),
+                    unsigned(n->id), n->label.c_str(),
+                    static_cast<long long>(n->trip));
+        dump_block(n->body, depth + 1, out);
+        break;
+      case NodeKind::kParLoop:
+        out += strf("%s[%u] %s %s (trip=%lld, sched=%s)\n", indent.c_str(),
+                    unsigned(n->id), loop_kind_name(n->loop_kind),
+                    n->label.c_str(), static_cast<long long>(n->trip),
+                    schedule_name(n->schedule));
+        dump_block(n->body, depth + 1, out);
+        break;
+      case NodeKind::kCritical:
+        out += strf("%s[%u] critical (%s)\n", indent.c_str(), unsigned(n->id),
+                    lock_name(n->object).c_str());
+        dump_block(n->body, depth + 1, out);
+        break;
+      case NodeKind::kSemRegion:
+        out += strf("%s[%u] semaphore (%s, capacity=%lld)\n", indent.c_str(),
+                    unsigned(n->id), semaphore_name(n->object).c_str(),
+                    static_cast<long long>(semaphore_capacity(n->object)));
+        dump_block(n->body, depth + 1, out);
+        break;
+      case NodeKind::kAdvance:
+        out += strf("%s[%u] advance(%s, %lld*i%+lld)\n", indent.c_str(),
+                    unsigned(n->id), sync_var_name(n->object).c_str(),
+                    static_cast<long long>(n->index.scale),
+                    static_cast<long long>(n->index.offset));
+        break;
+      case NodeKind::kAwait:
+        out += strf("%s[%u] await(%s, %lld*i%+lld)\n", indent.c_str(),
+                    unsigned(n->id), sync_var_name(n->object).c_str(),
+                    static_cast<long long>(n->index.scale),
+                    static_cast<long long>(n->index.offset));
+        break;
+    }
+  }
+}
+
+}  // namespace perturb::sim

@@ -1,0 +1,176 @@
+// Program intermediate representation for the machine simulator.
+//
+// Programs are trees of structured nodes: computation statements with cycle
+// costs, sequential loops, parallel loops (DOALL and DOACROSSS per Cytron's
+// model, §4.3), critical sections, and advance/await synchronization points
+// (§4.2).  The Livermore kernels of the paper's case study are lowered to
+// this IR in src/loops with the synchronization structure of Figure 3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace perturb::sim {
+
+using Cycles = std::int64_t;
+using trace::EventId;
+using trace::ObjectId;
+
+/// Affine function of the governing parallel-loop iteration index:
+/// eval(i) = scale*i + offset.  Used by advance/await to name the
+/// dependence-distance partner (await(A, i-d) has scale=1, offset=-d).
+struct IndexExpr {
+  std::int64_t scale = 1;
+  std::int64_t offset = 0;
+
+  std::int64_t eval(std::int64_t i) const noexcept { return scale * i + offset; }
+};
+
+enum class NodeKind : std::uint8_t {
+  kCompute,    ///< a statement with a fixed cycle cost
+  kSeqLoop,    ///< sequential loop around a body
+  kParLoop,    ///< DOALL or DOACROSS loop over iterations 0..trip-1
+  kCritical,   ///< lock-guarded body
+  kAdvance,    ///< advance(A, e(i))
+  kAwait,      ///< await(A, e(i)); no-op when e(i) < 0 (first iterations)
+  kSemRegion,  ///< counting-semaphore-guarded body (P() ... V())
+};
+
+enum class LoopKind : std::uint8_t { kDoall, kDoacross };
+
+/// Iteration-to-processor assignment policy for parallel loops.
+enum class Schedule : std::uint8_t {
+  kCyclic,  ///< proc p runs iterations p, p+P, p+2P, ... (Alliant-style)
+  kBlock,   ///< contiguous blocks of ceil(trip/P)
+  kSelf,    ///< dynamic self-scheduling off a shared counter
+};
+
+const char* schedule_name(Schedule s) noexcept;
+const char* loop_kind_name(LoopKind k) noexcept;
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Block {
+  std::vector<NodePtr> nodes;
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kCompute;
+  /// Instrumentation-site id; assigned program-wide in pre-order by
+  /// Program::finalize().  Statement events carry this id.
+  EventId id = 0;
+  std::string label;
+
+  Cycles cost = 0;          ///< kCompute: statement cycle cost
+  /// kCompute: optional per-iteration cost, evaluated with the governing
+  /// parallel-loop iteration (or the sequential-loop iteration when outside
+  /// parallel loops; 0 at top level).  Overrides `cost` when set.
+  std::function<Cycles(std::int64_t)> cost_fn;
+  std::int64_t trip = 0;    ///< loops: iteration count
+  LoopKind loop_kind = LoopKind::kDoall;    ///< kParLoop
+  Schedule schedule = Schedule::kCyclic;    ///< kParLoop
+  ObjectId object = 0;      ///< kCritical: lock id; kAdvance/kAwait: sync var
+  IndexExpr index;          ///< kAdvance/kAwait
+  Block body;               ///< loops, critical sections
+  /// kCompute: when false, the statement is not an instrumentation site and
+  /// never produces events (compiler-generated code invisible to
+  /// source-level instrumentation — e.g. the scalarized shared-variable
+  /// update the Alliant compiler emitted inside the advance/await region,
+  /// paper footnote 5).
+  bool traced = true;
+};
+
+/// Node constructors.  Blocks are built with block(...) or by pushing into
+/// Block::nodes directly.
+NodePtr compute(std::string label, Cycles cost);
+NodePtr compute_fn(std::string label,
+                   std::function<Cycles(std::int64_t)> cost_of_iter);
+/// A statement that consumes cycles but is not an instrumentation site.
+NodePtr raw_compute(std::string label, Cycles cost);
+NodePtr seq_loop(std::string label, std::int64_t trip, Block body);
+NodePtr par_loop(std::string label, LoopKind kind, Schedule sched,
+                 std::int64_t trip, Block body);
+NodePtr critical(ObjectId lock, Block body);
+/// A body guarded by a counting semaphore: P() on entry, V() on exit.  Up to
+/// the semaphore's declared capacity of processors may be inside at once.
+NodePtr semaphore_region(ObjectId semaphore, Block body);
+NodePtr advance(ObjectId var, IndexExpr index);
+NodePtr await(ObjectId var, IndexExpr index);
+
+template <typename... Nodes>
+Block block(Nodes... nodes) {
+  Block b;
+  (b.nodes.push_back(std::move(nodes)), ...);
+  return b;
+}
+
+/// A finalized program: a root block plus resource declarations.  Call
+/// Program::finalize() (done by ProgramBuilder) before simulation; it
+/// assigns site ids and validates structural rules:
+///  - parallel loops must not nest (the FX/80 ran one concurrent loop at a
+///    time; the sequential part runs on processor 0),
+///  - advance/await/critical may appear only inside a parallel loop body,
+///  - sync-variable and lock ids must be declared.
+class Program {
+ public:
+  Program() = default;
+
+  Block& root() noexcept { return root_; }
+  const Block& root() const noexcept { return root_; }
+
+  ObjectId declare_sync_var(std::string name);
+  ObjectId declare_lock(std::string name);
+  /// Declares a counting semaphore with `capacity` permits (capacity >= 1).
+  ObjectId declare_semaphore(std::string name, std::int64_t capacity);
+
+  std::uint32_t num_sync_vars() const noexcept {
+    return static_cast<std::uint32_t>(sync_var_names_.size());
+  }
+  std::uint32_t num_locks() const noexcept {
+    return static_cast<std::uint32_t>(lock_names_.size());
+  }
+  std::uint32_t num_semaphores() const noexcept {
+    return static_cast<std::uint32_t>(semaphores_.size());
+  }
+  const std::string& sync_var_name(ObjectId id) const;
+  const std::string& lock_name(ObjectId id) const;
+  const std::string& semaphore_name(ObjectId id) const;
+  std::int64_t semaphore_capacity(ObjectId id) const;
+
+  /// Assigns site ids (pre-order, starting at 1) and validates; throws
+  /// CheckError on structural violations.  Idempotent.
+  void finalize();
+  bool finalized() const noexcept { return finalized_; }
+
+  /// One past the largest assigned site id (ids start at 1); suitable as the
+  /// size of id-indexed tables.
+  EventId num_sites() const noexcept { return next_site_; }
+
+  /// Returns the node with the given site id, or nullptr.
+  const Node* find_site(EventId id) const;
+
+  /// Structural dump used by the Figure 3 bench: one line per node with
+  /// indentation, labels, costs, and dependence annotations.
+  std::string dump() const;
+
+ private:
+  void assign_ids(Block& b);
+  void validate(const Block& b, int par_depth) const;
+  const Node* find_site_in(const Block& b, EventId id) const;
+  void dump_block(const Block& b, int depth, std::string& out) const;
+
+  Block root_;
+  std::vector<std::string> sync_var_names_;
+  std::vector<std::string> lock_names_;
+  std::vector<std::pair<std::string, std::int64_t>> semaphores_;
+  EventId next_site_ = 1;
+  bool finalized_ = false;
+};
+
+}  // namespace perturb::sim

@@ -1,0 +1,40 @@
+// Machine model parameters for the simulated multiprocessor.
+//
+// Defaults are scaled to resemble the Alliant FX/80 computational complex:
+// eight computational elements with hardware concurrency control
+// (advance/await registers, a concurrency bus for loop dispatch, and
+// hardware barriers).  All costs are in cycles (ticks).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/ir.hpp"
+
+namespace perturb::sim {
+
+struct MachineConfig {
+  std::uint32_t num_procs = 8;
+
+  /// Tick → microsecond conversion recorded in trace metadata.  The FX/80 CE
+  /// ran at a 170 ns cycle (~5.9 cycles/us).
+  double ticks_per_us = 5.9;
+
+  // --- synchronization operation costs (uninstrumented hardware costs) ---
+  Cycles advance_cost = 6;        ///< advance register update
+  Cycles await_check_cost = 4;    ///< await test when already satisfied
+  Cycles await_resume_cost = 8;   ///< wake-up latency after a blocking await
+  Cycles lock_acquire_cost = 6;   ///< uncontended acquire
+  Cycles lock_release_cost = 4;
+  Cycles sem_acquire_cost = 7;    ///< counting-semaphore P() with permits free
+  Cycles sem_release_cost = 5;    ///< counting-semaphore V()
+  Cycles barrier_depart_cost = 10;  ///< per-processor barrier exit latency
+
+  // --- loop machinery ---
+  Cycles loop_spawn_cost = 40;      ///< master cost to start the complex
+  Cycles iter_dispatch_cost = 3;    ///< per-iteration dispatch (static scheds)
+  Cycles self_sched_fetch_cost = 6;     ///< shared-counter fetch (self sched)
+  Cycles self_sched_serialize = 2;      ///< serialization between fetches
+  Cycles seq_loop_iter_cost = 1;        ///< sequential loop bookkeeping
+};
+
+}  // namespace perturb::sim

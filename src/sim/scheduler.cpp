@@ -1,0 +1,107 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace perturb::sim {
+
+namespace {
+
+class CyclicScheduler final : public IterationScheduler {
+ public:
+  CyclicScheduler(std::int64_t trip, std::uint32_t procs, Cycles dispatch)
+      : trip_(trip), procs_(procs), dispatch_(dispatch), next_(procs, 0) {}
+
+  std::int64_t next(ProcId proc, Tick now, Tick* ready_time) override {
+    PERTURB_CHECK(proc < procs_);
+    const std::int64_t iter =
+        static_cast<std::int64_t>(proc) +
+        next_[proc] * static_cast<std::int64_t>(procs_);
+    if (iter >= trip_) return -1;
+    ++next_[proc];
+    *ready_time = now + dispatch_;
+    return iter;
+  }
+
+ private:
+  std::int64_t trip_;
+  std::uint32_t procs_;
+  Cycles dispatch_;
+  std::vector<std::int64_t> next_;  ///< per-proc local iteration counter
+};
+
+class BlockScheduler final : public IterationScheduler {
+ public:
+  BlockScheduler(std::int64_t trip, std::uint32_t procs, Cycles dispatch)
+      : trip_(trip), dispatch_(dispatch) {
+    const auto p = static_cast<std::int64_t>(procs);
+    chunk_ = (trip + p - 1) / std::max<std::int64_t>(p, 1);
+    next_.assign(procs, 0);
+    for (std::uint32_t q = 0; q < procs; ++q)
+      next_[q] = chunk_ * static_cast<std::int64_t>(q);
+  }
+
+  std::int64_t next(ProcId proc, Tick now, Tick* ready_time) override {
+    PERTURB_CHECK(proc < next_.size());
+    const std::int64_t hi = std::min(
+        trip_, chunk_ * (static_cast<std::int64_t>(proc) + 1));
+    if (next_[proc] >= hi) return -1;
+    *ready_time = now + dispatch_;
+    return next_[proc]++;
+  }
+
+ private:
+  std::int64_t trip_;
+  Cycles dispatch_;
+  std::int64_t chunk_ = 0;
+  std::vector<std::int64_t> next_;
+};
+
+class SelfScheduler final : public IterationScheduler {
+ public:
+  SelfScheduler(std::int64_t trip, Cycles fetch, Cycles serialize)
+      : trip_(trip), fetch_(fetch), serialize_(serialize) {}
+
+  std::int64_t next(ProcId, Tick now, Tick* ready_time) override {
+    if (next_ >= trip_) return -1;
+    // The shared counter serializes fetches: a fetch issued at `now` is
+    // granted no earlier than the counter becomes available again.
+    const Tick grant = std::max(now, available_);
+    available_ = grant + serialize_;
+    *ready_time = grant + fetch_;
+    return next_++;
+  }
+
+ private:
+  std::int64_t trip_;
+  Cycles fetch_;
+  Cycles serialize_;
+  std::int64_t next_ = 0;
+  Tick available_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<IterationScheduler> make_scheduler(Schedule schedule,
+                                                   std::int64_t trip,
+                                                   std::uint32_t num_procs,
+                                                   const MachineConfig& cfg) {
+  PERTURB_CHECK(num_procs > 0);
+  switch (schedule) {
+    case Schedule::kCyclic:
+      return std::make_unique<CyclicScheduler>(trip, num_procs,
+                                               cfg.iter_dispatch_cost);
+    case Schedule::kBlock:
+      return std::make_unique<BlockScheduler>(trip, num_procs,
+                                              cfg.iter_dispatch_cost);
+    case Schedule::kSelf:
+      return std::make_unique<SelfScheduler>(trip, cfg.self_sched_fetch_cost,
+                                             cfg.self_sched_serialize);
+  }
+  PERTURB_CHECK_MSG(false, "unknown schedule");
+  return nullptr;
+}
+
+}  // namespace perturb::sim

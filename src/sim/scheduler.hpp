@@ -1,0 +1,39 @@
+// Iteration-to-processor schedulers for parallel loops.
+//
+// kCyclic mirrors the Alliant hardware dispatch (processor p executes
+// iterations p, p+P, ...).  kSelf models dynamic self-scheduling off a shared
+// counter: fetch order — and therefore the iteration→processor mapping —
+// depends on execution timing, which is exactly the situation where
+// instrumentation can remap work across processors and conservative analysis
+// needs external scheduling knowledge (§4.2.3, §4.3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/ir.hpp"
+#include "sim/machine.hpp"
+#include "trace/event.hpp"
+
+namespace perturb::sim {
+
+using trace::ProcId;
+using trace::Tick;
+
+class IterationScheduler {
+ public:
+  virtual ~IterationScheduler() = default;
+
+  /// Requests the next iteration for `proc` at time `now`.  Returns the
+  /// iteration index and sets `*ready_time` (>= now) to when the iteration
+  /// body may begin; returns -1 when the processor has no more work.
+  virtual std::int64_t next(ProcId proc, Tick now, Tick* ready_time) = 0;
+};
+
+/// Creates a scheduler instance for one parallel-loop execution.
+std::unique_ptr<IterationScheduler> make_scheduler(Schedule schedule,
+                                                   std::int64_t trip,
+                                                   std::uint32_t num_procs,
+                                                   const MachineConfig& cfg);
+
+}  // namespace perturb::sim

@@ -1,0 +1,149 @@
+#include "support/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace perturb::support {
+
+std::string render_bar_chart(const std::vector<std::string>& series_names,
+                             const std::vector<BarGroup>& groups,
+                             std::size_t max_width) {
+  PERTURB_CHECK(!series_names.empty());
+  double vmax = 0.0;
+  std::size_t label_w = 0;
+  std::size_t series_w = 0;
+  for (const auto& name : series_names) series_w = std::max(series_w, name.size());
+  for (const auto& g : groups) {
+    PERTURB_CHECK_MSG(g.values.size() == series_names.size(),
+                      "bar group arity mismatch");
+    label_w = std::max(label_w, g.label.size());
+    for (double v : g.values) vmax = std::max(vmax, v);
+  }
+  if (vmax <= 0.0) vmax = 1.0;
+
+  std::string out;
+  for (const auto& g : groups) {
+    for (std::size_t s = 0; s < series_names.size(); ++s) {
+      const double v = g.values[s];
+      const auto bar = static_cast<std::size_t>(
+          std::lround(v / vmax * static_cast<double>(max_width)));
+      out += pad_right(s == 0 ? g.label : std::string(), label_w);
+      out += "  ";
+      out += pad_right(series_names[s], series_w);
+      out += " |";
+      out += std::string(bar, s % 2 == 0 ? '#' : '=');
+      out += ' ';
+      out += fixed(v, 2);
+      out += '\n';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+std::size_t col_of(std::int64_t t, std::int64_t t0, std::int64_t t1,
+                   std::size_t width) {
+  if (t <= t0) return 0;
+  if (t >= t1) return width;
+  const double frac = static_cast<double>(t - t0) / static_cast<double>(t1 - t0);
+  return static_cast<std::size_t>(frac * static_cast<double>(width));
+}
+
+std::string time_axis(std::int64_t t0, std::int64_t t1, std::size_t width,
+                      std::size_t label_w) {
+  std::string axis(label_w + 2, ' ');
+  axis += '+';
+  axis += std::string(width, '-');
+  axis += "+\n";
+  std::string ticks(label_w + 2, ' ');
+  const std::string lo = strf("%lld", static_cast<long long>(t0));
+  const std::string hi = strf("%lld", static_cast<long long>(t1));
+  ticks += lo;
+  if (width + 2 > lo.size() + hi.size())
+    ticks += std::string(width + 2 - lo.size() - hi.size(), ' ');
+  ticks += hi;
+  ticks += '\n';
+  return axis + ticks;
+}
+
+}  // namespace
+
+std::string render_timeline(const std::vector<TimelineRow>& rows,
+                            std::int64_t t0, std::int64_t t1,
+                            std::size_t width) {
+  PERTURB_CHECK(t1 > t0);
+  std::size_t label_w = 0;
+  for (const auto& r : rows) label_w = std::max(label_w, r.label.size());
+
+  std::string out;
+  for (const auto& r : rows) {
+    std::string cells(width, '.');
+    for (const auto& iv : r.intervals) {
+      if (iv.end <= iv.begin) continue;
+      const std::size_t b = col_of(iv.begin, t0, t1, width);
+      std::size_t e = col_of(iv.end, t0, t1, width);
+      if (e == b) e = b + 1;  // make short intervals visible
+      for (std::size_t c = b; c < std::min(e, width); ++c) cells[c] = '#';
+    }
+    out += pad_right(r.label, label_w);
+    out += " |";
+    out += cells;
+    out += "|\n";
+  }
+  out += time_axis(t0, t1, width, label_w);
+  return out;
+}
+
+std::string render_step_plot(const std::vector<std::pair<std::int64_t, double>>& steps,
+                             std::int64_t t0, std::int64_t t1, double vmax,
+                             std::size_t width, std::size_t height) {
+  PERTURB_CHECK(t1 > t0);
+  PERTURB_CHECK(vmax > 0.0);
+  PERTURB_CHECK(height > 0);
+
+  // Sample the step function at each column midpoint.
+  std::vector<double> samples(width, 0.0);
+  for (std::size_t c = 0; c < width; ++c) {
+    const double frac = (static_cast<double>(c) + 0.5) / static_cast<double>(width);
+    const auto t = t0 + static_cast<std::int64_t>(
+                            frac * static_cast<double>(t1 - t0));
+    double v = 0.0;
+    for (const auto& [st, sv] : steps) {
+      if (st <= t) v = sv;
+      else break;
+    }
+    samples[c] = v;
+  }
+
+  std::string out;
+  const std::size_t label_w = fixed(vmax, 1).size();
+  for (std::size_t r = 0; r < height; ++r) {
+    const double row_v =
+        vmax * static_cast<double>(height - r) / static_cast<double>(height);
+    out += pad_left(fixed(row_v, 1), label_w);
+    out += " |";
+    for (std::size_t c = 0; c < width; ++c)
+      out += samples[c] >= row_v - 1e-12 ? '*' : ' ';
+    out += '\n';
+  }
+  out += std::string(label_w, ' ');
+  out += " +";
+  out += std::string(width, '-');
+  out += '\n';
+  out += std::string(label_w + 2, ' ');
+  const std::string lo = strf("%lld", static_cast<long long>(t0));
+  const std::string hi = strf("%lld", static_cast<long long>(t1));
+  out += lo;
+  if (width > lo.size() + hi.size())
+    out += std::string(width - lo.size() - hi.size(), ' ');
+  out += hi;
+  out += '\n';
+  return out;
+}
+
+}  // namespace perturb::support

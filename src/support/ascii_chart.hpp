@@ -1,0 +1,50 @@
+// ASCII renderings for the paper's figures: vertical bar charts (Figure 1),
+// per-processor interval timelines (Figure 4), and step-function line plots
+// (Figure 5).  Benches print these so the reproduction is readable in a
+// terminal without plotting tools.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace perturb::support {
+
+/// A labelled group of bars (e.g. measured vs. approximated per loop).
+struct BarGroup {
+  std::string label;           ///< x-axis label (e.g. loop number)
+  std::vector<double> values;  ///< one value per series
+};
+
+/// Renders grouped horizontal bars, one row per (group, series), with the
+/// numeric value at the end of each bar.  `series_names` length must match
+/// every group's `values` length.
+std::string render_bar_chart(const std::vector<std::string>& series_names,
+                             const std::vector<BarGroup>& groups,
+                             std::size_t max_width = 60);
+
+/// A half-open interval [begin, end) on one row of a timeline.
+struct TimelineInterval {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+};
+
+/// One labelled row of a timeline chart (e.g. "Processor 3").
+struct TimelineRow {
+  std::string label;
+  std::vector<TimelineInterval> intervals;
+};
+
+/// Renders rows of intervals over [t0, t1) scaled to `width` columns;
+/// interval cells print as '#', empty as '.'.  Adds a time axis underneath.
+std::string render_timeline(const std::vector<TimelineRow>& rows,
+                            std::int64_t t0, std::int64_t t1,
+                            std::size_t width = 80);
+
+/// A step function sampled as (time, value) change points, value held until
+/// the next point.  Rendered as a `height`-row ASCII plot over [t0, t1).
+std::string render_step_plot(const std::vector<std::pair<std::int64_t, double>>& steps,
+                             std::int64_t t0, std::int64_t t1, double vmax,
+                             std::size_t width = 80, std::size_t height = 8);
+
+}  // namespace perturb::support

@@ -1,0 +1,49 @@
+// Lightweight runtime-check macros used across the perturb libraries.
+//
+// PERTURB_CHECK is always on (release and debug): it guards invariants whose
+// violation means the analysis would silently produce wrong results (e.g. a
+// causality violation in a trace).  PERTURB_DCHECK compiles out in NDEBUG
+// builds and guards hot-path preconditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace perturb {
+
+/// Thrown by PERTURB_CHECK failures so library users can recover; the message
+/// carries the failing expression and source location.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::string full = std::string("PERTURB_CHECK failed: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw CheckError(full);
+}
+
+}  // namespace perturb
+
+#define PERTURB_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) ::perturb::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PERTURB_CHECK_MSG(expr, msg)                                        \
+  do {                                                                      \
+    if (!(expr)) ::perturb::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PERTURB_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#else
+#define PERTURB_DCHECK(expr) PERTURB_CHECK(expr)
+#endif

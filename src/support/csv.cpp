@@ -1,0 +1,37 @@
+#include "support/csv.hpp"
+
+#include "support/text.hpp"
+
+namespace perturb::support {
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::to_field(double v) { return strf("%.9g", v); }
+std::string CsvWriter::to_field(long long v) { return strf("%lld", v); }
+std::string CsvWriter::to_field(unsigned long long v) { return strf("%llu", v); }
+
+std::string CsvWriter::escape(const std::string& field) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace perturb::support

@@ -1,0 +1,47 @@
+// Minimal CSV writer used by benches to dump series (Figure 4/5 data) in a
+// machine-readable form next to the human-readable ASCII rendering.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace perturb::support {
+
+/// Streams rows of a CSV document.  Fields containing commas, quotes, or
+/// newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: writes each value with operator<< semantics.
+  template <typename... Ts>
+  void rowv(const Ts&... vals) {
+    std::vector<std::string> fields;
+    (fields.push_back(to_field(vals)), ...);
+    row(fields);
+  }
+
+ private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(const char* s) { return s; }
+  static std::string to_field(double v);
+  static std::string to_field(long long v);
+  static std::string to_field(unsigned long long v);
+  static std::string to_field(int v) { return to_field(static_cast<long long>(v)); }
+  static std::string to_field(long v) { return to_field(static_cast<long long>(v)); }
+  static std::string to_field(unsigned v) {
+    return to_field(static_cast<unsigned long long>(v));
+  }
+  static std::string to_field(unsigned long v) {
+    return to_field(static_cast<unsigned long long>(v));
+  }
+
+  static std::string escape(const std::string& field);
+
+  std::ostream& out_;
+};
+
+}  // namespace perturb::support

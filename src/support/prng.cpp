@@ -1,0 +1,32 @@
+#include "support/prng.hpp"
+
+#include <cmath>
+
+namespace perturb::support {
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) noexcept {
+  // Lemire-style rejection to avoid modulo bias.
+  if (n == 0) return 0;
+  const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Xoshiro256::normal() noexcept {
+  // Box–Muller; discard the second variate to stay stateless.
+  double u1 = uniform01();
+  double u2 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double keyed_jitter(std::uint64_t seed, std::uint64_t k1, std::uint64_t k2) noexcept {
+  const std::uint64_t h = hash_combine(hash_combine(seed, k1), k2);
+  // Map to [-1, 1].
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+}  // namespace perturb::support

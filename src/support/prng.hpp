@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulator (probe-cost jitter, workload
+// perturbation) must be reproducible from a single seed so that experiments
+// are exactly re-runnable.  We use SplitMix64 for seeding/hashing and
+// xoshiro256** for streams; both are tiny, fast, and well studied.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace perturb::support {
+
+/// SplitMix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+/// Used both as a seeding function and as a stateless hash for keyed jitter.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two 64-bit keys into one, for keyed deterministic jitter
+/// (e.g. hash of (seed, processor, event-index)).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// xoshiro256** — 256-bit state, period 2^256-1.  Satisfies the
+/// UniformRandomBitGenerator requirements.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x8a5cd789635d2dffULL) noexcept {
+    // Seed the full state through SplitMix64, as recommended by the authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x = splitmix64(x);
+      s = x;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box–Muller (one value per call; simple and
+  /// deterministic — throughput is irrelevant here).
+  double normal() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Stateless keyed jitter in [-1, 1]: deterministic given (key parts), with no
+/// stream state to thread through call sites.  Used for probe-cost jitter so
+/// an event's measured overhead depends only on its identity and the seed.
+double keyed_jitter(std::uint64_t seed, std::uint64_t k1, std::uint64_t k2) noexcept;
+
+}  // namespace perturb::support

@@ -1,0 +1,68 @@
+// Small statistics toolkit: online moments (Welford), percentiles, and
+// histograms.  Used by the analysis layer (waiting-time distributions,
+// approximation-error summaries) and by the benches when reporting sweeps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace perturb::support {
+
+/// Numerically stable online accumulator for count/mean/variance/min/max.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile with linear interpolation between closest ranks.
+/// `q` in [0, 1].  The input is copied and partially sorted.
+double percentile(std::vector<double> values, double q);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t total() const noexcept { return total_; }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Root-mean-square of a sequence of errors.
+double rms(const std::vector<double>& values);
+
+}  // namespace perturb::support

@@ -1,0 +1,37 @@
+// String formatting helpers.  GCC 12 lacks <format>, so we provide the small
+// set of printf-style conveniences the libraries need, type-safe at the call
+// sites we use them from.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace perturb::support {
+
+/// snprintf into a std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Left-pad with spaces to at least `width` characters.
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pad with spaces to at least `width` characters.
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Format a double with `prec` digits after the point (fixed notation).
+std::string fixed(double v, int prec);
+
+/// Render a simple aligned table: first row is the header.  Columns are
+/// right-aligned except the first, which is left-aligned.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace perturb::support

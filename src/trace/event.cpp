@@ -1,0 +1,40 @@
+#include "trace/event.hpp"
+
+#include "support/check.hpp"
+
+namespace perturb::trace {
+
+const char* event_kind_name(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kStmtEnter: return "stmt_enter";
+    case EventKind::kStmtExit: return "stmt_exit";
+    case EventKind::kAdvance: return "advance";
+    case EventKind::kAwaitBegin: return "awaitB";
+    case EventKind::kAwaitEnd: return "awaitE";
+    case EventKind::kLockAcquire: return "lock_acq";
+    case EventKind::kLockRelease: return "lock_rel";
+    case EventKind::kBarrierArrive: return "bar_arrive";
+    case EventKind::kBarrierDepart: return "bar_depart";
+    case EventKind::kLoopBegin: return "loop_begin";
+    case EventKind::kLoopEnd: return "loop_end";
+    case EventKind::kIterBegin: return "iter_begin";
+    case EventKind::kIterEnd: return "iter_end";
+    case EventKind::kProgramBegin: return "prog_begin";
+    case EventKind::kProgramEnd: return "prog_end";
+    case EventKind::kUser: return "user";
+    case EventKind::kSemAcquire: return "sem_acq";
+    case EventKind::kSemRelease: return "sem_rel";
+  }
+  return "unknown";
+}
+
+EventKind event_kind_from_name(const std::string& name) {
+  for (std::uint8_t i = 0; i < kNumEventKinds; ++i) {
+    const auto k = static_cast<EventKind>(i);
+    if (name == event_kind_name(k)) return k;
+  }
+  PERTURB_CHECK_MSG(false, "unknown event kind name: " + name);
+  return EventKind::kUser;  // unreachable
+}
+
+}  // namespace perturb::trace

@@ -1,0 +1,115 @@
+// The logical event model from §2 of the paper.
+//
+// A logical event trace is a time-ordered sequence of events e_i =
+// {t(e_i), eid_i}: the execution of instrumented statements plus the
+// synchronization operations (advance, awaitB/awaitE, locks, barriers) that
+// event-based perturbation analysis needs to enforce dependency semantics
+// (§4.2.2).  Every synchronization event carries the object it acted on and a
+// payload (the iteration index) that uniquely pairs advance and await events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace perturb::trace {
+
+/// Time in ticks.  The simulator interprets a tick as one machine cycle; the
+/// real-threads runtime uses nanoseconds.  Signed so that analysis
+/// intermediate values may go (transiently) negative.
+using Tick = std::int64_t;
+
+/// Identifier of the instrumented site (statement) that produced an event.
+using EventId = std::uint32_t;
+
+/// Identifier of the synchronization object (sync variable, lock, barrier,
+/// or loop) an event refers to; 0 for plain computation events.
+using ObjectId = std::uint32_t;
+
+/// Processor (simulator) or worker-thread (runtime) index.
+using ProcId = std::uint16_t;
+
+enum class EventKind : std::uint8_t {
+  kStmtEnter,      ///< statement began executing
+  kStmtExit,       ///< statement finished executing
+  kAdvance,        ///< advance(A, i) completed; payload = i
+  kAwaitBegin,     ///< await(A, i) began; payload = i
+  kAwaitEnd,       ///< await(A, i) satisfied; payload = i
+  kLockAcquire,    ///< lock acquired (critical-section entry)
+  kLockRelease,    ///< lock released (critical-section exit)
+  kBarrierArrive,  ///< processor arrived at barrier
+  kBarrierDepart,  ///< processor released from barrier
+  kLoopBegin,      ///< parallel loop began (on spawning processor)
+  kLoopEnd,        ///< parallel loop ended (after the closing barrier)
+  kIterBegin,      ///< loop iteration began; payload = iteration index
+  kIterEnd,        ///< loop iteration ended; payload = iteration index
+  kProgramBegin,   ///< first event of a run
+  kProgramEnd,     ///< last event of a run
+  kUser,           ///< user-defined marker
+  kSemAcquire,     ///< counting-semaphore P() completed
+  kSemRelease,     ///< counting-semaphore V() completed
+};
+
+constexpr std::uint8_t kNumEventKinds = 18;
+
+/// Human-readable name for an event kind ("advance", "awaitB", ...).
+const char* event_kind_name(EventKind kind) noexcept;
+
+/// Parses the result of event_kind_name; throws CheckError on unknown names.
+EventKind event_kind_from_name(const std::string& name);
+
+/// True for kinds that participate in cross-processor dependencies and are
+/// therefore treated specially by event-based perturbation analysis.
+constexpr bool is_sync_kind(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kAdvance:
+    case EventKind::kAwaitBegin:
+    case EventKind::kAwaitEnd:
+    case EventKind::kLockAcquire:
+    case EventKind::kLockRelease:
+    case EventKind::kBarrierArrive:
+    case EventKind::kBarrierDepart:
+    case EventKind::kSemAcquire:
+    case EventKind::kSemRelease:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct Event {
+  Tick time = 0;             ///< measured (or true) occurrence time
+  std::int64_t payload = 0;  ///< iteration index for sync pairing; 0 otherwise
+  EventId id = 0;            ///< instrumented-site identifier
+  ObjectId object = 0;       ///< sync object the event refers to
+  ProcId proc = 0;
+  EventKind kind = EventKind::kUser;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Key that uniquely pairs an advance with its await (§4.2.2): the
+/// synchronization variable plus the advanced/awaited index.
+struct SyncKey {
+  ObjectId object = 0;
+  std::int64_t index = 0;
+
+  friend bool operator==(const SyncKey&, const SyncKey&) = default;
+  friend bool operator<(const SyncKey& a, const SyncKey& b) {
+    if (a.object != b.object) return a.object < b.object;
+    return a.index < b.index;
+  }
+};
+
+struct SyncKeyHash {
+  std::size_t operator()(const SyncKey& k) const noexcept {
+    const std::uint64_t a = (static_cast<std::uint64_t>(k.object) << 32) ^
+                            static_cast<std::uint64_t>(k.index);
+    // SplitMix-style mix.
+    std::uint64_t x = a + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace perturb::trace

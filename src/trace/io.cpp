@@ -1,0 +1,169 @@
+#include "trace/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace perturb::trace {
+
+using support::split;
+using support::starts_with;
+using support::strf;
+using support::trim;
+
+void write_text(std::ostream& out, const Trace& trace) {
+  out << "#perturb-trace v1\n";
+  out << "#name " << trace.info().name << '\n';
+  out << "#procs " << trace.info().num_procs << '\n';
+  out << strf("#ticks_per_us %.9g\n", trace.info().ticks_per_us);
+  for (const auto& e : trace) {
+    out << strf("%lld %s %u %u %u %lld\n", static_cast<long long>(e.time),
+                event_kind_name(e.kind), unsigned(e.proc), unsigned(e.id),
+                unsigned(e.object), static_cast<long long>(e.payload));
+  }
+}
+
+Trace read_text(std::istream& in) {
+  std::string line;
+  PERTURB_CHECK_MSG(std::getline(in, line), "empty trace stream");
+  PERTURB_CHECK_MSG(trim(line) == "#perturb-trace v1",
+                    "bad trace header: " + line);
+  TraceInfo info;
+  Trace out;
+  bool have_info = false;
+  std::vector<Event> events;
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty()) continue;
+    if (starts_with(line, "#name ")) {
+      info.name = line.substr(6);
+    } else if (starts_with(line, "#procs ")) {
+      info.num_procs = static_cast<std::uint32_t>(
+          std::strtoul(line.c_str() + 7, nullptr, 10));
+      have_info = true;
+    } else if (starts_with(line, "#ticks_per_us ")) {
+      info.ticks_per_us = std::strtod(line.c_str() + 14, nullptr);
+    } else if (line[0] == '#') {
+      // Unknown directive: ignored for forward compatibility.
+    } else {
+      const auto fields = split(line, ' ');
+      PERTURB_CHECK_MSG(fields.size() == 6, "bad trace line: " + line);
+      Event e;
+      e.time = std::strtoll(fields[0].c_str(), nullptr, 10);
+      e.kind = event_kind_from_name(fields[1]);
+      e.proc = static_cast<ProcId>(std::strtoul(fields[2].c_str(), nullptr, 10));
+      e.id = static_cast<EventId>(std::strtoul(fields[3].c_str(), nullptr, 10));
+      e.object =
+          static_cast<ObjectId>(std::strtoul(fields[4].c_str(), nullptr, 10));
+      e.payload = std::strtoll(fields[5].c_str(), nullptr, 10);
+      events.push_back(e);
+    }
+  }
+  PERTURB_CHECK_MSG(have_info, "trace missing #procs directive");
+  Trace t(info);
+  for (const auto& e : events) t.append(e);
+  return t;
+}
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'T', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  PERTURB_CHECK_MSG(in.good(), "truncated binary trace");
+  return v;
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& in) {
+  const auto n = get<std::uint32_t>(in);
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  PERTURB_CHECK_MSG(in.good(), "truncated binary trace string");
+  return s;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const Trace& trace) {
+  out.write(kMagic, 4);
+  put(out, kVersion);
+  put_string(out, trace.info().name);
+  put(out, trace.info().num_procs);
+  put(out, trace.info().ticks_per_us);
+  put<std::uint64_t>(out, trace.size());
+  for (const auto& e : trace) {
+    put(out, e.time);
+    put(out, e.payload);
+    put(out, e.id);
+    put(out, e.object);
+    put(out, e.proc);
+    put(out, static_cast<std::uint8_t>(e.kind));
+  }
+}
+
+Trace read_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  PERTURB_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+                    "bad binary trace magic");
+  const auto version = get<std::uint32_t>(in);
+  PERTURB_CHECK_MSG(version == kVersion, "unsupported binary trace version");
+  TraceInfo info;
+  info.name = get_string(in);
+  info.num_procs = get<std::uint32_t>(in);
+  info.ticks_per_us = get<double>(in);
+  const auto count = get<std::uint64_t>(in);
+  Trace t(info);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Event e;
+    e.time = get<Tick>(in);
+    e.payload = get<std::int64_t>(in);
+    e.id = get<EventId>(in);
+    e.object = get<ObjectId>(in);
+    e.proc = get<ProcId>(in);
+    const auto kind = get<std::uint8_t>(in);
+    PERTURB_CHECK_MSG(kind < kNumEventKinds, "bad event kind in binary trace");
+    e.kind = static_cast<EventKind>(kind);
+    t.append(e);
+  }
+  return t;
+}
+
+void save(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  PERTURB_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".ptt") == 0)
+    write_text(out, trace);
+  else
+    write_binary(out, trace);
+  PERTURB_CHECK_MSG(out.good(), "write failed: " + path);
+}
+
+Trace load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PERTURB_CHECK_MSG(in.good(), "cannot open for read: " + path);
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".ptt") == 0)
+    return read_text(in);
+  return read_binary(in);
+}
+
+}  // namespace perturb::trace

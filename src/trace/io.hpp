@@ -1,0 +1,36 @@
+// Trace serialization.
+//
+// Two formats: a line-oriented text format (diff-able, greppable) and a
+// compact binary format for large traces.  Both round-trip every field.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace perturb::trace {
+
+/// Writes the text format:
+///   #perturb-trace v1
+///   #name <name>
+///   #procs <n>
+///   #ticks_per_us <x>
+///   <time> <kind> <proc> <id> <object> <payload>
+void write_text(std::ostream& out, const Trace& trace);
+
+/// Parses the text format; throws CheckError on malformed input.
+Trace read_text(std::istream& in);
+
+/// Writes the binary format (magic "PTRC", version 1, little-endian).
+void write_binary(std::ostream& out, const Trace& trace);
+
+/// Parses the binary format; throws CheckError on malformed input.
+Trace read_binary(std::istream& in);
+
+/// File-path conveniences; format chosen by extension (".ptt" text,
+/// anything else binary).
+void save(const std::string& path, const Trace& trace);
+Trace load(const std::string& path);
+
+}  // namespace perturb::trace

@@ -1,0 +1,100 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace perturb::trace {
+
+void Trace::sort_canonical() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.time < b.time; });
+}
+
+bool Trace::is_time_ordered() const noexcept {
+  for (std::size_t i = 1; i < events_.size(); ++i)
+    if (events_[i].time < events_[i - 1].time) return false;
+  return true;
+}
+
+std::vector<std::size_t> Trace::processor_events(ProcId proc) const {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < events_.size(); ++i)
+    if (events_[i].proc == proc) idx.push_back(i);
+  return idx;
+}
+
+std::vector<std::vector<Event>> Trace::by_processor() const {
+  std::vector<std::vector<Event>> out(info_.num_procs);
+  for (const auto& e : events_) {
+    PERTURB_CHECK_MSG(e.proc < info_.num_procs, "event processor out of range");
+    out[e.proc].push_back(e);
+  }
+  return out;
+}
+
+Tick Trace::start_time() const noexcept {
+  if (events_.empty()) return 0;
+  Tick t = events_.front().time;
+  for (const auto& e : events_) t = std::min(t, e.time);
+  return t;
+}
+
+Tick Trace::end_time() const noexcept {
+  if (events_.empty()) return 0;
+  Tick t = events_.front().time;
+  for (const auto& e : events_) t = std::max(t, e.time);
+  return t;
+}
+
+Tick Trace::span() const noexcept { return end_time() - start_time(); }
+
+Tick Trace::total_time() const noexcept {
+  Tick begin = 0;
+  Tick end = 0;
+  bool have_begin = false;
+  bool have_end = false;
+  for (const auto& e : events_) {
+    if (e.kind == EventKind::kProgramBegin && !have_begin) {
+      begin = e.time;
+      have_begin = true;
+    } else if (e.kind == EventKind::kProgramEnd) {
+      end = e.time;
+      have_end = true;
+    }
+  }
+  if (have_begin && have_end) return end - begin;
+  return span();
+}
+
+Trace Trace::merge(TraceInfo info, const std::vector<Trace>& parts) {
+  // k-way merge keyed by (time, part index) so ties resolve deterministically
+  // and per-part order is preserved.
+  struct Cursor {
+    std::size_t part;
+    std::size_t pos;
+    Tick time;
+  };
+  auto cmp = [](const Cursor& a, const Cursor& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.part > b.part;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    PERTURB_CHECK_MSG(parts[p].is_time_ordered(), "merge input not time-ordered");
+    if (!parts[p].empty()) heap.push({p, 0, parts[p][0].time});
+  }
+  Trace out(std::move(info));
+  while (!heap.empty()) {
+    const Cursor c = heap.top();
+    heap.pop();
+    out.append(parts[c.part][c.pos]);
+    const std::size_t next = c.pos + 1;
+    if (next < parts[c.part].size())
+      heap.push({c.part, next, parts[c.part][next].time});
+  }
+  return out;
+}
+
+}  // namespace perturb::trace

@@ -1,0 +1,77 @@
+// Trace container: a sequence of events in a total order consistent with the
+// happened-before relation of the run that produced it (§4.1).  Producers
+// append events in resolution order; `sort_canonical()` restores the
+// (time, seq) order after batch edits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace perturb::trace {
+
+/// Trace metadata: enough to interpret tick values and processor indices.
+struct TraceInfo {
+  std::string name;           ///< free-form run label
+  std::uint32_t num_procs = 1;
+  double ticks_per_us = 1.0;  ///< tick → microsecond conversion
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(TraceInfo info) : info_(std::move(info)) {}
+
+  const TraceInfo& info() const noexcept { return info_; }
+  TraceInfo& info() noexcept { return info_; }
+
+  /// Appends an event; the trace records arrival order as the tie-break for
+  /// equal timestamps (producers append in happened-before order).
+  void append(const Event& e) { events_.push_back(e); }
+
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+  const Event& operator[](std::size_t i) const { return events_[i]; }
+  Event& operator[](std::size_t i) { return events_[i]; }
+  const std::vector<Event>& events() const noexcept { return events_; }
+  std::vector<Event>& events() noexcept { return events_; }
+
+  auto begin() const noexcept { return events_.begin(); }
+  auto end() const noexcept { return events_.end(); }
+
+  /// Stable sort by time; preserves append order among equal timestamps so a
+  /// happened-before-consistent append order stays consistent.
+  void sort_canonical();
+
+  /// True if times are nondecreasing in the current order.
+  bool is_time_ordered() const noexcept;
+
+  /// Indices of this trace's events belonging to `proc`, in trace order.
+  std::vector<std::size_t> processor_events(ProcId proc) const;
+
+  /// Splits into per-processor event vectors (index = processor).
+  std::vector<std::vector<Event>> by_processor() const;
+
+  /// Earliest event time; 0 on empty trace.
+  Tick start_time() const noexcept;
+  /// Latest event time; 0 on empty trace.
+  Tick end_time() const noexcept;
+  /// end_time() - start_time().
+  Tick span() const noexcept;
+
+  /// Total execution time: ProgramEnd - ProgramBegin when both markers are
+  /// present, otherwise span().
+  Tick total_time() const noexcept;
+
+  /// Merges several per-processor (already time-ordered) traces into one
+  /// time-ordered trace.  Metadata comes from `info`.
+  static Trace merge(TraceInfo info, const std::vector<Trace>& parts);
+
+ private:
+  TraceInfo info_;
+  std::vector<Event> events_;
+};
+
+}  // namespace perturb::trace

@@ -1,0 +1,98 @@
+#include "trace/trace_stats.hpp"
+
+#include <cmath>
+#include <vector>
+#include <map>
+#include <tuple>
+
+#include "support/stats.hpp"
+#include "support/text.hpp"
+
+namespace perturb::trace {
+
+using support::strf;
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats s;
+  s.total_events = trace.size();
+  s.per_proc_events.assign(trace.info().num_procs, 0);
+  for (const auto& e : trace) {
+    s.kind_counts[static_cast<std::size_t>(e.kind)]++;
+    if (e.proc < s.per_proc_events.size()) s.per_proc_events[e.proc]++;
+  }
+  s.span = trace.span();
+  s.total_time = trace.total_time();
+  return s;
+}
+
+std::string render_stats(const TraceStats& stats) {
+  std::string out = strf("events: %zu  span: %lld  total: %lld\n",
+                         stats.total_events, static_cast<long long>(stats.span),
+                         static_cast<long long>(stats.total_time));
+  for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+    if (stats.kind_counts[k] == 0) continue;
+    out += strf("  %-12s %zu\n", event_kind_name(static_cast<EventKind>(k)),
+                stats.kind_counts[k]);
+  }
+  for (std::size_t p = 0; p < stats.per_proc_events.size(); ++p)
+    out += strf("  proc %-2zu      %zu\n", p, stats.per_proc_events[p]);
+  return out;
+}
+
+TraceComparison compare(const Trace& a, const Trace& b) {
+  // Match key: identity of the instrumented action plus its per-processor
+  // occurrence ordinal (the same statement can execute many times).
+  using Key = std::tuple<ProcId, EventKind, EventId, ObjectId, std::int64_t,
+                         std::size_t>;
+  std::map<Key, Tick> b_times;
+  {
+    std::map<std::tuple<ProcId, EventKind, EventId, ObjectId, std::int64_t>,
+             std::size_t>
+        ordinal;
+    for (const auto& e : b) {
+      const auto base = std::make_tuple(e.proc, e.kind, e.id, e.object, e.payload);
+      const std::size_t n = ordinal[base]++;
+      b_times[std::tuple_cat(base, std::make_tuple(n))] = e.time;
+    }
+  }
+
+  TraceComparison c;
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  std::vector<double> abs_errors;
+  {
+    std::map<std::tuple<ProcId, EventKind, EventId, ObjectId, std::int64_t>,
+             std::size_t>
+        ordinal;
+    for (const auto& e : a) {
+      const auto base = std::make_tuple(e.proc, e.kind, e.id, e.object, e.payload);
+      const std::size_t n = ordinal[base]++;
+      const auto it = b_times.find(std::tuple_cat(base, std::make_tuple(n)));
+      if (it == b_times.end()) {
+        ++c.unmatched_a;
+        continue;
+      }
+      ++c.matched_events;
+      const auto err = static_cast<double>(e.time - it->second);
+      abs_sum += std::abs(err);
+      sq_sum += err * err;
+      abs_errors.push_back(std::abs(err));
+      c.max_abs_time_error =
+          std::max(c.max_abs_time_error, static_cast<Tick>(std::llabs(
+                                              static_cast<long long>(err))));
+      b_times.erase(it);
+    }
+  }
+  c.unmatched_b = b_times.size();
+  if (c.matched_events > 0) {
+    c.mean_abs_time_error = abs_sum / static_cast<double>(c.matched_events);
+    c.rms_time_error = std::sqrt(sq_sum / static_cast<double>(c.matched_events));
+    c.p50_abs_time_error = support::percentile(abs_errors, 0.5);
+    c.p95_abs_time_error = support::percentile(std::move(abs_errors), 0.95);
+  }
+  const auto bt = static_cast<double>(b.total_time());
+  c.total_time_ratio = bt != 0.0 ? static_cast<double>(a.total_time()) / bt : 0.0;
+  return c;
+}
+
+}  // namespace perturb::trace

@@ -1,0 +1,269 @@
+#include "trace/validate.hpp"
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "support/text.hpp"
+
+namespace perturb::trace {
+
+using support::strf;
+
+const char* violation_kind_name(ViolationKind kind) noexcept {
+  switch (kind) {
+    case ViolationKind::kNonMonotoneProcessorTime: return "non-monotone-proc-time";
+    case ViolationKind::kAwaitEndBeforeAdvance: return "awaitE-before-advance";
+    case ViolationKind::kAwaitEndWithoutAdvance: return "awaitE-without-advance";
+    case ViolationKind::kAwaitEndWithoutBegin: return "awaitE-without-awaitB";
+    case ViolationKind::kDuplicateAdvance: return "duplicate-advance";
+    case ViolationKind::kLockOverlap: return "lock-overlap";
+    case ViolationKind::kLockUnbalanced: return "lock-unbalanced";
+    case ViolationKind::kBarrierOrder: return "barrier-order";
+    case ViolationKind::kBarrierIncomplete: return "barrier-incomplete";
+    case ViolationKind::kSemaphoreUnbalanced: return "semaphore-unbalanced";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::size_t kNoEvent = static_cast<std::size_t>(-1);
+
+class Validator {
+ public:
+  Validator(const Trace& trace, const ValidateOptions& options)
+      : trace_(trace), slack_(options.sync_slack) {}
+
+  std::vector<Violation> run() {
+    check_processor_monotonicity();
+    check_advance_await();
+    check_locks();
+    check_semaphores();
+    check_barriers();
+    return std::move(violations_);
+  }
+
+ private:
+  void add(ViolationKind kind, std::size_t index, std::string msg) {
+    violations_.push_back({kind, std::move(msg), index});
+  }
+
+  void check_processor_monotonicity() {
+    std::unordered_map<ProcId, Tick> last;
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      const Event& e = trace_[i];
+      const auto it = last.find(e.proc);
+      if (it != last.end() && e.time < it->second) {
+        add(ViolationKind::kNonMonotoneProcessorTime, i,
+            strf("proc %u: time %lld after %lld", unsigned(e.proc),
+                 static_cast<long long>(e.time),
+                 static_cast<long long>(it->second)));
+      }
+      last[e.proc] = std::max(it == last.end() ? e.time : it->second, e.time);
+    }
+  }
+
+  void check_advance_await() {
+    struct AdvanceRec {
+      Tick time;
+      std::size_t index;
+    };
+    // Pre-index the advances: a duplicate is a violation wherever it
+    // appears, and an awaitE must be checked against its paired advance even
+    // if the advance appears later in trace order (which is itself the
+    // kAwaitEndBeforeAdvance violation).
+    std::unordered_map<SyncKey, AdvanceRec, SyncKeyHash> advances;
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      const Event& e = trace_[i];
+      if (e.kind != EventKind::kAdvance) continue;
+      const auto [it, inserted] =
+          advances.insert({SyncKey{e.object, e.payload}, {e.time, i}});
+      if (!inserted)
+        add(ViolationKind::kDuplicateAdvance, i,
+            strf("advance(%u, %lld) repeated", unsigned(e.object),
+                 static_cast<long long>(e.payload)));
+    }
+
+    // awaitB seen per (key, proc): key → proc → time.
+    std::map<std::pair<SyncKey, ProcId>, Tick> await_begins;
+
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      const Event& e = trace_[i];
+      const SyncKey key{e.object, e.payload};
+      switch (e.kind) {
+        case EventKind::kAwaitBegin:
+          await_begins[{key, e.proc}] = e.time;
+          break;
+        case EventKind::kAwaitEnd: {
+          const auto ab = await_begins.find({key, e.proc});
+          if (ab == await_begins.end()) {
+            add(ViolationKind::kAwaitEndWithoutBegin, i,
+                strf("awaitE(%u, %lld) without awaitB on proc %u",
+                     unsigned(e.object), static_cast<long long>(e.payload),
+                     unsigned(e.proc)));
+          }
+          const auto adv = advances.find(key);
+          if (adv == advances.end()) {
+            add(ViolationKind::kAwaitEndWithoutAdvance, i,
+                strf("awaitE(%u, %lld) with no advance", unsigned(e.object),
+                     static_cast<long long>(e.payload)));
+          } else if (e.time + slack_ < adv->second.time) {
+            add(ViolationKind::kAwaitEndBeforeAdvance, i,
+                strf("awaitE(%u, %lld) at %lld precedes advance at %lld",
+                     unsigned(e.object), static_cast<long long>(e.payload),
+                     static_cast<long long>(e.time),
+                     static_cast<long long>(adv->second.time)));
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  void check_locks() {
+    // Per lock: acquisitions and releases must alternate globally, and the
+    // critical sections they delimit must not overlap in time.
+    struct LockState {
+      bool held = false;
+      ProcId holder = 0;
+      Tick release_time = 0;
+      bool has_prev_release = false;
+    };
+    std::unordered_map<ObjectId, LockState> locks;
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      const Event& e = trace_[i];
+      if (e.kind == EventKind::kLockAcquire) {
+        auto& st = locks[e.object];
+        if (st.held) {
+          add(ViolationKind::kLockUnbalanced, i,
+              strf("lock %u acquired by proc %u while held by proc %u",
+                   unsigned(e.object), unsigned(e.proc), unsigned(st.holder)));
+        } else if (st.has_prev_release && e.time + slack_ < st.release_time) {
+          add(ViolationKind::kLockOverlap, i,
+              strf("lock %u acquired at %lld before previous release at %lld",
+                   unsigned(e.object), static_cast<long long>(e.time),
+                   static_cast<long long>(st.release_time)));
+        }
+        st.held = true;
+        st.holder = e.proc;
+      } else if (e.kind == EventKind::kLockRelease) {
+        auto& st = locks[e.object];
+        if (!st.held || st.holder != e.proc) {
+          add(ViolationKind::kLockUnbalanced, i,
+              strf("lock %u released by proc %u without matching acquire",
+                   unsigned(e.object), unsigned(e.proc)));
+        }
+        st.held = false;
+        st.release_time = e.time;
+        st.has_prev_release = true;
+      }
+    }
+    for (const auto& [obj, st] : locks) {
+      if (st.held)
+        add(ViolationKind::kLockUnbalanced, kNoEvent,
+            strf("lock %u never released", unsigned(obj)));
+    }
+  }
+
+  void check_semaphores() {
+    // Capacity is not recorded in the trace, so the checkable rules are
+    // per-processor: every V() must release a P() held by the same
+    // processor, and no P() may be left held at the end.
+    std::map<std::pair<ObjectId, ProcId>, std::int64_t> held;
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      const Event& e = trace_[i];
+      if (e.kind == EventKind::kSemAcquire) {
+        ++held[{e.object, e.proc}];
+      } else if (e.kind == EventKind::kSemRelease) {
+        auto& h = held[{e.object, e.proc}];
+        if (h <= 0) {
+          add(ViolationKind::kSemaphoreUnbalanced, i,
+              strf("semaphore %u released by proc %u without a held acquire",
+                   unsigned(e.object), unsigned(e.proc)));
+        } else {
+          --h;
+        }
+      }
+    }
+    for (const auto& [key, count] : held) {
+      if (count > 0)
+        add(ViolationKind::kSemaphoreUnbalanced, kNoEvent,
+            strf("semaphore %u: proc %u ends holding %lld permit(s)",
+                 unsigned(key.first), unsigned(key.second),
+                 static_cast<long long>(count)));
+    }
+  }
+
+  void check_barriers() {
+    // Events carry payload = episode index.  Within an episode, every arrive
+    // must precede every depart, and the counts must match.
+    struct Episode {
+      std::size_t arrivals = 0;
+      std::size_t departures = 0;
+      Tick last_arrive = 0;
+      bool saw_depart = false;
+    };
+    std::map<std::pair<ObjectId, std::int64_t>, Episode> episodes;
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      const Event& e = trace_[i];
+      if (e.kind == EventKind::kBarrierArrive) {
+        auto& ep = episodes[{e.object, e.payload}];
+        ++ep.arrivals;
+        ep.last_arrive = std::max(ep.last_arrive, e.time);
+        if (ep.saw_depart)
+          add(ViolationKind::kBarrierOrder, i,
+              strf("barrier %u episode %lld: arrive after a depart",
+                   unsigned(e.object), static_cast<long long>(e.payload)));
+      } else if (e.kind == EventKind::kBarrierDepart) {
+        auto& ep = episodes[{e.object, e.payload}];
+        ep.saw_depart = true;
+        ++ep.departures;
+        if (e.time + slack_ < ep.last_arrive)
+          add(ViolationKind::kBarrierOrder, i,
+              strf("barrier %u episode %lld: depart at %lld before last "
+                   "arrive at %lld",
+                   unsigned(e.object), static_cast<long long>(e.payload),
+                   static_cast<long long>(e.time),
+                   static_cast<long long>(ep.last_arrive)));
+      }
+    }
+    for (const auto& [key, ep] : episodes) {
+      if (ep.arrivals != ep.departures)
+        add(ViolationKind::kBarrierIncomplete, kNoEvent,
+            strf("barrier %u episode %lld: %zu arrivals, %zu departures",
+                 unsigned(key.first), static_cast<long long>(key.second),
+                 ep.arrivals, ep.departures));
+    }
+  }
+
+  const Trace& trace_;
+  Tick slack_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace
+
+std::vector<Violation> validate(const Trace& trace,
+                                const ValidateOptions& options) {
+  return Validator(trace, options).run();
+}
+
+bool is_valid(const Trace& trace, const ValidateOptions& options) {
+  return validate(trace, options).empty();
+}
+
+std::string describe(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const auto& v : violations) {
+    out += violation_kind_name(v.kind);
+    out += ": ";
+    out += v.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace perturb::trace

@@ -1,0 +1,61 @@
+// Causality validation of traces.
+//
+// Perturbation analysis is only meaningful on traces whose total order is
+// consistent with the happened-before relation of the run (§4.1).  The
+// validator checks the structural rules that any correct (measured or
+// approximated) trace must satisfy; analysis outputs are validated in tests
+// to guarantee approximations remain *feasible* executions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace perturb::trace {
+
+enum class ViolationKind {
+  kNonMonotoneProcessorTime,  ///< per-processor times must be nondecreasing
+  kAwaitEndBeforeAdvance,     ///< awaitE precedes its paired advance
+  kAwaitEndWithoutAdvance,    ///< awaitE with no advance for its key
+  kAwaitEndWithoutBegin,      ///< awaitE with no awaitB for its key+proc
+  kDuplicateAdvance,          ///< two advances with the same key
+  kLockOverlap,               ///< overlapping critical sections on one lock
+  kLockUnbalanced,            ///< acquire/release not alternating per lock
+  kBarrierOrder,              ///< a depart precedes an arrive in its episode
+  kBarrierIncomplete,         ///< episode arrivals != departures
+  kSemaphoreUnbalanced,       ///< V() without a held P() on that processor
+};
+
+const char* violation_kind_name(ViolationKind kind) noexcept;
+
+struct Violation {
+  ViolationKind kind;
+  std::string message;
+  /// Index (into the validated trace) of the offending event, when
+  /// attributable; SIZE_MAX otherwise.
+  std::size_t event_index;
+};
+
+struct ValidateOptions {
+  /// Timing slack for cross-processor ordering checks (awaitE vs. advance,
+  /// lock overlap, barrier depart vs. arrive).  In *measured* traces the
+  /// producer-side event's record timestamp is inflated by its own probe
+  /// (the operation became visible before the probe ran), so a dependent
+  /// event can legitimately be recorded up to one probe cost earlier than
+  /// its producer.  Pass the maximum sync probe cost when validating
+  /// instrumented traces; leave 0 for actual or approximated traces.
+  Tick sync_slack = 0;
+};
+
+/// Runs all structural checks; returns every violation found (empty = valid).
+std::vector<Violation> validate(const Trace& trace,
+                                const ValidateOptions& options = {});
+
+/// Convenience: true when validate() finds nothing.
+bool is_valid(const Trace& trace, const ValidateOptions& options = {});
+
+/// Renders violations for diagnostics (one per line).
+std::string describe(const std::vector<Violation>& violations);
+
+}  // namespace perturb::trace

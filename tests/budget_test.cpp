@@ -1,0 +1,90 @@
+// Tests for the instrumentation budget planner.
+#include <gtest/gtest.h>
+
+#include "instr/budget.hpp"
+#include "loops/programs.hpp"
+#include "support/check.hpp"
+
+namespace perturb::instr {
+namespace {
+
+/// head statement (1 execution) + a loop over two statements (32 each).
+sim::Program mixed_program() {
+  sim::Program p;
+  p.root().nodes.push_back(sim::compute("head", 10));
+  sim::Block body;
+  body.nodes.push_back(sim::compute("hot-a", 5));
+  body.nodes.push_back(sim::compute("hot-b", 5));
+  p.root().nodes.push_back(sim::seq_loop("l", 32, std::move(body)));
+  p.finalize();
+  return p;
+}
+
+TEST(Budget, ProfilesSitesByFrequency) {
+  const sim::MachineConfig cfg{.num_procs = 1};
+  const auto plan = plan_for_budget(cfg, mixed_program(), 1000000);
+  ASSERT_EQ(plan.profiles.size(), 3u);
+  // Most frequent first: the two loop statements (64 events each: enter +
+  // exit per execution), then the head statement (2 events).
+  EXPECT_EQ(plan.profiles[0].events, 64u);
+  EXPECT_EQ(plan.profiles[1].events, 64u);
+  EXPECT_EQ(plan.profiles[2].events, 2u);
+}
+
+TEST(Budget, UnlimitedBudgetSelectsEverything) {
+  const sim::MachineConfig cfg{.num_procs = 1};
+  const auto plan = plan_for_budget(cfg, mixed_program(), 1000000);
+  EXPECT_EQ(plan.selected_events, 130u);  // 64 + 64 + 2
+}
+
+TEST(Budget, TightBudgetPrefersBreadth) {
+  const sim::MachineConfig cfg{.num_procs = 1};
+  // Budget for the head statement plus exactly one hot statement.
+  const auto plan = plan_for_budget(cfg, mixed_program(), 66);
+  EXPECT_EQ(plan.selected_events, 66u);
+  // The head site (cheapest) must be selected.
+  EXPECT_TRUE(plan.enabled[1]);
+}
+
+TEST(Budget, ZeroBudgetSelectsNothing) {
+  const sim::MachineConfig cfg{.num_procs = 1};
+  const auto plan = plan_for_budget(cfg, mixed_program(), 0);
+  EXPECT_EQ(plan.selected_events, 0u);
+  for (const bool on : plan.enabled) EXPECT_FALSE(on);
+}
+
+TEST(Budget, FilterIntegratesWithPlan) {
+  const sim::MachineConfig cfg{.num_procs = 1};
+  const auto program = mixed_program();
+  const auto budget = plan_for_budget(cfg, program, 66);
+
+  auto plan = InstrumentationPlan::statements_only({100.0, 0.0}, 1);
+  plan.set_site_filter(budget.enabled);
+  const auto measured = sim::simulate(cfg, program, plan, "m");
+  std::uint64_t stmt_events = 0;
+  for (const auto& e : measured) {
+    if (e.kind == trace::EventKind::kStmtEnter ||
+        e.kind == trace::EventKind::kStmtExit)
+      ++stmt_events;
+  }
+  EXPECT_EQ(stmt_events, budget.selected_events);
+}
+
+TEST(Budget, WorksOnConcurrentLoops) {
+  const sim::MachineConfig cfg{.num_procs = 4};
+  const auto program = loops::make_concurrent_ir(17, 64);
+  const auto full = plan_for_budget(cfg, program, 1u << 30);
+  const auto half = plan_for_budget(cfg, program, full.selected_events / 2);
+  EXPECT_LT(half.selected_events, full.selected_events);
+  EXPECT_GT(half.selected_events, 0u);
+}
+
+TEST(Budget, RequiresFinalizedProgram) {
+  sim::Program p;
+  p.root().nodes.push_back(sim::compute("a", 1));
+  const sim::MachineConfig cfg{.num_procs = 1};
+  EXPECT_THROW(plan_for_budget(cfg, p, 10), CheckError);
+}
+
+}  // namespace
+}  // namespace perturb::instr

@@ -1,0 +1,142 @@
+// Tests for critical-path analysis: hand-built traces with known critical
+// chains, plus integration with simulator traces.
+#include <gtest/gtest.h>
+
+#include "analysis/critical_path.hpp"
+#include "loops/programs.hpp"
+#include "sim/engine.hpp"
+
+namespace perturb::analysis {
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+using trace::Trace;
+
+Event ev(Tick t, trace::ProcId proc, EventKind k, trace::ObjectId obj = 0,
+         std::int64_t payload = 0) {
+  Event e;
+  e.time = t;
+  e.proc = proc;
+  e.kind = k;
+  e.object = obj;
+  e.payload = payload;
+  return e;
+}
+
+TEST(CriticalPath, EmptyTrace) {
+  const auto stats = critical_path(Trace({"t", 1, 1.0}));
+  EXPECT_TRUE(stats.path.empty());
+  EXPECT_EQ(stats.length, 0);
+}
+
+TEST(CriticalPath, SingleProcessorChain) {
+  Trace t({"t", 1, 1.0});
+  t.append(ev(0, 0, EventKind::kStmtEnter));
+  t.append(ev(50, 0, EventKind::kStmtExit));
+  t.append(ev(50, 0, EventKind::kStmtEnter));
+  t.append(ev(120, 0, EventKind::kStmtExit));
+  const auto stats = critical_path(t);
+  EXPECT_EQ(stats.path.size(), 4u);
+  EXPECT_EQ(stats.length, 120);
+  EXPECT_EQ(stats.cross_processor_links, 0u);
+  EXPECT_EQ(stats.time_by_kind[static_cast<std::size_t>(EventKind::kStmtExit)],
+            120);
+}
+
+TEST(CriticalPath, CrossesToAdvanceWhenAwaitWaited) {
+  // proc1 waits for proc0's advance: the path must route through proc0.
+  Trace t({"t", 2, 1.0});
+  t.append(ev(0, 1, EventKind::kStmtEnter));        // p1 early work
+  t.append(ev(10, 1, EventKind::kAwaitBegin, 1, 0));
+  t.append(ev(0, 0, EventKind::kStmtEnter));
+  t.append(ev(200, 0, EventKind::kStmtExit));       // long work on p0
+  t.append(ev(206, 0, EventKind::kAdvance, 1, 0));
+  t.append(ev(214, 1, EventKind::kAwaitEnd, 1, 0));  // woken by the advance
+  t.append(ev(300, 1, EventKind::kStmtExit));
+  t.sort_canonical();
+  const auto stats = critical_path(t);
+  EXPECT_GE(stats.cross_processor_links, 1u);
+  // The awaitE's link (214 - 206 = 8) is attributed to awaitE; the waiting
+  // 10..206 lives on the advance side of the path, not in the awaitB.
+  EXPECT_EQ(stats.time_by_kind[static_cast<std::size_t>(EventKind::kAwaitEnd)],
+            8);
+  EXPECT_GE(stats.time_by_kind[static_cast<std::size_t>(EventKind::kStmtExit)],
+            200 + 86);
+  EXPECT_EQ(stats.length, 300);
+}
+
+TEST(CriticalPath, LockHandoffOnPath) {
+  Trace t({"t", 2, 1.0});
+  t.append(ev(0, 0, EventKind::kLockAcquire, 5));
+  t.append(ev(100, 0, EventKind::kLockRelease, 5));
+  t.append(ev(106, 1, EventKind::kLockAcquire, 5));  // waited for the release
+  t.append(ev(180, 1, EventKind::kLockRelease, 5));
+  const auto stats = critical_path(t);
+  EXPECT_EQ(stats.length, 180);
+  EXPECT_EQ(stats.cross_processor_links, 1u);
+  EXPECT_EQ(
+      stats.time_by_kind[static_cast<std::size_t>(EventKind::kLockAcquire)],
+      6);
+}
+
+TEST(CriticalPath, BarrierDepartFollowsLastArrival) {
+  Trace t({"t", 2, 1.0});
+  t.append(ev(10, 0, EventKind::kBarrierArrive, 9, 0));
+  t.append(ev(90, 1, EventKind::kBarrierArrive, 9, 0));  // last arrival
+  t.append(ev(100, 0, EventKind::kBarrierDepart, 9, 0));
+  t.append(ev(100, 1, EventKind::kBarrierDepart, 9, 0));
+  t.append(ev(150, 0, EventKind::kStmtExit));
+  const auto stats = critical_path(t);
+  // Path: arrive(p1)@90 -> depart(p0)@100 -> stmt@150.  The arrival has no
+  // modeled cause in this fragment (no loop-begin fork), so it opens the
+  // path and the idle time before 90 is outside it.
+  EXPECT_EQ(stats.length, 60);
+  EXPECT_EQ(
+      stats.time_by_kind[static_cast<std::size_t>(EventKind::kBarrierDepart)],
+      10);
+}
+
+TEST(CriticalPath, SimulatedChainIsSyncDominatedWhenBlocked) {
+  // Loop-3-like chain: almost all of the makespan should be attributed to
+  // the serialized awaitE/advance chain and the guarded updates.
+  sim::Program p;
+  const auto var = p.declare_sync_var("S");
+  sim::Block body;
+  body.nodes.push_back(sim::compute("pre", 5));
+  body.nodes.push_back(sim::await(var, {1, -1}));
+  body.nodes.push_back(sim::compute("upd", 40));
+  body.nodes.push_back(sim::advance(var, {1, 0}));
+  p.root().nodes.push_back(sim::par_loop("l", sim::LoopKind::kDoacross,
+                                         sim::Schedule::kCyclic, 64,
+                                         std::move(body)));
+  p.finalize();
+  const sim::MachineConfig cfg{.num_procs = 8};
+  const auto t = sim::simulate_actual(cfg, p, "t");
+  const auto stats = critical_path(t);
+
+  const Tick sync_time =
+      stats.time_by_kind[static_cast<std::size_t>(EventKind::kAwaitEnd)] +
+      stats.time_by_kind[static_cast<std::size_t>(EventKind::kAdvance)] +
+      stats.time_by_kind[static_cast<std::size_t>(EventKind::kStmtExit)];
+  EXPECT_GT(static_cast<double>(sync_time),
+            0.8 * static_cast<double>(stats.length));
+  EXPECT_GT(stats.cross_processor_links, 32u);  // hops along the chain
+  const auto rendered = render_critical_path(stats);
+  EXPECT_NE(rendered.find("awaitE"), std::string::npos);
+}
+
+TEST(CriticalPath, PathTimesAreMonotone) {
+  const auto prog = loops::make_concurrent_ir(17, 128);
+  const sim::MachineConfig cfg{.num_procs = 4};
+  const auto t = sim::simulate_actual(cfg, prog, "t");
+  const auto stats = critical_path(t);
+  ASSERT_FALSE(stats.path.empty());
+  for (std::size_t i = 1; i < stats.path.size(); ++i)
+    EXPECT_GE(t[stats.path[i]].time, t[stats.path[i - 1]].time);
+  // The path ends at the trace's final event.
+  EXPECT_EQ(t[stats.path.back()].time, t.end_time());
+}
+
+}  // namespace
+}  // namespace perturb::analysis

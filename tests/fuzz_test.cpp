@@ -1,0 +1,167 @@
+// Randomized program fuzzing: generate seeded random (but structurally
+// valid) programs mixing computation, sequential loops, DOACROSS chains,
+// critical sections, and semaphore regions; run the full measurement +
+// analysis pipeline; and assert the system-wide invariants:
+//
+//   I1  the simulator terminates and produces a causally valid trace
+//   I2  the measured trace is causally valid
+//   I3  event-based reconstruction resolves (no false deadlock) and its
+//       approximation is causally valid
+//   I4  the approximation never takes longer than the measurement
+//   I5  with the dependency models enabled, total-time error stays within a
+//       generous bound
+#include <gtest/gtest.h>
+
+#include "core/eventbased.hpp"
+#include "instr/plan.hpp"
+#include "sim/engine.hpp"
+#include "support/prng.hpp"
+#include "trace/validate.hpp"
+
+namespace perturb::sim {
+namespace {
+
+using support::Xoshiro256;
+
+/// Builds a random parallel-loop body.  Structure probabilities keep the
+/// programs deadlock-free by construction: awaits always target i-d with
+/// d >= 1 and an advance always follows in the same body.
+struct RandomProgram {
+  Program program;
+  ObjectId sem = 0;
+  std::int64_t sem_capacity = 0;
+};
+
+RandomProgram make_random_program(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  RandomProgram out;
+  Program& p = out.program;
+
+  auto rand_cost = [&](Cycles lo, Cycles hi) {
+    return lo + static_cast<Cycles>(rng.below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  };
+
+  Block body;
+  // Independent prefix: 1-3 statements, possibly a small sequential loop.
+  const auto pre_stmts = 1 + rng.below(3);
+  for (std::uint64_t s = 0; s < pre_stmts; ++s)
+    body.nodes.push_back(compute("pre", rand_cost(5, 300)));
+  if (rng.below(2) == 0) {
+    Block inner;
+    inner.nodes.push_back(compute("inner", rand_cost(5, 40)));
+    body.nodes.push_back(seq_loop("seq", 1 + static_cast<std::int64_t>(
+                                              rng.below(4)),
+                                  std::move(inner)));
+  }
+
+  // Optional DOACROSS chain.
+  const bool chained = rng.below(3) != 0;
+  if (chained) {
+    const auto var = p.declare_sync_var("S");
+    const auto d = 1 + static_cast<std::int64_t>(rng.below(3));
+    body.nodes.push_back(await(var, {1, -d}));
+    if (rng.below(2) == 0)
+      body.nodes.push_back(compute("guarded stmt", rand_cost(5, 60)));
+    else
+      body.nodes.push_back(raw_compute("guarded raw", rand_cost(5, 60)));
+    body.nodes.push_back(advance(var, {1, 0}));
+  }
+
+  // Optional critical section or semaphore region.
+  const auto region_kind = rng.below(3);
+  if (region_kind == 1) {
+    const auto lock = p.declare_lock("L");
+    body.nodes.push_back(
+        critical(lock, block(compute("cs", rand_cost(5, 80)))));
+  } else if (region_kind == 2) {
+    out.sem_capacity = 1 + static_cast<std::int64_t>(rng.below(3));
+    out.sem = p.declare_semaphore("M", out.sem_capacity);
+    body.nodes.push_back(
+        semaphore_region(out.sem, block(compute("sem cs", rand_cost(5, 80)))));
+  }
+
+  if (rng.below(2) == 0)
+    body.nodes.push_back(compute("post", rand_cost(5, 150)));
+
+  const Schedule scheds[] = {Schedule::kCyclic, Schedule::kBlock,
+                             Schedule::kSelf};
+  // Self-scheduling would reorder a DOACROSS chain's dispatch only; all
+  // schedules are safe, so pick freely.
+  const auto sched = scheds[rng.below(3)];
+  const auto trip = 16 + static_cast<std::int64_t>(rng.below(100));
+
+  p.root().nodes.push_back(compute("head", rand_cost(10, 100)));
+  p.root().nodes.push_back(par_loop(
+      "fuzz", chained ? LoopKind::kDoacross : LoopKind::kDoall, sched, trip,
+      std::move(body)));
+  p.root().nodes.push_back(compute("tail", rand_cost(10, 100)));
+  p.finalize();
+  return out;
+}
+
+core::AnalysisOverheads overheads_from(const instr::InstrumentationPlan& plan,
+                                       const MachineConfig& cfg) {
+  core::AnalysisOverheads ov;
+  for (std::uint8_t k = 0; k < trace::kNumEventKinds; ++k)
+    ov.probe[k] = plan.mean_cost(static_cast<trace::EventKind>(k));
+  ov.s_nowait = cfg.await_check_cost;
+  ov.s_wait = cfg.await_resume_cost;
+  ov.lock_acquire = cfg.lock_acquire_cost;
+  ov.sem_acquire = cfg.sem_acquire_cost;
+  ov.barrier_depart = cfg.barrier_depart_cost;
+  return ov;
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzPipeline, InvariantsHold) {
+  const std::uint64_t seed = GetParam();
+  const auto rp = make_random_program(seed);
+
+  MachineConfig cfg;
+  cfg.num_procs = 2 + static_cast<std::uint32_t>(seed % 7);
+
+  // I1: actual run valid.
+  const auto actual = simulate_actual(cfg, rp.program, "fuzz-actual");
+  auto violations = trace::validate(actual);
+  ASSERT_TRUE(violations.empty())
+      << "seed " << seed << ": " << trace::describe(violations);
+
+  // I2: measured run valid.  Producer-side records (advance, release,
+  // arrive) are inflated by their own probes, so ordering checks get one
+  // max-probe of slack (see ValidateOptions::sync_slack).
+  const auto plan = instr::InstrumentationPlan::full(
+      {120.0, 0.05}, {70.0, 0.05}, {40.0, 0.05}, seed);
+  const auto measured = simulate(cfg, rp.program, plan, "fuzz-measured");
+  trace::ValidateOptions measured_opts;
+  measured_opts.sync_slack = 130;  // max probe cost incl. jitter
+  violations = trace::validate(measured, measured_opts);
+  ASSERT_TRUE(violations.empty())
+      << "seed " << seed << ": " << trace::describe(violations);
+
+  // I3: reconstruction resolves and stays feasible.
+  core::EventBasedOptions opt;
+  if (rp.sem != 0) opt.semaphore_capacity[rp.sem] = rp.sem_capacity;
+  const auto result = core::event_based_approximation(
+      measured, overheads_from(plan, cfg), opt);
+  violations = trace::validate(result.approx);
+  EXPECT_TRUE(violations.empty())
+      << "seed " << seed << ": " << trace::describe(violations);
+
+  // I4: analysis only removes overhead.
+  EXPECT_LE(result.approx.total_time(), measured.total_time())
+      << "seed " << seed;
+
+  // I5: bounded recovery error.
+  const double ratio = static_cast<double>(result.approx.total_time()) /
+                       static_cast<double>(actual.total_time());
+  EXPECT_GT(ratio, 0.75) << "seed " << seed;
+  EXPECT_LT(ratio, 1.35) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace perturb::sim

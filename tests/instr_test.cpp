@@ -1,0 +1,143 @@
+// Tests for the instrumentation layer: plan presets, recording filters,
+// deterministic jitter, mean-cost reporting, and sync-overhead calibration.
+#include <gtest/gtest.h>
+
+#include "instr/calibrate.hpp"
+#include "instr/plan.hpp"
+#include "sim/engine.hpp"
+
+namespace perturb::instr {
+namespace {
+
+using trace::EventKind;
+
+TEST(ProbeCategory, PartitionsAllKinds) {
+  for (std::uint8_t k = 0; k < trace::kNumEventKinds; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    const auto cat = category_of(kind);
+    EXPECT_TRUE(cat == ProbeCategory::kStatement ||
+                cat == ProbeCategory::kSync || cat == ProbeCategory::kControl);
+    if (trace::is_sync_kind(kind)) {
+      EXPECT_EQ(cat, ProbeCategory::kSync);
+    }
+  }
+}
+
+TEST(Plan, StatementsOnlyRecordsStatementsAndMarkers) {
+  const auto p = InstrumentationPlan::statements_only({100.0, 0.0}, 1);
+  EXPECT_TRUE(p.records(EventKind::kStmtEnter, 1));
+  EXPECT_TRUE(p.records(EventKind::kStmtExit, 1));
+  EXPECT_FALSE(p.records(EventKind::kAdvance, 1));
+  EXPECT_FALSE(p.records(EventKind::kAwaitBegin, 1));
+  EXPECT_FALSE(p.records(EventKind::kIterBegin, 1));
+  EXPECT_TRUE(p.records(EventKind::kProgramBegin, 0));
+  EXPECT_TRUE(p.records(EventKind::kProgramEnd, 0));
+  // Program markers cost nothing.
+  EXPECT_EQ(p.mean_cost(EventKind::kProgramBegin), 0);
+  EXPECT_EQ(p.mean_cost(EventKind::kStmtEnter), 100);
+  EXPECT_EQ(p.mean_cost(EventKind::kAdvance), 0);
+}
+
+TEST(Plan, FullRecordsEverything) {
+  const auto p = InstrumentationPlan::full({100.0, 0.0}, {50.0, 0.0},
+                                           {25.0, 0.0}, 1);
+  for (std::uint8_t k = 0; k < trace::kNumEventKinds; ++k)
+    EXPECT_TRUE(p.records(static_cast<EventKind>(k), 1));
+  EXPECT_EQ(p.mean_cost(EventKind::kStmtEnter), 100);
+  EXPECT_EQ(p.mean_cost(EventKind::kAdvance), 50);
+  EXPECT_EQ(p.mean_cost(EventKind::kAwaitEnd), 50);
+  EXPECT_EQ(p.mean_cost(EventKind::kIterBegin), 25);
+  EXPECT_EQ(p.mean_cost(EventKind::kProgramBegin), 0);
+}
+
+TEST(Plan, SyncOnlyRecordsSyncAndMarkers) {
+  const auto p = InstrumentationPlan::sync_only({50.0, 0.0}, 1);
+  EXPECT_FALSE(p.records(EventKind::kStmtEnter, 1));
+  EXPECT_TRUE(p.records(EventKind::kAdvance, 1));
+  EXPECT_TRUE(p.records(EventKind::kLockAcquire, 1));
+  EXPECT_TRUE(p.records(EventKind::kProgramEnd, 0));
+}
+
+TEST(Plan, StmtExitCanBeDisabled) {
+  auto p = InstrumentationPlan::statements_only({100.0, 0.0}, 1);
+  p.set_record_stmt_exit(false);
+  EXPECT_TRUE(p.records(EventKind::kStmtEnter, 1));
+  EXPECT_FALSE(p.records(EventKind::kStmtExit, 1));
+}
+
+TEST(Plan, SiteFilterRestrictsStatements) {
+  auto p = InstrumentationPlan::full({100.0, 0.0}, {50.0, 0.0}, {25.0, 0.0}, 1);
+  p.set_site_filter({false, false, true});  // only site 2
+  EXPECT_FALSE(p.records(EventKind::kStmtEnter, 1));
+  EXPECT_TRUE(p.records(EventKind::kStmtEnter, 2));
+  EXPECT_FALSE(p.records(EventKind::kStmtEnter, 3));  // beyond the vector
+  // Non-statement events unaffected.
+  EXPECT_TRUE(p.records(EventKind::kAdvance, 1));
+}
+
+TEST(Plan, ProbeCostWithoutJitterIsMean) {
+  const auto p = InstrumentationPlan::statements_only({100.0, 0.0}, 1);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    EXPECT_EQ(p.probe_cost(EventKind::kStmtEnter, 1, 0, i), 100);
+}
+
+TEST(Plan, JitterIsDeterministicBoundedAndVarying) {
+  const auto p = InstrumentationPlan::statements_only({100.0, 0.10}, 42);
+  bool varied = false;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto c = p.probe_cost(EventKind::kStmtEnter, 1, 3, i);
+    EXPECT_EQ(c, p.probe_cost(EventKind::kStmtEnter, 1, 3, i));
+    EXPECT_GE(c, 90);
+    EXPECT_LE(c, 110);
+    if (c != 100) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(Plan, JitterDependsOnSeedAndProcessor) {
+  const auto p1 = InstrumentationPlan::statements_only({100.0, 0.10}, 1);
+  const auto p2 = InstrumentationPlan::statements_only({100.0, 0.10}, 2);
+  int differ_seed = 0;
+  int differ_proc = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    differ_seed += p1.probe_cost(EventKind::kStmtEnter, 1, 0, i) !=
+                           p2.probe_cost(EventKind::kStmtEnter, 1, 0, i)
+                       ? 1
+                       : 0;
+    differ_proc += p1.probe_cost(EventKind::kStmtEnter, 1, 0, i) !=
+                           p1.probe_cost(EventKind::kStmtEnter, 1, 1, i)
+                       ? 1
+                       : 0;
+  }
+  EXPECT_GT(differ_seed, 50);
+  EXPECT_GT(differ_proc, 50);
+}
+
+TEST(Plan, ZeroMeanCostsNothing) {
+  const auto p = InstrumentationPlan::full({0.0, 0.5}, {0.0, 0.0}, {0.0, 0.0}, 1);
+  EXPECT_EQ(p.probe_cost(EventKind::kStmtEnter, 1, 0, 0), 0);
+}
+
+// ---- calibration ----------------------------------------------------------
+
+TEST(Calibrate, RecoversMachineSyncCosts) {
+  sim::MachineConfig cfg;
+  cfg.advance_cost = 11;
+  cfg.await_check_cost = 7;
+  cfg.await_resume_cost = 13;
+  const auto sync = calibrate_sync(cfg);
+  EXPECT_EQ(sync.advance_op, 11);
+  EXPECT_EQ(sync.await_nowait, 7);
+  EXPECT_EQ(sync.await_wait, 13);
+}
+
+TEST(Calibrate, DefaultConfigIsConsistent) {
+  const sim::MachineConfig cfg;
+  const auto sync = calibrate_sync(cfg);
+  EXPECT_EQ(sync.advance_op, cfg.advance_cost);
+  EXPECT_EQ(sync.await_nowait, cfg.await_check_cost);
+  EXPECT_EQ(sync.await_wait, cfg.await_resume_cost);
+}
+
+}  // namespace
+}  // namespace perturb::instr

@@ -1,0 +1,150 @@
+// Integration tests: the full measurement → analysis pipeline on the
+// paper's workloads, asserting the qualitative results of Figure 1 and
+// Tables 1–3 hold on the reproduction.
+#include <gtest/gtest.h>
+
+#include "analysis/parallelism.hpp"
+#include "analysis/waiting.hpp"
+#include "experiments/experiments.hpp"
+#include "loops/kernels.hpp"
+#include "trace/validate.hpp"
+
+namespace perturb::experiments {
+namespace {
+
+::perturb::experiments::Setup default_setup() { return Setup{}; }
+
+TEST(Integration, Figure1SequentialApproximationsAccurate) {
+  const auto setup = default_setup();
+  for (const int loop : loops::sequential_study_loops()) {
+    const auto run = run_sequential_experiment(loop, 500, setup);
+    // Heavy perturbation...
+    EXPECT_GT(run.tb_quality.measured_over_actual, 3.0) << "loop " << loop;
+    // ...but approximations within the paper's fifteen percent.
+    EXPECT_NEAR(run.tb_quality.approx_over_actual, 1.0, 0.15)
+        << "loop " << loop;
+  }
+}
+
+TEST(Integration, Figure1SlowdownSpreadIsWide) {
+  const auto setup = default_setup();
+  double lo = 1e9;
+  double hi = 0.0;
+  for (const int loop : loops::sequential_study_loops()) {
+    const auto run = run_sequential_experiment(loop, 500, setup);
+    lo = std::min(lo, run.tb_quality.measured_over_actual);
+    hi = std::max(hi, run.tb_quality.measured_over_actual);
+  }
+  EXPECT_LT(lo, 6.0);   // some loops only mildly perturbed
+  EXPECT_GT(hi, 12.0);  // others an order of magnitude
+}
+
+TEST(Integration, Table1TimeBasedFailsOnDoacrossLoops) {
+  const auto setup = default_setup();
+  // Loops 3 and 4: under-approximation (blocking removed by probes).
+  for (const int loop : {3, 4}) {
+    const auto run = run_concurrent_experiment(loop, 1001, setup,
+                                               PlanKind::kStatementsOnly);
+    EXPECT_GT(run.tb_quality.measured_over_actual, 1.8) << "loop " << loop;
+    EXPECT_LT(run.tb_quality.approx_over_actual, 0.75) << "loop " << loop;
+  }
+  // Loop 17: over-approximation (contention added inside the region).
+  const auto run17 = run_concurrent_experiment(17, 1001, setup,
+                                               PlanKind::kStatementsOnly);
+  EXPECT_GT(run17.tb_quality.measured_over_actual, 5.0);
+  EXPECT_GT(run17.tb_quality.approx_over_actual, 4.0);
+}
+
+TEST(Integration, Table2EventBasedRecoversDoacrossLoops) {
+  const auto setup = default_setup();
+  for (const int loop : loops::doacross_study_loops()) {
+    const auto run =
+        run_concurrent_experiment(loop, 1001, setup, PlanKind::kFull);
+    // Heavier instrumentation than Table 1...
+    EXPECT_GT(run.eb_quality.measured_over_actual, 2.5) << "loop " << loop;
+    // ...yet within a few percent, as in Table 2.
+    EXPECT_NEAR(run.eb_quality.approx_over_actual, 1.0, 0.10)
+        << "loop " << loop;
+  }
+}
+
+TEST(Integration, EventBasedBeatsTimeBasedOnDependentLoops) {
+  const auto setup = default_setup();
+  for (const int loop : loops::doacross_study_loops()) {
+    const auto run =
+        run_concurrent_experiment(loop, 1001, setup, PlanKind::kFull);
+    const double tb_err = std::abs(run.tb_quality.percent_error);
+    const double eb_err = std::abs(run.eb_quality.percent_error);
+    EXPECT_LT(eb_err * 3, tb_err) << "loop " << loop;
+  }
+}
+
+TEST(Integration, Table3WaitingPercentagesMatchGroundTruth) {
+  const auto setup = default_setup();
+  const auto run = run_concurrent_experiment(17, 1001, setup, PlanKind::kFull);
+  const auto plan = make_plan(PlanKind::kFull, setup);
+  const auto ov = overheads_for(plan, setup.machine);
+  analysis::WaitClassifier c;
+  c.await_nowait = ov.s_nowait;
+  c.lock_acquire = ov.lock_acquire;
+  c.barrier_depart = ov.barrier_depart;
+  c.tolerance = 2;
+
+  const auto approx = analysis::waiting_analysis(run.event_based.approx, c);
+  const auto actual = analysis::waiting_analysis(run.actual, c);
+  ASSERT_EQ(approx.waiting_percent.size(), 8u);
+  for (std::size_t p = 0; p < 8; ++p) {
+    // Paper band: a few percent of waiting per processor.
+    EXPECT_GT(approx.waiting_percent[p], 0.5) << "proc " << p;
+    EXPECT_LT(approx.waiting_percent[p], 15.0) << "proc " << p;
+    EXPECT_NEAR(approx.waiting_percent[p], actual.waiting_percent[p], 4.0);
+  }
+}
+
+TEST(Integration, Figure5AverageParallelismNearPaperValue) {
+  const auto setup = default_setup();
+  const auto run = run_concurrent_experiment(17, 1001, setup, PlanKind::kFull);
+  const auto plan = make_plan(PlanKind::kFull, setup);
+  const auto ov = overheads_for(plan, setup.machine);
+  analysis::WaitClassifier c;
+  c.await_nowait = ov.s_nowait;
+  c.lock_acquire = ov.lock_acquire;
+  c.barrier_depart = ov.barrier_depart;
+  c.tolerance = 2;
+  const auto profile =
+      analysis::parallelism_profile(run.event_based.approx, c);
+  EXPECT_NEAR(profile.average_parallel, 7.5, 0.5);  // paper: 7.5 of 8
+}
+
+TEST(Integration, OverheadsForMirrorsPlanAndCalibration) {
+  const auto setup = default_setup();
+  const auto plan = make_plan(PlanKind::kFull, setup);
+  const auto ov = overheads_for(plan, setup.machine);
+  EXPECT_EQ(ov.probe[static_cast<std::size_t>(trace::EventKind::kStmtEnter)],
+            175);
+  EXPECT_EQ(ov.probe[static_cast<std::size_t>(trace::EventKind::kAdvance)], 90);
+  EXPECT_EQ(ov.s_nowait, setup.machine.await_check_cost);
+  EXPECT_EQ(ov.s_wait, setup.machine.await_resume_cost);
+}
+
+TEST(Integration, AllTracesOfARunAreCausallyValid) {
+  const auto setup = default_setup();
+  const auto run = run_concurrent_experiment(17, 500, setup, PlanKind::kFull);
+  EXPECT_TRUE(trace::validate(run.actual).empty());
+  EXPECT_TRUE(trace::validate(run.measured).empty());
+  EXPECT_TRUE(trace::validate(run.event_based.approx).empty());
+}
+
+TEST(Integration, PlanKindsProduceDifferentVolumes) {
+  const auto setup = default_setup();
+  const auto sync_only =
+      run_concurrent_experiment(3, 200, setup, PlanKind::kSyncOnly);
+  const auto stmts =
+      run_concurrent_experiment(3, 200, setup, PlanKind::kStatementsOnly);
+  const auto full = run_concurrent_experiment(3, 200, setup, PlanKind::kFull);
+  EXPECT_LT(stmts.measured.size(), full.measured.size());
+  EXPECT_LT(sync_only.measured.size(), full.measured.size());
+}
+
+}  // namespace
+}  // namespace perturb::experiments

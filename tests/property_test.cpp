@@ -1,0 +1,149 @@
+// Property-based tests: invariants of perturbation analysis swept across
+// workloads, processor counts, probe costs, and seeds (parameterized gtest).
+//
+// Invariants:
+//   P1  the event-based approximation is a feasible execution (causally valid)
+//   P2  its total-time error stays bounded across the sweep
+//   P3  the pipeline is deterministic in the seed
+//   P4  measured perturbation grows monotonically with probe cost
+//   P5  removing instrumentation entirely reproduces the actual trace
+//   P6  per-event approximated times are never later than measured times
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "experiments/experiments.hpp"
+#include "loops/kernels.hpp"
+#include "trace/validate.hpp"
+
+namespace perturb::experiments {
+namespace {
+
+using Params = std::tuple<int /*loop*/, std::uint32_t /*procs*/,
+                          double /*stmt probe*/, std::uint64_t /*seed*/>;
+
+class PipelineProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  ::perturb::experiments::Setup setup_for(const Params& p) const {
+    ::perturb::experiments::Setup s;
+    s.machine.num_procs = std::get<1>(p);
+    s.stmt.mean = std::get<2>(p);
+    s.seed = std::get<3>(p);
+    return s;
+  }
+};
+
+TEST_P(PipelineProperty, ApproximationIsFeasibleAndBounded) {
+  const auto& p = GetParam();
+  const int loop = std::get<0>(p);
+  const auto setup = setup_for(p);
+  const auto run = run_concurrent_experiment(loop, 400, setup, PlanKind::kFull);
+
+  // P1: feasibility.
+  const auto violations = trace::validate(run.event_based.approx);
+  EXPECT_TRUE(violations.empty()) << trace::describe(violations);
+
+  // P2: bounded error even under order-of-magnitude perturbations.  The
+  // bound is loose enough to cover near-critical configurations (chain rate
+  // close to the parallel rate, e.g. loop 3 on 2 processors) where probe
+  // jitter of the same magnitude as the dependence margins makes the
+  // conservative approximation legitimately noisier (§4.1: conservative
+  // approximations carry no error bound in general).
+  EXPECT_NEAR(run.eb_quality.approx_over_actual, 1.0, 0.25)
+      << "loop " << loop << " procs " << std::get<1>(p) << " probe "
+      << std::get<2>(p);
+}
+
+TEST_P(PipelineProperty, DeterministicInSeed) {
+  const auto& p = GetParam();
+  const auto setup = setup_for(p);
+  const int loop = std::get<0>(p);
+  const auto a = run_concurrent_experiment(loop, 200, setup, PlanKind::kFull);
+  const auto b = run_concurrent_experiment(loop, 200, setup, PlanKind::kFull);
+  ASSERT_EQ(a.measured.size(), b.measured.size());
+  for (std::size_t i = 0; i < a.measured.size(); ++i)
+    EXPECT_EQ(a.measured[i], b.measured[i]);
+  EXPECT_EQ(a.event_based.approx.total_time(),
+            b.event_based.approx.total_time());
+}
+
+TEST_P(PipelineProperty, ApproximatedTimesNeverExceedMeasured) {
+  const auto& p = GetParam();
+  const auto setup = setup_for(p);
+  const int loop = std::get<0>(p);
+  const auto run = run_concurrent_experiment(loop, 200, setup, PlanKind::kFull);
+  // P6: analysis only removes overhead; with nonnegative probes the
+  // reconstructed run can never take longer than the measured one.
+  EXPECT_LE(run.event_based.approx.total_time(), run.measured.total_time());
+  EXPECT_LE(run.time_based.total_time(), run.measured.total_time());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineProperty,
+    ::testing::Combine(::testing::Values(3, 4, 17),
+                       ::testing::Values(2u, 4u, 8u),
+                       ::testing::Values(60.0, 175.0, 400.0),
+                       ::testing::Values(1991ull, 7ull)),
+    [](const ::testing::TestParamInfo<Params>& param_info) {
+      return "loop" + std::to_string(std::get<0>(param_info.param)) + "_p" +
+             std::to_string(std::get<1>(param_info.param)) + "_c" +
+             std::to_string(static_cast<int>(std::get<2>(param_info.param))) +
+             "_s" + std::to_string(std::get<3>(param_info.param));
+    });
+
+// ---- P4: monotonicity in probe cost -----------------------------------------
+
+class ProbeMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProbeMonotonicity, MeasuredSlowdownGrowsWithProbeCost) {
+  const int loop = GetParam();
+  double prev = 0.0;
+  for (const double probe : {50.0, 150.0, 450.0}) {
+    ::perturb::experiments::Setup setup;
+    setup.stmt.mean = probe;
+    const auto run =
+        run_concurrent_experiment(loop, 300, setup, PlanKind::kFull);
+    EXPECT_GT(run.eb_quality.measured_over_actual, prev) << "probe " << probe;
+    prev = run.eb_quality.measured_over_actual;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loops, ProbeMonotonicity,
+                         ::testing::Values(1, 3, 4, 17));
+
+// ---- P5: zero instrumentation is the identity ----------------------------
+
+class ZeroOverheadIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZeroOverheadIdentity, ZeroCostProbesChangeNothing) {
+  const int loop = GetParam();
+  ::perturb::experiments::Setup setup;
+  setup.stmt = {0.0, 0.0};
+  setup.sync = {0.0, 0.0};
+  setup.control = {0.0, 0.0};
+  const auto run = run_concurrent_experiment(loop, 300, setup, PlanKind::kFull);
+  EXPECT_EQ(run.measured.total_time(), run.actual.total_time());
+  EXPECT_EQ(run.event_based.approx.total_time(), run.actual.total_time());
+  EXPECT_DOUBLE_EQ(run.eb_quality.measured_over_actual, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loops, ZeroOverheadIdentity,
+                         ::testing::Values(1, 3, 17));
+
+// ---- sequential sweep -------------------------------------------------------
+
+class SequentialProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SequentialProperty, TimeBasedIsAccurateSequentially) {
+  const int loop = GetParam();
+  ::perturb::experiments::Setup setup;
+  const auto run = run_sequential_experiment(loop, 300, setup);
+  EXPECT_NEAR(run.tb_quality.approx_over_actual, 1.0, 0.05) << "loop " << loop;
+  EXPECT_TRUE(trace::validate(run.time_based).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSequentialLoops, SequentialProperty,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace perturb::experiments

@@ -1,0 +1,72 @@
+// Tests for the combined report renderer and the per-event error percentile
+// metrics that feed it.
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+#include "experiments/experiments.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace perturb::analysis {
+namespace {
+
+TEST(Report, ContainsAllSections) {
+  experiments::Setup setup;
+  setup.machine.num_procs = 4;
+  const auto run = experiments::run_concurrent_experiment(
+      17, 120, setup, experiments::PlanKind::kFull);
+  const auto plan = experiments::make_plan(experiments::PlanKind::kFull, setup);
+  const auto ov = experiments::overheads_for(plan, setup.machine);
+
+  ReportOptions options;
+  options.classifier.await_nowait = ov.s_nowait;
+  options.classifier.lock_acquire = ov.lock_acquire;
+  options.classifier.barrier_depart = ov.barrier_depart;
+  options.classifier.tolerance = 2;
+
+  const auto report =
+      render_report(run.event_based.approx, &run.eb_quality, options);
+  EXPECT_NE(report.find("performance report"), std::string::npos);
+  EXPECT_NE(report.find("recovery:"), std::string::npos);
+  EXPECT_NE(report.find("per-event |error|"), std::string::npos);
+  EXPECT_NE(report.find("-- waiting --"), std::string::npos);
+  EXPECT_NE(report.find("-- parallelism --"), std::string::npos);
+  EXPECT_NE(report.find("-- critical path --"), std::string::npos);
+}
+
+TEST(Report, SectionsCanBeDisabled) {
+  experiments::Setup setup;
+  setup.machine.num_procs = 2;
+  const auto run = experiments::run_concurrent_experiment(
+      3, 40, setup, experiments::PlanKind::kFull);
+  ReportOptions options;
+  options.include_timeline = false;
+  options.include_parallelism_plot = false;
+  options.include_critical_path = false;
+  const auto report =
+      render_report(run.event_based.approx, nullptr, options);
+  EXPECT_EQ(report.find("recovery:"), std::string::npos);
+  EXPECT_EQ(report.find("-- critical path --"), std::string::npos);
+  EXPECT_NE(report.find("-- waiting --"), std::string::npos);
+}
+
+TEST(ErrorPercentiles, OrderedAndConsistent) {
+  experiments::Setup setup;
+  const auto run = experiments::run_concurrent_experiment(
+      17, 240, setup, experiments::PlanKind::kFull);
+  const auto& q = run.eb_quality;
+  EXPECT_GT(q.matched_events, 0u);
+  EXPECT_LE(q.p50_event_error, q.p95_event_error);
+  EXPECT_LE(q.p50_event_error, q.mean_abs_event_error * 2 + 1);
+  EXPECT_GE(q.rms_event_error, q.mean_abs_event_error - 1e-9);
+}
+
+TEST(ErrorPercentiles, ZeroForIdenticalTraces) {
+  experiments::Setup setup;
+  const auto run = experiments::run_sequential_experiment(1, 60, setup);
+  const auto cmp = trace::compare(run.actual, run.actual);
+  EXPECT_DOUBLE_EQ(cmp.p50_abs_time_error, 0.0);
+  EXPECT_DOUBLE_EQ(cmp.p95_abs_time_error, 0.0);
+}
+
+}  // namespace
+}  // namespace perturb::analysis

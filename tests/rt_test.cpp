@@ -1,0 +1,329 @@
+// Tests for the real-threads runtime: tracer buffers, SyncVar/SpinBarrier
+// semantics, and traced DOACROSS execution (correct results, causally valid
+// traces, analysis compatibility).  Thread counts stay small so the suite
+// behaves on single-core machines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/eventbased.hpp"
+#include "rt/doacross.hpp"
+#include "rt/sync.hpp"
+#include "rt/tracer.hpp"
+#include "trace/validate.hpp"
+
+namespace perturb::rt {
+namespace {
+
+using trace::EventKind;
+
+// ---- tracer ------------------------------------------------------------
+
+TEST(Tracer, RecordsAndHarvestsInTimeOrder) {
+  Tracer tracer(2, 64);
+  tracer.record(0, EventKind::kStmtEnter, 1, 0, 10);
+  tracer.record(1, EventKind::kStmtEnter, 2, 0, 20);
+  tracer.record(0, EventKind::kStmtExit, 1, 0, 10);
+  const auto t = tracer.harvest("run");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.is_time_ordered());
+  EXPECT_EQ(t.info().num_procs, 2u);
+  EXPECT_DOUBLE_EQ(t.info().ticks_per_us, 1000.0);
+  EXPECT_EQ(t.info().name, "run");
+}
+
+TEST(Tracer, TimestampsAreMonotonePerThread) {
+  Tracer tracer(1, 1024);
+  for (int i = 0; i < 500; ++i)
+    tracer.record(0, EventKind::kStmtEnter, 1, 0, i);
+  const auto t = tracer.harvest("run");
+  for (std::size_t i = 1; i < t.size(); ++i)
+    EXPECT_GE(t[i].time, t[i - 1].time);
+}
+
+TEST(Tracer, DropsBeyondCapacityWithoutReallocating) {
+  Tracer tracer(1, 4);
+  for (int i = 0; i < 10; ++i)
+    tracer.record(0, EventKind::kStmtEnter, 1, 0, i);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto t = tracer.harvest("run");
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 0u);  // reset by harvest
+}
+
+TEST(Tracer, HarvestClearsBuffers) {
+  Tracer tracer(1, 16);
+  tracer.record(0, EventKind::kStmtEnter, 1, 0, 0);
+  EXPECT_EQ(tracer.harvest("a").size(), 1u);
+  EXPECT_EQ(tracer.harvest("b").size(), 0u);
+}
+
+// ---- sync primitives ------------------------------------------------------
+
+TEST(SyncVar, AdvanceThenAwaitDoesNotBlock) {
+  SyncVar v(8);
+  v.advance(3);
+  EXPECT_TRUE(v.poll(3));
+  EXPECT_FALSE(v.poll(4));
+  EXPECT_FALSE(v.await(3));  // no waiting needed
+}
+
+TEST(SyncVar, NegativeIndexIsDependenceFree) {
+  SyncVar v(8);
+  EXPECT_FALSE(v.await(-1));
+  EXPECT_FALSE(v.await(-100));
+}
+
+TEST(SyncVar, ResetClearsHistory) {
+  SyncVar v(4);
+  v.advance(0);
+  v.reset();
+  EXPECT_FALSE(v.poll(0));
+}
+
+TEST(SyncVar, CrossThreadHandoff) {
+  SyncVar v(2);
+  std::atomic<int> value{0};
+  std::thread producer([&] {
+    value.store(42, std::memory_order_relaxed);
+    v.advance(0);
+  });
+  const bool waited = v.await(0);
+  (void)waited;  // may or may not wait depending on scheduling
+  EXPECT_EQ(value.load(std::memory_order_relaxed), 42);  // release/acquire
+  producer.join();
+}
+
+TEST(CountingSemaphore, CapacityBoundsConcurrency) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  CountingSemaphore sem(2);
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        sem.acquire();
+        const int now = inside.fetch_add(1, std::memory_order_acq_rel) + 1;
+        int old = peak.load(std::memory_order_relaxed);
+        while (now > old &&
+               !peak.compare_exchange_weak(old, now, std::memory_order_relaxed)) {
+        }
+        std::this_thread::yield();
+        inside.fetch_sub(1, std::memory_order_acq_rel);
+        sem.release();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_EQ(inside.load(), 0);
+}
+
+TEST(CountingSemaphore, TryAcquireRespectsPermits) {
+  CountingSemaphore sem(2);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 3;
+  constexpr int kPhases = 20;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<int> observed(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int phase = 0; phase < kPhases; ++phase) {
+        counter.fetch_add(1, std::memory_order_relaxed);
+        barrier.arrive_and_wait();
+        // After the barrier, all kThreads increments of this phase are in.
+        const int c = counter.load(std::memory_order_relaxed);
+        if (c < (phase + 1) * kThreads) observed[static_cast<std::size_t>(t)]++;
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const int misses : observed) EXPECT_EQ(misses, 0);
+}
+
+// ---- doacross executor -------------------------------------------------------
+
+TEST(Doacross, ComputesChainedResultCorrectly) {
+  // Prefix-sum style dependence: iteration i adds to a shared accumulator in
+  // the guarded section.  Any violation of the advance/await order would
+  // produce a torn or reordered (hence wrong) result with high probability;
+  // the ordered chain makes it deterministic.
+  constexpr std::int64_t kN = 500;
+  std::vector<double> values(kN);
+  std::iota(values.begin(), values.end(), 1.0);
+  std::vector<double> partial(kN, 0.0);
+  double acc = 0.0;
+
+  DoacrossBody body;
+  body.guarded = [&](std::int64_t i) {
+    acc += values[static_cast<std::size_t>(i)];
+    partial[static_cast<std::size_t>(i)] = acc;
+  };
+  DoacrossOptions opts;
+  opts.iterations = kN;
+  opts.distance = 1;
+  opts.num_threads = 3;
+  run_doacross(body, opts);
+
+  double expected = 0.0;
+  for (std::int64_t i = 0; i < kN; ++i) {
+    expected += values[static_cast<std::size_t>(i)];
+    EXPECT_DOUBLE_EQ(partial[static_cast<std::size_t>(i)], expected);
+  }
+}
+
+TEST(Doacross, DoallModeRunsAllIterations) {
+  std::vector<std::atomic<int>> hits(64);
+  DoacrossBody body;
+  body.pre = [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  };
+  DoacrossOptions opts;
+  opts.iterations = 64;
+  opts.distance = 0;
+  opts.num_threads = 4;
+  run_doacross(body, opts);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Doacross, ZeroIterationsIsANoop) {
+  DoacrossOptions opts;
+  opts.iterations = 0;
+  opts.num_threads = 2;
+  EXPECT_NO_THROW(run_doacross({}, opts));
+}
+
+TEST(Doacross, TracedRunProducesValidTrace) {
+  DoacrossBody body;
+  body.pre = [](std::int64_t) {};
+  body.guarded = [](std::int64_t) {};
+  DoacrossOptions opts;
+  opts.iterations = 100;
+  opts.distance = 1;
+  opts.num_threads = 2;
+  const auto t = run_doacross_traced(body, opts, "rt");
+  const auto violations = trace::validate(t);
+  EXPECT_TRUE(violations.empty()) << trace::describe(violations);
+
+  std::size_t advances = 0;
+  std::size_t iter_begins = 0;
+  for (const auto& e : t) {
+    advances += e.kind == EventKind::kAdvance ? 1 : 0;
+    iter_begins += e.kind == EventKind::kIterBegin ? 1 : 0;
+  }
+  EXPECT_EQ(advances, 100u);
+  EXPECT_EQ(iter_begins, 100u);
+  EXPECT_EQ(t.total_time(), t.span());
+}
+
+TEST(Doacross, TracedRunFeedsEventBasedAnalysis) {
+  DoacrossBody body;
+  body.pre = [](std::int64_t) {};
+  body.guarded = [](std::int64_t) {};
+  DoacrossOptions opts;
+  opts.iterations = 60;
+  opts.distance = 1;
+  opts.num_threads = 2;
+  const auto measured = run_doacross_traced(body, opts, "rt");
+
+  core::AnalysisOverheads ov;
+  for (std::uint8_t k = 0; k < trace::kNumEventKinds; ++k) ov.probe[k] = 30;
+  ov.s_nowait = 20;
+  ov.s_wait = 40;
+  const auto result = core::event_based_approximation(measured, ov);
+  EXPECT_EQ(result.approx.size(), measured.size());
+  EXPECT_EQ(result.awaits_total, 59u);
+  const auto violations = trace::validate(result.approx);
+  EXPECT_TRUE(violations.empty()) << trace::describe(violations);
+  EXPECT_LE(result.approx.total_time(), measured.total_time());
+}
+
+TEST(Doacross, CyclicAssignmentInTrace) {
+  DoacrossBody body;
+  body.pre = [](std::int64_t) {};
+  DoacrossOptions opts;
+  opts.iterations = 20;
+  opts.distance = 0;
+  opts.num_threads = 2;
+  const auto t = run_doacross_traced(body, opts, "rt");
+  for (const auto& e : t) {
+    if (e.kind == EventKind::kIterBegin) {
+      EXPECT_EQ(e.proc, e.payload % 2);
+    }
+  }
+}
+
+TEST(Doacross, SelfSchedulingRunsAllIterationsOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  DoacrossBody body;
+  body.pre = [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  };
+  DoacrossOptions opts;
+  opts.iterations = 100;
+  opts.distance = 0;
+  opts.num_threads = 3;
+  opts.schedule = RtSchedule::kSelf;
+  run_doacross(body, opts);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Doacross, SelfSchedulingChainIsCorrect) {
+  // The ordered-dispatch property makes self-scheduled DOACROSS chains
+  // deadlock-free; verify the serialized result is still exact.
+  constexpr std::int64_t kN = 300;
+  double acc = 0.0;
+  std::vector<double> partial(kN, 0.0);
+  DoacrossBody body;
+  body.guarded = [&](std::int64_t i) {
+    acc += static_cast<double>(i + 1);
+    partial[static_cast<std::size_t>(i)] = acc;
+  };
+  DoacrossOptions opts;
+  opts.iterations = kN;
+  opts.distance = 1;
+  opts.num_threads = 3;
+  opts.schedule = RtSchedule::kSelf;
+  run_doacross(body, opts);
+  double expected = 0.0;
+  for (std::int64_t i = 0; i < kN; ++i) {
+    expected += static_cast<double>(i + 1);
+    EXPECT_DOUBLE_EQ(partial[static_cast<std::size_t>(i)], expected);
+  }
+}
+
+TEST(Doacross, SelfSchedulingTracedTraceIsValid) {
+  DoacrossBody body;
+  body.pre = [](std::int64_t) {};
+  DoacrossOptions opts;
+  opts.iterations = 50;
+  opts.distance = 1;
+  opts.num_threads = 2;
+  opts.schedule = RtSchedule::kSelf;
+  const auto t = run_doacross_traced(body, opts, "rt-self");
+  const auto violations = trace::validate(t);
+  EXPECT_TRUE(violations.empty()) << trace::describe(violations);
+  std::size_t iters = 0;
+  for (const auto& e : t) iters += e.kind == EventKind::kIterBegin ? 1 : 0;
+  EXPECT_EQ(iters, 50u);
+}
+
+}  // namespace
+}  // namespace perturb::rt

@@ -1,0 +1,239 @@
+// Tests for counting-semaphore support across the stack: IR declaration and
+// validation, engine semantics (capacity-bounded concurrency, FIFO grants),
+// trace validation, waiting analysis, and the event-based dependency model
+// (the k-th P() waits for the (k-capacity)-th V()).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/waiting.hpp"
+#include "core/eventbased.hpp"
+#include "instr/plan.hpp"
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+#include "trace/validate.hpp"
+
+namespace perturb::sim {
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+using trace::Tick;
+using trace::Trace;
+
+/// DOALL over `trip` iterations: `pre` cycles of independent work, then
+/// `inside` cycles under a semaphore of `capacity`.
+Program sem_program(std::int64_t trip, std::int64_t capacity, Cycles pre,
+                    Cycles inside, bool traced_inside = false) {
+  Program p;
+  const auto sem = p.declare_semaphore("S", capacity);
+  Block body;
+  if (pre > 0) body.nodes.push_back(compute("pre", pre));
+  Block region;
+  region.nodes.push_back(traced_inside ? compute("inside", inside)
+                                       : raw_compute("inside", inside));
+  body.nodes.push_back(semaphore_region(sem, std::move(region)));
+  p.root().nodes.push_back(par_loop("l", LoopKind::kDoall, Schedule::kCyclic,
+                                    trip, std::move(body)));
+  p.finalize();
+  return p;
+}
+
+/// Maximum number of processors simultaneously inside the region, from the
+/// acquire/release interleaving.
+std::int64_t max_inside(const Trace& t) {
+  std::int64_t inside = 0;
+  std::int64_t peak = 0;
+  for (const auto& e : t) {
+    if (e.kind == EventKind::kSemAcquire) peak = std::max(peak, ++inside);
+    if (e.kind == EventKind::kSemRelease) --inside;
+  }
+  return peak;
+}
+
+TEST(SemaphoreIr, DeclarationAndDump) {
+  Program p;
+  const auto sem = p.declare_semaphore("pool", 3);
+  EXPECT_EQ(p.num_semaphores(), 1u);
+  EXPECT_EQ(p.semaphore_name(sem), "pool");
+  EXPECT_EQ(p.semaphore_capacity(sem), 3);
+  Block body;
+  body.nodes.push_back(semaphore_region(sem, block(compute("x", 1))));
+  p.root().nodes.push_back(
+      par_loop("l", LoopKind::kDoall, Schedule::kCyclic, 4, std::move(body)));
+  p.finalize();
+  EXPECT_NE(p.dump().find("semaphore (pool, capacity=3)"), std::string::npos);
+}
+
+TEST(SemaphoreIr, RejectsBadDeclarations) {
+  Program p;
+  EXPECT_THROW(p.declare_semaphore("bad", 0), CheckError);
+  p.root().nodes.push_back(
+      semaphore_region(1, block(compute("x", 1))));  // undeclared, top level
+  EXPECT_THROW(p.finalize(), CheckError);
+}
+
+TEST(SemaphoreEngine, CapacityBoundsConcurrency) {
+  for (const std::int64_t capacity : {1, 2, 3}) {
+    const auto prog = sem_program(16, capacity, 0, 100);
+    const MachineConfig cfg{.num_procs = 8};
+    const auto t = simulate_actual(cfg, prog, "t");
+    EXPECT_LE(max_inside(t), capacity) << "capacity " << capacity;
+    EXPECT_EQ(max_inside(t), capacity);  // contention saturates it
+    EXPECT_TRUE(trace::validate(t).empty());
+  }
+}
+
+TEST(SemaphoreEngine, HigherCapacityIsFaster) {
+  const MachineConfig cfg{.num_procs = 8};
+  const auto t1 = simulate_actual(cfg, sem_program(32, 1, 0, 100), "c1");
+  const auto t4 = simulate_actual(cfg, sem_program(32, 4, 0, 100), "c4");
+  EXPECT_GT(t1.total_time(), 2 * t4.total_time());
+}
+
+TEST(SemaphoreEngine, CapacityOneBehavesLikeALock) {
+  const MachineConfig cfg{.num_procs = 4};
+  const auto t = simulate_actual(cfg, sem_program(16, 1, 10, 50), "t");
+  // Regions serialized: total at least trip * inside.
+  EXPECT_GE(t.total_time(), 16 * 50);
+  EXPECT_EQ(max_inside(t), 1);
+}
+
+TEST(SemaphoreEngine, UncontendedAcquireIsCheap) {
+  const MachineConfig cfg{.num_procs = 1};
+  const auto t = simulate_actual(cfg, sem_program(2, 4, 0, 10), "t");
+  Tick prev = 0;
+  std::size_t acquires = 0;
+  for (const auto& e : t) {
+    if (e.kind == EventKind::kSemAcquire) {
+      EXPECT_EQ(e.time - prev, cfg.sem_acquire_cost);
+      ++acquires;
+    }
+    prev = e.time;
+  }
+  EXPECT_EQ(acquires, 2u);
+}
+
+TEST(SemaphoreEngine, DeterministicAndSelfSchedulable) {
+  const MachineConfig cfg{.num_procs = 4};
+  Program a = sem_program(24, 2, 30, 60);
+  Program b = sem_program(24, 2, 30, 60);
+  const auto ta = simulate_actual(cfg, a, "t");
+  const auto tb = simulate_actual(cfg, b, "t");
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]);
+}
+
+// ---- validator --------------------------------------------------------
+
+TEST(SemaphoreValidate, BalancedTraceIsValid) {
+  Trace t({"t", 2, 1.0});
+  auto ev = [&](Tick time, trace::ProcId proc, EventKind k) {
+    Event e;
+    e.time = time;
+    e.proc = proc;
+    e.kind = k;
+    e.object = 3;
+    t.append(e);
+  };
+  ev(1, 0, EventKind::kSemAcquire);
+  ev(2, 1, EventKind::kSemAcquire);  // capacity >= 2: overlap is legal
+  ev(5, 0, EventKind::kSemRelease);
+  ev(6, 1, EventKind::kSemRelease);
+  EXPECT_TRUE(trace::validate(t).empty());
+}
+
+TEST(SemaphoreValidate, DetectsReleaseWithoutAcquire) {
+  Trace t({"t", 1, 1.0});
+  Event e;
+  e.time = 1;
+  e.kind = EventKind::kSemRelease;
+  e.object = 3;
+  t.append(e);
+  const auto vs = trace::validate(t);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].kind, trace::ViolationKind::kSemaphoreUnbalanced);
+}
+
+TEST(SemaphoreValidate, DetectsLeakedPermit) {
+  Trace t({"t", 1, 1.0});
+  Event e;
+  e.time = 1;
+  e.kind = EventKind::kSemAcquire;
+  e.object = 3;
+  t.append(e);
+  const auto vs = trace::validate(t);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].kind, trace::ViolationKind::kSemaphoreUnbalanced);
+}
+
+// ---- event-based model ------------------------------------------------------
+
+core::AnalysisOverheads overheads_from(const instr::InstrumentationPlan& plan,
+                                       const MachineConfig& cfg) {
+  core::AnalysisOverheads ov;
+  for (std::uint8_t k = 0; k < trace::kNumEventKinds; ++k)
+    ov.probe[k] = plan.mean_cost(static_cast<EventKind>(k));
+  ov.s_nowait = cfg.await_check_cost;
+  ov.s_wait = cfg.await_resume_cost;
+  ov.lock_acquire = cfg.lock_acquire_cost;
+  ov.sem_acquire = cfg.sem_acquire_cost;
+  ov.barrier_depart = cfg.barrier_depart_cost;
+  return ov;
+}
+
+TEST(SemaphoreEventBased, RecoversContendedRegion) {
+  // Probes inside the region stretch it in the measurement; the semaphore
+  // model rebuilds the permit hand-off chain with probes removed.
+  const MachineConfig cfg{.num_procs = 8};
+  const auto prog = sem_program(64, 2, 60, 50, /*traced_inside=*/true);
+  const auto plan = instr::InstrumentationPlan::full({175.0, 0.0}, {90.0, 0.0},
+                                                     {60.0, 0.0}, 1);
+  const auto actual = simulate_actual(cfg, prog, "a");
+  const auto measured = simulate(cfg, prog, plan, "m");
+  ASSERT_GT(measured.total_time(), 2 * actual.total_time());
+
+  core::EventBasedOptions opt;
+  opt.semaphore_capacity[1] = 2;  // the asserted external knowledge
+  const auto result = core::event_based_approximation(
+      measured, overheads_from(plan, cfg), opt);
+  const double ratio = static_cast<double>(result.approx.total_time()) /
+                       static_cast<double>(actual.total_time());
+  EXPECT_NEAR(ratio, 1.0, 0.12);
+  const auto violations = trace::validate(result.approx);
+  EXPECT_TRUE(violations.empty()) << trace::describe(violations);
+}
+
+TEST(SemaphoreEventBased, WithoutCapacityFallsBackToTimeBased) {
+  const MachineConfig cfg{.num_procs = 8};
+  const auto prog = sem_program(64, 2, 60, 50, /*traced_inside=*/true);
+  const auto plan = instr::InstrumentationPlan::full({175.0, 0.0}, {90.0, 0.0},
+                                                     {60.0, 0.0}, 1);
+  const auto actual = simulate_actual(cfg, prog, "a");
+  const auto measured = simulate(cfg, prog, plan, "m");
+  const auto result = core::event_based_approximation(
+      measured, overheads_from(plan, cfg), {});  // no capacity knowledge
+  const double ratio = static_cast<double>(result.approx.total_time()) /
+                       static_cast<double>(actual.total_time());
+  // Without the model, the measured contention stays in the approximation.
+  EXPECT_GT(ratio, 1.3);
+}
+
+// ---- waiting analysis -----------------------------------------------------
+
+TEST(SemaphoreWaiting, ContentionShowsAsWaiting) {
+  const MachineConfig cfg{.num_procs = 8};
+  const auto t = simulate_actual(cfg, sem_program(32, 1, 0, 100), "t");
+  analysis::WaitClassifier c;
+  c.sem_acquire = cfg.sem_acquire_cost;
+  c.tolerance = 2;
+  const auto stats = analysis::waiting_analysis(t, c);
+  bool saw_sem_wait = false;
+  for (const auto& w : stats.intervals)
+    saw_sem_wait |= w.cause == EventKind::kSemAcquire;
+  EXPECT_TRUE(saw_sem_wait);
+}
+
+}  // namespace
+}  // namespace perturb::sim

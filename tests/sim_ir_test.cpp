@@ -1,0 +1,177 @@
+// Tests for the program IR: builders, finalization (id assignment and
+// structural validation), site lookup, and the structural dump.
+#include <gtest/gtest.h>
+
+#include "sim/ir.hpp"
+#include "support/check.hpp"
+
+namespace perturb::sim {
+namespace {
+
+TEST(IndexExpr, EvaluatesAffineForm) {
+  const IndexExpr e{2, -3};
+  EXPECT_EQ(e.eval(0), -3);
+  EXPECT_EQ(e.eval(5), 7);
+  const IndexExpr identity{};
+  EXPECT_EQ(identity.eval(9), 9);
+}
+
+TEST(IrBuilders, ComputeNode) {
+  const auto n = compute("stmt", 42);
+  EXPECT_EQ(n->kind, NodeKind::kCompute);
+  EXPECT_EQ(n->cost, 42);
+  EXPECT_TRUE(n->traced);
+  EXPECT_FALSE(n->cost_fn);
+}
+
+TEST(IrBuilders, RawComputeIsUntraced) {
+  const auto n = raw_compute("hidden", 10);
+  EXPECT_FALSE(n->traced);
+}
+
+TEST(IrBuilders, ComputeFnEvaluates) {
+  const auto n = compute_fn("var", [](std::int64_t i) { return i * 2; });
+  ASSERT_TRUE(n->cost_fn);
+  EXPECT_EQ(n->cost_fn(21), 42);
+}
+
+TEST(IrBuilders, NegativeCostRejected) {
+  EXPECT_THROW(compute("bad", -1), CheckError);
+  EXPECT_THROW(seq_loop("bad", -1, {}), CheckError);
+}
+
+TEST(Program, DeclareResourcesAssignsIdsFromOne) {
+  Program p;
+  EXPECT_EQ(p.declare_sync_var("A"), 1u);
+  EXPECT_EQ(p.declare_sync_var("B"), 2u);
+  EXPECT_EQ(p.declare_lock("L"), 1u);
+  EXPECT_EQ(p.num_sync_vars(), 2u);
+  EXPECT_EQ(p.num_locks(), 1u);
+  EXPECT_EQ(p.sync_var_name(2), "B");
+  EXPECT_EQ(p.lock_name(1), "L");
+  EXPECT_THROW(p.sync_var_name(3), CheckError);
+}
+
+Program valid_program() {
+  Program p;
+  const auto var = p.declare_sync_var("S");
+  const auto lock = p.declare_lock("L");
+  Block body;
+  body.nodes.push_back(compute("a", 5));
+  body.nodes.push_back(await(var, {1, -1}));
+  body.nodes.push_back(critical(lock, block(compute("c", 2))));
+  body.nodes.push_back(advance(var, {1, 0}));
+  p.root().nodes.push_back(compute("head", 10));
+  p.root().nodes.push_back(par_loop("loop", LoopKind::kDoacross,
+                                    Schedule::kCyclic, 8, std::move(body)));
+  return p;
+}
+
+TEST(Program, FinalizeAssignsPreOrderIds) {
+  Program p = valid_program();
+  p.finalize();
+  EXPECT_TRUE(p.finalized());
+  // head=1, loop=2, a=3, await=4, critical=5, c=6, advance=7.
+  EXPECT_EQ(p.num_sites(), 8u);
+  const Node* head = p.find_site(1);
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->label, "head");
+  const Node* c = p.find_site(6);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->label, "c");
+  EXPECT_EQ(p.find_site(99), nullptr);
+}
+
+TEST(Program, FinalizeIsIdempotent) {
+  Program p = valid_program();
+  p.finalize();
+  const auto sites = p.num_sites();
+  p.finalize();
+  EXPECT_EQ(p.num_sites(), sites);
+}
+
+TEST(Program, RejectsNestedParallelLoops) {
+  Program p;
+  Block inner;
+  inner.nodes.push_back(compute("x", 1));
+  Block outer;
+  outer.nodes.push_back(par_loop("inner", LoopKind::kDoall, Schedule::kCyclic,
+                                 4, std::move(inner)));
+  p.root().nodes.push_back(par_loop("outer", LoopKind::kDoall,
+                                    Schedule::kCyclic, 4, std::move(outer)));
+  EXPECT_THROW(p.finalize(), CheckError);
+}
+
+TEST(Program, RejectsSyncOutsideParallelLoop) {
+  {
+    Program p;
+    const auto var = p.declare_sync_var("S");
+    p.root().nodes.push_back(advance(var, {1, 0}));
+    EXPECT_THROW(p.finalize(), CheckError);
+  }
+  {
+    Program p;
+    const auto var = p.declare_sync_var("S");
+    p.root().nodes.push_back(await(var, {1, 0}));
+    EXPECT_THROW(p.finalize(), CheckError);
+  }
+}
+
+TEST(Program, RejectsCriticalOutsideParallelLoop) {
+  Program p;
+  const auto lock = p.declare_lock("L");
+  p.root().nodes.push_back(critical(lock, block(compute("x", 1))));
+  EXPECT_THROW(p.finalize(), CheckError);
+}
+
+TEST(Program, RejectsUndeclaredResources) {
+  {
+    Program p;
+    Block body;
+    body.nodes.push_back(advance(5, {1, 0}));  // never declared
+    p.root().nodes.push_back(par_loop("l", LoopKind::kDoacross,
+                                      Schedule::kCyclic, 2, std::move(body)));
+    EXPECT_THROW(p.finalize(), CheckError);
+  }
+  {
+    Program p;
+    Block body;
+    body.nodes.push_back(critical(9, block(compute("x", 1))));
+    p.root().nodes.push_back(par_loop("l", LoopKind::kDoall, Schedule::kCyclic,
+                                      2, std::move(body)));
+    EXPECT_THROW(p.finalize(), CheckError);
+  }
+}
+
+TEST(Program, SeqLoopInsideParLoopIsAllowed) {
+  Program p;
+  Block inner;
+  inner.nodes.push_back(compute("x", 1));
+  Block body;
+  body.nodes.push_back(seq_loop("inner", 3, std::move(inner)));
+  p.root().nodes.push_back(par_loop("outer", LoopKind::kDoall,
+                                    Schedule::kBlock, 4, std::move(body)));
+  EXPECT_NO_THROW(p.finalize());
+}
+
+TEST(Program, DumpShowsStructure) {
+  Program p = valid_program();
+  p.finalize();
+  const auto dump = p.dump();
+  EXPECT_NE(dump.find("doacross"), std::string::npos);
+  EXPECT_NE(dump.find("await(S"), std::string::npos);
+  EXPECT_NE(dump.find("advance(S"), std::string::npos);
+  EXPECT_NE(dump.find("critical (L)"), std::string::npos);
+  EXPECT_NE(dump.find("sched=cyclic"), std::string::npos);
+}
+
+TEST(Names, ScheduleAndLoopKindNames) {
+  EXPECT_STREQ(schedule_name(Schedule::kCyclic), "cyclic");
+  EXPECT_STREQ(schedule_name(Schedule::kBlock), "block");
+  EXPECT_STREQ(schedule_name(Schedule::kSelf), "self");
+  EXPECT_STREQ(loop_kind_name(LoopKind::kDoall), "doall");
+  EXPECT_STREQ(loop_kind_name(LoopKind::kDoacross), "doacross");
+}
+
+}  // namespace
+}  // namespace perturb::sim

@@ -1,0 +1,99 @@
+// Tests for the iteration schedulers: assignment policies, dispatch costs,
+// and the self-scheduler's serialization.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace perturb::sim {
+namespace {
+
+MachineConfig config() {
+  MachineConfig cfg;
+  cfg.iter_dispatch_cost = 3;
+  cfg.self_sched_fetch_cost = 6;
+  cfg.self_sched_serialize = 2;
+  return cfg;
+}
+
+std::vector<std::int64_t> drain(IterationScheduler& s, ProcId proc, Tick now) {
+  std::vector<std::int64_t> iters;
+  Tick ready = 0;
+  for (std::int64_t i = s.next(proc, now, &ready); i >= 0;
+       i = s.next(proc, now, &ready))
+    iters.push_back(i);
+  return iters;
+}
+
+TEST(CyclicScheduler, AssignsStrides) {
+  const auto s = make_scheduler(Schedule::kCyclic, 10, 4, config());
+  EXPECT_EQ(drain(*s, 0, 0), (std::vector<std::int64_t>{0, 4, 8}));
+  EXPECT_EQ(drain(*s, 1, 0), (std::vector<std::int64_t>{1, 5, 9}));
+  EXPECT_EQ(drain(*s, 3, 0), (std::vector<std::int64_t>{3, 7}));
+}
+
+TEST(CyclicScheduler, DispatchCostApplied) {
+  const auto s = make_scheduler(Schedule::kCyclic, 4, 2, config());
+  Tick ready = 0;
+  EXPECT_EQ(s->next(0, 100, &ready), 0);
+  EXPECT_EQ(ready, 103);
+}
+
+TEST(CyclicScheduler, EmptyTrip) {
+  const auto s = make_scheduler(Schedule::kCyclic, 0, 2, config());
+  Tick ready = 0;
+  EXPECT_EQ(s->next(0, 0, &ready), -1);
+}
+
+TEST(BlockScheduler, AssignsContiguousChunks) {
+  const auto s = make_scheduler(Schedule::kBlock, 10, 4, config());
+  EXPECT_EQ(drain(*s, 0, 0), (std::vector<std::int64_t>{0, 1, 2}));
+  EXPECT_EQ(drain(*s, 1, 0), (std::vector<std::int64_t>{3, 4, 5}));
+  EXPECT_EQ(drain(*s, 3, 0), (std::vector<std::int64_t>{9}));
+}
+
+TEST(BlockScheduler, CoversAllIterationsExactlyOnce) {
+  const auto s = make_scheduler(Schedule::kBlock, 23, 5, config());
+  std::multiset<std::int64_t> seen;
+  for (ProcId p = 0; p < 5; ++p)
+    for (const auto i : drain(*s, p, 0)) seen.insert(i);
+  EXPECT_EQ(seen.size(), 23u);
+  for (std::int64_t i = 0; i < 23; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(SelfScheduler, HandsOutInFetchOrder) {
+  const auto s = make_scheduler(Schedule::kSelf, 4, 2, config());
+  Tick ready = 0;
+  EXPECT_EQ(s->next(1, 10, &ready), 0);  // whoever asks first gets 0
+  EXPECT_EQ(s->next(0, 11, &ready), 1);
+  EXPECT_EQ(s->next(1, 12, &ready), 2);
+  EXPECT_EQ(s->next(0, 13, &ready), 3);
+  EXPECT_EQ(s->next(0, 14, &ready), -1);
+}
+
+TEST(SelfScheduler, SerializesConcurrentFetches) {
+  const auto s = make_scheduler(Schedule::kSelf, 3, 3, config());
+  Tick r0 = 0;
+  Tick r1 = 0;
+  Tick r2 = 0;
+  // Three fetches at the same instant serialize on the shared counter.
+  EXPECT_EQ(s->next(0, 100, &r0), 0);
+  EXPECT_EQ(s->next(1, 100, &r1), 1);
+  EXPECT_EQ(s->next(2, 100, &r2), 2);
+  EXPECT_EQ(r0, 106);  // grant 100 + fetch 6
+  EXPECT_EQ(r1, 108);  // grant 102 + fetch 6
+  EXPECT_EQ(r2, 110);  // grant 104 + fetch 6
+}
+
+TEST(SelfScheduler, LateFetchNotPenalized) {
+  const auto s = make_scheduler(Schedule::kSelf, 2, 2, config());
+  Tick ready = 0;
+  s->next(0, 0, &ready);
+  EXPECT_EQ(s->next(1, 1000, &ready), 1);
+  EXPECT_EQ(ready, 1006);  // counter long free: only the fetch cost
+}
+
+}  // namespace
+}  // namespace perturb::sim

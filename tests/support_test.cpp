@@ -1,0 +1,311 @@
+// Unit tests for the support library: PRNG determinism and distribution,
+// statistics, text helpers, CSV escaping, ASCII charts, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/ascii_chart.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/prng.hpp"
+#include "support/stats.hpp"
+#include "support/text.hpp"
+
+namespace perturb::support {
+namespace {
+
+// ---- check ----------------------------------------------------------------
+
+TEST(Check, ThrowsWithExpressionAndLocation) {
+  try {
+    PERTURB_CHECK_MSG(1 == 2, "math broke");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(PERTURB_CHECK(2 + 2 == 4));
+}
+
+// ---- prng -----------------------------------------------------------------
+
+TEST(Prng, SplitMixIsDeterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Prng, XoshiroSameSeedSameStream) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, XoshiroDifferentSeedsDiverge) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(8);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) differing += a() != b() ? 1 : 0;
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Prng, Uniform01InRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prng, Uniform01MeanIsCentered) {
+  Xoshiro256 rng(1);
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform01());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Prng, BelowRespectsBound) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Prng, BelowCoversRange) {
+  Xoshiro256 rng(3);
+  std::array<int, 5> counts{};
+  for (int i = 0; i < 5000; ++i) counts[rng.below(5)]++;
+  for (const int c : counts) EXPECT_GT(c, 800);
+}
+
+TEST(Prng, NormalHasUnitVariance) {
+  Xoshiro256 rng(5);
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Prng, KeyedJitterDeterministicAndBounded) {
+  OnlineStats s;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const double j = keyed_jitter(9, 2, i);
+    EXPECT_EQ(j, keyed_jitter(9, 2, i));
+    EXPECT_GE(j, -1.0);
+    EXPECT_LE(j, 1.0);
+    s.add(j);
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NE(keyed_jitter(9, 2, 1), keyed_jitter(9, 3, 1));
+}
+
+// ---- stats ----------------------------------------------------------------
+
+TEST(Stats, OnlineMomentsMatchDirectComputation) {
+  OnlineStats s;
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_NEAR(s.variance(), 37.2, 1e-9);
+}
+
+TEST(Stats, EmptyStatsAreZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, MergeEqualsSingleStream) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats all;
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0, 10);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, MergeWithEmptySides) {
+  OnlineStats a;
+  OnlineStats b;
+  b.add(3.0);
+  a.merge(b);  // empty.merge(non-empty)
+  EXPECT_EQ(a.count(), 1u);
+  OnlineStats c;
+  a.merge(c);  // non-empty.merge(empty)
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.3), 7.0);
+}
+
+TEST(Stats, PercentileRejectsEmpty) {
+  EXPECT_THROW(percentile({}, 0.5), CheckError);
+}
+
+TEST(Stats, HistogramBinsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(3.9);
+  h.add(4.0);
+  h.add(10.0);
+  h.add(25.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Stats, RmsOfKnownValues) {
+  EXPECT_DOUBLE_EQ(rms({3.0, 4.0}), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+}
+
+// ---- text -------------------------------------------------------------
+
+TEST(Text, StrfFormats) {
+  EXPECT_EQ(strf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strf("%.2f", 3.14159), "3.14");
+}
+
+TEST(Text, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Text, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Text, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcde", 3), "abcde");
+}
+
+TEST(Text, RenderTableAlignsColumns) {
+  const auto out = render_table({{"name", "value"}, {"x", "1"}, {"long", "22"}});
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Values right-aligned under the header.
+  EXPECT_NE(out.find("    1"), std::string::npos);
+}
+
+// ---- csv --------------------------------------------------------------
+
+TEST(Csv, PlainRow) {
+  std::ostringstream ss;
+  CsvWriter w(ss);
+  w.rowv("a", 1, 2.5);
+  EXPECT_EQ(ss.str(), "a,1,2.5\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  std::ostringstream ss;
+  CsvWriter w(ss);
+  w.row({"a,b", "q\"q", "line\nbreak", "plain"});
+  EXPECT_EQ(ss.str(), "\"a,b\",\"q\"\"q\",\"line\nbreak\",plain\n");
+}
+
+// ---- ascii charts ----------------------------------------------------------
+
+TEST(AsciiChart, BarChartScalesToMax) {
+  const auto out = render_bar_chart(
+      {"m"}, {{"a", {10.0}}, {"b", {5.0}}}, 20);
+  // The 10.0 bar should be the full 20 columns, the 5.0 bar 10 columns.
+  EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);
+  EXPECT_NE(out.find("10.00"), std::string::npos);
+}
+
+TEST(AsciiChart, BarChartRejectsArityMismatch) {
+  EXPECT_THROW(render_bar_chart({"m", "n"}, {{"a", {1.0}}}, 10), CheckError);
+}
+
+TEST(AsciiChart, TimelineMarksIntervals) {
+  std::vector<TimelineRow> rows(1);
+  rows[0].label = "p0";
+  rows[0].intervals.push_back({50, 100});
+  const auto out = render_timeline(rows, 0, 100, 10);
+  // Interval covers the second half of the row.
+  EXPECT_NE(out.find(".....#####"), std::string::npos);
+}
+
+TEST(AsciiChart, TimelineShortIntervalStillVisible) {
+  std::vector<TimelineRow> rows(1);
+  rows[0].label = "p0";
+  rows[0].intervals.push_back({1, 2});
+  const auto out = render_timeline(rows, 0, 1000, 10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiChart, StepPlotShowsLevels) {
+  const auto out = render_step_plot({{0, 1.0}, {50, 4.0}}, 0, 100, 4.0, 20, 4);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("4.0"), std::string::npos);
+}
+
+// ---- cli --------------------------------------------------------------
+
+TEST(Cli, ParsesAllForms) {
+  // Note: `--name value` is greedy, so a trailing boolean flag must not be
+  // followed by a positional argument.
+  const char* argv[] = {"prog", "--a=1", "--b", "2", "pos1", "--flag"};
+  const Cli cli(6, argv);
+  EXPECT_EQ(cli.get_int("a", 0), 1);
+  EXPECT_EQ(cli.get_int("b", 0), 2);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, argv);
+  EXPECT_EQ(cli.get("missing", "def"), "def");
+  EXPECT_EQ(cli.get_int("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, RejectsMalformedOption) {
+  const char* argv[] = {"prog", "--=x"};
+  EXPECT_THROW(Cli(2, argv), CheckError);
+}
+
+}  // namespace
+}  // namespace perturb::support

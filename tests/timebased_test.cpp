@@ -1,0 +1,169 @@
+// Tests for time-based perturbation analysis (§3): exact recovery on
+// independent execution, per-event accuracy, clamping, and its documented
+// failure mode on dependent execution.
+#include <gtest/gtest.h>
+
+#include "core/timebased.hpp"
+#include "instr/plan.hpp"
+#include "sim/engine.hpp"
+#include "trace/trace_stats.hpp"
+#include "trace/validate.hpp"
+
+namespace perturb::core {
+namespace {
+
+using trace::EventKind;
+using trace::Trace;
+
+AnalysisOverheads overheads_from_plan(const instr::InstrumentationPlan& plan,
+                                      const sim::MachineConfig& cfg) {
+  AnalysisOverheads ov;
+  for (std::uint8_t k = 0; k < trace::kNumEventKinds; ++k)
+    ov.probe[k] = plan.mean_cost(static_cast<EventKind>(k));
+  ov.s_nowait = cfg.await_check_cost;
+  ov.s_wait = cfg.await_resume_cost;
+  ov.lock_acquire = cfg.lock_acquire_cost;
+  ov.barrier_depart = cfg.barrier_depart_cost;
+  return ov;
+}
+
+sim::Program sequential_program(std::int64_t trip = 50) {
+  sim::Program p;
+  sim::Block body;
+  body.nodes.push_back(sim::compute("a", 20));
+  body.nodes.push_back(sim::compute("b", 35));
+  p.root().nodes.push_back(sim::seq_loop("l", trip, std::move(body)));
+  p.finalize();
+  return p;
+}
+
+TEST(TimeBased, ExactRecoveryWithoutJitter) {
+  const sim::MachineConfig cfg{.num_procs = 1};
+  const auto prog = sequential_program();
+  const auto plan = instr::InstrumentationPlan::statements_only({150.0, 0.0}, 1);
+  const auto actual = sim::simulate_actual(cfg, prog, "a");
+  const auto measured = sim::simulate(cfg, prog, plan, "m");
+  ASSERT_GT(measured.total_time(), 2 * actual.total_time());
+
+  const auto approx =
+      time_based_approximation(measured, overheads_from_plan(plan, cfg));
+  // Total time recovered exactly.
+  EXPECT_EQ(approx.total_time(), actual.total_time());
+  // Every event time recovered exactly.
+  const auto cmp = trace::compare(approx, actual);
+  EXPECT_EQ(cmp.matched_events, actual.size());
+  EXPECT_EQ(cmp.max_abs_time_error, 0);
+}
+
+TEST(TimeBased, NearExactRecoveryWithJitter) {
+  // Cumulative-subtraction residual is a zero-mean random walk: relative
+  // error shrinks as 1/sqrt(n), so a longer loop keeps the bound tight.
+  const sim::MachineConfig cfg{.num_procs = 1};
+  const auto prog = sequential_program(500);
+  const auto plan = instr::InstrumentationPlan::statements_only({150.0, 0.10}, 7);
+  const auto actual = sim::simulate_actual(cfg, prog, "a");
+  const auto measured = sim::simulate(cfg, prog, plan, "m");
+  const auto approx =
+      time_based_approximation(measured, overheads_from_plan(plan, cfg));
+  const double ratio = static_cast<double>(approx.total_time()) /
+                       static_cast<double>(actual.total_time());
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+TEST(TimeBased, IndependentForkJoinRecovered) {
+  // DOALL: no inter-processor dependencies beyond the closing barrier; the
+  // time-based model is expected to be accurate (§3).
+  sim::Program p;
+  sim::Block body;
+  body.nodes.push_back(sim::compute("w", 200));
+  p.root().nodes.push_back(sim::par_loop("l", sim::LoopKind::kDoall,
+                                         sim::Schedule::kCyclic, 32,
+                                         std::move(body)));
+  p.finalize();
+  const sim::MachineConfig cfg{.num_procs = 4};
+  const auto plan = instr::InstrumentationPlan::statements_only({150.0, 0.0}, 1);
+  const auto actual = sim::simulate_actual(cfg, p, "a");
+  const auto measured = sim::simulate(cfg, p, plan, "m");
+  const auto approx =
+      time_based_approximation(measured, overheads_from_plan(plan, cfg));
+  const double ratio = static_cast<double>(approx.total_time()) /
+                       static_cast<double>(actual.total_time());
+  // Probes shift barrier arrivals uniformly; recovery is near exact.
+  EXPECT_NEAR(ratio, 1.0, 0.02);
+}
+
+TEST(TimeBased, PreservesEventOrderPerProcessor) {
+  const sim::MachineConfig cfg{.num_procs = 2};
+  sim::Program p;
+  sim::Block body;
+  body.nodes.push_back(sim::compute("w", 10));
+  p.root().nodes.push_back(sim::par_loop("l", sim::LoopKind::kDoall,
+                                         sim::Schedule::kCyclic, 8,
+                                         std::move(body)));
+  p.finalize();
+  const auto plan = instr::InstrumentationPlan::full({80.0, 0.3}, {40.0, 0.3},
+                                                     {40.0, 0.3}, 3);
+  const auto measured = sim::simulate(cfg, p, plan, "m");
+  const auto approx =
+      time_based_approximation(measured, overheads_from_plan(plan, cfg));
+  // Per-processor monotonicity survives aggressive jitter.
+  std::vector<trace::Tick> last(cfg.num_procs, -1);
+  for (const auto& e : approx) {
+    EXPECT_GE(e.time, last[e.proc]);
+    last[e.proc] = e.time;
+  }
+  EXPECT_TRUE(approx.is_time_ordered());
+}
+
+TEST(TimeBased, NoNegativeTimes) {
+  // First event carries a probe larger than its measured time should clamp.
+  Trace measured({"m", 1, 1.0});
+  trace::Event e;
+  e.time = 5;
+  e.kind = EventKind::kStmtEnter;
+  measured.append(e);
+  AnalysisOverheads ov;
+  ov.probe[static_cast<std::size_t>(EventKind::kStmtEnter)] = 50;
+  const auto approx = time_based_approximation(measured, ov);
+  EXPECT_EQ(approx[0].time, 0);
+}
+
+TEST(TimeBased, FailsOnDependentExecution) {
+  // The documented §3 limitation: a DOACROSS chain whose waiting disappears
+  // under instrumentation is under-approximated.
+  sim::Program p;
+  const auto var = p.declare_sync_var("S");
+  sim::Block body;
+  body.nodes.push_back(sim::compute("pre", 30));
+  body.nodes.push_back(sim::await(var, {1, -1}));
+  body.nodes.push_back(sim::raw_compute("upd", 10));
+  body.nodes.push_back(sim::advance(var, {1, 0}));
+  p.root().nodes.push_back(sim::par_loop("l", sim::LoopKind::kDoacross,
+                                         sim::Schedule::kCyclic, 256,
+                                         std::move(body)));
+  p.finalize();
+  const sim::MachineConfig cfg{.num_procs = 8};
+  const auto plan = instr::InstrumentationPlan::statements_only({200.0, 0.0}, 1);
+  const auto actual = sim::simulate_actual(cfg, p, "a");
+  const auto measured = sim::simulate(cfg, p, plan, "m");
+  const auto approx =
+      time_based_approximation(measured, overheads_from_plan(plan, cfg));
+  const double ratio = static_cast<double>(approx.total_time()) /
+                       static_cast<double>(actual.total_time());
+  EXPECT_LT(ratio, 0.8);  // severe under-approximation, as in Table 1
+}
+
+TEST(TimeBased, MetadataAndEventSetPreserved) {
+  const sim::MachineConfig cfg{.num_procs = 1};
+  const auto prog = sequential_program();
+  const auto plan = instr::InstrumentationPlan::statements_only({100.0, 0.0}, 1);
+  const auto measured = sim::simulate(cfg, prog, plan, "m");
+  const auto approx =
+      time_based_approximation(measured, overheads_from_plan(plan, cfg));
+  EXPECT_EQ(approx.size(), measured.size());
+  EXPECT_EQ(approx.info().num_procs, measured.info().num_procs);
+  EXPECT_NE(approx.info().name.find("time-based"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perturb::core

@@ -1,0 +1,90 @@
+// Tests for vector-mode lowering (§3's vector executions): strip-mining,
+// event volume, speedup, and analysis accuracy.
+#include <gtest/gtest.h>
+
+#include "experiments/experiments.hpp"
+#include "loops/kernels.hpp"
+#include "loops/programs.hpp"
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+#include "trace/validate.hpp"
+
+namespace perturb::loops {
+namespace {
+
+TEST(VectorMode, StripMinesIntoVectorOps) {
+  const auto prog = make_vector_ir(1, 100, {.vector_length = 32});
+  const sim::MachineConfig cfg{.num_procs = 1};
+  const auto t = sim::simulate_actual(cfg, prog, "t");
+  // ceil(100/32) = 4 strips, 1 statement each => 4 enter/exit pairs.
+  std::size_t enters = 0;
+  for (const auto& e : t)
+    enters += e.kind == trace::EventKind::kStmtEnter ? 1 : 0;
+  EXPECT_EQ(enters, 4u);
+  EXPECT_TRUE(trace::validate(t).empty());
+}
+
+TEST(VectorMode, PartialLastStripCostsLess) {
+  const VectorParams params{.vector_length = 32, .element_speedup = 4.0,
+                            .startup = 10};
+  const auto prog = make_vector_ir(1, 40, params);  // strips of 32 and 8
+  const sim::MachineConfig cfg{.num_procs = 1};
+  const auto t = sim::simulate_actual(cfg, prog, "t");
+  std::vector<trace::Tick> durations;
+  trace::Tick enter = 0;
+  for (const auto& e : t) {
+    if (e.kind == trace::EventKind::kStmtEnter) enter = e.time;
+    if (e.kind == trace::EventKind::kStmtExit)
+      durations.push_back(e.time - enter);
+  }
+  ASSERT_EQ(durations.size(), 2u);
+  // 22 cycles/element: full strip 10 + 22*32/4 = 186; partial 10 + 22*8/4 = 54.
+  EXPECT_EQ(durations[0], 186);
+  EXPECT_EQ(durations[1], 54);
+}
+
+TEST(VectorMode, FasterThanScalar) {
+  const sim::MachineConfig cfg{.num_procs = 1};
+  for (const int k : {1, 7, 12, 22}) {
+    const auto scalar = sim::simulate_actual(cfg, make_sequential_ir(k, 512), "s");
+    const auto vec = sim::simulate_actual(cfg, make_vector_ir(k, 512), "v");
+    EXPECT_LT(vec.total_time() * 2, scalar.total_time()) << "kernel " << k;
+    EXPECT_LT(vec.size(), scalar.size() / 4) << "kernel " << k;
+  }
+}
+
+TEST(VectorMode, UnvectorizableKernelFallsBackToSequential) {
+  // Kernel 5 carries a recurrence: vector lowering must match sequential.
+  const sim::MachineConfig cfg{.num_procs = 1};
+  const auto seq = sim::simulate_actual(cfg, make_sequential_ir(5, 128), "s");
+  const auto vec = sim::simulate_actual(cfg, make_vector_ir(5, 128), "v");
+  EXPECT_EQ(seq.total_time(), vec.total_time());
+  EXPECT_EQ(seq.size(), vec.size());
+}
+
+TEST(VectorMode, RejectsBadParameters) {
+  EXPECT_THROW(make_vector_ir(1, 64, {.vector_length = 0}), CheckError);
+  EXPECT_THROW(make_vector_ir(1, 64, {.element_speedup = 0.0}), CheckError);
+}
+
+TEST(VectorMode, TimeBasedAnalysisAccurate) {
+  // §3: vector-mode approximations were "extremely accurate".
+  experiments::Setup setup;
+  for (const int k : {1, 7, 22}) {
+    const auto run = experiments::run_vector_experiment(k, 1001, setup);
+    EXPECT_GT(run.tb_quality.measured_over_actual, 1.2) << "kernel " << k;
+    EXPECT_NEAR(run.tb_quality.approx_over_actual, 1.0, 0.03) << "kernel " << k;
+  }
+}
+
+TEST(VectorMode, LessPerturbedThanScalar) {
+  experiments::Setup setup;
+  const auto scalar = experiments::run_sequential_experiment(7, 1001, setup);
+  const auto vec = experiments::run_vector_experiment(7, 1001, setup);
+  EXPECT_LT(vec.tb_quality.measured_over_actual,
+            scalar.tb_quality.measured_over_actual);
+  EXPECT_LT(vec.measured.size(), scalar.measured.size() / 8);
+}
+
+}  // namespace
+}  // namespace perturb::loops

@@ -1,0 +1,183 @@
+// perturb-analyze — offline perturbation analysis of a measured trace file.
+//
+//   perturb-analyze <measured-trace> [options]
+//
+// Options:
+//   --mode event|time          analysis to run (default: event)
+//   --output <file>            write the approximated trace
+//   --actual <file>            score the approximation against this trace
+//   --stmt-probe <c>           mean statement probe cost (cycles/ticks)
+//   --sync-probe <c>           mean synchronization probe cost
+//   --control-probe <c>        mean loop/iteration marker probe cost
+//   --s-nowait <c>             await processing cost without waiting
+//   --s-wait <c>               await resume cost after waiting
+//   --lock-acquire <c>         uncontended lock acquisition cost
+//   --barrier-depart <c>       barrier departure latency
+//   --no-locks / --no-barriers disable those dependency models
+//   --sem-capacity <obj>:<cap> declare a counting semaphore's capacity
+//                              (repeatable via comma: "1:2,3:4")
+//   --sync-slack <t>           timing slack for validating measured traces
+//   --report                   print waiting/parallelism/critical-path report
+//
+// This is the paper's workflow as a command-line tool: capture a measured
+// trace (simulator, rt runtime, or your own producer writing the trace
+// format), then recover the approximated actual execution offline.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "analysis/critical_path.hpp"
+#include "analysis/parallelism.hpp"
+#include "analysis/timeline.hpp"
+#include "analysis/waiting.hpp"
+#include "core/eventbased.hpp"
+#include "core/quality.hpp"
+#include "core/timebased.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/text.hpp"
+#include "trace/io.hpp"
+#include "trace/validate.hpp"
+
+namespace {
+
+using namespace perturb;
+
+core::AnalysisOverheads overheads_from_cli(const support::Cli& cli) {
+  core::AnalysisOverheads ov;
+  const auto stmt = cli.get_int("stmt-probe", 0);
+  const auto sync = cli.get_int("sync-probe", 0);
+  const auto control = cli.get_int("control-probe", 0);
+  for (std::uint8_t k = 0; k < trace::kNumEventKinds; ++k) {
+    const auto kind = static_cast<trace::EventKind>(k);
+    if (trace::is_sync_kind(kind)) {
+      ov.probe[k] = sync;
+    } else if (kind == trace::EventKind::kStmtEnter ||
+               kind == trace::EventKind::kStmtExit ||
+               kind == trace::EventKind::kUser) {
+      ov.probe[k] = stmt;
+    } else {
+      ov.probe[k] = control;
+    }
+  }
+  ov.probe[static_cast<std::size_t>(trace::EventKind::kProgramBegin)] = 0;
+  ov.probe[static_cast<std::size_t>(trace::EventKind::kProgramEnd)] = 0;
+  ov.s_nowait = cli.get_int("s-nowait", 0);
+  ov.s_wait = cli.get_int("s-wait", 0);
+  ov.lock_acquire = cli.get_int("lock-acquire", 0);
+  ov.sem_acquire = cli.get_int("sem-acquire", 0);
+  ov.barrier_depart = cli.get_int("barrier-depart", 0);
+  return ov;
+}
+
+/// Parses "1:2,3:4" into {object: capacity}.
+std::map<trace::ObjectId, std::int64_t> capacities_from_cli(
+    const support::Cli& cli) {
+  std::map<trace::ObjectId, std::int64_t> caps;
+  for (const auto& entry :
+       support::split(cli.get("sem-capacity", ""), ',')) {
+    if (entry.empty()) continue;
+    const auto parts = support::split(entry, ':');
+    PERTURB_CHECK_MSG(parts.size() == 2,
+                      "--sem-capacity expects obj:cap entries");
+    caps[static_cast<trace::ObjectId>(
+        std::strtoul(parts[0].c_str(), nullptr, 10))] =
+        std::strtoll(parts[1].c_str(), nullptr, 10);
+  }
+  return caps;
+}
+
+void print_report(const trace::Trace& approx,
+                  const core::AnalysisOverheads& ov) {
+  analysis::WaitClassifier classifier;
+  classifier.await_nowait = ov.s_nowait;
+  classifier.lock_acquire = ov.lock_acquire;
+  classifier.barrier_depart = ov.barrier_depart;
+  classifier.tolerance = 2;
+
+  const auto waits = analysis::waiting_analysis(approx, classifier);
+  std::printf("\n-- waiting --\n%s",
+              analysis::render_waiting_table(waits).c_str());
+  const auto profile = analysis::parallelism_profile(approx, classifier);
+  std::printf("\n-- parallelism --\naverage %.2f (parallel region %.2f)\n",
+              profile.average, profile.average_parallel);
+  std::printf("\n-- critical path --\n%s",
+              analysis::render_critical_path(analysis::critical_path(approx))
+                  .c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace perturb;
+  const support::Cli cli(argc, argv);
+  if (cli.positional().empty()) {
+    std::fprintf(stderr, "usage: perturb-analyze <measured-trace> [options]\n");
+    return 2;
+  }
+  try {
+    const trace::Trace measured = trace::load(cli.positional()[0]);
+    trace::ValidateOptions validate_opts;
+    validate_opts.sync_slack = cli.get_int("sync-slack", 0);
+    const auto violations = trace::validate(measured, validate_opts);
+    if (!violations.empty()) {
+      std::fprintf(stderr,
+                   "input trace has %zu causality violation(s); analysis "
+                   "requires a happened-before-consistent trace:\n%s",
+                   violations.size(), trace::describe(violations).c_str());
+      return 1;
+    }
+
+    const core::AnalysisOverheads ov = overheads_from_cli(cli);
+    const std::string mode = cli.get("mode", "event");
+
+    trace::Trace approx;
+    if (mode == "time") {
+      approx = core::time_based_approximation(measured, ov);
+    } else if (mode == "event") {
+      core::EventBasedOptions opt;
+      opt.model_locks = !cli.get_bool("no-locks", false);
+      opt.model_barriers = !cli.get_bool("no-barriers", false);
+      opt.semaphore_capacity = capacities_from_cli(cli);
+      auto result = core::event_based_approximation(measured, ov, opt);
+      std::printf("awaits: %zu, measured waits: %zu, approximated waits: %zu "
+                  "(removed %zu, introduced %zu)\n",
+                  result.awaits_total, result.waits_measured,
+                  result.waits_approx, result.waits_removed,
+                  result.waits_introduced);
+      approx = std::move(result.approx);
+    } else {
+      std::fprintf(stderr, "unknown --mode %s (use event|time)\n",
+                   mode.c_str());
+      return 2;
+    }
+
+    std::printf("measured total time: %lld\n",
+                static_cast<long long>(measured.total_time()));
+    std::printf("approximated total:  %lld  (%.3fx of measured)\n",
+                static_cast<long long>(approx.total_time()),
+                static_cast<double>(approx.total_time()) /
+                    static_cast<double>(measured.total_time()));
+
+    if (cli.has("actual")) {
+      const trace::Trace actual = trace::load(cli.get("actual", ""));
+      const auto q = core::assess(measured, approx, actual);
+      std::printf("vs actual: measured %.3fx, approximated %.3fx "
+                  "(%+.1f%% error)\n",
+                  q.measured_over_actual, q.approx_over_actual,
+                  q.percent_error);
+    }
+
+    if (cli.has("output")) {
+      const std::string path = cli.get("output", "");
+      trace::save(path, approx);
+      std::printf("approximated trace written to %s\n", path.c_str());
+    }
+    if (cli.get_bool("report", false)) print_report(approx, ov);
+    return 0;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,118 @@
+// perturb-trace — trace file inspector.
+//
+//   perturb-trace info <file>            metadata + per-kind/per-proc counts
+//   perturb-trace validate <file>        causality checks; exit 1 on violations
+//   perturb-trace dump <file> [--limit N] print events as text
+//   perturb-trace convert <in> <out>     convert between text (.ptt) / binary
+//   perturb-trace merge <out> <in...>    merge per-processor trace files
+//   perturb-trace critical-path <file>   critical-path breakdown
+//
+// Trace files are written by trace::save (text when the path ends in .ptt,
+// binary otherwise); the simulator, the rt runtime, and perturb-analyze all
+// produce them.
+#include <cstdio>
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/critical_path.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "trace/io.hpp"
+#include "trace/trace_stats.hpp"
+#include "trace/validate.hpp"
+
+namespace {
+
+using namespace perturb;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perturb-trace <info|validate|dump|convert|merge|"
+               "critical-path> <file> [args]\n");
+  return 2;
+}
+
+int cmd_info(const trace::Trace& t) {
+  std::printf("name:          %s\n", t.info().name.c_str());
+  std::printf("processors:    %u\n", t.info().num_procs);
+  std::printf("ticks per us:  %.3f\n", t.info().ticks_per_us);
+  std::printf("%s", trace::render_stats(trace::compute_stats(t)).c_str());
+  return 0;
+}
+
+int cmd_validate(const trace::Trace& t) {
+  const auto violations = trace::validate(t);
+  if (violations.empty()) {
+    std::printf("OK: %zu events, no causality violations\n", t.size());
+    return 0;
+  }
+  std::printf("%zu violation(s):\n%s", violations.size(),
+              trace::describe(violations).c_str());
+  return 1;
+}
+
+int cmd_dump(const trace::Trace& t, std::int64_t limit) {
+  std::int64_t shown = 0;
+  for (const auto& e : t) {
+    std::printf("%12lld  p%-3u %-11s id=%-5u obj=%-4u payload=%lld\n",
+                static_cast<long long>(e.time), unsigned(e.proc),
+                trace::event_kind_name(e.kind), unsigned(e.id),
+                unsigned(e.object), static_cast<long long>(e.payload));
+    if (limit > 0 && ++shown >= limit) {
+      std::printf("... (%zu events total)\n", t.size());
+      break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace perturb;
+  const support::Cli cli(argc, argv);
+  const auto& args = cli.positional();
+  if (args.size() < 2) return usage();
+  const std::string& command = args[0];
+  try {
+    if (command == "merge") {
+      // args: merge <out> <in...> — merge time-ordered per-processor (or
+      // per-buffer) traces into one; metadata comes from the first input.
+      if (args.size() < 3) return usage();
+      std::vector<trace::Trace> parts;
+      std::uint32_t procs = 0;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        parts.push_back(trace::load(args[i]));
+        procs = std::max(procs, parts.back().info().num_procs);
+      }
+      trace::TraceInfo info = parts.front().info();
+      info.num_procs = procs;
+      const auto merged = trace::Trace::merge(info, parts);
+      trace::save(args[1], merged);
+      std::printf("merged %zu traces into %s (%zu events)\n", parts.size(),
+                  args[1].c_str(), merged.size());
+      return 0;
+    }
+    const trace::Trace t = trace::load(args[1]);
+    if (command == "info") return cmd_info(t);
+    if (command == "validate") return cmd_validate(t);
+    if (command == "dump") return cmd_dump(t, cli.get_int("limit", 0));
+    if (command == "critical-path") {
+      std::printf("%s",
+                  analysis::render_critical_path(analysis::critical_path(t))
+                      .c_str());
+      return 0;
+    }
+    if (command == "convert") {
+      if (args.size() < 3) return usage();
+      trace::save(args[2], t);
+      std::printf("wrote %zu events to %s\n", t.size(), args[2].c_str());
+      return 0;
+    }
+    return usage();
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
