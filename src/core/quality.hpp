@@ -17,6 +17,10 @@ struct ApproximationQuality {
   double p50_event_error = 0.0;       ///< median |t_approx - t_actual|
   double p95_event_error = 0.0;
   std::size_t matched_events = 0;     ///< events compared between the traces
+  /// True when the measured trace was salvaged or repaired with loss before
+  /// analysis (see trace::RepairSeverity): the metrics above then describe a
+  /// degraded input, not a faithful measurement.
+  bool degraded_input = false;
 };
 
 /// Scores an approximated trace against the actual (uninstrumented) trace,

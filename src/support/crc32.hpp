@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) for integrity
+// checking of serialized trace chunks.  Software table-driven implementation;
+// fast enough for I/O-bound framing and dependency-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace perturb::support {
+
+/// Incremental CRC-32 accumulator.  Feed bytes with update(); read the
+/// finalized value with value().  A fresh accumulator over no bytes yields 0.
+class Crc32 {
+ public:
+  Crc32() = default;
+
+  void update(const void* data, std::size_t size) noexcept;
+
+  /// Finalized (bit-inverted) CRC of everything fed so far.
+  std::uint32_t value() const noexcept { return state_ ^ 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot convenience: CRC-32 of a buffer.
+std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+}  // namespace perturb::support

@@ -1,0 +1,148 @@
+#include "trace/faults.hpp"
+
+#include <algorithm>
+
+#include "support/prng.hpp"
+
+namespace perturb::trace {
+
+using support::Xoshiro256;
+
+Trace drop_events(const Trace& trace, EventKind kind,
+                  std::uint64_t keep_one_in, std::uint64_t seed) {
+  Trace out(trace.info());
+  Xoshiro256 rng(seed);
+  for (const auto& e : trace) {
+    if (e.kind == kind && rng.below(keep_one_in) != 0) continue;
+    out.append(e);
+  }
+  return out;
+}
+
+Trace drop_random_events(const Trace& trace, double drop_rate,
+                         std::uint64_t seed) {
+  Trace out(trace.info());
+  Xoshiro256 rng(seed);
+  for (const auto& e : trace) {
+    const bool anchored = e.kind == EventKind::kProgramBegin ||
+                          e.kind == EventKind::kProgramEnd;
+    if (!anchored && rng.uniform01() < drop_rate) continue;
+    out.append(e);
+  }
+  return out;
+}
+
+Trace skew_timestamps(const Trace& trace, Tick max_skew, double rate,
+                      std::uint64_t seed) {
+  Trace out(trace.info());
+  Xoshiro256 rng(seed);
+  for (auto e : trace) {
+    if (max_skew > 0 && rng.uniform01() < rate)
+      e.time -= 1 + static_cast<Tick>(
+                        rng.below(static_cast<std::uint64_t>(max_skew)));
+    out.append(e);
+  }
+  return out;
+}
+
+Trace truncate_trace(const Trace& trace, double keep_fraction) {
+  Trace out(trace.info());
+  const auto keep = static_cast<std::size_t>(
+      static_cast<double>(trace.size()) *
+      std::clamp(keep_fraction, 0.0, 1.0));
+  for (std::size_t i = 0; i < keep; ++i) out.append(trace[i]);
+  return out;
+}
+
+namespace {
+
+Event make_ev(EventKind kind, Tick time, ProcId proc, ObjectId object,
+              std::int64_t payload) {
+  Event e;
+  e.kind = kind;
+  e.time = time;
+  e.proc = proc;
+  e.object = object;
+  e.payload = payload;
+  return e;
+}
+
+}  // namespace
+
+Trace inject_violation(const Trace& trace, ViolationKind kind) {
+  Trace out = trace;
+  // Appended scenarios live after everything real, on fresh object ids, so
+  // the *only* new violations are the requested ones.
+  const Tick base = out.end_time() + 1000;
+  const ObjectId obj = kFaultObjectBase + static_cast<ObjectId>(kind);
+  auto add = [&out](const Event& e) { out.append(e); };
+  using K = EventKind;
+  switch (kind) {
+    case ViolationKind::kNonMonotoneProcessorTime:
+      add(make_ev(K::kUser, base + 10000, 0, 0, 0));
+      add(make_ev(K::kUser, base + 5000, 0, 0, 0));  // clock ran backwards
+      break;
+    case ViolationKind::kAwaitEndBeforeAdvance:
+      add(make_ev(K::kAdvance, base + 10000, 0, obj, 1));
+      add(make_ev(K::kAwaitBegin, base + 1000, 1, obj, 1));
+      add(make_ev(K::kAwaitEnd, base + 5000, 1, obj, 1));  // precedes advance
+      break;
+    case ViolationKind::kAwaitEndWithoutAdvance:
+      add(make_ev(K::kAwaitBegin, base + 1000, 1, obj, 1));
+      add(make_ev(K::kAwaitEnd, base + 2000, 1, obj, 1));  // advance was lost
+      break;
+    case ViolationKind::kAwaitEndWithoutBegin:
+      add(make_ev(K::kAdvance, base + 1000, 0, obj, 1));
+      add(make_ev(K::kAwaitEnd, base + 2000, 1, obj, 1));  // awaitB was lost
+      break;
+    case ViolationKind::kDuplicateAdvance:
+      add(make_ev(K::kAdvance, base + 1000, 0, obj, 1));
+      add(make_ev(K::kAdvance, base + 2000, 0, obj, 1));  // retransmission
+      break;
+    case ViolationKind::kLockOverlap:
+      add(make_ev(K::kLockAcquire, base + 1000, 0, obj, 0));
+      add(make_ev(K::kLockRelease, base + 3000, 0, obj, 0));
+      add(make_ev(K::kLockAcquire, base + 2000, 1, obj, 0));  // inside previous
+      add(make_ev(K::kLockRelease, base + 4000, 1, obj, 0));
+      break;
+    case ViolationKind::kLockUnbalanced:
+      add(make_ev(K::kLockAcquire, base + 1000, 0, obj, 0));
+      add(make_ev(K::kLockAcquire, base + 2000, 1, obj, 0));  // release lost
+      add(make_ev(K::kLockRelease, base + 3000, 1, obj, 0));
+      break;
+    case ViolationKind::kBarrierOrder:
+      add(make_ev(K::kBarrierArrive, base + 1000, 0, obj, 1));
+      add(make_ev(K::kBarrierDepart, base + 2000, 0, obj, 1));
+      add(make_ev(K::kBarrierArrive, base + 3000, 1, obj, 1));  // after depart
+      add(make_ev(K::kBarrierDepart, base + 4000, 1, obj, 1));
+      break;
+    case ViolationKind::kBarrierIncomplete:
+      add(make_ev(K::kBarrierArrive, base + 1000, 0, obj, 1));
+      add(make_ev(K::kBarrierArrive, base + 2000, 1, obj, 1));
+      add(make_ev(K::kBarrierDepart, base + 3000, 0, obj, 1));  // p1 lost
+      break;
+    case ViolationKind::kSemaphoreUnbalanced:
+      add(make_ev(K::kSemRelease, base + 1000, 0, obj, 0));  // P() was lost
+      break;
+  }
+  return out;
+}
+
+void flip_bits(std::string& bytes, std::size_t flips, std::uint64_t seed) {
+  if (bytes.empty()) return;
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < flips; ++i) {
+    const auto pos = static_cast<std::size_t>(rng.below(bytes.size()));
+    const auto bit = static_cast<int>(rng.below(8));
+    bytes[pos] = static_cast<char>(
+        static_cast<unsigned char>(bytes[pos]) ^ (1u << bit));
+  }
+}
+
+std::string truncate_bytes(const std::string& bytes, double keep_fraction) {
+  const auto keep = static_cast<std::size_t>(
+      static_cast<double>(bytes.size()) * std::clamp(keep_fraction, 0.0, 1.0));
+  return bytes.substr(0, keep);
+}
+
+}  // namespace perturb::trace

@@ -1,0 +1,59 @@
+// Fault injection for traces: seeded, deterministic corruptors used by the
+// robustness tests, the binary-format fuzzers, and the corruption-accuracy
+// bench.  Two layers:
+//
+//   * trace-level faults model degraded *capture* (dropped events from full
+//     buffers, skewed clocks, torn runs) and injection of a minimal instance
+//     of each ViolationKind for exercising the repair pipeline;
+//   * byte-level faults model degraded *storage* (bit rot, truncated files)
+//     applied to a serialized trace image.
+//
+// Everything is reproducible from the explicit seed; no global state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+#include "trace/validate.hpp"
+
+namespace perturb::trace {
+
+// ---- trace-level faults --------------------------------------------------
+
+/// Drops events of `kind`, keeping one in `keep_one_in` (seeded).  Models a
+/// producer losing a class of records (e.g. advances) to a full buffer.
+Trace drop_events(const Trace& trace, EventKind kind,
+                  std::uint64_t keep_one_in, std::uint64_t seed = 7);
+
+/// Drops each event independently with probability `drop_rate` (0..1).
+/// Program begin/end markers are kept so the timeline stays anchored.
+Trace drop_random_events(const Trace& trace, double drop_rate,
+                         std::uint64_t seed);
+
+/// Moves each event's timestamp back by up to `max_skew` ticks with
+/// probability `rate`, producing non-monotone per-processor clocks.
+Trace skew_timestamps(const Trace& trace, Tick max_skew, double rate,
+                      std::uint64_t seed);
+
+/// Keeps only the first `keep_fraction` of the events — a torn capture.
+Trace truncate_trace(const Trace& trace, double keep_fraction);
+
+/// Appends a minimal, self-contained scenario exhibiting `kind` to a copy
+/// of `trace` (works on any base trace, including an empty one).  The
+/// injected events use object ids above kFaultObjectBase so they cannot
+/// collide with real synchronization objects.
+Trace inject_violation(const Trace& trace, ViolationKind kind);
+
+/// Object-id floor for events synthesized by inject_violation.
+inline constexpr ObjectId kFaultObjectBase = 0xFFFF000;
+
+// ---- byte-level faults ---------------------------------------------------
+
+/// Flips `flips` random bits anywhere in `bytes` (seeded, in place).
+void flip_bits(std::string& bytes, std::size_t flips, std::uint64_t seed);
+
+/// Returns the first `keep_fraction` of `bytes` — a torn file.
+std::string truncate_bytes(const std::string& bytes, double keep_fraction);
+
+}  // namespace perturb::trace

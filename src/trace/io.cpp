@@ -3,18 +3,33 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "support/check.hpp"
+#include "support/crc32.hpp"
 #include "support/text.hpp"
 
 namespace perturb::trace {
 
+using support::Crc32;
 using support::split;
 using support::starts_with;
 using support::strf;
 using support::trim;
+
+namespace {
+
+// Sanity caps: no legitimate trace exceeds these, so larger declared values
+// mean a corrupt header rather than a big file.
+constexpr std::uint32_t kMaxNameLen = 1u << 20;
+constexpr std::uint32_t kMaxProcs = 1u << 20;
+
+[[noreturn]] void io_fail(const std::string& msg) { throw IoError(msg); }
+
+}  // namespace
 
 void write_text(std::ostream& out, const Trace& trace) {
   out << "#perturb-trace v1\n";
@@ -34,7 +49,6 @@ Trace read_text(std::istream& in) {
   PERTURB_CHECK_MSG(trim(line) == "#perturb-trace v1",
                     "bad trace header: " + line);
   TraceInfo info;
-  Trace out;
   bool have_info = false;
   std::vector<Event> events;
   while (std::getline(in, line)) {
@@ -43,8 +57,10 @@ Trace read_text(std::istream& in) {
     if (starts_with(line, "#name ")) {
       info.name = line.substr(6);
     } else if (starts_with(line, "#procs ")) {
-      info.num_procs = static_cast<std::uint32_t>(
-          std::strtoul(line.c_str() + 7, nullptr, 10));
+      const auto procs = std::strtoul(line.c_str() + 7, nullptr, 10);
+      PERTURB_CHECK_MSG(procs <= kMaxProcs,
+                        "absurd #procs directive: " + line);
+      info.num_procs = static_cast<std::uint32_t>(procs);
       have_info = true;
     } else if (starts_with(line, "#ticks_per_us ")) {
       info.ticks_per_us = std::strtod(line.c_str() + 14, nullptr);
@@ -73,7 +89,14 @@ Trace read_text(std::istream& in) {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'T', 'R', 'C'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kVersionV2 = 2;
+/// Events per v2 chunk: small enough that a flipped bit discards little
+/// (~27 KiB of events), large enough that the 8-byte frame is negligible.
+constexpr std::size_t kChunkEvents = 1024;
+/// Serialized size of one event record (time, payload, id, object, proc,
+/// kind), identical in v1 and v2.
+constexpr std::size_t kEventBytes = 8 + 8 + 4 + 4 + 2 + 1;
 
 template <typename T>
 void put(std::ostream& out, const T& v) {
@@ -84,86 +107,338 @@ template <typename T>
 T get(std::istream& in) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  PERTURB_CHECK_MSG(in.good(), "truncated binary trace");
+  if (!in.good()) io_fail("truncated binary trace");
   return v;
 }
 
-void put_string(std::ostream& out, const std::string& s) {
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+/// Bytes left in the stream from the current position, when the stream is
+/// seekable; SIZE_MAX otherwise (no way to pre-check, rely on read failures).
+std::size_t stream_remaining(std::istream& in) {
+  const auto pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return std::numeric_limits<std::size_t>::max();
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos)
+    return std::numeric_limits<std::size_t>::max();
+  return static_cast<std::size_t>(end - pos);
 }
 
-std::string get_string(std::istream& in) {
-  const auto n = get<std::uint32_t>(in);
-  std::string s(n, '\0');
-  in.read(s.data(), static_cast<std::streamsize>(n));
-  PERTURB_CHECK_MSG(in.good(), "truncated binary trace string");
-  return s;
+/// Append-only byte buffer with typed writes, for building checksummed
+/// blocks before they hit the stream.
+struct ByteSink {
+  std::vector<char> bytes;
+
+  template <typename T>
+  void put(const T& v) {
+    const auto* p = reinterpret_cast<const char*>(&v);
+    bytes.insert(bytes.end(), p, p + sizeof(T));
+  }
+};
+
+/// Bounds-checked reader over an in-memory (already CRC-verified) block.
+struct ByteSource {
+  const char* p;
+  const char* end;
+
+  template <typename T>
+  T get() {
+    if (static_cast<std::size_t>(end - p) < sizeof(T))
+      io_fail("binary trace block underrun");
+    T v{};
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    return v;
+  }
+};
+
+void put_event(ByteSink& sink, const Event& e) {
+  sink.put(e.time);
+  sink.put(e.payload);
+  sink.put(e.id);
+  sink.put(e.object);
+  sink.put(e.proc);
+  sink.put(static_cast<std::uint8_t>(e.kind));
+}
+
+Event get_event(ByteSource& src) {
+  Event e;
+  e.time = src.get<Tick>();
+  e.payload = src.get<std::int64_t>();
+  e.id = src.get<EventId>();
+  e.object = src.get<ObjectId>();
+  e.proc = src.get<ProcId>();
+  const auto kind = src.get<std::uint8_t>();
+  if (kind >= kNumEventKinds) io_fail("bad event kind in binary trace");
+  e.kind = static_cast<EventKind>(kind);
+  return e;
+}
+
+/// Reads the v2 header block (length-prefixed, CRC-trailed).  Throws IoError
+/// on corruption — a trace whose metadata cannot be trusted is unsalvageable.
+TraceInfo read_header_v2(std::istream& in, std::uint64_t& count) {
+  const auto header_len = get<std::uint32_t>(in);
+  if (header_len > kMaxNameLen + 64)
+    io_fail(strf("binary trace header field #header_len %u exceeds sanity cap",
+                 unsigned(header_len)));
+  if (header_len > stream_remaining(in))
+    io_fail("binary trace header truncated");
+  std::vector<char> block(header_len);
+  in.read(block.data(), static_cast<std::streamsize>(header_len));
+  if (!in.good()) io_fail("binary trace header truncated");
+  const auto crc = get<std::uint32_t>(in);
+  if (crc != support::crc32(block.data(), block.size()))
+    io_fail("binary trace header checksum mismatch");
+
+  ByteSource src{block.data(), block.data() + block.size()};
+  const auto name_len = src.get<std::uint32_t>();
+  if (name_len > static_cast<std::size_t>(src.end - src.p))
+    io_fail(strf("binary trace header field #name_len %u exceeds header size",
+                 unsigned(name_len)));
+  TraceInfo info;
+  info.name.assign(src.p, name_len);
+  src.p += name_len;
+  info.num_procs = src.get<std::uint32_t>();
+  if (info.num_procs > kMaxProcs)
+    io_fail(strf("binary trace header field #procs %u exceeds sanity cap",
+                 unsigned(info.num_procs)));
+  info.ticks_per_us = src.get<double>();
+  count = src.get<std::uint64_t>();
+  return info;
+}
+
+/// Shared v2 chunk-reading loop.  In strict mode any defect throws IoError;
+/// in salvage mode reading stops at the first defect and the prefix read so
+/// far is kept.
+Trace read_v2(std::istream& in, bool salvage, SalvageReport& report) {
+  std::uint64_t count = 0;
+  const TraceInfo info = read_header_v2(in, count);
+  report.version = kVersionV2;
+  report.events_declared = static_cast<std::size_t>(count);
+  report.chunks_total =
+      static_cast<std::size_t>((count + kChunkEvents - 1) / kChunkEvents);
+
+  // Allocation guard: the declared count must fit in the bytes that remain
+  // (each event costs kEventBytes plus per-chunk framing).  In salvage mode
+  // an over-declared count is just a torn file — the chunk loop below reads
+  // whatever chunks survive without ever allocating more than one chunk.
+  const auto remaining = stream_remaining(in);
+  if (!salvage && remaining != std::numeric_limits<std::size_t>::max() &&
+      count > remaining / kEventBytes + 1)
+    io_fail(strf("binary trace header field #count %llu exceeds remaining "
+                 "stream size (%llu bytes)",
+                 static_cast<unsigned long long>(count),
+                 static_cast<unsigned long long>(remaining)));
+
+  Trace t(info);
+  auto defect = [&](const std::string& msg) {
+    if (!salvage) io_fail(msg);
+    report.complete = false;
+    if (report.detail.empty()) report.detail = msg;
+  };
+
+  std::uint64_t read_events = 0;
+  std::vector<char> payload;
+  while (read_events < count) {
+    const std::uint64_t expect =
+        std::min<std::uint64_t>(kChunkEvents, count - read_events);
+    std::uint32_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!in.good()) {
+      defect(strf("chunk %zu: frame truncated", t.size() / kChunkEvents));
+      break;
+    }
+    if (n != expect) {
+      defect(strf("chunk %zu: declares %u events, expected %llu",
+                  t.size() / kChunkEvents, unsigned(n),
+                  static_cast<unsigned long long>(expect)));
+      break;
+    }
+    payload.resize(static_cast<std::size_t>(n) * kEventBytes);
+    in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!in.good()) {
+      defect(strf("chunk %zu: payload truncated", t.size() / kChunkEvents));
+      break;
+    }
+    std::uint32_t crc = 0;
+    in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+    Crc32 acc;
+    acc.update(&n, sizeof(n));
+    acc.update(payload.data(), payload.size());
+    if (!in.good() || crc != acc.value()) {
+      defect(strf("chunk %zu: checksum mismatch", t.size() / kChunkEvents));
+      break;
+    }
+    ByteSource src{payload.data(), payload.data() + payload.size()};
+    bool bad_event = false;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      // A bad kind under a passing CRC means the file was *written*
+      // corrupt; in salvage mode keep the events before it.
+      try {
+        t.append(get_event(src));
+      } catch (const IoError& e) {
+        defect(strf("chunk %zu: %s", t.size() / kChunkEvents, e.what()));
+        bad_event = true;
+        break;
+      }
+    }
+    if (bad_event) break;
+    read_events += expect;
+    ++report.chunks_recovered;
+  }
+  report.events_recovered = t.size();
+  return t;
+}
+
+/// Legacy v1 reader (unframed, no checksums).  Salvage mode keeps the
+/// events read before the stream ran out.
+Trace read_v1(std::istream& in, bool salvage, SalvageReport& report) {
+  const auto name_len = get<std::uint32_t>(in);
+  if (name_len > kMaxNameLen)
+    io_fail(strf("binary trace header field #name_len %u exceeds sanity cap",
+                 unsigned(name_len)));
+  if (name_len > stream_remaining(in))
+    io_fail("truncated binary trace string");
+  TraceInfo info;
+  info.name.assign(name_len, '\0');
+  in.read(info.name.data(), static_cast<std::streamsize>(name_len));
+  if (!in.good()) io_fail("truncated binary trace string");
+  info.num_procs = get<std::uint32_t>(in);
+  if (info.num_procs > kMaxProcs)
+    io_fail(strf("binary trace header field #procs %u exceeds sanity cap",
+                 unsigned(info.num_procs)));
+  info.ticks_per_us = get<double>(in);
+  const auto count = get<std::uint64_t>(in);
+  report.version = kVersionV1;
+  report.events_declared = static_cast<std::size_t>(count);
+
+  const auto remaining = stream_remaining(in);
+  if (!salvage && remaining != std::numeric_limits<std::size_t>::max() &&
+      count > remaining / kEventBytes + 1)
+    io_fail(strf("binary trace header field #count %llu exceeds remaining "
+                 "stream size (%llu bytes)",
+                 static_cast<unsigned long long>(count),
+                 static_cast<unsigned long long>(remaining)));
+
+  Trace t(info);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::vector<char> rec(kEventBytes);
+    in.read(rec.data(), static_cast<std::streamsize>(rec.size()));
+    if (!in.good()) {
+      if (!salvage) io_fail("truncated binary trace");
+      report.complete = false;
+      report.detail = strf("event %llu of %llu: record truncated",
+                           static_cast<unsigned long long>(i),
+                           static_cast<unsigned long long>(count));
+      break;
+    }
+    ByteSource src{rec.data(), rec.data() + rec.size()};
+    try {
+      t.append(get_event(src));
+    } catch (const IoError& e) {
+      if (!salvage) throw;
+      report.complete = false;
+      report.detail = e.what();
+      break;
+    }
+  }
+  report.events_recovered = t.size();
+  return t;
+}
+
+Trace read_binary_impl(std::istream& in, bool salvage, SalvageReport& report) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in.good() || std::memcmp(magic, kMagic, 4) != 0)
+    io_fail("bad binary trace magic");
+  const auto version = get<std::uint32_t>(in);
+  if (version == kVersionV1) return read_v1(in, salvage, report);
+  if (version == kVersionV2) return read_v2(in, salvage, report);
+  io_fail(strf("unsupported binary trace version %u", unsigned(version)));
 }
 
 }  // namespace
 
+std::string SalvageReport::describe() const {
+  if (complete)
+    return strf("complete: %zu events (format v%u)", events_recovered,
+                unsigned(version));
+  return strf("salvaged %zu of %zu events (%zu of %zu chunks, format v%u): %s",
+              events_recovered, events_declared, chunks_recovered,
+              chunks_total, unsigned(version), detail.c_str());
+}
+
 void write_binary(std::ostream& out, const Trace& trace) {
   out.write(kMagic, 4);
-  put(out, kVersion);
-  put_string(out, trace.info().name);
-  put(out, trace.info().num_procs);
-  put(out, trace.info().ticks_per_us);
-  put<std::uint64_t>(out, trace.size());
-  for (const auto& e : trace) {
-    put(out, e.time);
-    put(out, e.payload);
-    put(out, e.id);
-    put(out, e.object);
-    put(out, e.proc);
-    put(out, static_cast<std::uint8_t>(e.kind));
+  put(out, kVersionV2);
+
+  ByteSink header;
+  header.put<std::uint32_t>(
+      static_cast<std::uint32_t>(trace.info().name.size()));
+  header.bytes.insert(header.bytes.end(), trace.info().name.begin(),
+                      trace.info().name.end());
+  header.put(trace.info().num_procs);
+  header.put(trace.info().ticks_per_us);
+  header.put<std::uint64_t>(trace.size());
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(header.bytes.size()));
+  out.write(header.bytes.data(),
+            static_cast<std::streamsize>(header.bytes.size()));
+  put<std::uint32_t>(out, support::crc32(header.bytes.data(),
+                                         header.bytes.size()));
+
+  for (std::size_t base = 0; base < trace.size(); base += kChunkEvents) {
+    const auto n = static_cast<std::uint32_t>(
+        std::min(kChunkEvents, trace.size() - base));
+    ByteSink chunk;
+    for (std::uint32_t i = 0; i < n; ++i) put_event(chunk, trace[base + i]);
+    put(out, n);
+    out.write(chunk.bytes.data(),
+              static_cast<std::streamsize>(chunk.bytes.size()));
+    Crc32 acc;
+    acc.update(&n, sizeof(n));
+    acc.update(chunk.bytes.data(), chunk.bytes.size());
+    put<std::uint32_t>(out, acc.value());
   }
 }
 
 Trace read_binary(std::istream& in) {
-  char magic[4];
-  in.read(magic, 4);
-  PERTURB_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
-                    "bad binary trace magic");
-  const auto version = get<std::uint32_t>(in);
-  PERTURB_CHECK_MSG(version == kVersion, "unsupported binary trace version");
-  TraceInfo info;
-  info.name = get_string(in);
-  info.num_procs = get<std::uint32_t>(in);
-  info.ticks_per_us = get<double>(in);
-  const auto count = get<std::uint64_t>(in);
-  Trace t(info);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    Event e;
-    e.time = get<Tick>(in);
-    e.payload = get<std::int64_t>(in);
-    e.id = get<EventId>(in);
-    e.object = get<ObjectId>(in);
-    e.proc = get<ProcId>(in);
-    const auto kind = get<std::uint8_t>(in);
-    PERTURB_CHECK_MSG(kind < kNumEventKinds, "bad event kind in binary trace");
-    e.kind = static_cast<EventKind>(kind);
-    t.append(e);
-  }
-  return t;
+  SalvageReport report;
+  return read_binary_impl(in, /*salvage=*/false, report);
+}
+
+Trace read_binary_salvage(std::istream& in, SalvageReport& report) {
+  report = SalvageReport{};
+  return read_binary_impl(in, /*salvage=*/true, report);
 }
 
 void save(const std::string& path, const Trace& trace) {
   std::ofstream out(path, std::ios::binary);
-  PERTURB_CHECK_MSG(out.good(), "cannot open for write: " + path);
+  if (!out.good()) io_fail("cannot open for write: " + path);
   if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".ptt") == 0)
     write_text(out, trace);
   else
     write_binary(out, trace);
-  PERTURB_CHECK_MSG(out.good(), "write failed: " + path);
+  if (!out.good()) io_fail("write failed: " + path);
 }
 
 Trace load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  PERTURB_CHECK_MSG(in.good(), "cannot open for read: " + path);
+  if (!in.good()) io_fail("cannot open for read: " + path);
   if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".ptt") == 0)
     return read_text(in);
   return read_binary(in);
+}
+
+Trace load_salvage(const std::string& path, SalvageReport& report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) io_fail("cannot open for read: " + path);
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".ptt") == 0) {
+    report = SalvageReport{};
+    Trace t = read_text(in);
+    report.events_declared = report.events_recovered = t.size();
+    return t;
+  }
+  return read_binary_salvage(in, report);
 }
 
 }  // namespace perturb::trace

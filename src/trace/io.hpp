@@ -2,14 +2,44 @@
 //
 // Two formats: a line-oriented text format (diff-able, greppable) and a
 // compact binary format for large traces.  Both round-trip every field.
+//
+// Binary format v2 frames events into CRC32-checksummed chunks so that torn
+// or bit-flipped files are detected — and, via the salvage API, the longest
+// valid prefix is recovered instead of the whole trace being discarded.
+// Version 1 files (unframed, no checksums) are still read transparently.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "support/check.hpp"
 #include "trace/trace.hpp"
 
 namespace perturb::trace {
+
+/// Thrown on I/O and serialization failures (unreadable file, bad magic,
+/// corrupt header, checksum mismatch in strict mode).  Derives from
+/// CheckError so existing recovery sites keep working, while tools can map
+/// I/O failures to a distinct exit code.
+class IoError : public CheckError {
+ public:
+  explicit IoError(const std::string& what) : CheckError(what) {}
+};
+
+/// Outcome of a salvage read: how much of the stream was recovered and why
+/// recovery stopped (if it did).
+struct SalvageReport {
+  bool complete = true;             ///< no corruption or truncation found
+  std::uint32_t version = 0;        ///< format version of the stream
+  std::size_t events_declared = 0;  ///< event count from the header
+  std::size_t events_recovered = 0;
+  std::size_t chunks_total = 0;     ///< expected chunk count (v2 only)
+  std::size_t chunks_recovered = 0;
+  std::string detail;               ///< first corruption diagnosis
+
+  /// One-line human-readable summary.
+  std::string describe() const;
+};
 
 /// Writes the text format:
 ///   #perturb-trace v1
@@ -22,15 +52,27 @@ void write_text(std::ostream& out, const Trace& trace);
 /// Parses the text format; throws CheckError on malformed input.
 Trace read_text(std::istream& in);
 
-/// Writes the binary format (magic "PTRC", version 1, little-endian).
+/// Writes the binary format (magic "PTRC", version 2, little-endian,
+/// CRC32-framed event chunks).
 void write_binary(std::ostream& out, const Trace& trace);
 
-/// Parses the binary format; throws CheckError on malformed input.
+/// Parses the binary format (v1 or v2); throws IoError on any corruption,
+/// truncation, or checksum mismatch.
 Trace read_binary(std::istream& in);
+
+/// Salvage read: recovers the longest valid prefix of a torn, truncated, or
+/// bit-flipped binary trace (v1 or v2) and fills `report` with what was
+/// recovered and why recovery stopped.  Throws IoError only when nothing is
+/// recoverable (bad magic, unusable or corrupt header).
+Trace read_binary_salvage(std::istream& in, SalvageReport& report);
 
 /// File-path conveniences; format chosen by extension (".ptt" text,
 /// anything else binary).
 void save(const std::string& path, const Trace& trace);
 Trace load(const std::string& path);
+
+/// Like load(), but binary traces are read through the salvage path; text
+/// traces fill a trivial (complete) report.
+Trace load_salvage(const std::string& path, SalvageReport& report);
 
 }  // namespace perturb::trace

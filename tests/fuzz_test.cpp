@@ -10,12 +10,23 @@
 //   I4  the approximation never takes longer than the measurement
 //   I5  with the dependency models enabled, total-time error stays within a
 //       generous bound
+//
+// Plus byte-level fuzzing of the binary trace format:
+//
+//   I6  random bit flips and truncations of a serialized trace never crash,
+//       hang, or over-allocate the reader — every outcome is either a
+//       salvaged (prefix-bounded) trace or a CheckError
 #include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
 
 #include "core/eventbased.hpp"
 #include "instr/plan.hpp"
 #include "sim/engine.hpp"
 #include "support/prng.hpp"
+#include "trace/faults.hpp"
+#include "trace/io.hpp"
 #include "trace/validate.hpp"
 
 namespace perturb::sim {
@@ -162,6 +173,92 @@ TEST_P(FuzzPipeline, InvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
                          ::testing::Range<std::uint64_t>(1, 41));
+
+// ---- I6: binary-format byte fuzzing --------------------------------------
+
+struct BaseImage {
+  std::string bytes;        ///< intact v2 serialization
+  std::size_t num_events;   ///< event count of the source trace
+};
+
+const BaseImage& base_image() {
+  static const BaseImage image = [] {
+    const auto rp = make_random_program(1);
+    MachineConfig cfg;
+    cfg.num_procs = 4;
+    const auto t = simulate_actual(cfg, rp.program, "fuzz-bytes");
+    std::ostringstream out(std::ios::binary);
+    trace::write_binary(out, t);
+    return BaseImage{out.str(), t.size()};
+  }();
+  return image;
+}
+
+class FuzzBinaryBytes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzBinaryBytes, MutatedImageSalvagesOrFailsLoudly) {
+  const std::uint64_t seed = GetParam();
+  const BaseImage& base = base_image();
+  Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ull + 1);
+
+  std::string bytes = base.bytes;
+  switch (rng.below(3)) {
+    case 0:
+      trace::flip_bits(bytes, 1 + rng.below(16), seed);
+      break;
+    case 1:
+      bytes = trace::truncate_bytes(bytes, 0.02 + 0.96 * rng.uniform01());
+      break;
+    default:  // both: torn file that also rotted on disk
+      bytes = trace::truncate_bytes(bytes, 0.3 + 0.6 * rng.uniform01());
+      trace::flip_bits(bytes, 1 + rng.below(8), seed);
+      break;
+  }
+
+  // Strict read: success (bounded by the source) or CheckError.  Anything
+  // else — crash, hang, bad_alloc from a corrupt count — is a bug.
+  try {
+    std::istringstream in(bytes, std::ios::binary);
+    const auto t = trace::read_binary(in);
+    EXPECT_LE(t.size(), base.num_events) << "seed " << seed;
+  } catch (const CheckError&) {
+    // rejected loudly: fine
+  }
+
+  // Salvage read: same contract, plus a coherent report when it succeeds.
+  try {
+    std::istringstream in(bytes, std::ios::binary);
+    trace::SalvageReport report;
+    const auto t = trace::read_binary_salvage(in, report);
+    EXPECT_LE(t.size(), base.num_events) << "seed " << seed;
+    EXPECT_EQ(report.events_recovered, t.size()) << "seed " << seed;
+    if (report.complete) {
+      EXPECT_EQ(t.size(), base.num_events);
+    }
+  } catch (const CheckError&) {
+    // header unsalvageable: fine, reported as an error rather than garbage
+  }
+}
+
+TEST(FuzzBinaryBytes, PureTruncationAlwaysSalvages) {
+  // With no bit rot, any cut past the header must salvage cleanly: the
+  // recovered prefix grows monotonically with the kept fraction.
+  const BaseImage& base = base_image();
+  std::size_t prev = 0;
+  for (int i = 1; i <= 10; ++i) {
+    const std::string torn =
+        trace::truncate_bytes(base.bytes, static_cast<double>(i) / 10.0);
+    std::istringstream in(torn, std::ios::binary);
+    trace::SalvageReport report;
+    const auto t = trace::read_binary_salvage(in, report);
+    EXPECT_GE(t.size(), prev);
+    prev = t.size();
+  }
+  EXPECT_EQ(prev, base.num_events);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBinaryBytes,
+                         ::testing::Range<std::uint64_t>(1, 121));
 
 }  // namespace
 }  // namespace perturb::sim

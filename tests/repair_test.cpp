@@ -1,0 +1,342 @@
+// Tests for the trace triage & repair pipeline (trace/repair.hpp) and the
+// checksummed v2 binary format's salvage path (trace/io.hpp).
+//
+// The core contract, exercised per ViolationKind: inject a minimal instance
+// of the violation with the fault library, confirm the validator flags it,
+// repair, confirm the validator is clean afterwards, and confirm the
+// event-based analysis completes on the repaired trace.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/eventbased.hpp"
+#include "experiments/experiments.hpp"
+#include "support/check.hpp"
+#include "trace/faults.hpp"
+#include "trace/io.hpp"
+#include "trace/repair.hpp"
+#include "trace/validate.hpp"
+
+namespace perturb::trace {
+namespace {
+
+using core::event_based_approximation;
+
+// Measured traces carry probe-cost timing noise; this slack covers it (the
+// same value the fuzz tests use).
+constexpr Tick kSlack = 130;
+
+struct Fixture {
+  Trace measured;
+  core::AnalysisOverheads ov;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    experiments::Setup setup;
+    setup.machine.num_procs = 4;
+    const auto run = experiments::run_concurrent_experiment(
+        3, 200, setup, experiments::PlanKind::kFull);
+    const auto plan =
+        experiments::make_plan(experiments::PlanKind::kFull, setup);
+    return Fixture{run.measured,
+                   experiments::overheads_for(plan, setup.machine)};
+  }();
+  return f;
+}
+
+bool has_kind(const std::vector<Violation>& violations, ViolationKind kind) {
+  for (const auto& v : violations)
+    if (v.kind == kind) return true;
+  return false;
+}
+
+// ---- per-ViolationKind inject → flag → repair → clean → analyze ----------
+
+class RepairPerKind : public testing::TestWithParam<ViolationKind> {};
+
+TEST_P(RepairPerKind, InjectRepairAnalyze) {
+  const ViolationKind kind = GetParam();
+  const Fixture& f = fixture();
+  ValidateOptions vopts;
+  vopts.sync_slack = kSlack;
+  ASSERT_TRUE(validate(f.measured, vopts).empty())
+      << "fixture trace must start clean";
+
+  const Trace injected = inject_violation(f.measured, kind);
+  ASSERT_TRUE(has_kind(validate(injected, vopts), kind))
+      << "injection failed to produce " << violation_kind_name(kind);
+
+  RepairOptions ropts;
+  ropts.sync_slack = kSlack;
+  const auto result = repair(injected, ropts);
+  EXPECT_NE(result.manifest.severity, RepairSeverity::kUnsalvageable)
+      << render_manifest(result.manifest);
+  const auto after = validate(result.repaired, vopts);
+  EXPECT_TRUE(after.empty()) << describe(after);
+
+  // The manifest must be populated: at least one action, counted passes.
+  EXPECT_FALSE(result.manifest.actions.empty());
+  EXPECT_GE(result.manifest.passes, 1u);
+  EXPECT_NE(result.manifest.severity, RepairSeverity::kClean);
+
+  // And the repaired trace must be analyzable end to end.
+  const auto eb = event_based_approximation(result.repaired, f.ov);
+  EXPECT_GT(eb.approx.size(), 0u);
+  EXPECT_GT(eb.approx.total_time(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, RepairPerKind,
+    testing::Values(ViolationKind::kNonMonotoneProcessorTime,
+                    ViolationKind::kAwaitEndBeforeAdvance,
+                    ViolationKind::kAwaitEndWithoutAdvance,
+                    ViolationKind::kAwaitEndWithoutBegin,
+                    ViolationKind::kDuplicateAdvance,
+                    ViolationKind::kLockOverlap,
+                    ViolationKind::kLockUnbalanced,
+                    ViolationKind::kBarrierOrder,
+                    ViolationKind::kBarrierIncomplete,
+                    ViolationKind::kSemaphoreUnbalanced),
+    [](const testing::TestParamInfo<ViolationKind>& param_info) {
+      // gtest test names must be alphanumeric; the kind names are kebab-case.
+      std::string name = violation_kind_name(param_info.param);
+      std::erase_if(name, [](char c) { return !std::isalnum(
+                                           static_cast<unsigned char>(c)); });
+      return name;
+    });
+
+// ---- repair semantics ----------------------------------------------------
+
+TEST(Repair, CleanTraceUntouched) {
+  const Fixture& f = fixture();
+  RepairOptions opts;
+  opts.sync_slack = kSlack;
+  const auto result = repair(f.measured, opts);
+  EXPECT_EQ(result.manifest.severity, RepairSeverity::kClean);
+  EXPECT_TRUE(result.manifest.actions.empty());
+  EXPECT_EQ(result.repaired.size(), f.measured.size());
+}
+
+TEST(Repair, SkewedClocksAreCosmetic) {
+  const Fixture& f = fixture();
+  const Trace skewed = skew_timestamps(f.measured, 400, 0.05, 17);
+  RepairOptions opts;
+  opts.sync_slack = kSlack;
+  const auto result = repair(skewed, opts);
+  ASSERT_NE(result.manifest.severity, RepairSeverity::kUnsalvageable)
+      << render_manifest(result.manifest);
+  EXPECT_EQ(result.repaired.size(), skewed.size())
+      << "clamping must not drop events";
+  ValidateOptions vopts;
+  vopts.sync_slack = kSlack;
+  EXPECT_TRUE(validate(result.repaired, vopts).empty());
+}
+
+TEST(Repair, CompoundDamageRepairs) {
+  // Several independent violation classes at once.
+  const Fixture& f = fixture();
+  Trace damaged = inject_violation(f.measured, ViolationKind::kLockUnbalanced);
+  damaged = inject_violation(damaged, ViolationKind::kDuplicateAdvance);
+  damaged = inject_violation(damaged, ViolationKind::kBarrierIncomplete);
+  RepairOptions opts;
+  opts.sync_slack = kSlack;
+  const auto result = repair(damaged, opts);
+  ASSERT_NE(result.manifest.severity, RepairSeverity::kUnsalvageable)
+      << render_manifest(result.manifest);
+  ValidateOptions vopts;
+  vopts.sync_slack = kSlack;
+  const auto after = validate(result.repaired, vopts);
+  EXPECT_TRUE(after.empty()) << describe(after);
+  EXPECT_GE(result.manifest.actions.size(), 3u);
+}
+
+TEST(Repair, TornCaptureRepairsLossy) {
+  // A trace cut mid-run: open critical sections, half-finished barrier
+  // episodes, awaits without advances.  Repair must close them all.
+  const Fixture& f = fixture();
+  const Trace torn = truncate_trace(f.measured, 0.6);
+  RepairOptions opts;
+  opts.sync_slack = kSlack;
+  const auto result = repair(torn, opts);
+  ASSERT_NE(result.manifest.severity, RepairSeverity::kUnsalvageable)
+      << render_manifest(result.manifest);
+  ValidateOptions vopts;
+  vopts.sync_slack = kSlack;
+  EXPECT_TRUE(validate(result.repaired, vopts).empty());
+  const auto eb = event_based_approximation(result.repaired, f.ov);
+  EXPECT_GT(eb.approx.size(), 0u);
+}
+
+TEST(Repair, ManifestRendersAndCounts) {
+  const Fixture& f = fixture();
+  const Trace injected =
+      inject_violation(f.measured, ViolationKind::kSemaphoreUnbalanced);
+  RepairOptions opts;
+  opts.sync_slack = kSlack;
+  const auto result = repair(injected, opts);
+  const std::string text = render_manifest(result.manifest);
+  EXPECT_NE(text.find("repair:"), std::string::npos);
+  EXPECT_GT(result.manifest.events_dropped +
+                result.manifest.events_synthesized +
+                result.manifest.events_adjusted,
+            0u);
+}
+
+// ---- v2 binary format: checksums, salvage, back-compat -------------------
+
+std::string to_bytes(const Trace& t) {
+  std::ostringstream out(std::ios::binary);
+  write_binary(out, t);
+  return out.str();
+}
+
+TEST(Salvage, TruncatedBinarySalvagesNonEmptyPrefix) {
+  const Fixture& f = fixture();
+  ASSERT_GT(f.measured.size(), 1100u) << "need >1 chunk for this test";
+  const std::string whole = to_bytes(f.measured);
+  // Cut inside the final chunk: the whole-chunk prefix before it survives.
+  const std::string torn = truncate_bytes(whole, 0.9);
+
+  // Strict read refuses.
+  std::istringstream strict(torn, std::ios::binary);
+  EXPECT_THROW(read_binary(strict), CheckError);
+
+  // Salvage recovers the longest valid chunk prefix.
+  std::istringstream in(torn, std::ios::binary);
+  SalvageReport report;
+  const Trace salvaged = read_binary_salvage(in, report);
+  EXPECT_FALSE(report.complete);
+  EXPECT_GT(salvaged.size(), 0u);
+  EXPECT_LT(salvaged.size(), f.measured.size());
+  EXPECT_EQ(report.events_recovered, salvaged.size());
+  EXPECT_EQ(report.events_declared, f.measured.size());
+  EXPECT_LT(report.chunks_recovered, report.chunks_total);
+  // The prefix is bytewise-faithful: every salvaged event matches.
+  for (std::size_t i = 0; i < salvaged.size(); ++i) {
+    EXPECT_EQ(salvaged[i].time, f.measured[i].time);
+    EXPECT_EQ(salvaged[i].kind, f.measured[i].kind);
+    EXPECT_EQ(salvaged[i].proc, f.measured[i].proc);
+  }
+}
+
+TEST(Salvage, IntactFileRoundTripsComplete) {
+  const Fixture& f = fixture();
+  std::istringstream in(to_bytes(f.measured), std::ios::binary);
+  SalvageReport report;
+  const Trace back = read_binary_salvage(in, report);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(back.size(), f.measured.size());
+  EXPECT_EQ(back.info().name, f.measured.info().name);
+}
+
+TEST(Salvage, FlippedChunkDetectedByChecksum) {
+  const Fixture& f = fixture();
+  std::string bytes = to_bytes(f.measured);
+  // Flip one bit well past the header, inside event payload data.
+  bytes[bytes.size() - 100] =
+      static_cast<char>(static_cast<unsigned char>(bytes[bytes.size() - 100]) ^
+                        0x10);
+  std::istringstream strict(bytes, std::ios::binary);
+  EXPECT_THROW(read_binary(strict), CheckError);
+  std::istringstream in(bytes, std::ios::binary);
+  SalvageReport report;
+  const Trace salvaged = read_binary_salvage(in, report);
+  EXPECT_FALSE(report.complete);
+  EXPECT_LT(salvaged.size(), f.measured.size());
+  EXPECT_NE(report.detail.find("checksum"), std::string::npos)
+      << report.detail;
+}
+
+namespace v1 {
+
+// Hand-rolled legacy v1 writer (unframed, no checksums) for back-compat
+// testing — matches the format the seed revision of io.cpp produced.
+template <typename T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+std::string encode(const Trace& t) {
+  std::ostringstream out(std::ios::binary);
+  out.write("PTRC", 4);
+  put<std::uint32_t>(out, 1);  // version
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(t.info().name.size()));
+  out.write(t.info().name.data(),
+            static_cast<std::streamsize>(t.info().name.size()));
+  put<std::uint32_t>(out, t.info().num_procs);
+  put<double>(out, t.info().ticks_per_us);
+  put<std::uint64_t>(out, t.size());
+  for (const auto& e : t) {
+    put<Tick>(out, e.time);
+    put<std::int64_t>(out, e.payload);
+    put<EventId>(out, e.id);
+    put<ObjectId>(out, e.object);
+    put<ProcId>(out, e.proc);
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(e.kind));
+  }
+  return out.str();
+}
+
+}  // namespace v1
+
+TEST(Salvage, ReadsLegacyV1Transparently) {
+  const Fixture& f = fixture();
+  std::istringstream in(v1::encode(f.measured), std::ios::binary);
+  const Trace back = read_binary(in);
+  ASSERT_EQ(back.size(), f.measured.size());
+  EXPECT_EQ(back.info().num_procs, f.measured.info().num_procs);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].time, f.measured[i].time);
+    EXPECT_EQ(back[i].kind, f.measured[i].kind);
+  }
+}
+
+TEST(Salvage, TruncatedV1SalvagesPrefix) {
+  const Fixture& f = fixture();
+  const std::string torn = truncate_bytes(v1::encode(f.measured), 0.5);
+  std::istringstream in(torn, std::ios::binary);
+  SalvageReport report;
+  const Trace salvaged = read_binary_salvage(in, report);
+  EXPECT_FALSE(report.complete);
+  EXPECT_GT(salvaged.size(), 0u);
+  EXPECT_LT(salvaged.size(), f.measured.size());
+  EXPECT_EQ(report.version, 1u);
+}
+
+TEST(Salvage, AllocationBombRejectedByName) {
+  // A header declaring an absurd event count must be rejected up front —
+  // naming the offending field — instead of attempting the allocation.
+  std::ostringstream out(std::ios::binary);
+  out.write("PTRC", 4);
+  v1::put<std::uint32_t>(out, 1);  // v1: the count is entirely unprotected
+  v1::put<std::uint32_t>(out, 1);  // name_len
+  out.write("m", 1);
+  v1::put<std::uint32_t>(out, 2);    // procs
+  v1::put<double>(out, 1.0);         // ticks_per_us
+  v1::put<std::uint64_t>(out, 1ull << 60);  // declared count: ~30 exabytes
+  std::istringstream in(out.str(), std::ios::binary);
+  try {
+    read_binary(in);
+    FAIL() << "absurd #count must be rejected";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("#count"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Salvage, TextProcsBombRejectedByName) {
+  std::istringstream in(
+      "#perturb-trace v1\n#name m\n#procs 4294967295\n#ticks_per_us 1\n");
+  try {
+    read_text(in);
+    FAIL() << "absurd #procs must be rejected";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("#procs"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace perturb::trace

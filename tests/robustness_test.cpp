@@ -10,7 +10,7 @@
 #include "core/timebased.hpp"
 #include "experiments/experiments.hpp"
 #include "support/check.hpp"
-#include "support/prng.hpp"
+#include "trace/faults.hpp"
 #include "trace/validate.hpp"
 
 namespace perturb::core {
@@ -39,15 +39,7 @@ Fixture make_fixture() {
   return f;
 }
 
-Trace drop_events(const Trace& t, EventKind kind, std::uint64_t keep_one_in) {
-  Trace out(t.info());
-  support::Xoshiro256 rng(7);
-  for (const auto& e : t) {
-    if (e.kind == kind && rng.below(keep_one_in) != 0) continue;
-    out.append(e);
-  }
-  return out;
-}
+using trace::drop_events;  // fault-injection library (trace/faults.hpp)
 
 TEST(Robustness, MissingAdvancesFallBackGracefully) {
   // Dropped advance events (e.g. a lost trace buffer): the awaitE loses its

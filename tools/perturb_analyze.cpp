@@ -17,7 +17,16 @@
 //   --sem-capacity <obj>:<cap> declare a counting semaphore's capacity
 //                              (repeatable via comma: "1:2,3:4")
 //   --sync-slack <t>           timing slack for validating measured traces
+//   --repair[=aggressive]      triage and repair a degraded trace instead of
+//                              rejecting it: binary input is salvaged (longest
+//                              valid prefix of a torn file), causality
+//                              violations are repaired per-kind, and the
+//                              repair manifest is printed; "aggressive"
+//                              additionally drops whatever cannot be repaired
 //   --report                   print waiting/parallelism/critical-path report
+//
+// Exit codes: 0 success, 1 usage error, 2 unsalvageable/invalid trace,
+// 3 I/O error.
 //
 // This is the paper's workflow as a command-line tool: capture a measured
 // trace (simulator, rt runtime, or your own producer writing the trace
@@ -25,6 +34,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "analysis/critical_path.hpp"
@@ -37,12 +47,24 @@
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/text.hpp"
+#include "tool_util.hpp"
 #include "trace/io.hpp"
+#include "trace/repair.hpp"
 #include "trace/validate.hpp"
 
 namespace {
 
 using namespace perturb;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perturb-analyze <measured-trace> [options]\n"
+               "  --mode event|time  --repair[=aggressive]  --sync-slack <t>\n"
+               "  --output <f>  --actual <f>  --report  (see header for all)\n"
+               "%s",
+               tools::kExitCodeHelp);
+  return tools::kExitUsage;
+}
 
 core::AnalysisOverheads overheads_from_cli(const support::Cli& cli) {
   core::AnalysisOverheads ov;
@@ -107,77 +129,139 @@ void print_report(const trace::Trace& approx,
                   .c_str());
 }
 
+/// Loads (salvaging when repairing), triages, and repairs the input trace.
+/// Returns nullopt — after printing a diagnosis — when the trace cannot be
+/// made analyzable.
+std::optional<trace::Trace> acquire_input(const support::Cli& cli,
+                                          bool repair_mode, bool aggressive,
+                                          bool& degraded) {
+  const std::string& path = cli.positional()[0];
+  trace::ValidateOptions validate_opts;
+  validate_opts.sync_slack = cli.get_int("sync-slack", 0);
+
+  trace::Trace measured;
+  if (repair_mode) {
+    trace::SalvageReport salvage;
+    measured = trace::load_salvage(path, salvage);
+    if (!salvage.complete) {
+      std::printf("salvage: %s\n", salvage.describe().c_str());
+      degraded = true;
+    }
+    if (measured.empty()) {
+      std::fprintf(stderr,
+                   "trace is unsalvageable: no events recovered from %s\n",
+                   path.c_str());
+      return std::nullopt;
+    }
+  } else {
+    measured = trace::load(path);
+  }
+
+  const auto violations = trace::validate(measured, validate_opts);
+  if (violations.empty()) return measured;
+
+  if (!repair_mode) {
+    std::fprintf(stderr,
+                 "input trace has %zu causality violation(s); analysis "
+                 "requires a happened-before-consistent trace (rerun with "
+                 "--repair to triage):\n%s",
+                 violations.size(), trace::describe(violations).c_str());
+    return std::nullopt;
+  }
+
+  trace::RepairOptions repair_opts;
+  repair_opts.aggressive = aggressive;
+  repair_opts.sync_slack = validate_opts.sync_slack;
+  auto result = trace::repair(measured, repair_opts);
+  std::printf("%s", trace::render_manifest(result.manifest).c_str());
+  if (result.manifest.severity == trace::RepairSeverity::kUnsalvageable) {
+    std::fprintf(stderr,
+                 "trace is unsalvageable: %zu violation(s) survived repair:\n"
+                 "%s",
+                 result.manifest.remaining.size(),
+                 trace::describe(result.manifest.remaining).c_str());
+    return std::nullopt;
+  }
+  degraded |= result.manifest.severity >= trace::RepairSeverity::kLossy;
+  return std::move(result.repaired);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace perturb;
-  const support::Cli cli(argc, argv);
-  if (cli.positional().empty()) {
-    std::fprintf(stderr, "usage: perturb-analyze <measured-trace> [options]\n");
-    return 2;
-  }
+  std::optional<support::Cli> cli;
   try {
-    const trace::Trace measured = trace::load(cli.positional()[0]);
-    trace::ValidateOptions validate_opts;
-    validate_opts.sync_slack = cli.get_int("sync-slack", 0);
-    const auto violations = trace::validate(measured, validate_opts);
-    if (!violations.empty()) {
-      std::fprintf(stderr,
-                   "input trace has %zu causality violation(s); analysis "
-                   "requires a happened-before-consistent trace:\n%s",
-                   violations.size(), trace::describe(violations).c_str());
-      return 1;
-    }
+    cli.emplace(argc, argv);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
+  }
+  if (cli->positional().empty()) return usage();
+  const std::string repair_arg = cli->get("repair", "");
+  if (cli->has("repair") && repair_arg != "true" &&
+      repair_arg != "aggressive") {
+    std::fprintf(stderr, "bad --repair value '%s' (use --repair or "
+                         "--repair=aggressive)\n",
+                 repair_arg.c_str());
+    return usage();
+  }
+  const std::string mode = cli->get("mode", "event");
+  if (mode != "event" && mode != "time") {
+    std::fprintf(stderr, "unknown --mode %s (use event|time)\n", mode.c_str());
+    return usage();
+  }
 
-    const core::AnalysisOverheads ov = overheads_from_cli(cli);
-    const std::string mode = cli.get("mode", "event");
+  return tools::run_tool([&]() -> int {
+    bool degraded = false;
+    auto measured = acquire_input(*cli, cli->has("repair"),
+                                  repair_arg == "aggressive", degraded);
+    if (!measured) return tools::kExitBadTrace;
+
+    const core::AnalysisOverheads ov = overheads_from_cli(*cli);
 
     trace::Trace approx;
     if (mode == "time") {
-      approx = core::time_based_approximation(measured, ov);
-    } else if (mode == "event") {
+      approx = core::time_based_approximation(*measured, ov);
+    } else {
       core::EventBasedOptions opt;
-      opt.model_locks = !cli.get_bool("no-locks", false);
-      opt.model_barriers = !cli.get_bool("no-barriers", false);
-      opt.semaphore_capacity = capacities_from_cli(cli);
-      auto result = core::event_based_approximation(measured, ov, opt);
+      opt.model_locks = !cli->get_bool("no-locks", false);
+      opt.model_barriers = !cli->get_bool("no-barriers", false);
+      opt.semaphore_capacity = capacities_from_cli(*cli);
+      auto result = core::event_based_approximation(*measured, ov, opt);
       std::printf("awaits: %zu, measured waits: %zu, approximated waits: %zu "
                   "(removed %zu, introduced %zu)\n",
                   result.awaits_total, result.waits_measured,
                   result.waits_approx, result.waits_removed,
                   result.waits_introduced);
       approx = std::move(result.approx);
-    } else {
-      std::fprintf(stderr, "unknown --mode %s (use event|time)\n",
-                   mode.c_str());
-      return 2;
     }
 
-    std::printf("measured total time: %lld\n",
-                static_cast<long long>(measured.total_time()));
+    std::printf("measured total time: %lld%s\n",
+                static_cast<long long>(measured->total_time()),
+                degraded ? "  (degraded input)" : "");
     std::printf("approximated total:  %lld  (%.3fx of measured)\n",
                 static_cast<long long>(approx.total_time()),
                 static_cast<double>(approx.total_time()) /
-                    static_cast<double>(measured.total_time()));
+                    static_cast<double>(measured->total_time()));
 
-    if (cli.has("actual")) {
-      const trace::Trace actual = trace::load(cli.get("actual", ""));
-      const auto q = core::assess(measured, approx, actual);
+    if (cli->has("actual")) {
+      const trace::Trace actual = trace::load(cli->get("actual", ""));
+      auto q = core::assess(*measured, approx, actual);
+      q.degraded_input = degraded;
       std::printf("vs actual: measured %.3fx, approximated %.3fx "
-                  "(%+.1f%% error)\n",
+                  "(%+.1f%% error)%s\n",
                   q.measured_over_actual, q.approx_over_actual,
-                  q.percent_error);
+                  q.percent_error,
+                  q.degraded_input ? "  [degraded: repaired input]" : "");
     }
 
-    if (cli.has("output")) {
-      const std::string path = cli.get("output", "");
+    if (cli->has("output")) {
+      const std::string path = cli->get("output", "");
       trace::save(path, approx);
       std::printf("approximated trace written to %s\n", path.c_str());
     }
-    if (cli.get_bool("report", false)) print_report(approx, ov);
-    return 0;
-  } catch (const CheckError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
+    if (cli->get_bool("report", false)) print_report(approx, ov);
+    return tools::kExitOk;
+  });
 }

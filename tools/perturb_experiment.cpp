@@ -15,6 +15,9 @@
 //   --stmt-probe <c>  statement probe mean cost (default 175)
 //   --seed <s>        jitter seed (default 1991)
 //   --out-prefix <p>  write <p>.actual.ptt / <p>.measured.ptt / <p>.approx.ptt
+//
+// Exit codes: 0 success, 1 usage error, 2 unsalvageable/invalid trace,
+// 3 I/O error.
 #include <cstdio>
 #include <string>
 
@@ -22,38 +25,58 @@
 #include "loops/kernels.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
+#include "tool_util.hpp"
 #include "trace/io.hpp"
+
+namespace {
+
+int usage(const std::string& what) {
+  std::fprintf(stderr,
+               "error: %s\n"
+               "usage: perturb-experiment [--loop k] [--n trip] "
+               "[--mode sequential|vector|concurrent]\n"
+               "  [--plan statements|sync|full] "
+               "[--schedule cyclic|block|self] [--procs p]\n"
+               "  [--stmt-probe c] [--seed s] [--out-prefix p]\n"
+               "%s",
+               what.c_str(), perturb::tools::kExitCodeHelp);
+  return perturb::tools::kExitUsage;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace perturb;
   const support::Cli cli(argc, argv);
-  try {
-    const int loop = static_cast<int>(cli.get_int("loop", 17));
-    const auto n = cli.get_int("n", 1001);
-    const std::string mode = cli.get("mode", "concurrent");
-    const std::string plan_name = cli.get("plan", "full");
-    const std::string sched_name = cli.get("schedule", "cyclic");
+  const int loop = static_cast<int>(cli.get_int("loop", 17));
+  const auto n = cli.get_int("n", 1001);
+  const std::string mode = cli.get("mode", "concurrent");
+  const std::string plan_name = cli.get("plan", "full");
+  const std::string sched_name = cli.get("schedule", "cyclic");
 
+  experiments::PlanKind plan = experiments::PlanKind::kFull;
+  if (plan_name == "statements")
+    plan = experiments::PlanKind::kStatementsOnly;
+  else if (plan_name == "sync")
+    plan = experiments::PlanKind::kSyncOnly;
+  else if (plan_name != "full")
+    return usage("unknown --plan " + plan_name);
+
+  sim::Schedule schedule = sim::Schedule::kCyclic;
+  if (sched_name == "block") schedule = sim::Schedule::kBlock;
+  else if (sched_name == "self") schedule = sim::Schedule::kSelf;
+  else if (sched_name != "cyclic")
+    return usage("unknown --schedule " + sched_name);
+
+  if (mode != "sequential" && mode != "vector" && mode != "concurrent")
+    return usage("unknown --mode " + mode);
+
+  return tools::run_tool([&]() -> int {
     experiments::Setup setup;
     setup.machine.num_procs =
         static_cast<std::uint32_t>(cli.get_int("procs", 8));
     setup.stmt.mean = cli.get_double("stmt-probe", setup.stmt.mean);
     setup.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1991));
-
-    experiments::PlanKind plan = experiments::PlanKind::kFull;
-    if (plan_name == "statements")
-      plan = experiments::PlanKind::kStatementsOnly;
-    else if (plan_name == "sync")
-      plan = experiments::PlanKind::kSyncOnly;
-    else
-      PERTURB_CHECK_MSG(plan_name == "full", "unknown --plan " + plan_name);
-
-    sim::Schedule schedule = sim::Schedule::kCyclic;
-    if (sched_name == "block") schedule = sim::Schedule::kBlock;
-    else if (sched_name == "self") schedule = sim::Schedule::kSelf;
-    else
-      PERTURB_CHECK_MSG(sched_name == "cyclic",
-                        "unknown --schedule " + sched_name);
 
     experiments::LoopRun run;
     if (mode == "sequential") {
@@ -61,7 +84,6 @@ int main(int argc, char** argv) {
     } else if (mode == "vector") {
       run = experiments::run_vector_experiment(loop, n, setup, plan);
     } else {
-      PERTURB_CHECK_MSG(mode == "concurrent", "unknown --mode " + mode);
       run = experiments::run_concurrent_experiment(loop, n, setup, plan,
                                                    schedule);
     }
@@ -85,9 +107,6 @@ int main(int argc, char** argv) {
       std::printf("traces written to %s.{actual,measured,approx}.ptt\n",
                   prefix.c_str());
     }
-    return 0;
-  } catch (const CheckError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
+    return tools::kExitOk;
+  });
 }

@@ -1,11 +1,16 @@
 // perturb-trace — trace file inspector.
 //
 //   perturb-trace info <file>            metadata + per-kind/per-proc counts
-//   perturb-trace validate <file>        causality checks; exit 1 on violations
+//   perturb-trace validate <file>        causality checks; exit 2 on violations
 //   perturb-trace dump <file> [--limit N] print events as text
 //   perturb-trace convert <in> <out>     convert between text (.ptt) / binary
 //   perturb-trace merge <out> <in...>    merge per-processor trace files
 //   perturb-trace critical-path <file>   critical-path breakdown
+//   perturb-trace repair <in> <out> [--aggressive] [--sync-slack N]
+//                                        salvage + repair a degraded trace
+//
+// Exit codes: 0 success, 1 usage error, 2 unsalvageable/invalid trace,
+// 3 I/O error.
 //
 // Trace files are written by trace::save (text when the path ends in .ptt,
 // binary otherwise); the simulator, the rt runtime, and perturb-analyze all
@@ -18,7 +23,9 @@
 #include "analysis/critical_path.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
+#include "tool_util.hpp"
 #include "trace/io.hpp"
+#include "trace/repair.hpp"
 #include "trace/trace_stats.hpp"
 #include "trace/validate.hpp"
 
@@ -29,8 +36,11 @@ using namespace perturb;
 int usage() {
   std::fprintf(stderr,
                "usage: perturb-trace <info|validate|dump|convert|merge|"
-               "critical-path> <file> [args]\n");
-  return 2;
+               "critical-path|repair> <file> [args]\n"
+               "  repair <in> <out> [--aggressive] [--sync-slack N]\n"
+               "%s",
+               tools::kExitCodeHelp);
+  return tools::kExitUsage;
 }
 
 int cmd_info(const trace::Trace& t) {
@@ -38,18 +48,20 @@ int cmd_info(const trace::Trace& t) {
   std::printf("processors:    %u\n", t.info().num_procs);
   std::printf("ticks per us:  %.3f\n", t.info().ticks_per_us);
   std::printf("%s", trace::render_stats(trace::compute_stats(t)).c_str());
-  return 0;
+  return tools::kExitOk;
 }
 
-int cmd_validate(const trace::Trace& t) {
-  const auto violations = trace::validate(t);
+int cmd_validate(const trace::Trace& t, trace::Tick slack) {
+  trace::ValidateOptions opts;
+  opts.sync_slack = slack;
+  const auto violations = trace::validate(t, opts);
   if (violations.empty()) {
     std::printf("OK: %zu events, no causality violations\n", t.size());
-    return 0;
+    return tools::kExitOk;
   }
   std::printf("%zu violation(s):\n%s", violations.size(),
               trace::describe(violations).c_str());
-  return 1;
+  return tools::kExitBadTrace;
 }
 
 int cmd_dump(const trace::Trace& t, std::int64_t limit) {
@@ -64,7 +76,40 @@ int cmd_dump(const trace::Trace& t, std::int64_t limit) {
       break;
     }
   }
-  return 0;
+  return tools::kExitOk;
+}
+
+/// repair <in> <out>: salvage what a torn file still holds, repair causality
+/// violations, report the manifest, and write the repaired trace.
+int cmd_repair(const support::Cli& cli, const std::string& in_path,
+               const std::string& out_path) {
+  trace::SalvageReport salvage;
+  const trace::Trace damaged = trace::load_salvage(in_path, salvage);
+  if (!salvage.complete) {
+    std::printf("salvage: %s\n", salvage.describe().c_str());
+  }
+  if (damaged.empty()) {
+    std::fprintf(stderr,
+                 "trace is unsalvageable: no events recovered from %s\n",
+                 in_path.c_str());
+    return tools::kExitBadTrace;
+  }
+  trace::RepairOptions opts;
+  opts.aggressive = cli.get_bool("aggressive", false);
+  opts.sync_slack = cli.get_int("sync-slack", 0);
+  auto result = trace::repair(damaged, opts);
+  std::printf("%s", trace::render_manifest(result.manifest).c_str());
+  if (result.manifest.severity == trace::RepairSeverity::kUnsalvageable) {
+    std::fprintf(stderr,
+                 "trace is unsalvageable: %zu violation(s) survived repair "
+                 "(try --aggressive)\n",
+                 result.manifest.remaining.size());
+    return tools::kExitBadTrace;
+  }
+  trace::save(out_path, result.repaired);
+  std::printf("repaired trace written to %s (%zu events)\n", out_path.c_str(),
+              result.repaired.size());
+  return tools::kExitOk;
 }
 
 }  // namespace
@@ -75,7 +120,7 @@ int main(int argc, char** argv) {
   const auto& args = cli.positional();
   if (args.size() < 2) return usage();
   const std::string& command = args[0];
-  try {
+  return tools::run_tool([&]() -> int {
     if (command == "merge") {
       // args: merge <out> <in...> — merge time-ordered per-processor (or
       // per-buffer) traces into one; metadata comes from the first input.
@@ -92,27 +137,29 @@ int main(int argc, char** argv) {
       trace::save(args[1], merged);
       std::printf("merged %zu traces into %s (%zu events)\n", parts.size(),
                   args[1].c_str(), merged.size());
-      return 0;
+      return tools::kExitOk;
+    }
+    if (command == "repair") {
+      if (args.size() < 3) return usage();
+      return cmd_repair(cli, args[1], args[2]);
     }
     const trace::Trace t = trace::load(args[1]);
     if (command == "info") return cmd_info(t);
-    if (command == "validate") return cmd_validate(t);
+    if (command == "validate")
+      return cmd_validate(t, cli.get_int("sync-slack", 0));
     if (command == "dump") return cmd_dump(t, cli.get_int("limit", 0));
     if (command == "critical-path") {
       std::printf("%s",
                   analysis::render_critical_path(analysis::critical_path(t))
                       .c_str());
-      return 0;
+      return tools::kExitOk;
     }
     if (command == "convert") {
       if (args.size() < 3) return usage();
       trace::save(args[2], t);
       std::printf("wrote %zu events to %s\n", t.size(), args[2].c_str());
-      return 0;
+      return tools::kExitOk;
     }
     return usage();
-  } catch (const CheckError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
+  });
 }

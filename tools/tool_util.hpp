@@ -1,0 +1,43 @@
+// Shared conventions for the perturb command-line tools.
+//
+// Exit codes (uniform across perturb-trace, perturb-analyze, and
+// perturb-experiment):
+//   0  success
+//   1  usage error (bad command line)
+//   2  unsalvageable or invalid trace / failed check
+//   3  I/O error (unreadable/unwritable file, corrupt serialization)
+#pragma once
+
+#include <cstdio>
+#include <utility>
+
+#include "support/check.hpp"
+#include "trace/io.hpp"
+
+namespace perturb::tools {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 1;
+inline constexpr int kExitBadTrace = 2;
+inline constexpr int kExitIoError = 3;
+
+inline constexpr const char* kExitCodeHelp =
+    "exit codes: 0 success, 1 usage error, 2 unsalvageable/invalid trace, "
+    "3 I/O error\n";
+
+/// Runs a tool body, reporting failures on stderr and mapping them onto the
+/// standard exit codes above.
+template <typename Fn>
+int run_tool(Fn&& body) {
+  try {
+    return std::forward<Fn>(body)();
+  } catch (const trace::IoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitIoError;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitBadTrace;
+  }
+}
+
+}  // namespace perturb::tools
