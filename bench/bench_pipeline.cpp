@@ -1,0 +1,154 @@
+// bench_pipeline — throughput of the unified analysis pipeline.
+//
+// For Livermore loops 3, 4, and 17 (concurrent mode, full instrumentation)
+// at several trip counts, measures:
+//
+//   * TraceIndex build rate (events/sec), and
+//   * each analyzer's rate through core::AnalysisPipeline
+//     (time-based, event-based, liberal, likely),
+//
+// and writes the results as JSON to BENCH_pipeline.json (override with
+// --out <path>).  --reps <k> caps the repetitions per measurement (default
+// 16; CI smoke runs use --reps 2).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "loops/programs.hpp"
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/text.hpp"
+#include "trace/index.hpp"
+
+namespace {
+
+using namespace perturb;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Measurement {
+  std::string name;
+  bool ok = false;
+  double events_per_sec = 0.0;
+};
+
+/// Times `reps` runs of `body` and converts to events/sec.  A body that
+/// throws CheckError (e.g. the liberal extractor on a shape it does not
+/// support) yields ok=false instead of aborting the suite.
+template <typename Fn>
+Measurement measure(const std::string& name, std::size_t events,
+                    std::size_t reps, Fn&& body) {
+  Measurement m;
+  m.name = name;
+  try {
+    body();  // warm-up; also surfaces unsupported shapes before timing
+    const auto start = Clock::now();
+    for (std::size_t r = 0; r < reps; ++r) body();
+    const double elapsed = seconds_since(start);
+    m.ok = true;
+    m.events_per_sec =
+        elapsed > 0.0
+            ? static_cast<double>(events * reps) / elapsed
+            : 0.0;
+  } catch (const CheckError&) {
+    m.ok = false;
+  }
+  return m;
+}
+
+std::string json_number(double v) {
+  return support::strf("%.1f", v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Cli cli(argc, argv);
+  const std::string out_path = cli.get("out", "BENCH_pipeline.json");
+  const auto reps =
+      static_cast<std::size_t>(cli.get_int("reps", 16));
+  bench::print_header("BENCH pipeline",
+                      "index-build and per-analyzer throughput (events/sec) "
+                      "through core::AnalysisPipeline");
+
+  const experiments::Setup setup = bench::setup_from_cli(cli);
+  const std::vector<int> loops_to_run = {3, 4, 17};
+  const std::vector<std::int64_t> trips = {128, 512, 1001};
+
+  const std::vector<std::pair<core::AnalyzerKind, const char*>> analyzers = {
+      {core::AnalyzerKind::kTimeBased, "time-based"},
+      {core::AnalyzerKind::kEventBased, "event-based"},
+      {core::AnalyzerKind::kLiberal, "liberal"},
+      {core::AnalyzerKind::kLikely, "likely"},
+  };
+
+  std::string json = "{\n  \"bench\": \"pipeline\",\n  \"runs\": [\n";
+  bool first_run = true;
+  for (const int loop : loops_to_run) {
+    for (const std::int64_t n : trips) {
+      const auto prog = loops::make_concurrent_ir(loop, n);
+      const auto plan =
+          experiments::make_plan(experiments::PlanKind::kFull, setup);
+      const auto measured =
+          sim::simulate(setup.machine, prog, plan, "bench_pipeline");
+      const std::size_t events = measured.size();
+
+      core::PipelineOptions options;
+      options.overheads = experiments::overheads_for(plan, setup.machine);
+      options.machine = setup.machine;
+      options.likely_samples = 8;  // keep the Monte-Carlo stage bench-sized
+
+      std::vector<Measurement> rows;
+      rows.push_back(measure("index-build", events, reps, [&] {
+        trace::TraceIndex index(measured);
+        if (index.size() != events) std::abort();
+      }));
+
+      const trace::TraceIndex index(measured);
+      for (const auto& [kind, name] : analyzers) {
+        const auto analyzer = core::make_analyzer(kind);
+        rows.push_back(measure(name, events, reps, [&] {
+          const auto out = analyzer->run(index, options);
+          if (out.analyzer.empty()) std::abort();
+        }));
+      }
+
+      std::printf("lfk%-2d n=%-5lld (%zu events)\n", loop,
+                  static_cast<long long>(n), events);
+      for (const auto& m : rows) {
+        if (m.ok)
+          std::printf("  %-12s %12.0f events/sec\n", m.name.c_str(),
+                      m.events_per_sec);
+        else
+          std::printf("  %-12s %12s\n", m.name.c_str(), "unsupported");
+      }
+
+      if (!first_run) json += ",\n";
+      first_run = false;
+      json += support::strf(
+          "    {\"loop\": %d, \"n\": %lld, \"events\": %zu, \"rates\": {",
+          loop, static_cast<long long>(n), events);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (i) json += ", ";
+        json += "\"" + rows[i].name + "\": ";
+        json += rows[i].ok ? json_number(rows[i].events_per_sec) : "null";
+      }
+      json += "}}";
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  PERTURB_CHECK_MSG(f != nullptr, "cannot open bench output file");
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

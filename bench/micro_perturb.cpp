@@ -4,7 +4,9 @@
 // to compensate for).
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <sstream>
+#include <vector>
 
 #include "core/eventbased.hpp"
 #include "core/timebased.hpp"
@@ -12,6 +14,7 @@
 #include "loops/kernels.hpp"
 #include "loops/programs.hpp"
 #include "rt/tracer.hpp"
+#include "trace/index.hpp"
 #include "trace/io.hpp"
 #include "trace/validate.hpp"
 
@@ -74,6 +77,88 @@ void BM_EventBasedAnalysis(benchmark::State& state) {
                           static_cast<std::int64_t>(measured.size()));
 }
 BENCHMARK(BM_EventBasedAnalysis)->Arg(256)->Arg(1024);
+
+void BM_EventBasedAnalysisIndexed(benchmark::State& state) {
+  const auto prog = loops::make_concurrent_ir(17, state.range(0));
+  const auto setup = default_setup();
+  const auto plan = experiments::make_plan(experiments::PlanKind::kFull, setup);
+  const auto ov = experiments::overheads_for(plan, setup.machine);
+  const auto measured = sim::simulate(setup.machine, prog, plan, "bench");
+  const trace::TraceIndex index(measured);
+  for (auto _ : state) {
+    auto result = core::event_based_approximation(index, ov);
+    benchmark::DoNotOptimize(result.approx.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(measured.size()));
+}
+BENCHMARK(BM_EventBasedAnalysisIndexed)->Arg(256)->Arg(1024);
+
+void BM_TraceIndexBuild(benchmark::State& state) {
+  const auto prog = loops::make_concurrent_ir(17, state.range(0));
+  const auto setup = default_setup();
+  const auto plan = experiments::make_plan(experiments::PlanKind::kFull, setup);
+  const auto measured = sim::simulate(setup.machine, prog, plan, "bench");
+  for (auto _ : state) {
+    trace::TraceIndex index(measured);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(measured.size()));
+}
+BENCHMARK(BM_TraceIndexBuild)->Arg(256)->Arg(1024);
+
+/// Collects every advance key of a trace, in trace order.
+std::vector<trace::SyncKey> advance_keys(const trace::Trace& t) {
+  std::vector<trace::SyncKey> keys;
+  for (const auto& e : t)
+    if (e.kind == trace::EventKind::kAdvance)
+      keys.push_back({e.object, e.payload});
+  return keys;
+}
+
+// Sync-table cost per analysis pass: the shared TraceIndex's flat sorted
+// arrays (built once per trace, queried by every analyzer) vs the private
+// std::map each analysis used to rebuild before querying.  Same queries,
+// same answers; the map variant pays the rebuild because that is what every
+// pass paid before the index existed.
+void BM_SyncLookupFlat(benchmark::State& state) {
+  const auto prog = loops::make_concurrent_ir(17, state.range(0));
+  const auto setup = default_setup();
+  const auto plan = experiments::make_plan(experiments::PlanKind::kFull, setup);
+  const auto measured = sim::simulate(setup.machine, prog, plan, "bench");
+  const trace::TraceIndex index(measured);
+  const auto keys = advance_keys(measured);
+  for (auto _ : state) {
+    std::size_t sum = 0;
+    for (const auto& key : keys) sum += index.last_advance(key);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_SyncLookupFlat)->Arg(256)->Arg(1024);
+
+void BM_SyncLookupMap(benchmark::State& state) {
+  const auto prog = loops::make_concurrent_ir(17, state.range(0));
+  const auto setup = default_setup();
+  const auto plan = experiments::make_plan(experiments::PlanKind::kFull, setup);
+  const auto measured = sim::simulate(setup.machine, prog, plan, "bench");
+  const auto keys = advance_keys(measured);
+  for (auto _ : state) {
+    std::map<std::pair<trace::ObjectId, std::int64_t>, std::size_t> table;
+    for (std::size_t i = 0; i < measured.size(); ++i)
+      if (measured[i].kind == trace::EventKind::kAdvance)
+        table[{measured[i].object, measured[i].payload}] = i;
+    std::size_t sum = 0;
+    for (const auto& key : keys)
+      sum += table.find({key.object, key.index})->second;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_SyncLookupMap)->Arg(256)->Arg(1024);
 
 void BM_TraceValidate(benchmark::State& state) {
   const auto prog = loops::make_concurrent_ir(17, state.range(0));

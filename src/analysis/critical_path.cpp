@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
-#include <unordered_map>
 
 #include "support/text.hpp"
 #include "trace/event.hpp"
@@ -14,87 +12,65 @@ namespace {
 
 using trace::Event;
 using trace::EventKind;
-using trace::ObjectId;
-using trace::ProcId;
 using trace::SyncKey;
-using trace::SyncKeyHash;
+using trace::Trace;
+using trace::TraceIndex;
 
-constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+constexpr std::size_t kNone = TraceIndex::npos;
+
+/// Cross-processor critical dependency of event i (mirrors the
+/// reconstruction's model): the last advance before an awaitE, the previous
+/// release before a lock acquisition, the latest arrival before a barrier
+/// departure, or — for a processor's first event inside a parallel-loop
+/// episode — the loop's spawn.  kNone when the event has none.
+std::size_t cross_dep(const TraceIndex& idx, std::size_t i) {
+  const Trace& t = idx.trace();
+  const Event& e = t[i];
+  switch (e.kind) {
+    case EventKind::kAwaitEnd: {
+      const std::size_t adv =
+          idx.last_advance_before(SyncKey{e.object, e.payload}, i);
+      if (adv != kNone) return adv;
+      break;
+    }
+    case EventKind::kLockAcquire: {
+      const std::size_t dep = idx.lock_dep(i);
+      if (dep != kNone) return dep;
+      break;
+    }
+    case EventKind::kBarrierDepart: {
+      const auto* ep = idx.barrier_episode(e.object, e.payload);
+      if (ep != nullptr) {
+        // Latest-by-time arrival before the depart; ties keep the earlier
+        // arrival in trace order.
+        std::size_t best = kNone;
+        for (const std::size_t a : ep->arrivals) {
+          if (a >= i) break;
+          if (best == kNone || t[best].time < t[a].time) best = a;
+        }
+        if (best != kNone) return best;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return idx.fork_dep(i);
+}
 
 }  // namespace
 
-CriticalPathStats critical_path(const trace::Trace& t) {
+CriticalPathStats critical_path(const TraceIndex& idx) {
+  const Trace& t = idx.trace();
   CriticalPathStats stats;
   stats.time_by_proc.assign(t.info().num_procs, 0);
   if (t.empty()) return stats;
 
   const std::size_t n = t.size();
 
-  // Dependency indexing (mirrors the reconstruction's model).
-  std::vector<std::size_t> prev_on_proc(n, kNone);
-  std::vector<std::size_t> cross_dep(n, kNone);
-  {
-    std::unordered_map<ProcId, std::size_t> last_on_proc;
-    std::unordered_map<SyncKey, std::size_t, SyncKeyHash> advance_of;
-    std::unordered_map<ObjectId, std::size_t> last_release;
-    std::map<std::pair<ObjectId, std::int64_t>, std::size_t> last_arrival;
-    // A processor's first event inside a parallel loop is caused by the
-    // loop's spawn (fork), so the path can trace back through the master.
-    std::size_t current_loop_begin = kNone;
-    std::unordered_map<ProcId, bool> joined;
-
-    for (std::size_t i = 0; i < n; ++i) {
-      const Event& e = t[i];
-      if (e.kind == EventKind::kLoopBegin) {
-        current_loop_begin = i;
-        joined.clear();
-        joined[e.proc] = true;
-      } else if (e.kind == EventKind::kLoopEnd) {
-        current_loop_begin = kNone;
-      } else if (current_loop_begin != kNone && !joined[e.proc]) {
-        joined[e.proc] = true;
-        if (cross_dep[i] == kNone) cross_dep[i] = current_loop_begin;
-      }
-      const auto lp = last_on_proc.find(e.proc);
-      if (lp != last_on_proc.end()) prev_on_proc[i] = lp->second;
-      last_on_proc[e.proc] = i;
-
-      switch (e.kind) {
-        case EventKind::kAdvance:
-          advance_of[{e.object, e.payload}] = i;
-          break;
-        case EventKind::kAwaitEnd: {
-          const auto adv = advance_of.find({e.object, e.payload});
-          if (adv != advance_of.end()) cross_dep[i] = adv->second;
-          break;
-        }
-        case EventKind::kLockAcquire: {
-          const auto lr = last_release.find(e.object);
-          if (lr != last_release.end()) cross_dep[i] = lr->second;
-          break;
-        }
-        case EventKind::kLockRelease:
-          last_release[e.object] = i;
-          break;
-        case EventKind::kBarrierArrive: {
-          const auto key = std::make_pair(e.object, e.payload);
-          const auto it = last_arrival.find(key);
-          if (it == last_arrival.end() || t[it->second].time < e.time)
-            last_arrival[key] = i;
-          break;
-        }
-        case EventKind::kBarrierDepart: {
-          const auto it = last_arrival.find({e.object, e.payload});
-          if (it != last_arrival.end()) cross_dep[i] = it->second;
-          break;
-        }
-        default:
-          break;
-      }
-    }
-  }
-
   // Start from the latest event and walk critical predecessors backwards.
+  // Only events on the path need their dependencies, so they are resolved
+  // on demand from the index rather than via a full indexing pass.
   std::size_t cur = 0;
   for (std::size_t i = 1; i < n; ++i)
     if (t[i].time >= t[cur].time) cur = i;
@@ -102,8 +78,8 @@ CriticalPathStats critical_path(const trace::Trace& t) {
   std::vector<std::size_t> reversed;
   while (cur != kNone) {
     reversed.push_back(cur);
-    const std::size_t same = prev_on_proc[cur];
-    const std::size_t cross = cross_dep[cur];
+    const std::size_t same = idx.prev_on_proc(cur);
+    const std::size_t cross = cross_dep(idx, cur);
     std::size_t pred = same;
     // The critical predecessor is the dependency that completed last; ties
     // resolve toward the same-processor chain.
@@ -121,6 +97,16 @@ CriticalPathStats critical_path(const trace::Trace& t) {
   stats.path.assign(reversed.rbegin(), reversed.rend());
   stats.length = t[stats.path.back()].time - t[stats.path.front()].time;
   return stats;
+}
+
+CriticalPathStats critical_path(const Trace& t) {
+  if (t.empty()) {
+    CriticalPathStats stats;
+    stats.time_by_proc.assign(t.info().num_procs, 0);
+    return stats;
+  }
+  const TraceIndex index(t);
+  return critical_path(index);
 }
 
 std::string render_critical_path(const CriticalPathStats& stats) {

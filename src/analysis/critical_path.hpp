@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/index.hpp"
 #include "trace/trace.hpp"
 
 namespace perturb::analysis {
@@ -44,6 +45,10 @@ struct CriticalPathStats {
 /// must be happened-before consistent; ties between candidate predecessors
 /// resolve toward the same-processor chain.
 CriticalPathStats critical_path(const trace::Trace& trace);
+
+/// Same analysis over a pre-built index; dependencies of path events are
+/// resolved on demand instead of via a full indexing pass.
+CriticalPathStats critical_path(const trace::TraceIndex& index);
 
 /// Renders a per-kind breakdown table of the path time.
 std::string render_critical_path(const CriticalPathStats& stats);

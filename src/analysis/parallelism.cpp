@@ -5,26 +5,27 @@
 
 namespace perturb::analysis {
 
-ParallelismProfile parallelism_profile(const trace::Trace& t,
+ParallelismProfile parallelism_profile(const trace::TraceIndex& index,
                                        const WaitClassifier& classifier) {
+  const trace::Trace& t = index.trace();
   ParallelismProfile profile;
   if (t.empty()) return profile;
 
-  // Active spans per processor.
+  // Active spans per processor: first event (trace order) to latest time.
   struct Span {
     Tick first = 0;
     Tick last = 0;
     bool seen = false;
   };
   std::vector<Span> spans(t.info().num_procs);
-  for (const auto& e : t) {
-    if (e.proc >= spans.size()) continue;
-    Span& s = spans[e.proc];
-    if (!s.seen) {
-      s.first = e.time;
-      s.seen = true;
-    }
-    s.last = std::max(s.last, e.time);
+  for (std::size_t p = 0; p < spans.size() && p < index.num_procs(); ++p) {
+    const auto& evs = index.events_of(static_cast<trace::ProcId>(p));
+    if (evs.empty()) continue;
+    Span& s = spans[p];
+    s.seen = true;
+    s.first = t[evs.front()].time;
+    s.last = s.first;
+    for (const std::size_t i : evs) s.last = std::max(s.last, t[i].time);
   }
 
   // Delta sweep: +1 at active begin, -1 at active end; -1/+1 around waiting.
@@ -34,7 +35,7 @@ ParallelismProfile parallelism_profile(const trace::Trace& t,
     deltas[s.first] += 1;
     deltas[s.last] -= 1;
   }
-  const WaitingStats waits = waiting_analysis(t, classifier);
+  const WaitingStats waits = waiting_analysis(index, classifier);
   for (const auto& w : waits.intervals) {
     if (w.proc >= spans.size() || !spans[w.proc].seen) continue;
     const Tick b = std::clamp(w.begin, spans[w.proc].first, spans[w.proc].last);
@@ -73,6 +74,13 @@ ParallelismProfile parallelism_profile(const trace::Trace& t,
     profile.average_parallel =
         parallel_integral / static_cast<double>(parallel_span);
   return profile;
+}
+
+ParallelismProfile parallelism_profile(const trace::Trace& t,
+                                       const WaitClassifier& classifier) {
+  if (t.empty()) return {};
+  const trace::TraceIndex index(t);
+  return parallelism_profile(index, classifier);
 }
 
 }  // namespace perturb::analysis

@@ -30,4 +30,8 @@ struct ParallelismProfile {
 ParallelismProfile parallelism_profile(const trace::Trace& trace,
                                        const WaitClassifier& classifier);
 
+/// Same analysis over a pre-built index of the trace.
+ParallelismProfile parallelism_profile(const trace::TraceIndex& index,
+                                       const WaitClassifier& classifier);
+
 }  // namespace perturb::analysis

@@ -1,7 +1,7 @@
 #include "analysis/waiting.hpp"
 
 #include <map>
-#include <unordered_map>
+#include <utility>
 
 #include "support/text.hpp"
 
@@ -11,19 +11,20 @@ using trace::Event;
 using trace::EventKind;
 using trace::ProcId;
 using trace::SyncKey;
+using trace::TraceIndex;
 
-WaitingStats waiting_analysis(const trace::Trace& t,
+WaitingStats waiting_analysis(const TraceIndex& index,
                               const WaitClassifier& c) {
+  const trace::Trace& t = index.trace();
   WaitingStats stats;
   stats.waiting_time.assign(t.info().num_procs, 0);
   stats.waiting_percent.assign(t.info().num_procs, 0.0);
   stats.total_time = t.total_time();
 
-  // Per-processor previous event time (for lock-wait attribution) and the
-  // per-(key, proc) awaitB / barrier-arrive times.
-  std::unordered_map<ProcId, Tick> prev_time;
-  std::map<std::pair<SyncKey, ProcId>, Tick> await_b;
-  std::map<std::pair<SyncKey, ProcId>, Tick> arrive;
+  // A begin-marker (awaitB, barrier arrive) is consumed by the first end
+  // event that matches it; subsequent ends without a fresh begin find
+  // nothing.  The index supplies the candidates, this map the consumption.
+  std::map<std::pair<SyncKey, ProcId>, std::size_t> consumed;
 
   auto add = [&](ProcId proc, Tick begin, Tick end, EventKind cause) {
     if (end <= begin) return;
@@ -32,57 +33,73 @@ WaitingStats waiting_analysis(const trace::Trace& t,
     stats.intervals.push_back({proc, begin, end, cause});
   };
 
-  for (const Event& e : t) {
+  // Latest unconsumed begin-marker index for (key, proc) before trace
+  // index i; TraceIndex::npos when none.  Marks the result consumed.
+  auto take_begin = [&](SyncKey key, ProcId proc,
+                        std::size_t candidate) -> std::size_t {
+    if (candidate == TraceIndex::npos) return TraceIndex::npos;
+    const auto [it, inserted] =
+        consumed.insert({{key, proc}, candidate});
+    if (!inserted) {
+      if (it->second >= candidate) return TraceIndex::npos;
+      it->second = candidate;
+    }
+    return candidate;
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Event& e = t[i];
     const SyncKey key{e.object, e.payload};
     switch (e.kind) {
-      case EventKind::kAwaitBegin:
-        await_b[{key, e.proc}] = e.time;
-        break;
       case EventKind::kAwaitEnd: {
-        const auto it = await_b.find({key, e.proc});
-        if (it != await_b.end()) {
-          const Tick duration = e.time - it->second;
-          if (duration > c.await_nowait + c.tolerance)
-            add(e.proc, it->second, e.time, EventKind::kAwaitEnd);
-          await_b.erase(it);
+        const std::size_t ab = take_begin(
+            key, e.proc, index.last_await_begin_before(key, e.proc, i));
+        if (ab != TraceIndex::npos) {
+          const Tick begin = t[ab].time;
+          if (e.time - begin > c.await_nowait + c.tolerance)
+            add(e.proc, begin, e.time, EventKind::kAwaitEnd);
         }
         break;
       }
       case EventKind::kLockAcquire: {
-        const auto pt = prev_time.find(e.proc);
-        if (pt != prev_time.end()) {
-          const Tick duration = e.time - pt->second;
-          if (duration > c.lock_acquire + c.tolerance)
-            add(e.proc, pt->second, e.time, EventKind::kLockAcquire);
+        const std::size_t prev = index.prev_on_proc(i);
+        if (prev != TraceIndex::npos) {
+          const Tick begin = t[prev].time;
+          if (e.time - begin > c.lock_acquire + c.tolerance)
+            add(e.proc, begin, e.time, EventKind::kLockAcquire);
         }
         break;
       }
       case EventKind::kSemAcquire: {
-        const auto pt = prev_time.find(e.proc);
-        if (pt != prev_time.end()) {
-          const Tick duration = e.time - pt->second;
-          if (duration > c.sem_acquire + c.tolerance)
-            add(e.proc, pt->second, e.time, EventKind::kSemAcquire);
+        const std::size_t prev = index.prev_on_proc(i);
+        if (prev != TraceIndex::npos) {
+          const Tick begin = t[prev].time;
+          if (e.time - begin > c.sem_acquire + c.tolerance)
+            add(e.proc, begin, e.time, EventKind::kSemAcquire);
         }
         break;
       }
-      case EventKind::kBarrierArrive:
-        arrive[{key, e.proc}] = e.time;
-        break;
       case EventKind::kBarrierDepart: {
-        const auto it = arrive.find({key, e.proc});
-        if (it != arrive.end()) {
-          const Tick duration = e.time - it->second;
-          if (duration > c.barrier_depart + c.tolerance)
-            add(e.proc, it->second, e.time, EventKind::kBarrierDepart);
-          arrive.erase(it);
+        // Latest same-processor arrival in this episode before the depart.
+        const auto* ep = index.barrier_episode(e.object, e.payload);
+        std::size_t arrive = TraceIndex::npos;
+        if (ep != nullptr) {
+          for (const std::size_t a : ep->arrivals) {
+            if (a >= i) break;
+            if (t[a].proc == e.proc) arrive = a;
+          }
+        }
+        arrive = take_begin(key, e.proc, arrive);
+        if (arrive != TraceIndex::npos) {
+          const Tick begin = t[arrive].time;
+          if (e.time - begin > c.barrier_depart + c.tolerance)
+            add(e.proc, begin, e.time, EventKind::kBarrierDepart);
         }
         break;
       }
       default:
         break;
     }
-    prev_time[e.proc] = e.time;
   }
 
   if (stats.total_time > 0) {
@@ -92,6 +109,12 @@ WaitingStats waiting_analysis(const trace::Trace& t,
                                  static_cast<double>(stats.total_time);
   }
   return stats;
+}
+
+WaitingStats waiting_analysis(const trace::Trace& t,
+                              const WaitClassifier& c) {
+  const TraceIndex index(t);
+  return waiting_analysis(index, c);
 }
 
 std::string render_waiting_table(const WaitingStats& stats) {

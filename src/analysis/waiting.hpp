@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/index.hpp"
 #include "trace/trace.hpp"
 
 namespace perturb::analysis {
@@ -42,6 +43,10 @@ struct WaitingStats {
 };
 
 WaitingStats waiting_analysis(const trace::Trace& trace,
+                              const WaitClassifier& classifier);
+
+/// Same analysis over a pre-built index of the trace.
+WaitingStats waiting_analysis(const trace::TraceIndex& index,
                               const WaitClassifier& classifier);
 
 /// Renders the per-processor waiting percentages as a one-row table

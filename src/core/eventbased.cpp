@@ -2,9 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "support/check.hpp"
@@ -16,135 +13,70 @@ namespace {
 
 using trace::Event;
 using trace::EventKind;
-using trace::ObjectId;
-using trace::ProcId;
 using trace::SyncKey;
-using trace::SyncKeyHash;
 using trace::Trace;
+using trace::TraceIndex;
 
-constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+constexpr std::size_t kNone = TraceIndex::npos;
 
 class Reconstructor {
  public:
-  Reconstructor(const Trace& measured, const AnalysisOverheads& ov,
+  Reconstructor(const TraceIndex& index, const AnalysisOverheads& ov,
                 const EventBasedOptions& opt)
-      : measured_(measured), ov_(ov), opt_(opt) {}
+      : idx_(index), measured_(index.trace()), ov_(ov), opt_(opt) {}
 
   EventBasedResult run() {
-    index_events();
+    const std::size_t n = measured_.size();
+    t_a_.assign(n, 0);
+    resolved_.assign(n, false);
     resolve_all();
     return build_result();
   }
 
  private:
-  // ---- indexing ---------------------------------------------------------
-
-  void index_events() {
-    const std::size_t n = measured_.size();
-    t_a_.assign(n, 0);
-    resolved_.assign(n, false);
-    prev_on_proc_.assign(n, kNone);
-
-    std::unordered_map<ProcId, std::size_t> last_on_proc;
-    std::unordered_map<ObjectId, std::size_t> last_release;
-    std::unordered_map<ObjectId, std::vector<std::size_t>> sem_releases;
-    std::unordered_map<ObjectId, std::size_t> sem_acquire_count;
-    // Fork tracking: a processor's first event inside a parallel-loop
-    // episode is caused by the loop's spawn, not by that processor's
-    // previous event (it was idle through the master's sequential section).
-    std::size_t current_loop_begin = kNone;
-    std::set<ProcId> joined;
-
-    for (std::size_t i = 0; i < n; ++i) {
-      const Event& e = measured_[i];
-      if (e.kind == EventKind::kLoopBegin) {
-        current_loop_begin = i;
-        joined.clear();
-        joined.insert(e.proc);  // the master's own chain already covers it
-      } else if (e.kind == EventKind::kLoopEnd) {
-        current_loop_begin = kNone;
-      } else if (current_loop_begin != kNone && joined.insert(e.proc).second) {
-        fork_dep_[i] = current_loop_begin;
-      }
-      // per-processor chain
-      const auto lp = last_on_proc.find(e.proc);
-      if (lp != last_on_proc.end()) prev_on_proc_[i] = lp->second;
-      last_on_proc[e.proc] = i;
-      if (proc_events_.size() <= e.proc) proc_events_.resize(e.proc + 1u);
-      proc_events_[e.proc].push_back(i);
-
-      const SyncKey key{e.object, e.payload};
-      switch (e.kind) {
-        case EventKind::kAdvance:
-          advance_of_[key] = i;
-          break;
-        case EventKind::kAwaitBegin:
-          await_begin_of_[{key, e.proc}] = i;
-          break;
-        case EventKind::kLockAcquire: {
-          const auto lr = last_release.find(e.object);
-          lock_dep_[i] = lr == last_release.end() ? kNone : lr->second;
-          break;
-        }
-        case EventKind::kLockRelease:
-          last_release[e.object] = i;
-          break;
-        case EventKind::kSemAcquire: {
-          // The k-th acquire (0-based) waits for the (k - capacity)-th
-          // release in measured order; the first `capacity` acquires take
-          // initial permits and have no cross dependency.
-          const auto cap = opt_.semaphore_capacity.find(e.object);
-          if (cap == opt_.semaphore_capacity.end()) break;
-          const std::size_t k = sem_acquire_count[e.object]++;
-          if (k < static_cast<std::size_t>(cap->second)) {
-            sem_dep_[i] = kNone;
-            break;
-          }
-          const auto& releases = sem_releases[e.object];
-          const std::size_t r = k - static_cast<std::size_t>(cap->second);
-          sem_dep_[i] = r < releases.size() ? releases[r] : kNone;
-          break;
-        }
-        case EventKind::kSemRelease:
-          sem_releases[e.object].push_back(i);
-          break;
-        case EventKind::kBarrierArrive:
-          barrier_arrivals_[{e.object, e.payload}].push_back(i);
-          break;
-        default:
-          break;
-      }
-    }
+  /// Counting-semaphore dependency of acquire event i under the declared
+  /// capacities: the k-th acquire (0-based) waits for the (k - capacity)-th
+  /// release in measured order; the first `capacity` acquires take initial
+  /// permits and have no cross dependency.  Returns {modeled, dep}: not
+  /// modeled when the semaphore's capacity is unknown (time-based fallback).
+  std::pair<bool, std::size_t> sem_dep(std::size_t i) const {
+    const Event& e = measured_[i];
+    const auto cap = opt_.semaphore_capacity.find(e.object);
+    if (cap == opt_.semaphore_capacity.end()) return {false, kNone};
+    const std::size_t k = idx_.sem_ordinal(i);
+    if (k < static_cast<std::size_t>(cap->second)) return {true, kNone};
+    const auto& releases = idx_.sem_releases(e.object);
+    const std::size_t r = k - static_cast<std::size_t>(cap->second);
+    return {true, r < releases.size() ? releases[r] : kNone};
   }
 
   // ---- resolution ---------------------------------------------------------
 
   bool ready(std::size_t i) const {
-    const auto fork = fork_dep_.find(i);
-    if (fork != fork_dep_.end() && !resolved_[fork->second]) return false;
+    const std::size_t fork = idx_.fork_dep(i);
+    if (fork != kNone && !resolved_[fork]) return false;
     const Event& e = measured_[i];
     switch (e.kind) {
       case EventKind::kAwaitEnd: {
-        const auto adv = advance_of_.find({e.object, e.payload});
-        return adv == advance_of_.end() || resolved_[adv->second];
+        const std::size_t adv = idx_.last_advance({e.object, e.payload});
+        return adv == kNone || resolved_[adv];
       }
       case EventKind::kLockAcquire: {
         if (!opt_.model_locks) return true;
-        const std::size_t dep = lock_dep_.at(i);
+        const std::size_t dep = idx_.lock_dep(i);
         return dep == kNone || resolved_[dep];
       }
       case EventKind::kBarrierDepart: {
         if (!opt_.model_barriers) return true;
-        const auto it = barrier_arrivals_.find({e.object, e.payload});
-        if (it == barrier_arrivals_.end()) return true;
-        for (const std::size_t a : it->second)
+        const auto* ep = idx_.barrier_episode(e.object, e.payload);
+        if (ep == nullptr) return true;
+        for (const std::size_t a : ep->arrivals)
           if (!resolved_[a]) return false;
         return true;
       }
       case EventKind::kSemAcquire: {
-        const auto dep = sem_dep_.find(i);
-        return dep == sem_dep_.end() || dep->second == kNone ||
-               resolved_[dep->second];
+        const auto [modeled, dep] = sem_dep(i);
+        return !modeled || dep == kNone || resolved_[dep];
       }
       default:
         return true;
@@ -175,12 +107,11 @@ class Reconstructor {
   Tick base_time(std::size_t i) {
     const Event& e = measured_[i];
     const Cycles alpha = ov_.probe_for(e.kind);
-    const auto fork = fork_dep_.find(i);
-    if (fork != fork_dep_.end()) {
-      const std::size_t lb = fork->second;
-      Tick gap = (e.time - measured_[lb].time) - alpha;
+    const std::size_t fork = idx_.fork_dep(i);
+    if (fork != kNone) {
+      Tick gap = (e.time - measured_[fork].time) - alpha;
       if (gap < 0) gap = 0;
-      return t_a_[lb] + gap;
+      return t_a_[fork] + gap;
     }
     if (basis_.size() <= e.proc) basis_.resize(e.proc + 1u);
     SegmentBasis& seg = basis_[e.proc];
@@ -207,17 +138,18 @@ class Reconstructor {
     bool anchored = false;  // time came from a dependency model
     switch (e.kind) {
       case EventKind::kAwaitEnd: {
-        const auto adv = advance_of_.find({e.object, e.payload});
-        const auto ab = await_begin_of_.find({{e.object, e.payload}, e.proc});
-        if (adv == advance_of_.end() || ab == await_begin_of_.end()) {
+        const SyncKey key{e.object, e.payload};
+        const std::size_t adv = idx_.last_advance(key);
+        const std::size_t ab = idx_.last_await_begin(key, e.proc);
+        if (adv == kNone || ab == kNone) {
           // Degenerate trace (missing partner events): fall back to the
           // time-based rule.
           t = base_time(i);
           break;
         }
         anchored = true;
-        const Tick advance_t = t_a_[adv->second];
-        const Tick await_b_t = t_a_[ab->second];
+        const Tick advance_t = t_a_[adv];
+        const Tick await_b_t = t_a_[ab];
         ++stats_.awaits_total;
         // Measured waiting is judged by the await's *duration*: the awaitE
         // timestamp is inflated by its own probe, and the advance timestamp
@@ -227,7 +159,7 @@ class Reconstructor {
         const Tick nowait_span =
             ov_.s_nowait + gamma + std::max<Cycles>(4, gamma / 4);
         const bool waited_measured =
-            measured_[i].time - measured_[ab->second].time > nowait_span;
+            measured_[i].time - measured_[ab].time > nowait_span;
         // Continuous form of the paper's two-branch formula: the await
         // completes either s_nowait after its begin or s_wait after the
         // advance, whichever is later.  At the branch boundary the two
@@ -252,23 +184,23 @@ class Reconstructor {
         // Conservative hand-off: the processor requests the lock immediately
         // after its previous recorded event; the lock becomes available when
         // the previous holder's (approximated) release completes.
-        const std::size_t j = prev_on_proc_[i];
+        const std::size_t j = idx_.prev_on_proc(i);
         const Tick request = j == kNone ? 0 : t_a_[j];
-        const std::size_t dep = lock_dep_.at(i);
+        const std::size_t dep = idx_.lock_dep(i);
         const Tick available = dep == kNone ? request : t_a_[dep];
         t = std::max(request, available) + ov_.lock_acquire;
         break;
       }
       case EventKind::kSemAcquire: {
-        const auto dep = sem_dep_.find(i);
-        if (dep == sem_dep_.end()) {
+        const auto [modeled, dep] = sem_dep(i);
+        if (!modeled) {
           t = base_time(i);  // capacity unknown: time-based fallback
           break;
         }
         anchored = true;
-        const std::size_t j = prev_on_proc_[i];
+        const std::size_t j = idx_.prev_on_proc(i);
         const Tick request = j == kNone ? 0 : t_a_[j];
-        const Tick available = dep->second == kNone ? request : t_a_[dep->second];
+        const Tick available = dep == kNone ? request : t_a_[dep];
         t = std::max(request, available) + ov_.sem_acquire;
         break;
       }
@@ -278,10 +210,10 @@ class Reconstructor {
           break;
         }
         anchored = true;
-        const auto it = barrier_arrivals_.find({e.object, e.payload});
+        const auto* ep = idx_.barrier_episode(e.object, e.payload);
         Tick release = 0;
-        if (it != barrier_arrivals_.end())
-          for (const std::size_t a : it->second)
+        if (ep != nullptr)
+          for (const std::size_t a : ep->arrivals)
             release = std::max(release, t_a_[a]);
         t = release + ov_.barrier_depart;
         break;
@@ -292,7 +224,7 @@ class Reconstructor {
     }
     // Per-processor monotonicity: the dependency models can only push events
     // later than the same-processor predecessor, never earlier.
-    const std::size_t j = prev_on_proc_[i];
+    const std::size_t j = idx_.prev_on_proc(i);
     if (j != kNone) t = std::max(t, t_a_[j]);
     t_a_[i] = t;
     resolved_[i] = true;
@@ -300,18 +232,19 @@ class Reconstructor {
     // independent-execution segment.
     const bool first_on_proc =
         basis_.size() <= e.proc || !basis_[e.proc].valid;
-    if (anchored || first_on_proc || fork_dep_.count(i) > 0) rebase(i, t);
+    if (anchored || first_on_proc || idx_.fork_dep(i) != kNone) rebase(i, t);
   }
 
   void resolve_all() {
-    std::vector<std::size_t> cursor(proc_events_.size(), 0);
+    const std::size_t num_procs = idx_.num_procs();
+    std::vector<std::size_t> cursor(num_procs, 0);
     bool progress = true;
     std::size_t remaining = measured_.size();
     while (progress && remaining > 0) {
       progress = false;
-      for (std::size_t p = 0; p < proc_events_.size(); ++p) {
+      for (std::size_t p = 0; p < num_procs; ++p) {
         auto& pos = cursor[p];
-        const auto& evs = proc_events_[p];
+        const auto& evs = idx_.events_of(static_cast<trace::ProcId>(p));
         while (pos < evs.size() && ready(evs[pos])) {
           resolve(evs[pos]);
           ++pos;
@@ -343,22 +276,14 @@ class Reconstructor {
     return result;
   }
 
+  const TraceIndex& idx_;
   const Trace& measured_;
   const AnalysisOverheads& ov_;
   const EventBasedOptions& opt_;
 
   std::vector<Tick> t_a_;
   std::vector<bool> resolved_;
-  std::vector<std::size_t> prev_on_proc_;
-  std::vector<std::vector<std::size_t>> proc_events_;
-  std::unordered_map<SyncKey, std::size_t, SyncKeyHash> advance_of_;
-  std::map<std::pair<SyncKey, ProcId>, std::size_t> await_begin_of_;
-  std::unordered_map<std::size_t, std::size_t> lock_dep_;
-  std::unordered_map<std::size_t, std::size_t> sem_dep_;
-  std::unordered_map<std::size_t, std::size_t> fork_dep_;
   std::vector<SegmentBasis> basis_;  ///< per-processor segment state
-  std::map<std::pair<ObjectId, std::int64_t>, std::vector<std::size_t>>
-      barrier_arrivals_;
   EventBasedResult stats_;
 };
 
@@ -367,7 +292,14 @@ class Reconstructor {
 EventBasedResult event_based_approximation(const trace::Trace& measured,
                                            const AnalysisOverheads& overheads,
                                            const EventBasedOptions& options) {
-  return Reconstructor(measured, overheads, options).run();
+  const TraceIndex index(measured);
+  return Reconstructor(index, overheads, options).run();
+}
+
+EventBasedResult event_based_approximation(const trace::TraceIndex& index,
+                                           const AnalysisOverheads& overheads,
+                                           const EventBasedOptions& options) {
+  return Reconstructor(index, overheads, options).run();
 }
 
 }  // namespace perturb::core

@@ -25,6 +25,7 @@
 #include <map>
 
 #include "core/overheads.hpp"
+#include "trace/index.hpp"
 #include "trace/trace.hpp"
 
 namespace perturb::core {
@@ -58,6 +59,12 @@ struct EventBasedResult {
 /// must be happened-before consistent (see trace::validate); throws
 /// CheckError if the dependency resolution cannot make progress.
 EventBasedResult event_based_approximation(const trace::Trace& measured,
+                                           const AnalysisOverheads& overheads,
+                                           const EventBasedOptions& options = {});
+
+/// Same analysis over a pre-built index of the measured trace (the pipeline
+/// builds the TraceIndex once and shares it across all analyzers).
+EventBasedResult event_based_approximation(const trace::TraceIndex& index,
                                            const AnalysisOverheads& overheads,
                                            const EventBasedOptions& options = {});
 

@@ -16,110 +16,111 @@ using trace::Event;
 using trace::EventKind;
 using trace::ProcId;
 using trace::Trace;
+using trace::TraceIndex;
 
 constexpr std::int64_t kPairStride = std::int64_t{1} << 32;
 
 }  // namespace
 
-DoacrossShape extract_doacross_shape(const Trace& measured,
+DoacrossShape extract_doacross_shape(const TraceIndex& index,
                                      const AnalysisOverheads& ov) {
+  const Trace& measured = index.trace();
+  PERTURB_CHECK_MSG(index.loops().size() <= 1,
+                    "liberal analysis supports a single parallel loop");
+  PERTURB_CHECK_MSG(!index.loops().empty(),
+                    "no parallel loop in measured trace");
+
   DoacrossShape shape;
-  bool saw_loop = false;
+  shape.loop_object = index.loops().front().object;
   std::int64_t trip_hint = -1;
 
   enum class Segment { kOutside, kPre, kWaiting, kChain, kPost };
-  struct ProcCursor {
-    bool has_prev = false;
-    Tick prev_time = 0;
-    Segment segment = Segment::kOutside;
-    IterationShape current;
-  };
-  std::unordered_map<ProcId, ProcCursor> procs;
   std::unordered_map<std::int64_t, IterationShape> done;
   bool have_distance = false;
 
-  auto finish = [&](ProcCursor& c) {
-    PERTURB_CHECK_MSG(!done.count(c.current.iteration),
-                      "iteration executed twice in measured trace");
-    done[c.current.iteration] = c.current;
-    c.segment = Segment::kOutside;
-  };
+  // The segment state machine and the de-instrumented gaps are both
+  // per-processor, so each processor's chain is walked independently.
+  for (std::size_t p = 0; p < index.num_procs(); ++p) {
+    Segment segment = Segment::kOutside;
+    IterationShape current;
 
-  for (const Event& e : measured) {
-    if (e.kind == EventKind::kLoopBegin) {
-      PERTURB_CHECK_MSG(!saw_loop,
-                        "liberal analysis supports a single parallel loop");
-      saw_loop = true;
-      shape.loop_object = e.object;
-    }
-    ProcCursor& c = procs[e.proc];
-    const Tick gap_raw = c.has_prev ? e.time - c.prev_time : 0;
-    Tick gap = gap_raw - ov.probe_for(e.kind);
-    if (gap < 0) gap = 0;
-    c.prev_time = e.time;
-    c.has_prev = true;
-
-    auto add_gap = [&](Cycles amount) {
-      switch (c.segment) {
-        case Segment::kPre: c.current.pre += amount; break;
-        case Segment::kChain: c.current.chain += amount; break;
-        case Segment::kPost: c.current.post += amount; break;
-        default: break;
-      }
+    auto finish = [&]() {
+      PERTURB_CHECK_MSG(!done.count(current.iteration),
+                        "iteration executed twice in measured trace");
+      done[current.iteration] = current;
+      segment = Segment::kOutside;
     };
 
-    switch (e.kind) {
-      case EventKind::kIterBegin:
-        if (!saw_loop || e.object != shape.loop_object) break;
-        c.current = IterationShape{};
-        c.current.iteration = e.payload;
-        c.segment = Segment::kPre;
-        trip_hint = std::max(trip_hint, e.payload + 1);
-        break;
-      case EventKind::kIterEnd:
-        if (c.segment == Segment::kOutside) break;
-        add_gap(gap);
-        finish(c);
-        break;
-      case EventKind::kAwaitBegin: {
-        if (c.segment == Segment::kOutside) break;
-        PERTURB_CHECK_MSG(c.segment == Segment::kPre,
-                          "multiple awaits per iteration unsupported");
-        add_gap(gap);  // arrival at the await ends the pre segment
-        c.current.has_await = true;
-        const std::int64_t idx = e.payload % kPairStride;
-        const std::int64_t d = c.current.iteration - idx;
-        PERTURB_CHECK_MSG(d > 0, "non-forward dependence in measured trace");
-        if (have_distance) {
-          PERTURB_CHECK_MSG(d == shape.distance,
-                            "non-constant dependence distance");
-        } else {
-          shape.distance = d;
-          have_distance = true;
+    for (const std::size_t i : index.events_of(static_cast<ProcId>(p))) {
+      const Event& e = measured[i];
+      const std::size_t prev = index.prev_on_proc(i);
+      const Tick gap_raw = prev == TraceIndex::npos
+                               ? 0
+                               : e.time - measured[prev].time;
+      Tick gap = gap_raw - ov.probe_for(e.kind);
+      if (gap < 0) gap = 0;
+
+      auto add_gap = [&](Cycles amount) {
+        switch (segment) {
+          case Segment::kPre: current.pre += amount; break;
+          case Segment::kChain: current.chain += amount; break;
+          case Segment::kPost: current.post += amount; break;
+          default: break;
         }
-        c.segment = Segment::kWaiting;
-        break;
+      };
+
+      switch (e.kind) {
+        case EventKind::kIterBegin:
+          if (e.object != shape.loop_object) break;
+          current = IterationShape{};
+          current.iteration = e.payload;
+          segment = Segment::kPre;
+          trip_hint = std::max(trip_hint, e.payload + 1);
+          break;
+        case EventKind::kIterEnd:
+          if (segment == Segment::kOutside) break;
+          add_gap(gap);
+          finish();
+          break;
+        case EventKind::kAwaitBegin: {
+          if (segment == Segment::kOutside) break;
+          PERTURB_CHECK_MSG(segment == Segment::kPre,
+                            "multiple awaits per iteration unsupported");
+          add_gap(gap);  // arrival at the await ends the pre segment
+          current.has_await = true;
+          const std::int64_t idx = e.payload % kPairStride;
+          const std::int64_t d = current.iteration - idx;
+          PERTURB_CHECK_MSG(d > 0, "non-forward dependence in measured trace");
+          if (have_distance) {
+            PERTURB_CHECK_MSG(d == shape.distance,
+                              "non-constant dependence distance");
+          } else {
+            shape.distance = d;
+            have_distance = true;
+          }
+          segment = Segment::kWaiting;
+          break;
+        }
+        case EventKind::kAwaitEnd:
+          if (segment == Segment::kOutside) break;
+          // waiting + synchronization processing: excluded from work
+          segment = Segment::kChain;
+          break;
+        case EventKind::kAdvance:
+          if (segment == Segment::kOutside) break;
+          // The gap is the advance operation itself: excluded (the replay's
+          // machine model re-adds it).  An advance with no preceding await
+          // (first d iterations) simply ends the pre segment.
+          current.has_advance = true;
+          segment = Segment::kPost;
+          break;
+        default:
+          add_gap(gap);
+          break;
       }
-      case EventKind::kAwaitEnd:
-        if (c.segment == Segment::kOutside) break;
-        // waiting + synchronization processing: excluded from work
-        c.segment = Segment::kChain;
-        break;
-      case EventKind::kAdvance:
-        if (c.segment == Segment::kOutside) break;
-        // The gap is the advance operation itself: excluded (the replay's
-        // machine model re-adds it).  An advance with no preceding await
-        // (first d iterations) simply ends the pre segment.
-        c.current.has_advance = true;
-        c.segment = Segment::kPost;
-        break;
-      default:
-        add_gap(gap);
-        break;
     }
   }
 
-  PERTURB_CHECK_MSG(saw_loop, "no parallel loop in measured trace");
   PERTURB_CHECK_MSG(trip_hint > 0, "no iterations observed");
   shape.iterations.resize(static_cast<std::size_t>(trip_hint));
   for (std::int64_t i = 0; i < trip_hint; ++i) {
@@ -130,6 +131,12 @@ DoacrossShape extract_doacross_shape(const Trace& measured,
     shape.iterations[static_cast<std::size_t>(i)] = it->second;
   }
   return shape;
+}
+
+DoacrossShape extract_doacross_shape(const Trace& measured,
+                                     const AnalysisOverheads& ov) {
+  const TraceIndex index(measured);
+  return extract_doacross_shape(index, ov);
 }
 
 LiberalResult liberal_approximation(const DoacrossShape& shape,

@@ -28,6 +28,7 @@
 #include "core/overheads.hpp"
 #include "sim/engine.hpp"
 #include "sim/machine.hpp"
+#include "trace/index.hpp"
 #include "trace/trace.hpp"
 
 namespace perturb::core {
@@ -53,6 +54,10 @@ struct DoacrossShape {
 /// trace; throws CheckError if the trace does not fit the model (multiple
 /// advances per iteration, non-constant distance, ...).
 DoacrossShape extract_doacross_shape(const trace::Trace& measured,
+                                     const AnalysisOverheads& overheads);
+
+/// Same extraction over a pre-built index of the measured trace.
+DoacrossShape extract_doacross_shape(const trace::TraceIndex& index,
                                      const AnalysisOverheads& overheads);
 
 struct LiberalOptions {

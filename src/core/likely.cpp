@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 #include "support/prng.hpp"
 
 namespace perturb::core {
@@ -22,9 +23,12 @@ LikelyDistribution likely_executions(const DoacrossShape& shape,
                 options.cost_uncertainty < 1.0);
 
   LikelyDistribution dist;
-  dist.loop_times.reserve(options.samples);
+  dist.loop_times.assign(options.samples, 0);
 
-  for (std::size_t s = 0; s < options.samples; ++s) {
+  // Each sample's jitter stream is derived from (seed, sample index) alone
+  // and its result lands in its own slot, so the distribution is
+  // bit-identical at any worker count.
+  support::parallel_for(options.threads, options.samples, [&](std::size_t s) {
     // Perturb the iteration costs within the uncertainty band.  The
     // uncertainty has two physical components: a *correlated* factor per
     // sample (systematic calibration error — it shifts every cost together
@@ -55,8 +59,8 @@ LikelyDistribution likely_executions(const DoacrossShape& shape,
     LiberalOptions replay;
     replay.machine = options.machine;
     replay.schedule = options.schedule;
-    dist.loop_times.push_back(liberal_approximation(sample, replay).loop_time);
-  }
+    dist.loop_times[s] = liberal_approximation(sample, replay).loop_time;
+  });
 
   std::sort(dist.loop_times.begin(), dist.loop_times.end());
   dist.min = dist.loop_times.front();

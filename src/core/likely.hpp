@@ -26,6 +26,10 @@ struct LikelyOptions {
   /// iteration segment by a factor in [1-u, 1+u].
   double cost_uncertainty = 0.05;
   std::uint64_t seed = 1991;
+  /// Worker threads for the Monte-Carlo fan-out (0 = hardware concurrency).
+  /// Every sample derives its jitter from (seed, sample) alone, so the
+  /// distribution is bit-identical at any thread count.
+  std::size_t threads = 1;
 };
 
 struct LikelyDistribution {

@@ -1,0 +1,264 @@
+#include "core/pipeline.hpp"
+
+#include <utility>
+
+#include "analysis/critical_path.hpp"
+#include "analysis/parallelism.hpp"
+#include "analysis/waiting.hpp"
+#include "core/timebased.hpp"
+#include "support/check.hpp"
+#include "support/parallel.hpp"
+#include "support/text.hpp"
+
+namespace perturb::core {
+
+namespace {
+
+using trace::Trace;
+using trace::TraceIndex;
+
+class TimeBasedAnalyzer final : public Analyzer {
+ public:
+  const char* name() const noexcept override { return "time-based"; }
+  AnalyzerOutput run(const TraceIndex& index,
+                     const PipelineOptions& options) const override {
+    AnalyzerOutput out;
+    out.analyzer = name();
+    out.approx = time_based_approximation(index.trace(), options.overheads);
+    return out;
+  }
+};
+
+class EventBasedAnalyzer final : public Analyzer {
+ public:
+  const char* name() const noexcept override { return "event-based"; }
+  AnalyzerOutput run(const TraceIndex& index,
+                     const PipelineOptions& options) const override {
+    AnalyzerOutput out;
+    out.analyzer = name();
+    EventBasedResult result = event_based_approximation(
+        index, options.overheads, options.event_based);
+    out.approx = std::move(result.approx);
+    result.approx = Trace{};
+    out.event_stats = std::move(result);
+    return out;
+  }
+};
+
+class LiberalAnalyzer final : public Analyzer {
+ public:
+  const char* name() const noexcept override { return "liberal"; }
+  AnalyzerOutput run(const TraceIndex& index,
+                     const PipelineOptions& options) const override {
+    AnalyzerOutput out;
+    out.analyzer = name();
+    const DoacrossShape shape =
+        extract_doacross_shape(index, options.overheads);
+    LiberalOptions replay;
+    replay.machine = options.machine;
+    replay.schedule = options.schedule;
+    LiberalResult result = liberal_approximation(shape, replay);
+    out.approx = std::move(result.approx);
+    result.approx = Trace{};
+    out.liberal = std::move(result);
+    return out;
+  }
+};
+
+class LikelyAnalyzer final : public Analyzer {
+ public:
+  const char* name() const noexcept override { return "likely"; }
+  bool produces_trace() const noexcept override { return false; }
+  AnalyzerOutput run(const TraceIndex& index,
+                     const PipelineOptions& options) const override {
+    AnalyzerOutput out;
+    out.analyzer = name();
+    const DoacrossShape shape =
+        extract_doacross_shape(index, options.overheads);
+    LikelyOptions opt;
+    opt.machine = options.machine;
+    opt.schedule = options.schedule;
+    opt.samples = options.likely_samples;
+    opt.cost_uncertainty = options.likely_uncertainty;
+    opt.seed = options.seed;
+    opt.threads = options.threads;
+    out.distribution = likely_executions(shape, opt);
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Analyzer> make_analyzer(AnalyzerKind kind) {
+  switch (kind) {
+    case AnalyzerKind::kTimeBased: return std::make_unique<TimeBasedAnalyzer>();
+    case AnalyzerKind::kEventBased:
+      return std::make_unique<EventBasedAnalyzer>();
+    case AnalyzerKind::kLiberal: return std::make_unique<LiberalAnalyzer>();
+    case AnalyzerKind::kLikely: return std::make_unique<LikelyAnalyzer>();
+  }
+  PERTURB_CHECK_MSG(false, "unknown analyzer kind");
+  return nullptr;
+}
+
+std::string render_acquire(const AcquireOutcome& outcome) {
+  std::string out;
+  if (outcome.salvaged)
+    out += "salvage: " + outcome.salvage.describe() + "\n";
+  if (outcome.repaired) out += trace::render_manifest(outcome.manifest);
+  return out;
+}
+
+AcquireOutcome trusted_acquire(Trace measured) {
+  AcquireOutcome outcome;
+  outcome.measured = std::move(measured);
+  outcome.ok = true;
+  return outcome;
+}
+
+const AnalyzerOutput* PipelineResult::output(std::string_view analyzer) const {
+  for (const auto& o : outputs)
+    if (o.analyzer == analyzer) return &o;
+  return nullptr;
+}
+
+AnalysisPipeline::AnalysisPipeline(PipelineOptions options)
+    : options_(std::move(options)) {}
+AnalysisPipeline::~AnalysisPipeline() = default;
+AnalysisPipeline::AnalysisPipeline(AnalysisPipeline&&) noexcept = default;
+AnalysisPipeline& AnalysisPipeline::operator=(AnalysisPipeline&&) noexcept =
+    default;
+
+AnalysisPipeline& AnalysisPipeline::add(AnalyzerKind kind) {
+  return add(make_analyzer(kind));
+}
+
+AnalysisPipeline& AnalysisPipeline::add(std::unique_ptr<Analyzer> analyzer) {
+  PERTURB_CHECK(analyzer != nullptr);
+  analyzers_.push_back(std::move(analyzer));
+  return *this;
+}
+
+AcquireOutcome AnalysisPipeline::acquire_file(const std::string& path) const {
+  if (options_.repair == RepairMode::kOff)
+    return acquire(trace::load(path));
+
+  AcquireOutcome outcome;
+  outcome.measured = trace::load_salvage(path, outcome.salvage);
+  if (!outcome.salvage.complete) {
+    outcome.salvaged = true;
+    outcome.degraded = true;
+  }
+  if (outcome.measured.empty()) {
+    outcome.diagnosis = support::strf(
+        "trace is unsalvageable: no events recovered from %s", path.c_str());
+    return outcome;
+  }
+  AcquireOutcome triaged = acquire(std::move(outcome.measured));
+  triaged.salvaged = outcome.salvaged;
+  triaged.salvage = std::move(outcome.salvage);
+  triaged.degraded |= outcome.degraded;
+  return triaged;
+}
+
+AcquireOutcome AnalysisPipeline::acquire(Trace measured) const {
+  AcquireOutcome outcome;
+  trace::ValidateOptions validate_opts;
+  validate_opts.sync_slack = options_.sync_slack;
+  outcome.violations = trace::validate(measured, validate_opts);
+  if (outcome.violations.empty()) {
+    outcome.measured = std::move(measured);
+    outcome.ok = true;
+    return outcome;
+  }
+
+  if (options_.repair == RepairMode::kOff) {
+    outcome.diagnosis = support::strf(
+        "input trace has %zu causality violation(s); analysis requires a "
+        "happened-before-consistent trace (enable repair to triage):\n%s",
+        outcome.violations.size(),
+        trace::describe(outcome.violations).c_str());
+    outcome.measured = std::move(measured);
+    return outcome;
+  }
+
+  trace::RepairOptions repair_opts;
+  repair_opts.aggressive = options_.repair == RepairMode::kAggressive;
+  repair_opts.sync_slack = options_.sync_slack;
+  auto result = trace::repair(measured, repair_opts);
+  outcome.repaired = true;
+  outcome.manifest = std::move(result.manifest);
+  if (outcome.manifest.severity == trace::RepairSeverity::kUnsalvageable) {
+    outcome.diagnosis = support::strf(
+        "trace is unsalvageable: %zu violation(s) survived repair:\n%s",
+        outcome.manifest.remaining.size(),
+        trace::describe(outcome.manifest.remaining).c_str());
+    outcome.measured = std::move(measured);
+    return outcome;
+  }
+  outcome.degraded =
+      outcome.manifest.severity >= trace::RepairSeverity::kLossy;
+  outcome.measured = std::move(result.repaired);
+  outcome.ok = true;
+  return outcome;
+}
+
+PipelineResult AnalysisPipeline::run(AcquireOutcome acquired,
+                                     const Trace* actual) const {
+  PipelineResult result;
+  result.acquire = std::move(acquired);
+  if (!result.acquire.ok) return result;
+
+  const TraceIndex index(result.acquire.measured);
+  result.outputs.resize(analyzers_.size());
+  // Independent passes over the shared immutable index: each analyzer
+  // writes only its own slot, so the run is deterministic at any thread
+  // count.
+  support::parallel_for(
+      options_.threads, analyzers_.size(), [&](std::size_t k) {
+        const Analyzer& analyzer = *analyzers_[k];
+        AnalyzerOutput out = analyzer.run(index, options_);
+        if (actual != nullptr && analyzer.produces_trace()) {
+          ApproximationQuality q =
+              assess(result.acquire.measured, out.approx, *actual);
+          q.degraded_input = result.acquire.degraded;
+          out.quality = q;
+        }
+        result.outputs[k] = std::move(out);
+      });
+  return result;
+}
+
+PipelineResult AnalysisPipeline::run(Trace measured,
+                                     const Trace* actual) const {
+  return run(acquire(std::move(measured)), actual);
+}
+
+PipelineResult AnalysisPipeline::run_file(const std::string& path,
+                                          const Trace* actual) const {
+  return run(acquire_file(path), actual);
+}
+
+std::string render_pipeline_report(const Trace& approx,
+                                   const PipelineOptions& options) {
+  analysis::WaitClassifier classifier;
+  classifier.await_nowait = options.overheads.s_nowait;
+  classifier.lock_acquire = options.overheads.lock_acquire;
+  classifier.sem_acquire = options.overheads.sem_acquire;
+  classifier.barrier_depart = options.overheads.barrier_depart;
+  classifier.tolerance = 2;
+
+  const TraceIndex index(approx);
+  std::string out;
+  const auto waits = analysis::waiting_analysis(index, classifier);
+  out += "\n-- waiting --\n" + analysis::render_waiting_table(waits);
+  const auto profile = analysis::parallelism_profile(index, classifier);
+  out += support::strf(
+      "\n-- parallelism --\naverage %.2f (parallel region %.2f)\n",
+      profile.average, profile.average_parallel);
+  out += "\n-- critical path --\n" +
+         analysis::render_critical_path(analysis::critical_path(index));
+  return out;
+}
+
+}  // namespace perturb::core

@@ -1,0 +1,173 @@
+// Unified analysis pipeline.
+//
+// Every consumer of perturbation analysis — the command-line tools, the
+// experiment driver, the benchmarks — runs the same sequence:
+//
+//   load → salvage → triage → repair → index → analyses → quality → report
+//
+// This module owns that composition.  The front half (acquisition) turns a
+// trace file or in-memory trace into an analyzable, happened-before
+// consistent measured trace, recording salvage/repair provenance.  The back
+// half builds one shared trace::TraceIndex and runs every registered
+// Analyzer over it — independent passes, so they execute on a deterministic
+// task pool (support::parallel_for) with each analyzer writing only its own
+// output slot.
+//
+// The four approximation modes (time-based §3, event-based §4, liberal
+// §4.3, likely §4.1) are exposed as built-in analyzers; new analyses plug in
+// by implementing Analyzer and registering with AnalysisPipeline::add.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/eventbased.hpp"
+#include "core/likely.hpp"
+#include "core/overheads.hpp"
+#include "core/quality.hpp"
+#include "trace/index.hpp"
+#include "trace/io.hpp"
+#include "trace/repair.hpp"
+#include "trace/trace.hpp"
+#include "trace/validate.hpp"
+
+namespace perturb::core {
+
+enum class RepairMode : std::uint8_t {
+  kOff,           ///< reject traces with causality violations
+  kConservative,  ///< salvage + repair with conservative strategies
+  kAggressive,    ///< additionally drop whatever cannot be repaired
+};
+
+/// One options struct for the whole pipeline; every stage reads from here.
+struct PipelineOptions {
+  AnalysisOverheads overheads;    ///< probe means + sync processing costs
+  EventBasedOptions event_based;  ///< dependency-model knobs (§4)
+  sim::MachineConfig machine;     ///< replay machine for liberal/likely
+  sim::Schedule schedule = sim::Schedule::kCyclic;  ///< asserted loop policy
+  std::size_t likely_samples = 64;
+  double likely_uncertainty = 0.05;
+  std::uint64_t seed = 1991;
+  /// Worker threads for independent analysis passes and the Monte-Carlo
+  /// fan-out; results are bit-identical at any thread count.
+  std::size_t threads = 1;
+  RepairMode repair = RepairMode::kOff;
+  trace::Tick sync_slack = 0;  ///< validation slack for measured traces
+};
+
+/// Provenance of the load→salvage→triage→repair front half.
+struct AcquireOutcome {
+  trace::Trace measured;  ///< the analyzable trace (post-salvage/repair)
+  bool ok = false;
+  std::string diagnosis;  ///< why acquisition failed, when !ok
+  bool salvaged = false;  ///< binary input was incomplete (see salvage)
+  trace::SalvageReport salvage;
+  bool repaired = false;  ///< a repair pass ran (manifest is meaningful)
+  trace::RepairManifest manifest;
+  /// Triage result on the loaded input (pre-repair).
+  std::vector<trace::Violation> violations;
+  /// True when the measurement was salvaged or repaired with loss; quality
+  /// metrics computed from it describe a degraded input.
+  bool degraded = false;
+};
+
+/// Renders salvage/repair provenance for CLI output; empty for a clean
+/// acquisition.
+std::string render_acquire(const AcquireOutcome& outcome);
+
+/// Wraps a trace the caller vouches for (e.g. fresh simulator output) as a
+/// successful acquisition, skipping triage entirely.
+AcquireOutcome trusted_acquire(trace::Trace measured);
+
+/// What one analyzer produced.  `approx` is the approximated trace for the
+/// trace-producing modes; mode-specific payloads ride in the optionals
+/// (their own `approx` members are left empty to avoid duplicating the
+/// trace).
+struct AnalyzerOutput {
+  std::string analyzer;  ///< Analyzer::name() of the producer
+  trace::Trace approx;
+  std::optional<EventBasedResult> event_stats;  ///< event-based only
+  std::optional<LiberalResult> liberal;         ///< liberal only
+  std::optional<LikelyDistribution> distribution;  ///< likely only
+  std::optional<ApproximationQuality> quality;  ///< vs actual, when provided
+};
+
+/// One analysis pass over the shared index.  Implementations must be
+/// reentrant: the pipeline may run analyzers concurrently, each writing only
+/// its own AnalyzerOutput.
+class Analyzer {
+ public:
+  virtual ~Analyzer() = default;
+  virtual const char* name() const noexcept = 0;
+  /// True when run() fills AnalyzerOutput::approx with a trace that can be
+  /// scored against an actual execution.
+  virtual bool produces_trace() const noexcept { return true; }
+  virtual AnalyzerOutput run(const trace::TraceIndex& index,
+                             const PipelineOptions& options) const = 0;
+};
+
+/// The built-in approximation modes.
+enum class AnalyzerKind : std::uint8_t {
+  kTimeBased,   ///< §3 telescoped overhead subtraction
+  kEventBased,  ///< §4 dependency-model reconstruction
+  kLiberal,     ///< §4.3 scheduling re-simulation
+  kLikely,      ///< §4.1 Monte-Carlo distribution of likely executions
+};
+
+std::unique_ptr<Analyzer> make_analyzer(AnalyzerKind kind);
+
+struct PipelineResult {
+  AcquireOutcome acquire;
+  /// One entry per registered analyzer, in registration order.
+  std::vector<AnalyzerOutput> outputs;
+
+  /// Output of the named analyzer; nullptr when not registered.
+  const AnalyzerOutput* output(std::string_view analyzer) const;
+};
+
+class AnalysisPipeline {
+ public:
+  explicit AnalysisPipeline(PipelineOptions options);
+  ~AnalysisPipeline();
+  AnalysisPipeline(AnalysisPipeline&&) noexcept;
+  AnalysisPipeline& operator=(AnalysisPipeline&&) noexcept;
+
+  const PipelineOptions& options() const noexcept { return options_; }
+
+  AnalysisPipeline& add(AnalyzerKind kind);
+  AnalysisPipeline& add(std::unique_ptr<Analyzer> analyzer);
+
+  /// Acquisition only: load (salvaging when repairing), triage, repair.
+  /// I/O failures throw trace::IoError; degraded-but-salvageable inputs come
+  /// back ok, unusable ones come back !ok with a diagnosis.
+  AcquireOutcome acquire_file(const std::string& path) const;
+  /// Same triage/repair over an in-memory trace (no load/salvage stage).
+  AcquireOutcome acquire(trace::Trace measured) const;
+
+  /// Runs every registered analyzer over one shared index of the acquired
+  /// trace.  When `actual` is non-null, each trace-producing analyzer's
+  /// output is scored against it (flagged degraded per the acquisition).
+  /// When the acquisition failed, no analyzers run.
+  PipelineResult run(AcquireOutcome acquired,
+                     const trace::Trace* actual = nullptr) const;
+  PipelineResult run(trace::Trace measured,
+                     const trace::Trace* actual = nullptr) const;
+  PipelineResult run_file(const std::string& path,
+                          const trace::Trace* actual = nullptr) const;
+
+ private:
+  PipelineOptions options_;
+  std::vector<std::unique_ptr<Analyzer>> analyzers_;
+};
+
+/// Renders the §5.3 performance report (waiting table, parallelism,
+/// critical path) of an approximated trace, with classification thresholds
+/// taken from the pipeline's overheads.
+std::string render_pipeline_report(const trace::Trace& approx,
+                                   const PipelineOptions& options);
+
+}  // namespace perturb::core

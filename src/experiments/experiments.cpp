@@ -34,39 +34,57 @@ core::AnalysisOverheads overheads_for(const instr::InstrumentationPlan& plan,
 }
 
 LoopRun run_program_experiment(const sim::Program& program, const Setup& setup,
-                               PlanKind plan_kind, const std::string& name) {
+                               PlanKind plan_kind, const std::string& name,
+                               core::RepairMode repair) {
   const instr::InstrumentationPlan plan = make_plan(plan_kind, setup);
-  const core::AnalysisOverheads ov = overheads_for(plan, setup.machine);
 
   LoopRun run;
   run.actual = sim::simulate_actual(setup.machine, program, name + "/actual");
   run.measured = sim::simulate(setup.machine, program, plan, name + "/measured");
-  run.time_based = core::time_based_approximation(run.measured, ov);
-  run.event_based = core::event_based_approximation(run.measured, ov);
-  run.tb_quality = core::assess(run.measured, run.time_based, run.actual);
-  run.eb_quality = core::assess(run.measured, run.event_based.approx, run.actual);
+
+  core::PipelineOptions options;
+  options.overheads = overheads_for(plan, setup.machine);
+  options.repair = repair;
+  core::AnalysisPipeline pipeline(std::move(options));
+  pipeline.add(core::AnalyzerKind::kTimeBased)
+      .add(core::AnalyzerKind::kEventBased);
+
+  // Fresh simulator output needs no triage unless the caller asked for the
+  // repair path.
+  auto acquired = repair == core::RepairMode::kOff
+                      ? core::trusted_acquire(run.measured)
+                      : pipeline.acquire(run.measured);
+  auto result = pipeline.run(std::move(acquired), &run.actual);
+  PERTURB_CHECK_MSG(result.acquire.ok, result.acquire.diagnosis);
+
+  run.time_based = std::move(result.outputs[0].approx);
+  run.event_based = std::move(*result.outputs[1].event_stats);
+  run.event_based.approx = std::move(result.outputs[1].approx);
+  run.tb_quality = *result.outputs[0].quality;
+  run.eb_quality = *result.outputs[1].quality;
   return run;
 }
 
 LoopRun run_sequential_experiment(int loop, std::int64_t n, const Setup& setup,
-                                  PlanKind plan_kind) {
+                                  PlanKind plan_kind, core::RepairMode repair) {
   const auto program = loops::make_sequential_ir(loop, n);
   return run_program_experiment(program, setup, plan_kind,
-                                "lfk" + std::to_string(loop) + "-seq");
+                                "lfk" + std::to_string(loop) + "-seq", repair);
 }
 
 LoopRun run_concurrent_experiment(int loop, std::int64_t n, const Setup& setup,
-                                  PlanKind plan_kind, sim::Schedule schedule) {
+                                  PlanKind plan_kind, sim::Schedule schedule,
+                                  core::RepairMode repair) {
   const auto program = loops::make_concurrent_ir(loop, n, schedule);
   return run_program_experiment(program, setup, plan_kind,
-                                "lfk" + std::to_string(loop) + "-con");
+                                "lfk" + std::to_string(loop) + "-con", repair);
 }
 
 LoopRun run_vector_experiment(int loop, std::int64_t n, const Setup& setup,
-                              PlanKind plan_kind) {
+                              PlanKind plan_kind, core::RepairMode repair) {
   const auto program = loops::make_vector_ir(loop, n);
   return run_program_experiment(program, setup, plan_kind,
-                                "lfk" + std::to_string(loop) + "-vec");
+                                "lfk" + std::to_string(loop) + "-vec", repair);
 }
 
 }  // namespace perturb::experiments

@@ -17,6 +17,7 @@
 
 #include "core/eventbased.hpp"
 #include "core/overheads.hpp"
+#include "core/pipeline.hpp"
 #include "core/quality.hpp"
 #include "core/timebased.hpp"
 #include "instr/plan.hpp"
@@ -59,23 +60,30 @@ struct LoopRun {
   core::ApproximationQuality eb_quality;  ///< event-based vs actual
 };
 
-/// Runs the full pipeline on an arbitrary finalized program.
+/// Runs the full pipeline on an arbitrary finalized program.  With a repair
+/// mode other than kOff the measured trace is triaged and repaired before
+/// analysis (the simulator's output is normally clean; the path matters when
+/// fault injection or degraded capture is in play).
 LoopRun run_program_experiment(const sim::Program& program,
                                const Setup& setup, PlanKind plan_kind,
-                               const std::string& name);
+                               const std::string& name,
+                               core::RepairMode repair = core::RepairMode::kOff);
 
 /// Sequential-mode Livermore loop experiment (Figure 1 rows).
 LoopRun run_sequential_experiment(int loop, std::int64_t n, const Setup& setup,
-                                  PlanKind plan_kind = PlanKind::kStatementsOnly);
+                                  PlanKind plan_kind = PlanKind::kStatementsOnly,
+                                  core::RepairMode repair = core::RepairMode::kOff);
 
 /// Concurrent-mode Livermore loop experiment (Tables 1 and 2 rows).
 LoopRun run_concurrent_experiment(
     int loop, std::int64_t n, const Setup& setup, PlanKind plan_kind,
-    sim::Schedule schedule = sim::Schedule::kCyclic);
+    sim::Schedule schedule = sim::Schedule::kCyclic,
+    core::RepairMode repair = core::RepairMode::kOff);
 
 /// Vector-mode Livermore loop experiment (§3 ran the suite in scalar, vector
 /// and concurrent modes; vector instrumentation records one event per strip).
 LoopRun run_vector_experiment(int loop, std::int64_t n, const Setup& setup,
-                              PlanKind plan_kind = PlanKind::kStatementsOnly);
+                              PlanKind plan_kind = PlanKind::kStatementsOnly,
+                              core::RepairMode repair = core::RepairMode::kOff);
 
 }  // namespace perturb::experiments

@@ -1,0 +1,119 @@
+#include "support/parallel.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace perturb::support {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+struct TaskPool::Impl {
+  explicit Impl(std::size_t workers) : exceptions(workers) {
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+      threads.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  ~Impl() {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      stopping = true;
+    }
+    work_ready.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  void worker_loop(std::size_t w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mutex);
+      work_ready.wait(lock, [&] { return stopping || generation != seen; });
+      if (stopping) return;
+      seen = generation;
+      const std::size_t total = n;
+      const auto* fn = body;
+      lock.unlock();
+
+      // Static partition: worker w owns [w*n/W, (w+1)*n/W).
+      const std::size_t workers = threads.size();
+      const std::size_t begin = w * total / workers;
+      const std::size_t end = (w + 1) * total / workers;
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+      } catch (...) {
+        exceptions[w] = std::current_exception();
+      }
+
+      lock.lock();
+      if (++done == threads.size()) {
+        lock.unlock();
+        work_done.notify_all();
+      }
+    }
+  }
+
+  void run(std::size_t total, const std::function<void(std::size_t)>& fn) {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      n = total;
+      body = &fn;
+      done = 0;
+      for (auto& e : exceptions) e = nullptr;
+      ++generation;
+    }
+    work_ready.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      work_done.wait(lock, [&] { return done == threads.size(); });
+    }
+    // Rethrow the first failure deterministically (lowest worker id).
+    for (auto& e : exceptions)
+      if (e) std::rethrow_exception(e);
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> exceptions;
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  std::uint64_t generation = 0;
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t done = 0;
+  bool stopping = false;
+};
+
+TaskPool::TaskPool(std::size_t threads) : threads_(resolve_threads(threads)) {
+  if (threads_ > 1) impl_ = new Impl(threads_);
+}
+
+TaskPool::~TaskPool() { delete impl_; }
+
+void TaskPool::parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (impl_ == nullptr || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  impl_->run(n, body);
+}
+
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  TaskPool pool(threads);
+  pool.parallel_for(n, body);
+}
+
+}  // namespace perturb::support

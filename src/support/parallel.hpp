@@ -1,0 +1,53 @@
+// Deterministic fixed-size task pool.
+//
+// Analysis passes and Monte-Carlo sampling are embarrassingly parallel but
+// must stay exactly reproducible: the same inputs must yield bit-identical
+// results at any worker count.  `parallel_for` therefore never uses work
+// stealing or dynamic chunking — the index space is split into the same
+// contiguous blocks regardless of timing, and each body invocation writes
+// only to its own index's output slot.  Determinism is then a property of
+// the *body* (no shared mutable state, per-index derived seeds), which is
+// how likely_executions and the pipeline's analysis fan-out use it.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace perturb::support {
+
+/// A fixed set of worker threads executing static partitions of an index
+/// space.  Workers are created once and parked between calls; a pool of
+/// size 1 (or a call with n <= 1) runs inline with no synchronization.
+class TaskPool {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency().
+  explicit TaskPool(std::size_t threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Worker count (>= 1).
+  std::size_t size() const noexcept { return threads_; }
+
+  /// Invokes body(i) for every i in [0, n).  Worker w handles the contiguous
+  /// block [w*n/W, (w+1)*n/W) — the partition depends only on (n, W), never
+  /// on timing.  Blocks until all indices ran.  If any body throws, the
+  /// first exception (lowest worker id) is rethrown after the pass drains;
+  /// the remaining indices of that worker's block are skipped.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;  ///< null for a size-1 pool (inline execution)
+  std::size_t threads_ = 1;
+};
+
+/// One-shot convenience: runs body over [0, n) on an ephemeral pool of
+/// `threads` workers (0 = hardware concurrency).  Same determinism contract
+/// as TaskPool::parallel_for.
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace perturb::support

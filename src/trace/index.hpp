@@ -1,0 +1,221 @@
+// TraceIndex: one immutable index of a trace, shared by every analysis.
+//
+// Each analyzer used to rebuild its own per-processor chains, advance/await
+// pairings, lock hand-off order, barrier episodes, and loop spans with
+// private std::map scans.  The index is built once per trace — a single
+// O(n) pass plus one sort of the synchronization entries — and answers the
+// structural queries all of them need:
+//
+//   * per-processor event ranges and previous-event chains,
+//   * fork dependencies (a processor's first event inside a parallel-loop
+//     episode is caused by the loop's spawn),
+//   * advance / awaitB occurrence lists per synchronization key (flat sorted
+//     tables, duplicates preserved in trace order),
+//   * lock hand-off order (each acquire's preceding release),
+//   * counting-semaphore acquire ordinals and release sequences,
+//   * barrier episodes (arrivals/departures per (object, episode)),
+//   * parallel-loop and iteration marker spans.
+//
+// The index never interprets times or applies analysis models; it only
+// records structure, so conservative, liberal, validation, and post-analysis
+// passes can all share it.  It holds a reference to the trace: the trace
+// must outlive the index and must not be mutated while indexed.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/trace.hpp"
+
+namespace perturb::trace {
+
+class TraceIndex {
+ public:
+  /// "No event": returned by every lookup that can miss.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Ascending trace indices of one key's occurrences (a view into the
+  /// index's flat sorted tables).
+  class IndexRange {
+   public:
+    IndexRange() = default;
+    IndexRange(const std::size_t* b, const std::size_t* e) : b_(b), e_(e) {}
+    const std::size_t* begin() const noexcept { return b_; }
+    const std::size_t* end() const noexcept { return e_; }
+    std::size_t size() const noexcept { return static_cast<std::size_t>(e_ - b_); }
+    bool empty() const noexcept { return b_ == e_; }
+    std::size_t front() const noexcept { return *b_; }
+    std::size_t back() const noexcept { return *(e_ - 1); }
+
+   private:
+    const std::size_t* b_ = nullptr;
+    const std::size_t* e_ = nullptr;
+  };
+
+  /// One parallel-loop episode: LoopBegin event, matching LoopEnd (npos when
+  /// the trace is truncated mid-loop), and the spawning processor.
+  struct LoopSpan {
+    std::size_t begin_index = npos;
+    std::size_t end_index = npos;
+    ObjectId object = 0;
+    ProcId proc = 0;
+  };
+
+  /// One iteration marker span (IterBegin .. IterEnd on one processor).
+  struct IterSpan {
+    std::size_t begin_index = npos;
+    std::size_t end_index = npos;  ///< npos when the IterEnd is missing
+    std::int64_t iteration = 0;
+    ObjectId object = 0;  ///< owning loop object
+    ProcId proc = 0;
+  };
+
+  /// One barrier episode, keyed by (object, episode payload).
+  struct BarrierEpisode {
+    SyncKey key;
+    std::vector<std::size_t> arrivals;  ///< trace order
+    std::vector<std::size_t> departs;   ///< trace order
+  };
+
+  explicit TraceIndex(const Trace& trace);
+
+  const Trace& trace() const noexcept { return *trace_; }
+  std::size_t size() const noexcept { return prev_on_proc_.size(); }
+
+  // ---- per-processor structure -----------------------------------------
+
+  /// Number of per-processor event lists (max processor index seen + 1;
+  /// may differ from trace().info().num_procs on degraded traces).
+  std::size_t num_procs() const noexcept { return proc_events_.size(); }
+
+  /// Trace indices of `proc`'s events, in trace order (empty list for a
+  /// processor with no events).
+  const std::vector<std::size_t>& events_of(ProcId proc) const;
+
+  /// Same-processor predecessor of event i, npos for a processor's first.
+  std::size_t prev_on_proc(std::size_t i) const { return prev_on_proc_[i]; }
+
+  /// The LoopBegin event i depends on when i is a processor's first event
+  /// inside a parallel-loop episode (the processor was idle through the
+  /// master's sequential section); npos otherwise.
+  std::size_t fork_dep(std::size_t i) const {
+    return fork_dep_.empty() ? npos : fork_dep_[i];
+  }
+
+  // ---- loop / iteration spans ------------------------------------------
+
+  const std::vector<LoopSpan>& loops() const noexcept { return loops_; }
+  const std::vector<IterSpan>& iterations() const noexcept { return iters_; }
+
+  // ---- advance / await --------------------------------------------------
+
+  /// All advances for `key`, ascending.  Well-formed traces have at most
+  /// one; duplicates (a ViolationKind) are preserved for triage.
+  /// Inline: these are the hot-path lookups of every analysis pass.
+  IndexRange advances(SyncKey key) const {
+    const auto lo =
+        std::lower_bound(advance_keys_.begin(), advance_keys_.end(), key);
+    const auto hi = std::upper_bound(lo, advance_keys_.end(), key);
+    const std::size_t* base = advance_idx_.data();
+    return {base + (lo - advance_keys_.begin()),
+            base + (hi - advance_keys_.begin())};
+  }
+  std::size_t first_advance(SyncKey key) const {
+    const auto lo =
+        std::lower_bound(advance_keys_.begin(), advance_keys_.end(), key);
+    if (lo == advance_keys_.end() || !(*lo == key)) return npos;
+    return advance_idx_[static_cast<std::size_t>(lo - advance_keys_.begin())];
+  }
+  std::size_t last_advance(SyncKey key) const {
+    const auto hi =
+        std::upper_bound(advance_keys_.begin(), advance_keys_.end(), key);
+    if (hi == advance_keys_.begin() || !(*(hi - 1) == key)) return npos;
+    return advance_idx_[static_cast<std::size_t>(hi - advance_keys_.begin()) -
+                        1];
+  }
+  /// Latest advance for `key` with trace index < i (streaming semantics).
+  std::size_t last_advance_before(SyncKey key, std::size_t i) const {
+    const IndexRange r = advances(key);
+    const auto it = std::lower_bound(r.begin(), r.end(), i);
+    return it == r.begin() ? npos : *(it - 1);
+  }
+  /// Every advance that repeats an earlier advance's key, in trace order.
+  const std::vector<std::size_t>& duplicate_advances() const noexcept {
+    return duplicate_advances_;
+  }
+
+  /// All awaitB events for (key, proc), ascending.
+  IndexRange await_begins(SyncKey key, ProcId proc) const;
+  std::size_t last_await_begin(SyncKey key, ProcId proc) const;
+  std::size_t last_await_begin_before(SyncKey key, ProcId proc,
+                                      std::size_t i) const;
+
+  // ---- locks ------------------------------------------------------------
+
+  /// For a LockAcquire event i: the object's latest LockRelease before i
+  /// (the hand-off source), npos when the lock was free.  npos for
+  /// non-acquire events.
+  std::size_t lock_dep(std::size_t i) const {
+    return lock_dep_.empty() ? npos : lock_dep_[i];
+  }
+
+  // ---- counting semaphores ----------------------------------------------
+
+  /// For a SemAcquire event i: its 0-based per-object acquire ordinal
+  /// (the k-th P() on that semaphore in trace order).  npos otherwise.
+  std::size_t sem_ordinal(std::size_t i) const {
+    return sem_ordinal_.empty() ? npos : sem_ordinal_[i];
+  }
+
+  /// SemRelease indices for `object`, in trace order.
+  const std::vector<std::size_t>& sem_releases(ObjectId object) const;
+
+  // ---- barriers ----------------------------------------------------------
+
+  /// Episodes sorted by (object, payload) — deterministic iteration order.
+  const std::vector<BarrierEpisode>& barrier_episodes() const noexcept {
+    return barriers_;
+  }
+  /// Lookup by (object, episode payload); nullptr when absent.
+  const BarrierEpisode* barrier_episode(ObjectId object,
+                                        std::int64_t payload) const;
+
+ private:
+  struct AwaitKey {
+    SyncKey key;
+    ProcId proc = 0;
+    friend bool operator==(const AwaitKey&, const AwaitKey&) = default;
+    friend bool operator<(const AwaitKey& a, const AwaitKey& b) {
+      if (!(a.key == b.key)) return a.key < b.key;
+      return a.proc < b.proc;
+    }
+  };
+
+  const Trace* trace_;
+  std::vector<std::size_t> prev_on_proc_;
+  std::vector<std::size_t> fork_dep_;
+  std::vector<std::size_t> lock_dep_;
+  std::vector<std::size_t> sem_ordinal_;
+  std::vector<std::vector<std::size_t>> proc_events_;
+  std::vector<LoopSpan> loops_;
+  std::vector<IterSpan> iters_;
+
+  // Flat sorted tables: parallel (key, trace-index) arrays ordered by key
+  // then index, so one key's occurrences form a contiguous ascending slice
+  // of the index array.
+  std::vector<SyncKey> advance_keys_;
+  std::vector<std::size_t> advance_idx_;
+  std::vector<AwaitKey> await_keys_;
+  std::vector<std::size_t> await_idx_;
+  std::vector<std::size_t> duplicate_advances_;
+
+  std::unordered_map<ObjectId, std::vector<std::size_t>> sem_releases_;
+  std::vector<BarrierEpisode> barriers_;  ///< sorted by key
+  std::unordered_map<SyncKey, std::size_t, SyncKeyHash> barrier_slot_;
+};
+
+}  // namespace perturb::trace

@@ -1,5 +1,6 @@
 #include "trace/validate.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <unordered_map>
@@ -30,10 +31,13 @@ namespace {
 
 constexpr std::size_t kNoEvent = static_cast<std::size_t>(-1);
 
+/// Structural checks over the shared TraceIndex.  Every check walks the
+/// trace in order and emits violations in ascending event order, matching
+/// the triage order the repair strategies expect.
 class Validator {
  public:
-  Validator(const Trace& trace, const ValidateOptions& options)
-      : trace_(trace), slack_(options.sync_slack) {}
+  Validator(const TraceIndex& index, const ValidateOptions& options)
+      : idx_(index), trace_(index.trace()), slack_(options.sync_slack) {}
 
   std::vector<Violation> run() {
     check_processor_monotonicity();
@@ -50,102 +54,90 @@ class Validator {
   }
 
   void check_processor_monotonicity() {
-    std::unordered_map<ProcId, Tick> last;
-    for (std::size_t i = 0; i < trace_.size(); ++i) {
-      const Event& e = trace_[i];
-      const auto it = last.find(e.proc);
-      if (it != last.end() && e.time < it->second) {
-        add(ViolationKind::kNonMonotoneProcessorTime, i,
-            strf("proc %u: time %lld after %lld", unsigned(e.proc),
-                 static_cast<long long>(e.time),
-                 static_cast<long long>(it->second)));
+    // Walk each processor's chain, then report in global trace order.
+    std::vector<std::pair<std::size_t, Tick>> found;  // (index, running max)
+    for (std::size_t p = 0; p < idx_.num_procs(); ++p) {
+      const auto& evs = idx_.events_of(static_cast<ProcId>(p));
+      Tick running_max = 0;
+      bool started = false;
+      for (const std::size_t i : evs) {
+        const Tick t = trace_[i].time;
+        if (started && t < running_max) found.emplace_back(i, running_max);
+        running_max = started ? std::max(running_max, t) : t;
+        started = true;
       }
-      last[e.proc] = std::max(it == last.end() ? e.time : it->second, e.time);
+    }
+    std::sort(found.begin(), found.end());
+    for (const auto& [i, prev_max] : found) {
+      add(ViolationKind::kNonMonotoneProcessorTime, i,
+          strf("proc %u: time %lld after %lld", unsigned(trace_[i].proc),
+               static_cast<long long>(trace_[i].time),
+               static_cast<long long>(prev_max)));
     }
   }
 
   void check_advance_await() {
-    struct AdvanceRec {
-      Tick time;
-      std::size_t index;
-    };
-    // Pre-index the advances: a duplicate is a violation wherever it
-    // appears, and an awaitE must be checked against its paired advance even
-    // if the advance appears later in trace order (which is itself the
-    // kAwaitEndBeforeAdvance violation).
-    std::unordered_map<SyncKey, AdvanceRec, SyncKeyHash> advances;
-    for (std::size_t i = 0; i < trace_.size(); ++i) {
+    // Duplicate advances are a violation wherever they appear; the index
+    // preserves them in trace order.
+    for (const std::size_t i : idx_.duplicate_advances()) {
       const Event& e = trace_[i];
-      if (e.kind != EventKind::kAdvance) continue;
-      const auto [it, inserted] =
-          advances.insert({SyncKey{e.object, e.payload}, {e.time, i}});
-      if (!inserted)
-        add(ViolationKind::kDuplicateAdvance, i,
-            strf("advance(%u, %lld) repeated", unsigned(e.object),
-                 static_cast<long long>(e.payload)));
+      add(ViolationKind::kDuplicateAdvance, i,
+          strf("advance(%u, %lld) repeated", unsigned(e.object),
+               static_cast<long long>(e.payload)));
     }
 
-    // awaitB seen per (key, proc): key → proc → time.
-    std::map<std::pair<SyncKey, ProcId>, Tick> await_begins;
-
+    // An awaitE is checked against its *first* advance even when the advance
+    // appears later in trace order (which is itself the
+    // kAwaitEndBeforeAdvance violation).
     for (std::size_t i = 0; i < trace_.size(); ++i) {
       const Event& e = trace_[i];
+      if (e.kind != EventKind::kAwaitEnd) continue;
       const SyncKey key{e.object, e.payload};
-      switch (e.kind) {
-        case EventKind::kAwaitBegin:
-          await_begins[{key, e.proc}] = e.time;
-          break;
-        case EventKind::kAwaitEnd: {
-          const auto ab = await_begins.find({key, e.proc});
-          if (ab == await_begins.end()) {
-            add(ViolationKind::kAwaitEndWithoutBegin, i,
-                strf("awaitE(%u, %lld) without awaitB on proc %u",
-                     unsigned(e.object), static_cast<long long>(e.payload),
-                     unsigned(e.proc)));
-          }
-          const auto adv = advances.find(key);
-          if (adv == advances.end()) {
-            add(ViolationKind::kAwaitEndWithoutAdvance, i,
-                strf("awaitE(%u, %lld) with no advance", unsigned(e.object),
-                     static_cast<long long>(e.payload)));
-          } else if (e.time + slack_ < adv->second.time) {
-            add(ViolationKind::kAwaitEndBeforeAdvance, i,
-                strf("awaitE(%u, %lld) at %lld precedes advance at %lld",
-                     unsigned(e.object), static_cast<long long>(e.payload),
-                     static_cast<long long>(e.time),
-                     static_cast<long long>(adv->second.time)));
-          }
-          break;
-        }
-        default:
-          break;
+      if (idx_.last_await_begin_before(key, e.proc, i) == TraceIndex::npos) {
+        add(ViolationKind::kAwaitEndWithoutBegin, i,
+            strf("awaitE(%u, %lld) without awaitB on proc %u",
+                 unsigned(e.object), static_cast<long long>(e.payload),
+                 unsigned(e.proc)));
+      }
+      const std::size_t adv = idx_.first_advance(key);
+      if (adv == TraceIndex::npos) {
+        add(ViolationKind::kAwaitEndWithoutAdvance, i,
+            strf("awaitE(%u, %lld) with no advance", unsigned(e.object),
+                 static_cast<long long>(e.payload)));
+      } else if (e.time + slack_ < trace_[adv].time) {
+        add(ViolationKind::kAwaitEndBeforeAdvance, i,
+            strf("awaitE(%u, %lld) at %lld precedes advance at %lld",
+                 unsigned(e.object), static_cast<long long>(e.payload),
+                 static_cast<long long>(e.time),
+                 static_cast<long long>(trace_[adv].time)));
       }
     }
   }
 
   void check_locks() {
-    // Per lock: acquisitions and releases must alternate globally, and the
-    // critical sections they delimit must not overlap in time.
+    // Acquisitions and releases must alternate globally per lock; the
+    // hand-off order itself (previous release of each acquire) comes from
+    // the index, the held/holder alternation state is a running scan.
     struct LockState {
       bool held = false;
       ProcId holder = 0;
-      Tick release_time = 0;
-      bool has_prev_release = false;
     };
     std::unordered_map<ObjectId, LockState> locks;
     for (std::size_t i = 0; i < trace_.size(); ++i) {
       const Event& e = trace_[i];
       if (e.kind == EventKind::kLockAcquire) {
         auto& st = locks[e.object];
+        const std::size_t dep = idx_.lock_dep(i);
         if (st.held) {
           add(ViolationKind::kLockUnbalanced, i,
               strf("lock %u acquired by proc %u while held by proc %u",
                    unsigned(e.object), unsigned(e.proc), unsigned(st.holder)));
-        } else if (st.has_prev_release && e.time + slack_ < st.release_time) {
+        } else if (dep != TraceIndex::npos &&
+                   e.time + slack_ < trace_[dep].time) {
           add(ViolationKind::kLockOverlap, i,
               strf("lock %u acquired at %lld before previous release at %lld",
                    unsigned(e.object), static_cast<long long>(e.time),
-                   static_cast<long long>(st.release_time)));
+                   static_cast<long long>(trace_[dep].time)));
         }
         st.held = true;
         st.holder = e.proc;
@@ -157,8 +149,6 @@ class Validator {
                    unsigned(e.object), unsigned(e.proc)));
         }
         st.held = false;
-        st.release_time = e.time;
-        st.has_prev_release = true;
       }
     }
     for (const auto& [obj, st] : locks) {
@@ -197,48 +187,51 @@ class Validator {
     }
   }
 
+  /// Latest arrival time among `episode`'s arrivals before trace index i.
+  Tick last_arrive_before(const TraceIndex::BarrierEpisode& episode,
+                          std::size_t i) const {
+    Tick last = 0;
+    for (const std::size_t a : episode.arrivals) {
+      if (a >= i) break;  // arrivals are in trace order
+      last = std::max(last, trace_[a].time);
+    }
+    return last;
+  }
+
   void check_barriers() {
     // Events carry payload = episode index.  Within an episode, every arrive
     // must precede every depart, and the counts must match.
-    struct Episode {
-      std::size_t arrivals = 0;
-      std::size_t departures = 0;
-      Tick last_arrive = 0;
-      bool saw_depart = false;
-    };
-    std::map<std::pair<ObjectId, std::int64_t>, Episode> episodes;
     for (std::size_t i = 0; i < trace_.size(); ++i) {
       const Event& e = trace_[i];
       if (e.kind == EventKind::kBarrierArrive) {
-        auto& ep = episodes[{e.object, e.payload}];
-        ++ep.arrivals;
-        ep.last_arrive = std::max(ep.last_arrive, e.time);
-        if (ep.saw_depart)
+        const auto* ep = idx_.barrier_episode(e.object, e.payload);
+        if (ep != nullptr && !ep->departs.empty() && ep->departs.front() < i)
           add(ViolationKind::kBarrierOrder, i,
               strf("barrier %u episode %lld: arrive after a depart",
                    unsigned(e.object), static_cast<long long>(e.payload)));
       } else if (e.kind == EventKind::kBarrierDepart) {
-        auto& ep = episodes[{e.object, e.payload}];
-        ep.saw_depart = true;
-        ++ep.departures;
-        if (e.time + slack_ < ep.last_arrive)
+        const auto* ep = idx_.barrier_episode(e.object, e.payload);
+        const Tick last_arrive =
+            ep == nullptr ? 0 : last_arrive_before(*ep, i);
+        if (e.time + slack_ < last_arrive)
           add(ViolationKind::kBarrierOrder, i,
               strf("barrier %u episode %lld: depart at %lld before last "
                    "arrive at %lld",
                    unsigned(e.object), static_cast<long long>(e.payload),
                    static_cast<long long>(e.time),
-                   static_cast<long long>(ep.last_arrive)));
+                   static_cast<long long>(last_arrive)));
       }
     }
-    for (const auto& [key, ep] : episodes) {
-      if (ep.arrivals != ep.departures)
+    for (const auto& ep : idx_.barrier_episodes()) {
+      if (ep.arrivals.size() != ep.departs.size())
         add(ViolationKind::kBarrierIncomplete, kNoEvent,
             strf("barrier %u episode %lld: %zu arrivals, %zu departures",
-                 unsigned(key.first), static_cast<long long>(key.second),
-                 ep.arrivals, ep.departures));
+                 unsigned(ep.key.object), static_cast<long long>(ep.key.index),
+                 ep.arrivals.size(), ep.departs.size()));
     }
   }
 
+  const TraceIndex& idx_;
   const Trace& trace_;
   Tick slack_;
   std::vector<Violation> violations_;
@@ -248,7 +241,13 @@ class Validator {
 
 std::vector<Violation> validate(const Trace& trace,
                                 const ValidateOptions& options) {
-  return Validator(trace, options).run();
+  const TraceIndex index(trace);
+  return Validator(index, options).run();
+}
+
+std::vector<Violation> validate(const TraceIndex& index,
+                                const ValidateOptions& options) {
+  return Validator(index, options).run();
 }
 
 bool is_valid(const Trace& trace, const ValidateOptions& options) {

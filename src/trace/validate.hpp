@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/index.hpp"
 #include "trace/trace.hpp"
 
 namespace perturb::trace {
@@ -50,6 +51,11 @@ struct ValidateOptions {
 
 /// Runs all structural checks; returns every violation found (empty = valid).
 std::vector<Violation> validate(const Trace& trace,
+                                const ValidateOptions& options = {});
+
+/// Same checks over a pre-built index (shared with the other analyses when
+/// running inside the pipeline).
+std::vector<Violation> validate(const TraceIndex& index,
                                 const ValidateOptions& options = {});
 
 /// Convenience: true when validate() finds nothing.

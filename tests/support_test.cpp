@@ -5,10 +5,14 @@
 #include <cmath>
 #include <sstream>
 
+#include <algorithm>
+#include <vector>
+
 #include "support/ascii_chart.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
+#include "support/parallel.hpp"
 #include "support/prng.hpp"
 #include "support/stats.hpp"
 #include "support/text.hpp"
@@ -305,6 +309,55 @@ TEST(Cli, DefaultsWhenAbsent) {
 TEST(Cli, RejectsMalformedOption) {
   const char* argv[] = {"prog", "--=x"};
   EXPECT_THROW(Cli(2, argv), CheckError);
+}
+
+// ---- task pool ------------------------------------------------------------
+
+TEST(TaskPool, RunsEveryIndexExactlyOnce) {
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    TaskPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    std::vector<int> hits(1000, 0);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }));
+  }
+}
+
+TEST(TaskPool, ZeroIterationsIsANoop) {
+  TaskPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(TaskPool, ReusableAcrossCalls) {
+  TaskPool pool(2);
+  std::vector<std::size_t> out(64, 0);
+  for (int pass = 0; pass < 3; ++pass)
+    pool.parallel_for(out.size(), [&](std::size_t i) { out[i] += i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 3 * i);
+}
+
+TEST(TaskPool, PropagatesBodyException) {
+  TaskPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 57)
+                                     PERTURB_CHECK_MSG(false, "boom at 57");
+                                 }),
+               CheckError);
+}
+
+TEST(TaskPool, FreeFunctionPartitionIsStatic) {
+  // Record which indices each thread count assigns to worker blocks by
+  // writing only to the body's own slot; results must be identical because
+  // the partition depends only on (n, workers), never on timing.
+  std::vector<std::size_t> a(257, 0), b(257, 0);
+  parallel_for(1, a.size(), [&](std::size_t i) { a[i] = i * i; });
+  parallel_for(8, b.size(), [&](std::size_t i) { b[i] = i * i; });
+  EXPECT_EQ(a, b);
 }
 
 }  // namespace

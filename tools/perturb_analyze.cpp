@@ -30,27 +30,20 @@
 //
 // This is the paper's workflow as a command-line tool: capture a measured
 // trace (simulator, rt runtime, or your own producer writing the trace
-// format), then recover the approximated actual execution offline.
+// format), then recover the approximated actual execution offline.  The tool
+// itself is a thin shell over core::AnalysisPipeline.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <optional>
 #include <string>
 
-#include "analysis/critical_path.hpp"
-#include "analysis/parallelism.hpp"
-#include "analysis/timeline.hpp"
-#include "analysis/waiting.hpp"
-#include "core/eventbased.hpp"
-#include "core/quality.hpp"
-#include "core/timebased.hpp"
+#include "core/pipeline.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/text.hpp"
 #include "tool_util.hpp"
 #include "trace/io.hpp"
-#include "trace/repair.hpp"
-#include "trace/validate.hpp"
 
 namespace {
 
@@ -110,82 +103,6 @@ std::map<trace::ObjectId, std::int64_t> capacities_from_cli(
   return caps;
 }
 
-void print_report(const trace::Trace& approx,
-                  const core::AnalysisOverheads& ov) {
-  analysis::WaitClassifier classifier;
-  classifier.await_nowait = ov.s_nowait;
-  classifier.lock_acquire = ov.lock_acquire;
-  classifier.barrier_depart = ov.barrier_depart;
-  classifier.tolerance = 2;
-
-  const auto waits = analysis::waiting_analysis(approx, classifier);
-  std::printf("\n-- waiting --\n%s",
-              analysis::render_waiting_table(waits).c_str());
-  const auto profile = analysis::parallelism_profile(approx, classifier);
-  std::printf("\n-- parallelism --\naverage %.2f (parallel region %.2f)\n",
-              profile.average, profile.average_parallel);
-  std::printf("\n-- critical path --\n%s",
-              analysis::render_critical_path(analysis::critical_path(approx))
-                  .c_str());
-}
-
-/// Loads (salvaging when repairing), triages, and repairs the input trace.
-/// Returns nullopt — after printing a diagnosis — when the trace cannot be
-/// made analyzable.
-std::optional<trace::Trace> acquire_input(const support::Cli& cli,
-                                          bool repair_mode, bool aggressive,
-                                          bool& degraded) {
-  const std::string& path = cli.positional()[0];
-  trace::ValidateOptions validate_opts;
-  validate_opts.sync_slack = cli.get_int("sync-slack", 0);
-
-  trace::Trace measured;
-  if (repair_mode) {
-    trace::SalvageReport salvage;
-    measured = trace::load_salvage(path, salvage);
-    if (!salvage.complete) {
-      std::printf("salvage: %s\n", salvage.describe().c_str());
-      degraded = true;
-    }
-    if (measured.empty()) {
-      std::fprintf(stderr,
-                   "trace is unsalvageable: no events recovered from %s\n",
-                   path.c_str());
-      return std::nullopt;
-    }
-  } else {
-    measured = trace::load(path);
-  }
-
-  const auto violations = trace::validate(measured, validate_opts);
-  if (violations.empty()) return measured;
-
-  if (!repair_mode) {
-    std::fprintf(stderr,
-                 "input trace has %zu causality violation(s); analysis "
-                 "requires a happened-before-consistent trace (rerun with "
-                 "--repair to triage):\n%s",
-                 violations.size(), trace::describe(violations).c_str());
-    return std::nullopt;
-  }
-
-  trace::RepairOptions repair_opts;
-  repair_opts.aggressive = aggressive;
-  repair_opts.sync_slack = validate_opts.sync_slack;
-  auto result = trace::repair(measured, repair_opts);
-  std::printf("%s", trace::render_manifest(result.manifest).c_str());
-  if (result.manifest.severity == trace::RepairSeverity::kUnsalvageable) {
-    std::fprintf(stderr,
-                 "trace is unsalvageable: %zu violation(s) survived repair:\n"
-                 "%s",
-                 result.manifest.remaining.size(),
-                 trace::describe(result.manifest.remaining).c_str());
-    return std::nullopt;
-  }
-  degraded |= result.manifest.severity >= trace::RepairSeverity::kLossy;
-  return std::move(result.repaired);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,55 +130,70 @@ int main(int argc, char** argv) {
   }
 
   return tools::run_tool([&]() -> int {
-    bool degraded = false;
-    auto measured = acquire_input(*cli, cli->has("repair"),
-                                  repair_arg == "aggressive", degraded);
-    if (!measured) return tools::kExitBadTrace;
+    core::PipelineOptions options;
+    options.overheads = overheads_from_cli(*cli);
+    options.event_based.model_locks = !cli->get_bool("no-locks", false);
+    options.event_based.model_barriers = !cli->get_bool("no-barriers", false);
+    options.event_based.semaphore_capacity = capacities_from_cli(*cli);
+    options.sync_slack = cli->get_int("sync-slack", 0);
+    if (cli->has("repair"))
+      options.repair = repair_arg == "aggressive"
+                           ? core::RepairMode::kAggressive
+                           : core::RepairMode::kConservative;
 
-    const core::AnalysisOverheads ov = overheads_from_cli(*cli);
+    core::AnalysisPipeline pipeline(options);
+    pipeline.add(mode == "time" ? core::AnalyzerKind::kTimeBased
+                                : core::AnalyzerKind::kEventBased);
 
-    trace::Trace approx;
-    if (mode == "time") {
-      approx = core::time_based_approximation(*measured, ov);
-    } else {
-      core::EventBasedOptions opt;
-      opt.model_locks = !cli->get_bool("no-locks", false);
-      opt.model_barriers = !cli->get_bool("no-barriers", false);
-      opt.semaphore_capacity = capacities_from_cli(*cli);
-      auto result = core::event_based_approximation(*measured, ov, opt);
-      std::printf("awaits: %zu, measured waits: %zu, approximated waits: %zu "
-                  "(removed %zu, introduced %zu)\n",
-                  result.awaits_total, result.waits_measured,
-                  result.waits_approx, result.waits_removed,
-                  result.waits_introduced);
-      approx = std::move(result.approx);
+    std::optional<trace::Trace> actual;
+    if (cli->has("actual")) actual = trace::load(cli->get("actual", ""));
+
+    const auto result = pipeline.run_file(
+        cli->positional()[0], actual ? &*actual : nullptr);
+    std::printf("%s", core::render_acquire(result.acquire).c_str());
+    if (!result.acquire.ok) {
+      std::fprintf(stderr, "%s\n", result.acquire.diagnosis.c_str());
+      return tools::kExitBadTrace;
     }
 
-    std::printf("measured total time: %lld%s\n",
-                static_cast<long long>(measured->total_time()),
-                degraded ? "  (degraded input)" : "");
-    std::printf("approximated total:  %lld  (%.3fx of measured)\n",
-                static_cast<long long>(approx.total_time()),
-                static_cast<double>(approx.total_time()) /
-                    static_cast<double>(measured->total_time()));
+    const core::AnalyzerOutput& out = result.outputs.front();
+    if (out.event_stats) {
+      std::printf("awaits: %zu, measured waits: %zu, approximated waits: %zu "
+                  "(removed %zu, introduced %zu)\n",
+                  out.event_stats->awaits_total,
+                  out.event_stats->waits_measured,
+                  out.event_stats->waits_approx,
+                  out.event_stats->waits_removed,
+                  out.event_stats->waits_introduced);
+    }
 
-    if (cli->has("actual")) {
-      const trace::Trace actual = trace::load(cli->get("actual", ""));
-      auto q = core::assess(*measured, approx, actual);
-      q.degraded_input = degraded;
+    const trace::Trace& measured = result.acquire.measured;
+    std::printf("measured total time: %lld%s\n",
+                static_cast<long long>(measured.total_time()),
+                result.acquire.degraded ? "  (degraded input)" : "");
+    std::printf("approximated total:  %lld  (%.3fx of measured)\n",
+                static_cast<long long>(out.approx.total_time()),
+                static_cast<double>(out.approx.total_time()) /
+                    static_cast<double>(measured.total_time()));
+
+    if (out.quality) {
       std::printf("vs actual: measured %.3fx, approximated %.3fx "
                   "(%+.1f%% error)%s\n",
-                  q.measured_over_actual, q.approx_over_actual,
-                  q.percent_error,
-                  q.degraded_input ? "  [degraded: repaired input]" : "");
+                  out.quality->measured_over_actual,
+                  out.quality->approx_over_actual, out.quality->percent_error,
+                  out.quality->degraded_input
+                      ? "  [degraded: repaired input]"
+                      : "");
     }
 
     if (cli->has("output")) {
       const std::string path = cli->get("output", "");
-      trace::save(path, approx);
+      trace::save(path, out.approx);
       std::printf("approximated trace written to %s\n", path.c_str());
     }
-    if (cli->get_bool("report", false)) print_report(approx, ov);
+    if (cli->get_bool("report", false))
+      std::printf("%s",
+                  core::render_pipeline_report(out.approx, options).c_str());
     return tools::kExitOk;
   });
 }

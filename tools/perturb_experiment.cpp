@@ -14,6 +14,8 @@
 //   --procs <p>       processor count (default 8)
 //   --stmt-probe <c>  statement probe mean cost (default 175)
 //   --seed <s>        jitter seed (default 1991)
+//   --repair[=aggressive]  triage/repair the measured trace before analysis
+//                     (matters with fault injection or degraded capture)
 //   --out-prefix <p>  write <p>.actual.ptt / <p>.measured.ptt / <p>.approx.ptt
 //
 // Exit codes: 0 success, 1 usage error, 2 unsalvageable/invalid trace,
@@ -37,7 +39,8 @@ int usage(const std::string& what) {
                "[--mode sequential|vector|concurrent]\n"
                "  [--plan statements|sync|full] "
                "[--schedule cyclic|block|self] [--procs p]\n"
-               "  [--stmt-probe c] [--seed s] [--out-prefix p]\n"
+               "  [--stmt-probe c] [--seed s] [--repair[=aggressive]] "
+               "[--out-prefix p]\n"
                "%s",
                what.c_str(), perturb::tools::kExitCodeHelp);
   return perturb::tools::kExitUsage;
@@ -71,6 +74,15 @@ int main(int argc, char** argv) {
   if (mode != "sequential" && mode != "vector" && mode != "concurrent")
     return usage("unknown --mode " + mode);
 
+  const std::string repair_arg = cli.get("repair", "");
+  if (cli.has("repair") && repair_arg != "true" && repair_arg != "aggressive")
+    return usage("bad --repair value '" + repair_arg +
+                 "' (use --repair or --repair=aggressive)");
+  core::RepairMode repair = core::RepairMode::kOff;
+  if (cli.has("repair"))
+    repair = repair_arg == "aggressive" ? core::RepairMode::kAggressive
+                                        : core::RepairMode::kConservative;
+
   return tools::run_tool([&]() -> int {
     experiments::Setup setup;
     setup.machine.num_procs =
@@ -80,12 +92,13 @@ int main(int argc, char** argv) {
 
     experiments::LoopRun run;
     if (mode == "sequential") {
-      run = experiments::run_sequential_experiment(loop, n, setup, plan);
+      run = experiments::run_sequential_experiment(loop, n, setup, plan,
+                                                   repair);
     } else if (mode == "vector") {
-      run = experiments::run_vector_experiment(loop, n, setup, plan);
+      run = experiments::run_vector_experiment(loop, n, setup, plan, repair);
     } else {
       run = experiments::run_concurrent_experiment(loop, n, setup, plan,
-                                                   schedule);
+                                                   schedule, repair);
     }
 
     std::printf("lfk%d (%s), %s mode, %s plan\n", loop,

@@ -21,11 +21,11 @@
 #include <vector>
 
 #include "analysis/critical_path.hpp"
+#include "core/pipeline.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "tool_util.hpp"
 #include "trace/io.hpp"
-#include "trace/repair.hpp"
 #include "trace/trace_stats.hpp"
 #include "trace/validate.hpp"
 
@@ -80,35 +80,28 @@ int cmd_dump(const trace::Trace& t, std::int64_t limit) {
 }
 
 /// repair <in> <out>: salvage what a torn file still holds, repair causality
-/// violations, report the manifest, and write the repaired trace.
+/// violations, report the manifest, and write the repaired trace.  The heavy
+/// lifting is the pipeline's acquisition stage.
 int cmd_repair(const support::Cli& cli, const std::string& in_path,
                const std::string& out_path) {
-  trace::SalvageReport salvage;
-  const trace::Trace damaged = trace::load_salvage(in_path, salvage);
-  if (!salvage.complete) {
-    std::printf("salvage: %s\n", salvage.describe().c_str());
-  }
-  if (damaged.empty()) {
-    std::fprintf(stderr,
-                 "trace is unsalvageable: no events recovered from %s\n",
-                 in_path.c_str());
+  core::PipelineOptions options;
+  options.repair = cli.get_bool("aggressive", false)
+                       ? core::RepairMode::kAggressive
+                       : core::RepairMode::kConservative;
+  options.sync_slack = cli.get_int("sync-slack", 0);
+  const core::AnalysisPipeline pipeline(options);
+  const core::AcquireOutcome outcome = pipeline.acquire_file(in_path);
+  std::printf("%s", core::render_acquire(outcome).c_str());
+  if (!outcome.ok) {
+    std::fprintf(stderr, "%s%s\n", outcome.diagnosis.c_str(),
+                 options.repair == core::RepairMode::kAggressive
+                     ? ""
+                     : " (try --aggressive)");
     return tools::kExitBadTrace;
   }
-  trace::RepairOptions opts;
-  opts.aggressive = cli.get_bool("aggressive", false);
-  opts.sync_slack = cli.get_int("sync-slack", 0);
-  auto result = trace::repair(damaged, opts);
-  std::printf("%s", trace::render_manifest(result.manifest).c_str());
-  if (result.manifest.severity == trace::RepairSeverity::kUnsalvageable) {
-    std::fprintf(stderr,
-                 "trace is unsalvageable: %zu violation(s) survived repair "
-                 "(try --aggressive)\n",
-                 result.manifest.remaining.size());
-    return tools::kExitBadTrace;
-  }
-  trace::save(out_path, result.repaired);
+  trace::save(out_path, outcome.measured);
   std::printf("repaired trace written to %s (%zu events)\n", out_path.c_str(),
-              result.repaired.size());
+              outcome.measured.size());
   return tools::kExitOk;
 }
 
