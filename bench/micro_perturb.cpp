@@ -14,6 +14,7 @@
 #include "loops/kernels.hpp"
 #include "loops/programs.hpp"
 #include "rt/tracer.hpp"
+#include "support/crc32.hpp"
 #include "trace/index.hpp"
 #include "trace/io.hpp"
 #include "trace/validate.hpp"
@@ -108,6 +109,22 @@ void BM_TraceIndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceIndexBuild)->Arg(256)->Arg(1024);
 
+// The retained single-pass map-based builder, kept as the correctness and
+// performance reference for the counting-sort builder above.
+void BM_TraceIndexBuildReference(benchmark::State& state) {
+  const auto prog = loops::make_concurrent_ir(17, state.range(0));
+  const auto setup = default_setup();
+  const auto plan = experiments::make_plan(experiments::PlanKind::kFull, setup);
+  const auto measured = sim::simulate(setup.machine, prog, plan, "bench");
+  for (auto _ : state) {
+    trace::TraceIndex index(trace::TraceIndex::ReferenceBuild{}, measured);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(measured.size()));
+}
+BENCHMARK(BM_TraceIndexBuildReference)->Arg(256)->Arg(1024);
+
 /// Collects every advance key of a trace, in trace order.
 std::vector<trace::SyncKey> advance_keys(const trace::Trace& t) {
   std::vector<trace::SyncKey> keys;
@@ -187,6 +204,62 @@ void BM_TraceBinaryRoundtrip(benchmark::State& state) {
                           static_cast<std::int64_t>(t.size()));
 }
 BENCHMARK(BM_TraceBinaryRoundtrip);
+
+/// One binary v2 image of a measured loop-17 trace, shared by the two
+/// read-path benchmarks below.
+const std::string& binary_image() {
+  static const std::string image = [] {
+    const auto prog = loops::make_concurrent_ir(17, 2048);
+    const auto setup = default_setup();
+    const auto plan =
+        experiments::make_plan(experiments::PlanKind::kFull, setup);
+    const auto t = sim::simulate(setup.machine, prog, plan, "bench");
+    std::stringstream ss;
+    trace::write_binary(ss, t);
+    return std::move(ss).str();
+  }();
+  return image;
+}
+
+// The retained istream decoder (per-event push_back) vs the zero-copy
+// buffer decoder (CRC + fixed-width decode straight into pre-sized
+// storage).  Same image, same resulting trace.
+void BM_TraceBinaryReadStream(benchmark::State& state) {
+  const std::string& image = binary_image();
+  std::size_t events = 0;
+  for (auto _ : state) {
+    std::istringstream in(image);
+    auto t = trace::read_binary(in);
+    events = t.size();
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_TraceBinaryReadStream);
+
+void BM_TraceBinaryReadBuffer(benchmark::State& state) {
+  const std::string& image = binary_image();
+  std::size_t events = 0;
+  for (auto _ : state) {
+    auto t = trace::read_binary(image.data(), image.size());
+    events = t.size();
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_TraceBinaryReadBuffer);
+
+void BM_Crc32Throughput(benchmark::State& state) {
+  const std::vector<char> buf(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(support::crc32(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_Crc32Throughput)->Arg(1 << 12)->Arg(1 << 20);
 
 void BM_RtTracerRecord(benchmark::State& state) {
   rt::Tracer tracer(1, 1u << 22);

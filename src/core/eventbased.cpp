@@ -1,6 +1,7 @@
 #include "core/eventbased.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -28,7 +29,7 @@ class Reconstructor {
   EventBasedResult run() {
     const std::size_t n = measured_.size();
     t_a_.assign(n, 0);
-    resolved_.assign(n, false);
+    resolved_.assign(n, 0);
     resolve_all();
     return build_result();
   }
@@ -52,37 +53,6 @@ class Reconstructor {
 
   // ---- resolution ---------------------------------------------------------
 
-  bool ready(std::size_t i) const {
-    const std::size_t fork = idx_.fork_dep(i);
-    if (fork != kNone && !resolved_[fork]) return false;
-    const Event& e = measured_[i];
-    switch (e.kind) {
-      case EventKind::kAwaitEnd: {
-        const std::size_t adv = idx_.last_advance({e.object, e.payload});
-        return adv == kNone || resolved_[adv];
-      }
-      case EventKind::kLockAcquire: {
-        if (!opt_.model_locks) return true;
-        const std::size_t dep = idx_.lock_dep(i);
-        return dep == kNone || resolved_[dep];
-      }
-      case EventKind::kBarrierDepart: {
-        if (!opt_.model_barriers) return true;
-        const auto* ep = idx_.barrier_episode(e.object, e.payload);
-        if (ep == nullptr) return true;
-        for (const std::size_t a : ep->arrivals)
-          if (!resolved_[a]) return false;
-        return true;
-      }
-      case EventKind::kSemAcquire: {
-        const auto [modeled, dep] = sem_dep(i);
-        return !modeled || dep == kNone || resolved_[dep];
-      }
-      default:
-        return true;
-    }
-  }
-
   /// Per-processor reconstruction state between synchronization points.
   ///
   /// Within a segment of independent execution the approximated time is
@@ -103,11 +73,10 @@ class Reconstructor {
   /// causal predecessor — the loop spawn for a processor's first event in a
   /// parallel-loop episode (its own previous event happened before an idle
   /// stretch whose measured length is the *master's* perturbed time), the
-  /// segment basis otherwise.
-  Tick base_time(std::size_t i) {
+  /// segment basis otherwise.  `fork` is the caller's idx_.fork_dep(i).
+  Tick base_time(std::size_t i, std::size_t fork) {
     const Event& e = measured_[i];
     const Cycles alpha = ov_.probe_for(e.kind);
-    const std::size_t fork = idx_.fork_dep(i);
     if (fork != kNone) {
       Tick gap = (e.time - measured_[fork].time) - alpha;
       if (gap < 0) gap = 0;
@@ -132,19 +101,36 @@ class Reconstructor {
     basis_[e.proc] = {true, t, e.time, 0};
   }
 
-  void resolve(std::size_t i) {
+  /// Fused readiness test and resolution.  Checks event i's dependencies
+  /// and, when all are resolved, computes its approximated time in the same
+  /// pass, so each sync-table lookup happens once instead of once in ready()
+  /// and again in resolve().  Returns false — with no side effects — while a
+  /// dependency is still unresolved.
+  bool try_resolve(std::size_t i) {
     const Event& e = measured_[i];
+    const std::size_t fork = idx_.fork_dep(i);
+    if (fork != kNone && !resolved_[fork]) return false;
     Tick t;
     bool anchored = false;  // time came from a dependency model
     switch (e.kind) {
       case EventKind::kAwaitEnd: {
-        const SyncKey key{e.object, e.payload};
-        const std::size_t adv = idx_.last_advance(key);
-        const std::size_t ab = idx_.last_await_begin(key, e.proc);
+        // A blocked awaitE is retried every resolution round; cache its
+        // partner lookups so the sync-table binary searches run once per
+        // event instead of once per retry.
+        if (pending_.size() <= e.proc) pending_.resize(e.proc + 1u);
+        PendingAwait& pending = pending_[e.proc];
+        if (pending.event != i) {
+          const SyncKey key{e.object, e.payload};
+          pending = {i, idx_.last_advance(key),
+                     idx_.last_await_begin(key, e.proc)};
+        }
+        const std::size_t adv = pending.advance;
+        if (adv != kNone && !resolved_[adv]) return false;
+        const std::size_t ab = pending.await_begin;
         if (adv == kNone || ab == kNone) {
           // Degenerate trace (missing partner events): fall back to the
           // time-based rule.
-          t = base_time(i);
+          t = base_time(i, fork);
           break;
         }
         anchored = true;
@@ -177,24 +163,26 @@ class Reconstructor {
       }
       case EventKind::kLockAcquire: {
         if (!opt_.model_locks) {
-          t = base_time(i);
+          t = base_time(i, fork);
           break;
         }
+        const std::size_t dep = idx_.lock_dep(i);
+        if (dep != kNone && !resolved_[dep]) return false;
         anchored = true;
         // Conservative hand-off: the processor requests the lock immediately
         // after its previous recorded event; the lock becomes available when
         // the previous holder's (approximated) release completes.
         const std::size_t j = idx_.prev_on_proc(i);
         const Tick request = j == kNone ? 0 : t_a_[j];
-        const std::size_t dep = idx_.lock_dep(i);
         const Tick available = dep == kNone ? request : t_a_[dep];
         t = std::max(request, available) + ov_.lock_acquire;
         break;
       }
       case EventKind::kSemAcquire: {
         const auto [modeled, dep] = sem_dep(i);
+        if (modeled && dep != kNone && !resolved_[dep]) return false;
         if (!modeled) {
-          t = base_time(i);  // capacity unknown: time-based fallback
+          t = base_time(i, fork);  // capacity unknown: time-based fallback
           break;
         }
         anchored = true;
@@ -206,20 +194,23 @@ class Reconstructor {
       }
       case EventKind::kBarrierDepart: {
         if (!opt_.model_barriers) {
-          t = base_time(i);
+          t = base_time(i, fork);
           break;
         }
-        anchored = true;
         const auto* ep = idx_.barrier_episode(e.object, e.payload);
         Tick release = 0;
-        if (ep != nullptr)
+        if (ep != nullptr) {
+          for (const std::size_t a : ep->arrivals)
+            if (!resolved_[a]) return false;
           for (const std::size_t a : ep->arrivals)
             release = std::max(release, t_a_[a]);
+        }
+        anchored = true;
         t = release + ov_.barrier_depart;
         break;
       }
       default:
-        t = base_time(i);
+        t = base_time(i, fork);
         break;
     }
     // Per-processor monotonicity: the dependency models can only push events
@@ -227,12 +218,13 @@ class Reconstructor {
     const std::size_t j = idx_.prev_on_proc(i);
     if (j != kNone) t = std::max(t, t_a_[j]);
     t_a_[i] = t;
-    resolved_[i] = true;
+    resolved_[i] = 1;
     // Dependency-model, fork, and segment-opening events anchor a new
     // independent-execution segment.
     const bool first_on_proc =
         basis_.size() <= e.proc || !basis_[e.proc].valid;
-    if (anchored || first_on_proc || idx_.fork_dep(i) != kNone) rebase(i, t);
+    if (anchored || first_on_proc || fork != kNone) rebase(i, t);
+    return true;
   }
 
   void resolve_all() {
@@ -245,8 +237,7 @@ class Reconstructor {
       for (std::size_t p = 0; p < num_procs; ++p) {
         auto& pos = cursor[p];
         const auto& evs = idx_.events_of(static_cast<trace::ProcId>(p));
-        while (pos < evs.size() && ready(evs[pos])) {
-          resolve(evs[pos]);
+        while (pos < evs.size() && try_resolve(evs[pos])) {
           ++pos;
           --remaining;
           progress = true;
@@ -265,12 +256,47 @@ class Reconstructor {
   EventBasedResult build_result() {
     Trace approx(measured_.info());
     approx.info().name = measured_.info().name + "/event-based";
-    for (std::size_t i = 0; i < measured_.size(); ++i) {
-      Event out = measured_[i];
-      out.time = t_a_[i];
-      approx.append(out);
+    approx.events().reserve(measured_.size());
+    // The monotonicity clamp makes t_a nondecreasing along every
+    // per-processor chain, so the approximated trace is a k-way merge of the
+    // chains keyed by (t_a, original index) — identical to the stable sort
+    // by time of the re-timed events, without sorting all n of them.  With
+    // at most one cursor per processor a linear min-scan beats a heap: the
+    // scan is a handful of predictable compares per output event.
+    struct Cursor {
+      Tick t;
+      std::size_t idx;
+      trace::ProcId proc;
+      std::size_t pos;
+    };
+    std::vector<Cursor> cursors;
+    cursors.reserve(idx_.num_procs());
+    for (std::size_t p = 0; p < idx_.num_procs(); ++p) {
+      const auto& evs = idx_.events_of(static_cast<trace::ProcId>(p));
+      if (!evs.empty())
+        cursors.push_back(
+            {t_a_[evs[0]], evs[0], static_cast<trace::ProcId>(p), 0});
     }
-    approx.sort_canonical();
+    while (!cursors.empty()) {
+      std::size_t best = 0;
+      for (std::size_t k = 1; k < cursors.size(); ++k) {
+        const Cursor& a = cursors[k];
+        const Cursor& b = cursors[best];
+        if (a.t < b.t || (a.t == b.t && a.idx < b.idx)) best = k;
+      }
+      Cursor& c = cursors[best];
+      Event out = measured_[c.idx];
+      out.time = c.t;
+      approx.append(out);
+      const auto& evs = idx_.events_of(c.proc);
+      if (++c.pos < evs.size()) {
+        c.idx = evs[c.pos];
+        c.t = t_a_[c.idx];
+      } else {
+        cursors[best] = cursors.back();
+        cursors.pop_back();
+      }
+    }
     EventBasedResult result = std::move(stats_);
     result.approx = std::move(approx);
     return result;
@@ -281,9 +307,17 @@ class Reconstructor {
   const AnalysisOverheads& ov_;
   const EventBasedOptions& opt_;
 
+  /// Partner lookups of the awaitE a processor is currently blocked on.
+  struct PendingAwait {
+    std::size_t event = kNone;
+    std::size_t advance = kNone;
+    std::size_t await_begin = kNone;
+  };
+
   std::vector<Tick> t_a_;
-  std::vector<bool> resolved_;
-  std::vector<SegmentBasis> basis_;  ///< per-processor segment state
+  std::vector<std::uint8_t> resolved_;  ///< flat flags; vector<bool> is slower
+  std::vector<SegmentBasis> basis_;     ///< per-processor segment state
+  std::vector<PendingAwait> pending_;   ///< per-processor awaitE memo
   EventBasedResult stats_;
 };
 

@@ -140,11 +140,17 @@ AnalysisPipeline& AnalysisPipeline::add(std::unique_ptr<Analyzer> analyzer) {
 }
 
 AcquireOutcome AnalysisPipeline::acquire_file(const std::string& path) const {
+  trace::IoArena arena;
+  return acquire_file(path, arena);
+}
+
+AcquireOutcome AnalysisPipeline::acquire_file(const std::string& path,
+                                              trace::IoArena& arena) const {
   if (options_.repair == RepairMode::kOff)
-    return acquire(trace::load(path));
+    return acquire(trace::load(path, arena));
 
   AcquireOutcome outcome;
-  outcome.measured = trace::load_salvage(path, outcome.salvage);
+  outcome.measured = trace::load_salvage(path, outcome.salvage, arena);
   if (!outcome.salvage.complete) {
     outcome.salvaged = true;
     outcome.degraded = true;
@@ -203,40 +209,113 @@ AcquireOutcome AnalysisPipeline::acquire(Trace measured) const {
   return outcome;
 }
 
+void AnalysisPipeline::run_analyzers(PipelineResult& result,
+                                     const TraceIndex& index,
+                                     const Trace* actual,
+                                     support::TaskPool& pool) const {
+  result.outputs.resize(analyzers_.size());
+  // Independent passes over the shared immutable index: each analyzer
+  // writes only its own slot, so the run is deterministic at any thread
+  // count.
+  pool.parallel_for(analyzers_.size(), [&](std::size_t k) {
+    const Analyzer& analyzer = *analyzers_[k];
+    AnalyzerOutput out = analyzer.run(index, options_);
+    if (actual != nullptr && analyzer.produces_trace()) {
+      ApproximationQuality q =
+          assess(result.acquire.measured, out.approx, *actual);
+      q.degraded_input = result.acquire.degraded;
+      out.quality = q;
+    }
+    result.outputs[k] = std::move(out);
+  });
+}
+
 PipelineResult AnalysisPipeline::run(AcquireOutcome acquired,
                                      const Trace* actual) const {
   PipelineResult result;
   result.acquire = std::move(acquired);
   if (!result.acquire.ok) return result;
 
-  const TraceIndex index(result.acquire.measured);
-  result.outputs.resize(analyzers_.size());
-  // Independent passes over the shared immutable index: each analyzer
-  // writes only its own slot, so the run is deterministic at any thread
-  // count.
-  support::parallel_for(
-      options_.threads, analyzers_.size(), [&](std::size_t k) {
-        const Analyzer& analyzer = *analyzers_[k];
-        AnalyzerOutput out = analyzer.run(index, options_);
-        if (actual != nullptr && analyzer.produces_trace()) {
-          ApproximationQuality q =
-              assess(result.acquire.measured, out.approx, *actual);
-          q.degraded_input = result.acquire.degraded;
-          out.quality = q;
-        }
-        result.outputs[k] = std::move(out);
-      });
+  support::TaskPool pool(options_.threads);
+  const TraceIndex index(result.acquire.measured, pool);
+  run_analyzers(result, index, actual, pool);
   return result;
+}
+
+PipelineResult AnalysisPipeline::run_fused(Trace measured, const Trace* actual,
+                                           support::TaskPool& pool) const {
+  PipelineResult result;
+  AcquireOutcome& outcome = result.acquire;
+  trace::ValidateOptions validate_opts;
+  validate_opts.sync_slack = options_.sync_slack;
+  outcome.measured = std::move(measured);
+  // The index must be built after the trace reaches its final address
+  // (outcome.measured); it is read only within this scope.
+  const TraceIndex index(outcome.measured, pool);
+  outcome.violations = trace::validate(index, validate_opts);
+  if (outcome.violations.empty()) {
+    outcome.ok = true;
+    run_analyzers(result, index, actual, pool);
+    return result;
+  }
+
+  // Violating input: hand the trace to the standard acquire path (diagnosis
+  // or repair).  A repaired trace differs from the loaded one, so the shared
+  // index is of no use past this point.
+  PipelineResult degraded;
+  degraded.acquire = acquire(std::move(outcome.measured));
+  if (!degraded.acquire.ok) return degraded;
+  const TraceIndex repaired_index(degraded.acquire.measured, pool);
+  run_analyzers(degraded, repaired_index, actual, pool);
+  return degraded;
 }
 
 PipelineResult AnalysisPipeline::run(Trace measured,
                                      const Trace* actual) const {
-  return run(acquire(std::move(measured)), actual);
+  support::TaskPool pool(options_.threads);
+  return run_fused(std::move(measured), actual, pool);
 }
 
 PipelineResult AnalysisPipeline::run_file(const std::string& path,
                                           const Trace* actual) const {
-  return run(acquire_file(path), actual);
+  if (options_.repair != RepairMode::kOff) return run(acquire_file(path), actual);
+  support::TaskPool pool(options_.threads);
+  return run_fused(trace::load(path), actual, pool);
+}
+
+PipelineResult AnalysisPipeline::run_one(const std::string& path,
+                                         const Trace* actual,
+                                         trace::IoArena& arena) const {
+  try {
+    support::TaskPool inline_pool(1);
+    if (options_.repair != RepairMode::kOff) {
+      PipelineResult result;
+      result.acquire = acquire_file(path, arena);
+      if (!result.acquire.ok) return result;
+      const TraceIndex index(result.acquire.measured);
+      run_analyzers(result, index, actual, inline_pool);
+      return result;
+    }
+    return run_fused(trace::load(path, arena), actual, inline_pool);
+  } catch (const trace::IoError& e) {
+    PipelineResult failed;
+    failed.acquire.diagnosis = e.what();
+    return failed;
+  }
+}
+
+std::vector<PipelineResult> AnalysisPipeline::run_many(
+    const std::vector<std::string>& paths, const Trace* actual) const {
+  std::vector<PipelineResult> results(paths.size());
+  support::TaskPool pool(options_.threads);
+  std::vector<trace::IoArena> arenas(pool.size());
+  // One file per task; worker w is the sole user of arenas[w], so each
+  // worker's load buffer is allocated once and reused across its block of
+  // files.  Each result slot is written by exactly one task.
+  pool.parallel_for(paths.size(), [&](std::size_t worker, std::size_t k) {
+    results[k] = run_one(paths[k], actual, arenas[worker]);
+  });
+  return results;
 }
 
 std::string render_pipeline_report(const Trace& approx,

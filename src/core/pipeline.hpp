@@ -35,6 +35,10 @@
 #include "trace/trace.hpp"
 #include "trace/validate.hpp"
 
+namespace perturb::support {
+class TaskPool;
+}  // namespace perturb::support
+
 namespace perturb::core {
 
 enum class RepairMode : std::uint8_t {
@@ -145,6 +149,10 @@ class AnalysisPipeline {
   /// I/O failures throw trace::IoError; degraded-but-salvageable inputs come
   /// back ok, unusable ones come back !ok with a diagnosis.
   AcquireOutcome acquire_file(const std::string& path) const;
+  /// Same, loading through a caller-owned reusable I/O buffer (see
+  /// trace::IoArena); batched drivers pass one arena per worker.
+  AcquireOutcome acquire_file(const std::string& path,
+                              trace::IoArena& arena) const;
   /// Same triage/repair over an in-memory trace (no load/salvage stage).
   AcquireOutcome acquire(trace::Trace measured) const;
 
@@ -159,7 +167,33 @@ class AnalysisPipeline {
   PipelineResult run_file(const std::string& path,
                           const trace::Trace* actual = nullptr) const;
 
+  /// Batched driver: runs the full pipeline over every path, fanning the
+  /// files across options().threads workers with one reusable load buffer
+  /// per worker; each file's analysis runs single-threaded inside its
+  /// worker.  Per-file I/O failures are reported in that entry's
+  /// AcquireOutcome (!ok + diagnosis) instead of thrown, so one unreadable
+  /// file cannot abort the batch.  Results are bit-identical to calling
+  /// run_file on each path in order, at any thread count.
+  std::vector<PipelineResult> run_many(
+      const std::vector<std::string>& paths,
+      const trace::Trace* actual = nullptr) const;
+
  private:
+  /// Triage + analysis sharing ONE TraceIndex on the clean-trace fast path:
+  /// the validator reads the same index the analyzers consume, instead of
+  /// building a private one inside trace::validate.  Falls back to the
+  /// standard acquire (repair) path when triage finds violations, since a
+  /// repaired trace needs a fresh index anyway.
+  PipelineResult run_fused(trace::Trace measured, const trace::Trace* actual,
+                           support::TaskPool& pool) const;
+  /// run_file body for one batch item: loads through `arena`, runs
+  /// single-threaded, converts trace::IoError into a failed acquisition.
+  PipelineResult run_one(const std::string& path, const trace::Trace* actual,
+                         trace::IoArena& arena) const;
+  void run_analyzers(PipelineResult& result, const trace::TraceIndex& index,
+                     const trace::Trace* actual,
+                     support::TaskPool& pool) const;
+
   PipelineOptions options_;
   std::vector<std::unique_ptr<Analyzer>> analyzers_;
 };

@@ -1,11 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/ready_queue.hpp"
 #include "sim/scheduler.hpp"
 #include "support/check.hpp"
 #include "support/text.hpp"
@@ -50,15 +49,38 @@ struct Proc {
   std::int64_t par_iter = -1;  ///< current parallel-loop iteration, -1 outside
 };
 
+/// FIFO of blocked processors.  A vector plus a head cursor instead of a
+/// std::deque: waiter lists are short and churn every critical section, and
+/// this layout reuses one flat allocation for the lifetime of the run.
+class WaitList {
+ public:
+  bool empty() const noexcept { return head_ == q_.size(); }
+  void push_back(ProcId p) { q_.push_back(p); }
+  ProcId front() const { return q_[head_]; }
+  void pop_front() {
+    if (++head_ == q_.size()) {
+      q_.clear();
+      head_ = 0;
+    }
+  }
+
+ private:
+  std::vector<ProcId> q_;
+  std::size_t head_ = 0;
+};
+
 struct VarState {
   std::unordered_map<std::int64_t, Tick> advanced;  ///< pair → visibility time
-  std::unordered_map<std::int64_t, std::vector<ProcId>> waiters;
+  /// Blocked awaiters as flat (pair, proc) entries in block order; an
+  /// advance wakes its pair's entries front-to-back, which preserves the
+  /// per-pair FIFO the old map-of-vectors gave.
+  std::vector<std::pair<std::int64_t, ProcId>> waiters;
 };
 
 struct LockState {
   bool held = false;
   Tick free_since = 0;
-  std::deque<ProcId> waiters;  ///< FIFO by request (pop) time
+  WaitList waiters;  ///< FIFO by request (pop) time
 };
 
 struct BarrierState {
@@ -69,8 +91,8 @@ struct BarrierState {
 
 struct SemState {
   std::int64_t capacity = 0;
-  std::vector<Tick> permits;   ///< visibility times of free permits
-  std::deque<ProcId> waiters;  ///< FIFO by request (pop) time
+  std::vector<Tick> permits;  ///< visibility times of free permits
+  WaitList waiters;           ///< FIFO by request (pop) time
 };
 
 class Engine {
@@ -86,8 +108,11 @@ class Engine {
     info.ticks_per_us = cfg.ticks_per_us;
     trace_ = trace::Trace(info);
     procs_.resize(cfg.num_procs);
-    for (std::uint32_t q = 0; q < cfg.num_procs; ++q)
+    for (std::uint32_t q = 0; q < cfg.num_procs; ++q) {
       procs_[q].id = static_cast<ProcId>(q);
+      procs_[q].stack.reserve(16);  // typical nesting; avoids regrow churn
+    }
+    ready_.reset(cfg.num_procs);
     vars_.resize(prog.num_sync_vars() + 1);
     locks_.resize(prog.num_locks() + 1);
     sems_.resize(prog.num_semaphores() + 1);
@@ -105,9 +130,9 @@ class Engine {
         {Frame::Kind::kBlock, &prog_.root(), 0, nullptr, 0, 0});
     enqueue(master);
 
-    while (!heap_.empty()) {
-      const auto [t, pid] = heap_.top();
-      heap_.pop();
+    while (!ready_.empty()) {
+      const auto [t, pid] = ready_.top();
+      ready_.pop();
       Proc& p = procs_[pid];
       PERTURB_CHECK(p.queued);
       PERTURB_CHECK_MSG(t == p.clock, "stale heap entry");
@@ -146,7 +171,7 @@ class Engine {
   void enqueue(Proc& p) {
     PERTURB_CHECK(!p.queued);
     p.queued = true;
-    heap_.push({p.clock, p.id});
+    ready_.push(p.clock, p.id);
   }
 
   // ---- stepping --------------------------------------------------------
@@ -297,11 +322,17 @@ class Engine {
 
     emit(p, EventKind::kAdvance, n.id, n.object, pair);
 
-    const auto w = v.waiters.find(pair);
-    if (w != v.waiters.end()) {
-      for (const ProcId q : w->second) wake_awaiter(procs_[q], visibility);
-      v.waiters.erase(w);
+    // Wake this pair's blocked awaiters in block order; the stable compaction
+    // keeps every other pair's entries in their original FIFO order.
+    std::size_t keep = 0;
+    for (std::size_t r = 0; r < v.waiters.size(); ++r) {
+      if (v.waiters[r].first == pair) {
+        wake_awaiter(procs_[v.waiters[r].second], visibility);
+      } else {
+        v.waiters[keep++] = v.waiters[r];
+      }
     }
+    v.waiters.resize(keep);
     enqueue(p);
   }
 
@@ -331,7 +362,7 @@ class Engine {
       // Not yet advanced anywhere at or before our clock: block.  The
       // matching advance will wake us (heap order guarantees it has not been
       // processed yet).
-      v.waiters[pair].push_back(p.id);
+      v.waiters.emplace_back(pair, p.id);
       return;  // not enqueued
     }
     if (it->second <= p.clock) {
@@ -469,7 +500,9 @@ class Engine {
       v.advanced.clear();
     }
     scheduler_ = make_scheduler(n.schedule, n.trip, cfg_.num_procs, cfg_);
-    barrier_ = {};
+    barrier_.arrived = 0;
+    barrier_.max_arrival = 0;
+    barrier_.waiters.clear();
 
     for (auto& q : procs_) {
       if (q.id != p.id) {
@@ -517,10 +550,12 @@ class Engine {
     // may immediately start another parallel loop.
     par_loop_ = nullptr;
     scheduler_.reset();
-    const std::vector<ProcId> waiters = std::move(barrier_.waiters);
-    barrier_ = {};
+    barrier_scratch_.clear();
+    std::swap(barrier_scratch_, barrier_.waiters);  // buffers ping-pong
+    barrier_.arrived = 0;
+    barrier_.max_arrival = 0;
 
-    for (const ProcId qid : waiters) {
+    for (const ProcId qid : barrier_scratch_) {
       Proc& q = procs_[qid];
       PERTURB_CHECK(!q.queued);
       PERTURB_CHECK(!q.stack.empty() &&
@@ -565,10 +600,7 @@ class Engine {
   std::vector<SemState> sems_;    ///< indexed by semaphore id (0 unused)
 
   // Min-heap of (action start time, processor); ties resolve by processor id.
-  std::priority_queue<std::pair<Tick, ProcId>,
-                      std::vector<std::pair<Tick, ProcId>>,
-                      std::greater<>>
-      heap_;
+  ReadyQueue ready_;
 
   // Active parallel loop (at most one).
   const Node* par_loop_ = nullptr;
@@ -576,6 +608,7 @@ class Engine {
   ProcId par_master_ = 0;
   std::unique_ptr<IterationScheduler> scheduler_;
   BarrierState barrier_;
+  std::vector<ProcId> barrier_scratch_;  ///< release_barrier working set
   std::unordered_map<const Node*, std::int64_t> loop_episodes_;
 };
 

@@ -1,0 +1,123 @@
+// ReadyQueue: indexed binary min-heap of runnable processors.
+//
+// The engine's event loop repeatedly runs the queued processor with the
+// smallest (action start tick, processor id).  A plain
+// std::priority_queue<pair> cannot re-key an entry, so an engine built on it
+// either pushes duplicates (and skips stale pops) or re-heapifies.  This
+// queue keeps at most one entry per processor, tracked through a
+// processor-indexed slot map, so membership tests are O(1) and re-keying a
+// waiting processor (decrease-key or delay) is one sift instead of a
+// duplicate entry.
+//
+// Ordering is exactly the (tick, pid) lexicographic minimum the engine has
+// always used: equal-tick ties resolve to the lowest processor id, so the
+// simulation schedule — and therefore every emitted trace — is unchanged.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+#include "trace/event.hpp"
+
+namespace perturb::sim {
+
+class ReadyQueue {
+ public:
+  using Tick = trace::Tick;
+  using ProcId = trace::ProcId;
+
+  /// Empties the queue and sizes the slot map for processors [0, num_procs).
+  void reset(std::size_t num_procs) {
+    heap_.clear();
+    heap_.reserve(num_procs);
+    pos_.assign(num_procs, npos);
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  bool contains(ProcId p) const { return pos_[p] != npos; }
+
+  /// Smallest (tick, pid) entry.
+  std::pair<Tick, ProcId> top() const {
+    PERTURB_CHECK(!heap_.empty());
+    return {heap_[0].tick, heap_[0].pid};
+  }
+
+  void push(Tick t, ProcId p) {
+    PERTURB_CHECK_MSG(pos_[p] == npos, "processor already queued");
+    heap_.push_back({t, p});
+    sift_up(heap_.size() - 1);
+  }
+
+  void pop() {
+    PERTURB_CHECK(!heap_.empty());
+    pos_[heap_[0].pid] = npos;
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      sift_down(0);
+    }
+  }
+
+  /// Re-keys an already-queued processor; moves it either direction.
+  void update(ProcId p, Tick t) {
+    const std::size_t i = pos_[p];
+    PERTURB_CHECK_MSG(i != npos, "processor not queued");
+    const Tick old = heap_[i].tick;
+    heap_[i].tick = t;
+    if (t < old)
+      sift_up(i);
+    else
+      sift_down(i);
+  }
+
+ private:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  struct Entry {
+    Tick tick;
+    ProcId pid;
+  };
+
+  static bool less(const Entry& a, const Entry& b) {
+    if (a.tick != b.tick) return a.tick < b.tick;
+    return a.pid < b.pid;
+  }
+
+  void sift_up(std::size_t i) {
+    const Entry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!less(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i].pid] = i;
+      i = parent;
+    }
+    heap_[i] = e;
+    pos_[e.pid] = i;
+  }
+
+  void sift_down(std::size_t i) {
+    const Entry e = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && less(heap_[child + 1], heap_[child])) ++child;
+      if (!less(heap_[child], e)) break;
+      heap_[i] = heap_[child];
+      pos_[heap_[i].pid] = i;
+      i = child;
+    }
+    heap_[i] = e;
+    pos_[e.pid] = i;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::size_t> pos_;  ///< pid → heap slot, npos when absent
+};
+
+}  // namespace perturb::sim

@@ -50,7 +50,7 @@ struct TaskPool::Impl {
       const std::size_t begin = w * total / workers;
       const std::size_t end = (w + 1) * total / workers;
       try {
-        for (std::size_t i = begin; i < end; ++i) (*fn)(i);
+        for (std::size_t i = begin; i < end; ++i) (*fn)(w, i);
       } catch (...) {
         exceptions[w] = std::current_exception();
       }
@@ -63,7 +63,8 @@ struct TaskPool::Impl {
     }
   }
 
-  void run(std::size_t total, const std::function<void(std::size_t)>& fn) {
+  void run(std::size_t total,
+           const std::function<void(std::size_t, std::size_t)>& fn) {
     {
       std::unique_lock<std::mutex> lock(mutex);
       n = total;
@@ -89,7 +90,7 @@ struct TaskPool::Impl {
   std::condition_variable work_done;
   std::uint64_t generation = 0;
   std::size_t n = 0;
-  const std::function<void(std::size_t)>* body = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
   std::size_t done = 0;
   bool stopping = false;
 };
@@ -105,6 +106,18 @@ void TaskPool::parallel_for(std::size_t n,
   if (n == 0) return;
   if (impl_ == nullptr || n == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::function<void(std::size_t, std::size_t)> wrapped =
+      [&body](std::size_t, std::size_t i) { body(i); };
+  impl_->run(n, wrapped);
+}
+
+void TaskPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (impl_ == nullptr || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
     return;
   }
   impl_->run(n, body);

@@ -38,6 +38,14 @@ class TaskPool {
   /// the remaining indices of that worker's block are skipped.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// Same static partition, but the body also receives the id of the worker
+  /// executing it (in [0, size())).  Worker w is the only invoker for its
+  /// block, so `body(w, i)` may use per-worker scratch indexed by w without
+  /// synchronization.  Inline execution (size-1 pool or n == 1) passes
+  /// worker 0.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
  private:
   struct Impl;
   Impl* impl_ = nullptr;  ///< null for a size-1 pool (inline execution)

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "support/parallel.hpp"
+
 namespace perturb::trace {
 
 namespace {
@@ -15,6 +17,215 @@ const std::vector<std::size_t>& empty_index_list() {
 }  // namespace
 
 TraceIndex::TraceIndex(const Trace& trace) : trace_(&trace) {
+  build(nullptr);
+}
+
+TraceIndex::TraceIndex(const Trace& trace, support::TaskPool& pool)
+    : trace_(&trace) {
+  build(&pool);
+}
+
+TraceIndex::TraceIndex(ReferenceBuild, const Trace& trace) : trace_(&trace) {
+  build_reference();
+}
+
+// Optimized builder.  Two independent scans (per-processor chains by
+// counting sort; one structural pass for sync/loop/iteration tables), then
+// three independent table sorts.  ProcId is 16-bit, so proc-indexed vectors
+// replace the reference builder's per-event hash lookups; duplicate-advance
+// detection moves from a hash probe per advance to one pass over the sorted
+// advance table (entries after the first of an equal-key run, restored to
+// trace order).  Every stage fills the same members with the same values as
+// build_reference — the differential tests hold the two builders equal.
+void TraceIndex::build(support::TaskPool* pool) {
+  const Trace& trace = *trace_;
+  const std::size_t n = trace.size();
+  prev_on_proc_.assign(n, npos);
+  fork_dep_.assign(n, npos);
+  lock_dep_.assign(n, npos);
+  sem_ordinal_.assign(n, npos);
+
+  std::vector<std::pair<SyncKey, std::size_t>> advance_entries;
+  std::vector<std::pair<AwaitKey, std::size_t>> await_entries;
+
+  auto build_chains = [&] {
+    std::vector<std::size_t> counts;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t p = trace[i].proc;
+      if (counts.size() <= p) counts.resize(p + 1u, 0);
+      ++counts[p];
+    }
+    proc_events_.resize(counts.size());
+    for (std::size_t p = 0; p < counts.size(); ++p)
+      proc_events_[p].reserve(counts[p]);
+    std::vector<std::size_t> last(counts.size(), npos);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t p = trace[i].proc;
+      prev_on_proc_[i] = last[p];
+      last[p] = i;
+      proc_events_[p].push_back(i);
+    }
+  };
+
+  auto build_structure = [&] {
+    std::unordered_map<ObjectId, std::size_t> last_release;
+    std::unordered_map<ObjectId, std::size_t> sem_acquire_count;
+    std::vector<std::size_t> open_iter;    // by proc; npos = none open
+    std::vector<std::size_t> joined_loop;  // by proc; loop ordinal + 1
+    std::size_t open_loop = npos;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event& e = trace[i];
+
+      // Fork tracking: inside a parallel-loop episode, a processor's first
+      // event depends on the loop's spawn, not on that processor's previous
+      // event (it was idle through the master's sequential section).
+      if (e.kind == EventKind::kLoopBegin) {
+        open_loop = loops_.size();
+        loops_.push_back({i, npos, e.object, e.proc});
+        if (joined_loop.size() <= e.proc) joined_loop.resize(e.proc + 1u, 0);
+        joined_loop[e.proc] = open_loop + 1;  // master's chain covers it
+      } else if (e.kind == EventKind::kLoopEnd) {
+        if (open_loop != npos) loops_[open_loop].end_index = i;
+        open_loop = npos;
+      } else if (open_loop != npos) {
+        if (joined_loop.size() <= e.proc) joined_loop.resize(e.proc + 1u, 0);
+        if (joined_loop[e.proc] != open_loop + 1) {
+          joined_loop[e.proc] = open_loop + 1;
+          fork_dep_[i] = loops_[open_loop].begin_index;
+        }
+      }
+
+      const SyncKey key{e.object, e.payload};
+      switch (e.kind) {
+        case EventKind::kAdvance:
+          advance_entries.emplace_back(key, i);
+          break;
+        case EventKind::kAwaitBegin:
+          await_entries.emplace_back(AwaitKey{key, e.proc}, i);
+          break;
+        case EventKind::kLockAcquire: {
+          const auto lr = last_release.find(e.object);
+          if (lr != last_release.end()) lock_dep_[i] = lr->second;
+          break;
+        }
+        case EventKind::kLockRelease:
+          last_release[e.object] = i;
+          break;
+        case EventKind::kSemAcquire:
+          sem_ordinal_[i] = sem_acquire_count[e.object]++;
+          break;
+        case EventKind::kSemRelease:
+          sem_releases_[e.object].push_back(i);
+          break;
+        case EventKind::kBarrierArrive:
+        case EventKind::kBarrierDepart: {
+          const auto [it, inserted] =
+              barrier_slot_.insert({key, barriers_.size()});
+          if (inserted) barriers_.push_back({key, {}, {}});
+          BarrierEpisode& ep = barriers_[it->second];
+          (e.kind == EventKind::kBarrierArrive ? ep.arrivals : ep.departs)
+              .push_back(i);
+          break;
+        }
+        case EventKind::kIterBegin: {
+          if (open_iter.size() <= e.proc) open_iter.resize(e.proc + 1u, npos);
+          open_iter[e.proc] = iters_.size();
+          iters_.push_back({i, npos, e.payload, e.object, e.proc});
+          break;
+        }
+        case EventKind::kIterEnd: {
+          if (e.proc < open_iter.size() && open_iter[e.proc] != npos) {
+            iters_[open_iter[e.proc]].end_index = i;
+            open_iter[e.proc] = npos;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(2, [&](std::size_t task) {
+      if (task == 0)
+        build_chains();
+      else
+        build_structure();
+    });
+  } else {
+    build_chains();
+    build_structure();
+  }
+
+  // Flat tables: sort by key then trace index, then split into parallel
+  // key/index arrays so per-key occurrence lists are contiguous ascending
+  // slices of the index array.
+  const auto by_key_then_index = [](const auto& a, const auto& b) {
+    if (!(a.first == b.first)) return a.first < b.first;
+    return a.second < b.second;
+  };
+
+  auto finish_advances = [&] {
+    std::sort(advance_entries.begin(), advance_entries.end(),
+              by_key_then_index);
+    advance_keys_.reserve(advance_entries.size());
+    advance_idx_.reserve(advance_entries.size());
+    for (const auto& [key, idx] : advance_entries) {
+      advance_keys_.push_back(key);
+      advance_idx_.push_back(idx);
+    }
+    // Duplicates: within an equal-key run every entry after the first
+    // repeats an earlier advance; runs are ascending in trace index, so
+    // sorting the collected indices restores trace order.
+    for (std::size_t k = 1; k < advance_entries.size(); ++k)
+      if (advance_entries[k].first == advance_entries[k - 1].first)
+        duplicate_advances_.push_back(advance_entries[k].second);
+    std::sort(duplicate_advances_.begin(), duplicate_advances_.end());
+  };
+
+  auto finish_awaits = [&] {
+    std::sort(await_entries.begin(), await_entries.end(), by_key_then_index);
+    await_keys_.reserve(await_entries.size());
+    await_idx_.reserve(await_entries.size());
+    for (const auto& [key, idx] : await_entries) {
+      await_keys_.push_back(key);
+      await_idx_.push_back(idx);
+    }
+  };
+
+  auto finish_barriers = [&] {
+    // Barrier episodes in deterministic (object, payload) order.
+    std::sort(barriers_.begin(), barriers_.end(),
+              [](const BarrierEpisode& a, const BarrierEpisode& b) {
+                return a.key < b.key;
+              });
+    barrier_slot_.clear();
+    for (std::size_t s = 0; s < barriers_.size(); ++s)
+      barrier_slot_[barriers_[s].key] = s;
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(3, [&](std::size_t task) {
+      if (task == 0)
+        finish_advances();
+      else if (task == 1)
+        finish_awaits();
+      else
+        finish_barriers();
+    });
+  } else {
+    finish_advances();
+    finish_awaits();
+    finish_barriers();
+  }
+}
+
+// Reference builder: the original single-pass construction, kept verbatim
+// as the executable specification the optimized build() is tested against.
+void TraceIndex::build_reference() {
+  const Trace& trace = *trace_;
   const std::size_t n = trace.size();
   prev_on_proc_.assign(n, npos);
   fork_dep_.assign(n, npos);

@@ -2,9 +2,11 @@
 //
 // Each analyzer used to rebuild its own per-processor chains, advance/await
 // pairings, lock hand-off order, barrier episodes, and loop spans with
-// private std::map scans.  The index is built once per trace — a single
-// O(n) pass plus one sort of the synchronization entries — and answers the
-// structural queries all of them need:
+// private std::map scans.  The index is built once per trace — a counting
+// sort of the per-processor chains plus one structural scan, then one sort
+// per flat synchronization table; the two scans (and the three sorts) can
+// run as parallel tasks on a support::TaskPool — and answers the structural
+// queries all of them need:
 //
 //   * per-processor event ranges and previous-event chains,
 //   * fork dependencies (a processor's first event inside a parallel-loop
@@ -30,6 +32,10 @@
 
 #include "trace/event.hpp"
 #include "trace/trace.hpp"
+
+namespace perturb::support {
+class TaskPool;
+}  // namespace perturb::support
 
 namespace perturb::trace {
 
@@ -81,7 +87,20 @@ class TraceIndex {
     std::vector<std::size_t> departs;   ///< trace order
   };
 
+  /// Tag selecting the original single-pass, map-based builder.  Retained as
+  /// an executable specification of the index contents: differential tests
+  /// and the hot-path bench baseline compare the optimized builders against
+  /// it.
+  struct ReferenceBuild {};
+
   explicit TraceIndex(const Trace& trace);
+
+  /// Builds with the per-processor chain scan and the structural sync-table
+  /// scan (then the three flat-table sorts) running as independent tasks on
+  /// `pool`.  Bit-identical to the serial build at any pool size.
+  TraceIndex(const Trace& trace, support::TaskPool& pool);
+
+  TraceIndex(ReferenceBuild, const Trace& trace);
 
   const Trace& trace() const noexcept { return *trace_; }
   std::size_t size() const noexcept { return prev_on_proc_.size(); }
@@ -185,6 +204,9 @@ class TraceIndex {
                                         std::int64_t payload) const;
 
  private:
+  void build(support::TaskPool* pool);
+  void build_reference();
+
   struct AwaitKey {
     SyncKey key;
     ProcId proc = 0;

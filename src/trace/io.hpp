@@ -9,8 +9,10 @@
 // Version 1 files (unframed, no checksums) are still read transparently.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "support/check.hpp"
 #include "trace/trace.hpp"
@@ -66,13 +68,37 @@ Trace read_binary(std::istream& in);
 /// recoverable (bad magic, unusable or corrupt header).
 Trace read_binary_salvage(std::istream& in, SalvageReport& report);
 
+/// Zero-copy strict reader over an in-memory image of a binary trace file
+/// (the exact bytes a file contains).  Chunk CRCs are verified in place and
+/// fixed-width records decode straight into a pre-reserved event vector — no
+/// per-chunk staging buffer, no stream indirection.  Accepts and rejects
+/// exactly the same inputs as the stream reader, with the same messages.
+Trace read_binary(const char* data, std::size_t size);
+
+/// Zero-copy salvage reader over an in-memory file image; same recovery
+/// semantics and SalvageReport contents as the stream salvage reader.
+Trace read_binary_salvage(const char* data, std::size_t size,
+                          SalvageReport& report);
+
+/// Reusable scratch for batched loads.  When a file cannot be memory-mapped
+/// (non-POSIX host, special file, empty file) its image is read into
+/// `buffer`, whose capacity survives across loads so a long batch settles
+/// into zero steady-state allocation.
+struct IoArena {
+  std::vector<char> buffer;
+};
+
 /// File-path conveniences; format chosen by extension (".ptt" text,
-/// anything else binary).
+/// anything else binary).  Binary loads go through the zero-copy reader over
+/// a memory-mapped image of the file when the platform allows it.
 void save(const std::string& path, const Trace& trace);
 Trace load(const std::string& path);
+Trace load(const std::string& path, IoArena& arena);
 
 /// Like load(), but binary traces are read through the salvage path; text
 /// traces fill a trivial (complete) report.
 Trace load_salvage(const std::string& path, SalvageReport& report);
+Trace load_salvage(const std::string& path, SalvageReport& report,
+                   IoArena& arena);
 
 }  // namespace perturb::trace

@@ -8,6 +8,10 @@
 namespace perturb::trace {
 
 void Trace::sort_canonical() {
+  // Fast path: simulator- and loader-produced traces are already in
+  // (time, append) order, and a stable sort of a sorted sequence is the
+  // identity — skip it after one linear scan.
+  if (is_time_ordered()) return;
   std::stable_sort(events_.begin(), events_.end(),
                    [](const Event& a, const Event& b) { return a.time < b.time; });
 }
@@ -25,11 +29,12 @@ std::vector<std::size_t> Trace::processor_events(ProcId proc) const {
   return idx;
 }
 
-std::vector<std::vector<Event>> Trace::by_processor() const {
-  std::vector<std::vector<Event>> out(info_.num_procs);
-  for (const auto& e : events_) {
+std::vector<std::vector<std::size_t>> Trace::by_processor() const {
+  std::vector<std::vector<std::size_t>> out(info_.num_procs);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
     PERTURB_CHECK_MSG(e.proc < info_.num_procs, "event processor out of range");
-    out[e.proc].push_back(e);
+    out[e.proc].push_back(i);
   }
   return out;
 }
@@ -86,6 +91,9 @@ Trace Trace::merge(TraceInfo info, const std::vector<Trace>& parts) {
     if (!parts[p].empty()) heap.push({p, 0, parts[p][0].time});
   }
   Trace out(std::move(info));
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  out.events_.reserve(total);
   while (!heap.empty()) {
     const Cursor c = heap.top();
     heap.pop();

@@ -49,10 +49,14 @@ class Trace {
   bool is_time_ordered() const noexcept;
 
   /// Indices of this trace's events belonging to `proc`, in trace order.
+  /// One-off convenience; passes that need every processor's chain should
+  /// share a trace::TraceIndex instead of rescanning per processor.
   std::vector<std::size_t> processor_events(ProcId proc) const;
 
-  /// Splits into per-processor event vectors (index = processor).
-  std::vector<std::vector<Event>> by_processor() const;
+  /// Per-processor event *indices* (outer index = processor), in trace
+  /// order.  Indices rather than Event copies: splitting a trace must not
+  /// duplicate its payload.
+  std::vector<std::vector<std::size_t>> by_processor() const;
 
   /// Earliest event time; 0 on empty trace.
   Tick start_time() const noexcept;

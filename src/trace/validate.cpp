@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "support/text.hpp"
 
@@ -31,156 +33,197 @@ namespace {
 
 constexpr std::size_t kNoEvent = static_cast<std::size_t>(-1);
 
-/// Structural checks over the shared TraceIndex.  Every check walks the
-/// trace in order and emits violations in ascending event order, matching
-/// the triage order the repair strategies expect.
+/// Structural checks over the shared TraceIndex, fused into one pass over
+/// the trace.  Each check appends to its own violation list so the combined
+/// report keeps the historical per-check grouping (monotonicity, then
+/// advance/await, then locks, semaphores, barriers) with every group in
+/// ascending event order — the triage order the repair strategies expect.
 class Validator {
  public:
   Validator(const TraceIndex& index, const ValidateOptions& options)
       : idx_(index), trace_(index.trace()), slack_(options.sync_slack) {}
 
   std::vector<Violation> run() {
-    check_processor_monotonicity();
-    check_advance_await();
-    check_locks();
-    check_semaphores();
-    check_barriers();
-    return std::move(violations_);
+    scan();
+    finish_locks();
+    finish_semaphores();
+    finish_barriers();
+
+    std::vector<Violation> out;
+    out.reserve(mono_.size() + dup_.size() + await_.size() + locks_.size() +
+                sems_.size() + barriers_.size());
+    for (auto* v : {&mono_, &dup_, &await_, &locks_, &sems_, &barriers_}) {
+      out.insert(out.end(), std::make_move_iterator(v->begin()),
+                 std::make_move_iterator(v->end()));
+    }
+    return out;
   }
 
  private:
-  void add(ViolationKind kind, std::size_t index, std::string msg) {
-    violations_.push_back({kind, std::move(msg), index});
+  static void add(std::vector<Violation>& sink, ViolationKind kind,
+                  std::size_t index, std::string msg) {
+    sink.push_back({kind, std::move(msg), index});
   }
 
-  void check_processor_monotonicity() {
-    // Walk each processor's chain, then report in global trace order.
-    std::vector<std::pair<std::size_t, Tick>> found;  // (index, running max)
-    for (std::size_t p = 0; p < idx_.num_procs(); ++p) {
-      const auto& evs = idx_.events_of(static_cast<ProcId>(p));
-      Tick running_max = 0;
-      bool started = false;
-      for (const std::size_t i : evs) {
-        const Tick t = trace_[i].time;
-        if (started && t < running_max) found.emplace_back(i, running_max);
-        running_max = started ? std::max(running_max, t) : t;
-        started = true;
-      }
-    }
-    std::sort(found.begin(), found.end());
-    for (const auto& [i, prev_max] : found) {
-      add(ViolationKind::kNonMonotoneProcessorTime, i,
-          strf("proc %u: time %lld after %lld", unsigned(trace_[i].proc),
-               static_cast<long long>(trace_[i].time),
-               static_cast<long long>(prev_max)));
-    }
-  }
+  void scan() {
+    const std::size_t procs = idx_.num_procs();
+    // Per-processor monotonicity state.
+    std::vector<Tick> running_max(procs, 0);
+    std::vector<std::uint8_t> started(procs, 0);
+    // Fast path for the awaitE begin check: the key of the latest awaitB on
+    // each processor.  Well-formed traces pair every awaitE with the
+    // processor's most recent awaitB, so the index search only runs when the
+    // memo mismatches (corrupted traces).
+    std::vector<SyncKey> last_await_key(procs);
+    std::vector<std::uint8_t> has_await(procs, 0);
+    // Running first-advance-per-key map.  At event i it holds the global
+    // first advance for every key whose first advance precedes i, so a hit
+    // replaces the index binary search; a miss falls back to the index to
+    // catch advances appearing after their awaitE (itself a violation).
+    first_adv_.reserve(trace_.size() / 4 + 1);
 
-  void check_advance_await() {
     // Duplicate advances are a violation wherever they appear; the index
     // preserves them in trace order.
     for (const std::size_t i : idx_.duplicate_advances()) {
       const Event& e = trace_[i];
-      add(ViolationKind::kDuplicateAdvance, i,
+      add(dup_, ViolationKind::kDuplicateAdvance, i,
           strf("advance(%u, %lld) repeated", unsigned(e.object),
                static_cast<long long>(e.payload)));
     }
 
-    // An awaitE is checked against its *first* advance even when the advance
-    // appears later in trace order (which is itself the
-    // kAwaitEndBeforeAdvance violation).
     for (std::size_t i = 0; i < trace_.size(); ++i) {
       const Event& e = trace_[i];
-      if (e.kind != EventKind::kAwaitEnd) continue;
-      const SyncKey key{e.object, e.payload};
-      if (idx_.last_await_begin_before(key, e.proc, i) == TraceIndex::npos) {
-        add(ViolationKind::kAwaitEndWithoutBegin, i,
-            strf("awaitE(%u, %lld) without awaitB on proc %u",
-                 unsigned(e.object), static_cast<long long>(e.payload),
-                 unsigned(e.proc)));
+      const auto p = static_cast<std::size_t>(e.proc);
+
+      // Per-processor time must never run backwards.
+      if (!started[p]) {
+        started[p] = 1;
+        running_max[p] = e.time;
+      } else {
+        if (e.time < running_max[p]) {
+          add(mono_, ViolationKind::kNonMonotoneProcessorTime, i,
+              strf("proc %u: time %lld after %lld", unsigned(e.proc),
+                   static_cast<long long>(e.time),
+                   static_cast<long long>(running_max[p])));
+        }
+        running_max[p] = std::max(running_max[p], e.time);
       }
-      const std::size_t adv = idx_.first_advance(key);
-      if (adv == TraceIndex::npos) {
-        add(ViolationKind::kAwaitEndWithoutAdvance, i,
-            strf("awaitE(%u, %lld) with no advance", unsigned(e.object),
-                 static_cast<long long>(e.payload)));
-      } else if (e.time + slack_ < trace_[adv].time) {
-        add(ViolationKind::kAwaitEndBeforeAdvance, i,
-            strf("awaitE(%u, %lld) at %lld precedes advance at %lld",
-                 unsigned(e.object), static_cast<long long>(e.payload),
-                 static_cast<long long>(e.time),
-                 static_cast<long long>(trace_[adv].time)));
+
+      switch (e.kind) {
+        case EventKind::kAdvance:
+          // emplace keeps the first occurrence (trace order == scan order).
+          first_adv_.emplace(SyncKey{e.object, e.payload}, i);
+          break;
+        case EventKind::kAwaitBegin:
+          last_await_key[p] = SyncKey{e.object, e.payload};
+          has_await[p] = 1;
+          break;
+        case EventKind::kAwaitEnd: check_await_end(i, e, last_await_key, has_await); break;
+        case EventKind::kLockAcquire:
+        case EventKind::kLockRelease: check_lock(i, e); break;
+        case EventKind::kSemAcquire:
+        case EventKind::kSemRelease: check_semaphore(i, e); break;
+        case EventKind::kBarrierArrive:
+        case EventKind::kBarrierDepart: check_barrier(i, e); break;
+        default: break;
       }
     }
   }
 
-  void check_locks() {
-    // Acquisitions and releases must alternate globally per lock; the
-    // hand-off order itself (previous release of each acquire) comes from
-    // the index, the held/holder alternation state is a running scan.
-    struct LockState {
-      bool held = false;
-      ProcId holder = 0;
-    };
-    std::unordered_map<ObjectId, LockState> locks;
-    for (std::size_t i = 0; i < trace_.size(); ++i) {
-      const Event& e = trace_[i];
-      if (e.kind == EventKind::kLockAcquire) {
-        auto& st = locks[e.object];
-        const std::size_t dep = idx_.lock_dep(i);
-        if (st.held) {
-          add(ViolationKind::kLockUnbalanced, i,
-              strf("lock %u acquired by proc %u while held by proc %u",
-                   unsigned(e.object), unsigned(e.proc), unsigned(st.holder)));
-        } else if (dep != TraceIndex::npos &&
-                   e.time + slack_ < trace_[dep].time) {
-          add(ViolationKind::kLockOverlap, i,
-              strf("lock %u acquired at %lld before previous release at %lld",
-                   unsigned(e.object), static_cast<long long>(e.time),
-                   static_cast<long long>(trace_[dep].time)));
-        }
-        st.held = true;
-        st.holder = e.proc;
-      } else if (e.kind == EventKind::kLockRelease) {
-        auto& st = locks[e.object];
-        if (!st.held || st.holder != e.proc) {
-          add(ViolationKind::kLockUnbalanced, i,
-              strf("lock %u released by proc %u without matching acquire",
-                   unsigned(e.object), unsigned(e.proc)));
-        }
-        st.held = false;
-      }
+  /// An awaitE is checked against its *first* advance even when the advance
+  /// appears later in trace order (which is itself the
+  /// kAwaitEndBeforeAdvance violation).
+  void check_await_end(std::size_t i, const Event& e,
+                       const std::vector<SyncKey>& last_await_key,
+                       const std::vector<std::uint8_t>& has_await) {
+    const SyncKey key{e.object, e.payload};
+    const auto p = static_cast<std::size_t>(e.proc);
+    const bool has_begin =
+        (has_await[p] && last_await_key[p] == key) ||
+        idx_.last_await_begin_before(key, e.proc, i) != TraceIndex::npos;
+    if (!has_begin) {
+      add(await_, ViolationKind::kAwaitEndWithoutBegin, i,
+          strf("awaitE(%u, %lld) without awaitB on proc %u",
+               unsigned(e.object), static_cast<long long>(e.payload),
+               unsigned(e.proc)));
     }
-    for (const auto& [obj, st] : locks) {
+    const auto it = first_adv_.find(key);
+    const std::size_t adv =
+        it != first_adv_.end() ? it->second : idx_.first_advance(key);
+    if (adv == TraceIndex::npos) {
+      add(await_, ViolationKind::kAwaitEndWithoutAdvance, i,
+          strf("awaitE(%u, %lld) with no advance", unsigned(e.object),
+               static_cast<long long>(e.payload)));
+    } else if (e.time + slack_ < trace_[adv].time) {
+      add(await_, ViolationKind::kAwaitEndBeforeAdvance, i,
+          strf("awaitE(%u, %lld) at %lld precedes advance at %lld",
+               unsigned(e.object), static_cast<long long>(e.payload),
+               static_cast<long long>(e.time),
+               static_cast<long long>(trace_[adv].time)));
+    }
+  }
+
+  /// Acquisitions and releases must alternate globally per lock; the
+  /// hand-off order itself (previous release of each acquire) comes from
+  /// the index, the held/holder alternation state is a running scan.
+  void check_lock(std::size_t i, const Event& e) {
+    if (e.kind == EventKind::kLockAcquire) {
+      auto& st = lock_state_[e.object];
+      const std::size_t dep = idx_.lock_dep(i);
+      if (st.held) {
+        add(locks_, ViolationKind::kLockUnbalanced, i,
+            strf("lock %u acquired by proc %u while held by proc %u",
+                 unsigned(e.object), unsigned(e.proc), unsigned(st.holder)));
+      } else if (dep != TraceIndex::npos &&
+                 e.time + slack_ < trace_[dep].time) {
+        add(locks_, ViolationKind::kLockOverlap, i,
+            strf("lock %u acquired at %lld before previous release at %lld",
+                 unsigned(e.object), static_cast<long long>(e.time),
+                 static_cast<long long>(trace_[dep].time)));
+      }
+      st.held = true;
+      st.holder = e.proc;
+    } else {
+      auto& st = lock_state_[e.object];
+      if (!st.held || st.holder != e.proc) {
+        add(locks_, ViolationKind::kLockUnbalanced, i,
+            strf("lock %u released by proc %u without matching acquire",
+                 unsigned(e.object), unsigned(e.proc)));
+      }
+      st.held = false;
+    }
+  }
+
+  void finish_locks() {
+    for (const auto& [obj, st] : lock_state_) {
       if (st.held)
-        add(ViolationKind::kLockUnbalanced, kNoEvent,
+        add(locks_, ViolationKind::kLockUnbalanced, kNoEvent,
             strf("lock %u never released", unsigned(obj)));
     }
   }
 
-  void check_semaphores() {
-    // Capacity is not recorded in the trace, so the checkable rules are
-    // per-processor: every V() must release a P() held by the same
-    // processor, and no P() may be left held at the end.
-    std::map<std::pair<ObjectId, ProcId>, std::int64_t> held;
-    for (std::size_t i = 0; i < trace_.size(); ++i) {
-      const Event& e = trace_[i];
-      if (e.kind == EventKind::kSemAcquire) {
-        ++held[{e.object, e.proc}];
-      } else if (e.kind == EventKind::kSemRelease) {
-        auto& h = held[{e.object, e.proc}];
-        if (h <= 0) {
-          add(ViolationKind::kSemaphoreUnbalanced, i,
-              strf("semaphore %u released by proc %u without a held acquire",
-                   unsigned(e.object), unsigned(e.proc)));
-        } else {
-          --h;
-        }
+  /// Capacity is not recorded in the trace, so the checkable rules are
+  /// per-processor: every V() must release a P() held by the same
+  /// processor, and no P() may be left held at the end.
+  void check_semaphore(std::size_t i, const Event& e) {
+    if (e.kind == EventKind::kSemAcquire) {
+      ++sem_held_[{e.object, e.proc}];
+    } else {
+      auto& h = sem_held_[{e.object, e.proc}];
+      if (h <= 0) {
+        add(sems_, ViolationKind::kSemaphoreUnbalanced, i,
+            strf("semaphore %u released by proc %u without a held acquire",
+                 unsigned(e.object), unsigned(e.proc)));
+      } else {
+        --h;
       }
     }
-    for (const auto& [key, count] : held) {
+  }
+
+  void finish_semaphores() {
+    for (const auto& [key, count] : sem_held_) {
       if (count > 0)
-        add(ViolationKind::kSemaphoreUnbalanced, kNoEvent,
+        add(sems_, ViolationKind::kSemaphoreUnbalanced, kNoEvent,
             strf("semaphore %u: proc %u ends holding %lld permit(s)",
                  unsigned(key.first), unsigned(key.second),
                  static_cast<long long>(count)));
@@ -198,43 +241,55 @@ class Validator {
     return last;
   }
 
-  void check_barriers() {
-    // Events carry payload = episode index.  Within an episode, every arrive
-    // must precede every depart, and the counts must match.
-    for (std::size_t i = 0; i < trace_.size(); ++i) {
-      const Event& e = trace_[i];
-      if (e.kind == EventKind::kBarrierArrive) {
-        const auto* ep = idx_.barrier_episode(e.object, e.payload);
-        if (ep != nullptr && !ep->departs.empty() && ep->departs.front() < i)
-          add(ViolationKind::kBarrierOrder, i,
-              strf("barrier %u episode %lld: arrive after a depart",
-                   unsigned(e.object), static_cast<long long>(e.payload)));
-      } else if (e.kind == EventKind::kBarrierDepart) {
-        const auto* ep = idx_.barrier_episode(e.object, e.payload);
-        const Tick last_arrive =
-            ep == nullptr ? 0 : last_arrive_before(*ep, i);
-        if (e.time + slack_ < last_arrive)
-          add(ViolationKind::kBarrierOrder, i,
-              strf("barrier %u episode %lld: depart at %lld before last "
-                   "arrive at %lld",
-                   unsigned(e.object), static_cast<long long>(e.payload),
-                   static_cast<long long>(e.time),
-                   static_cast<long long>(last_arrive)));
-      }
+  /// Events carry payload = episode index.  Within an episode, every arrive
+  /// must precede every depart, and the counts must match.
+  void check_barrier(std::size_t i, const Event& e) {
+    if (e.kind == EventKind::kBarrierArrive) {
+      const auto* ep = idx_.barrier_episode(e.object, e.payload);
+      if (ep != nullptr && !ep->departs.empty() && ep->departs.front() < i)
+        add(barriers_, ViolationKind::kBarrierOrder, i,
+            strf("barrier %u episode %lld: arrive after a depart",
+                 unsigned(e.object), static_cast<long long>(e.payload)));
+    } else {
+      const auto* ep = idx_.barrier_episode(e.object, e.payload);
+      const Tick last_arrive = ep == nullptr ? 0 : last_arrive_before(*ep, i);
+      if (e.time + slack_ < last_arrive)
+        add(barriers_, ViolationKind::kBarrierOrder, i,
+            strf("barrier %u episode %lld: depart at %lld before last "
+                 "arrive at %lld",
+                 unsigned(e.object), static_cast<long long>(e.payload),
+                 static_cast<long long>(e.time),
+                 static_cast<long long>(last_arrive)));
     }
+  }
+
+  void finish_barriers() {
     for (const auto& ep : idx_.barrier_episodes()) {
       if (ep.arrivals.size() != ep.departs.size())
-        add(ViolationKind::kBarrierIncomplete, kNoEvent,
+        add(barriers_, ViolationKind::kBarrierIncomplete, kNoEvent,
             strf("barrier %u episode %lld: %zu arrivals, %zu departures",
                  unsigned(ep.key.object), static_cast<long long>(ep.key.index),
                  ep.arrivals.size(), ep.departs.size()));
     }
   }
 
+  struct LockState {
+    bool held = false;
+    ProcId holder = 0;
+  };
+
   const TraceIndex& idx_;
   const Trace& trace_;
   Tick slack_;
-  std::vector<Violation> violations_;
+  std::unordered_map<SyncKey, std::size_t, SyncKeyHash> first_adv_;
+  std::unordered_map<ObjectId, LockState> lock_state_;
+  std::map<std::pair<ObjectId, ProcId>, std::int64_t> sem_held_;
+  std::vector<Violation> mono_;
+  std::vector<Violation> dup_;
+  std::vector<Violation> await_;
+  std::vector<Violation> locks_;
+  std::vector<Violation> sems_;
+  std::vector<Violation> barriers_;
 };
 
 }  // namespace

@@ -240,6 +240,95 @@ TEST_P(FuzzBinaryBytes, MutatedImageSalvagesOrFailsLoudly) {
   }
 }
 
+TEST_P(FuzzBinaryBytes, StreamAndBufferReadersAgree) {
+  // The zero-copy buffer reader and the retained istream reader must be
+  // interchangeable on every input: same trace, same SalvageReport, same
+  // accept/reject decision — even for corrupted or torn images.
+  const std::uint64_t seed = GetParam();
+  const BaseImage& base = base_image();
+  Xoshiro256 rng(seed * 0xD1B54A32D192ED03ull + 1);
+
+  std::string bytes = base.bytes;
+  switch (rng.below(4)) {
+    case 0:
+      trace::flip_bits(bytes, 1 + rng.below(16), seed);
+      break;
+    case 1:
+      bytes = trace::truncate_bytes(bytes, 0.02 + 0.96 * rng.uniform01());
+      break;
+    case 2:
+      bytes = trace::truncate_bytes(bytes, 0.3 + 0.6 * rng.uniform01());
+      trace::flip_bits(bytes, 1 + rng.below(8), seed);
+      break;
+    default:
+      break;  // intact image: both paths must agree on the clean case too
+  }
+
+  // Strict read.
+  bool stream_ok = false;
+  trace::Trace via_stream;
+  try {
+    std::istringstream in(bytes, std::ios::binary);
+    via_stream = trace::read_binary(in);
+    stream_ok = true;
+  } catch (const CheckError&) {
+  }
+  bool buffer_ok = false;
+  trace::Trace via_buffer;
+  try {
+    via_buffer = trace::read_binary(bytes.data(), bytes.size());
+    buffer_ok = true;
+  } catch (const CheckError&) {
+  }
+  EXPECT_EQ(stream_ok, buffer_ok) << "seed " << seed;
+  if (stream_ok && buffer_ok) {
+    ASSERT_EQ(via_stream.size(), via_buffer.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < via_stream.size(); ++i)
+      ASSERT_TRUE(via_stream[i] == via_buffer[i]) << "seed " << seed
+                                                  << " event " << i;
+  }
+
+  // Salvage read: traces and reports must match field for field.
+  bool stream_salvage_ok = false;
+  trace::SalvageReport stream_report;
+  trace::Trace stream_salvaged;
+  try {
+    std::istringstream in(bytes, std::ios::binary);
+    stream_salvaged = trace::read_binary_salvage(in, stream_report);
+    stream_salvage_ok = true;
+  } catch (const CheckError&) {
+  }
+  bool buffer_salvage_ok = false;
+  trace::SalvageReport buffer_report;
+  trace::Trace buffer_salvaged;
+  try {
+    buffer_salvaged =
+        trace::read_binary_salvage(bytes.data(), bytes.size(), buffer_report);
+    buffer_salvage_ok = true;
+  } catch (const CheckError&) {
+  }
+  EXPECT_EQ(stream_salvage_ok, buffer_salvage_ok) << "seed " << seed;
+  if (stream_salvage_ok && buffer_salvage_ok) {
+    ASSERT_EQ(stream_salvaged.size(), buffer_salvaged.size())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < stream_salvaged.size(); ++i)
+      ASSERT_TRUE(stream_salvaged[i] == buffer_salvaged[i])
+          << "seed " << seed << " event " << i;
+    EXPECT_EQ(stream_report.complete, buffer_report.complete)
+        << "seed " << seed;
+    EXPECT_EQ(stream_report.version, buffer_report.version) << "seed " << seed;
+    EXPECT_EQ(stream_report.events_declared, buffer_report.events_declared)
+        << "seed " << seed;
+    EXPECT_EQ(stream_report.events_recovered, buffer_report.events_recovered)
+        << "seed " << seed;
+    EXPECT_EQ(stream_report.chunks_total, buffer_report.chunks_total)
+        << "seed " << seed;
+    EXPECT_EQ(stream_report.chunks_recovered, buffer_report.chunks_recovered)
+        << "seed " << seed;
+    EXPECT_EQ(stream_report.detail, buffer_report.detail) << "seed " << seed;
+  }
+}
+
 TEST(FuzzBinaryBytes, PureTruncationAlwaysSalvages) {
   // With no bit rot, any cut past the header must salvage cleanly: the
   // recovered prefix grows monotonically with the kept fraction.

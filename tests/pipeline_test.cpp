@@ -13,7 +13,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/eventbased.hpp"
@@ -24,6 +26,7 @@
 #include "experiments/experiments.hpp"
 #include "trace/faults.hpp"
 #include "trace/index.hpp"
+#include "trace/io.hpp"
 #include "trace/repair.hpp"
 #include "trace/validate.hpp"
 
@@ -153,6 +156,58 @@ TEST(Pipeline, LikelyExecutionsBitIdenticalAt1And2And8Threads) {
   }
   EXPECT_EQ(samples[0], samples[1]);
   EXPECT_EQ(samples[0], samples[2]);
+}
+
+// ---- batched driver: run_many == run_file, at every thread count ---------
+
+TEST(Pipeline, RunManyMatchesRunFileAtOneTwoAndEightThreads) {
+  const std::vector<int> loops = {3, 4, 17};
+  std::vector<std::string> paths;
+  Fixture f = make_fixture(loops[0]);
+  for (const int loop : loops) {
+    const Fixture item = loop == loops[0] ? f : make_fixture(loop);
+    const std::string path =
+        "/tmp/perturb_test_run_many_" + std::to_string(loop) + ".bin";
+    trace::save(path, item.measured);
+    paths.push_back(path);
+  }
+  // A missing file must come back !ok with a diagnosis, not abort the batch.
+  paths.push_back("/tmp/perturb_test_run_many_missing.bin");
+
+  AnalysisPipeline reference(options_for(f));
+  reference.add(AnalyzerKind::kTimeBased).add(AnalyzerKind::kEventBased);
+  std::vector<PipelineResult> expected;
+  for (std::size_t i = 0; i < loops.size(); ++i)
+    expected.push_back(reference.run_file(paths[i]));
+
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    PipelineOptions options = options_for(f);
+    options.threads = threads;
+    AnalysisPipeline pipeline(std::move(options));
+    pipeline.add(AnalyzerKind::kTimeBased).add(AnalyzerKind::kEventBased);
+    const std::vector<PipelineResult> results = pipeline.run_many(paths);
+    ASSERT_EQ(results.size(), paths.size());
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+      ASSERT_TRUE(results[i].acquire.ok) << results[i].acquire.diagnosis;
+      ASSERT_EQ(results[i].outputs.size(), expected[i].outputs.size());
+      for (std::size_t k = 0; k < expected[i].outputs.size(); ++k) {
+        EXPECT_TRUE(same_trace(results[i].outputs[k].approx,
+                               expected[i].outputs[k].approx))
+            << "file " << i << " analyzer " << k << " at " << threads
+            << " threads";
+      }
+      ASSERT_TRUE(results[i].outputs[1].event_stats.has_value());
+      ASSERT_TRUE(expected[i].outputs[1].event_stats.has_value());
+      EXPECT_EQ(results[i].outputs[1].event_stats->waits_removed,
+                expected[i].outputs[1].event_stats->waits_removed);
+    }
+    EXPECT_FALSE(results.back().acquire.ok);
+    EXPECT_FALSE(results.back().acquire.diagnosis.empty());
+    EXPECT_TRUE(results.back().outputs.empty());
+  }
+  for (std::size_t i = 0; i < loops.size(); ++i)
+    std::remove(paths[i].c_str());
 }
 
 // ---- acquisition: triage, repair, trust ----------------------------------

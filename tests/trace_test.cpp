@@ -2,6 +2,7 @@
 // merging, serialization round-trips, and trace comparison.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 
 #include "support/check.hpp"
@@ -117,9 +118,10 @@ TEST(Trace, ByProcessorSplits) {
   t.append(make_event(3, 0, EventKind::kStmtExit));
   const auto parts = t.by_processor();
   ASSERT_EQ(parts.size(), 3u);
-  EXPECT_EQ(parts[0].size(), 2u);
-  EXPECT_EQ(parts[1].size(), 0u);
-  EXPECT_EQ(parts[2].size(), 1u);
+  EXPECT_EQ(parts[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(parts[1], (std::vector<std::size_t>{}));
+  EXPECT_EQ(parts[2], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(t[parts[0][1]].kind, EventKind::kStmtExit);
 }
 
 TEST(Trace, ByProcessorRejectsOutOfRange) {
@@ -234,6 +236,102 @@ TEST(TraceIo, BinaryRejectsTruncation) {
   data.resize(data.size() / 2);
   std::stringstream truncated(data);
   EXPECT_THROW(read_binary(truncated), CheckError);
+}
+
+TEST(TraceIo, BufferReaderMatchesStreamReader) {
+  // Multi-chunk trace (crosses the 1024-event chunk boundary) read through
+  // the zero-copy buffer path and the retained istream path: byte-identical
+  // header fields and events.
+  Trace t({"multi-chunk", 3, 2.5});
+  for (int i = 0; i < 3000; ++i)
+    t.append(make_event(i, static_cast<ProcId>(i % 3), EventKind::kStmtEnter,
+                        static_cast<EventId>(i), static_cast<ObjectId>(i % 7),
+                        i * 11));
+  std::stringstream ss;
+  write_binary(ss, t);
+  const std::string bytes = ss.str();
+
+  const Trace via_buffer = read_binary(bytes.data(), bytes.size());
+  std::stringstream in(bytes);
+  const Trace via_stream = read_binary(in);
+
+  EXPECT_EQ(via_buffer.info().name, t.info().name);
+  EXPECT_EQ(via_buffer.info().num_procs, t.info().num_procs);
+  EXPECT_DOUBLE_EQ(via_buffer.info().ticks_per_us, t.info().ticks_per_us);
+  ASSERT_EQ(via_buffer.size(), t.size());
+  ASSERT_EQ(via_stream.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(via_buffer[i], t[i]);
+    EXPECT_EQ(via_buffer[i], via_stream[i]);
+  }
+}
+
+TEST(TraceIo, BufferReaderRejectsBadMagic) {
+  const std::string bytes = "XXXXgarbage";
+  EXPECT_THROW(read_binary(bytes.data(), bytes.size()), CheckError);
+}
+
+TEST(TraceIo, BufferReaderRejectsTruncation) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  write_binary(ss, t);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(read_binary(bytes.data(), bytes.size()), CheckError);
+}
+
+TEST(TraceIo, BufferReaderRejectsCorruptChunk) {
+  const Trace t = sample_trace();
+  std::stringstream ss;
+  write_binary(ss, t);
+  std::string bytes = ss.str();
+  bytes[bytes.size() - 10] ^= 0x40;  // rot inside the last chunk's payload
+  EXPECT_THROW(read_binary(bytes.data(), bytes.size()), CheckError);
+  // Salvage accepts the same image and reports the loss instead.
+  SalvageReport report;
+  const Trace salvaged =
+      read_binary_salvage(bytes.data(), bytes.size(), report);
+  EXPECT_FALSE(report.complete);
+  EXPECT_LE(salvaged.size(), t.size());
+  EXPECT_EQ(report.events_recovered, salvaged.size());
+}
+
+TEST(TraceIo, ArenaLoadMatchesPlainLoad) {
+  Trace t({"arena", 2, 1.0});
+  for (int i = 0; i < 2500; ++i)
+    t.append(make_event(i, static_cast<ProcId>(i % 2), EventKind::kStmtExit,
+                        static_cast<EventId>(i)));
+  const std::string path = "/tmp/perturb_test_arena.bin";
+  save(path, t);
+  IoArena arena;
+  const Trace first = load(path, arena);
+  const Trace second = load(path, arena);  // reused buffer, same result
+  const Trace plain = load(path);
+  ASSERT_EQ(first.size(), t.size());
+  ASSERT_EQ(second.size(), t.size());
+  ASSERT_EQ(plain.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(first[i], t[i]);
+    EXPECT_EQ(second[i], t[i]);
+    EXPECT_EQ(plain[i], t[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, SortCanonicalFastPathKeepsTimeOrderedTraceIntact) {
+  // Already time-ordered input takes the is_time_ordered() early return;
+  // ties must keep append order exactly as the full stable sort would.
+  Trace t({"ordered", 2, 1.0});
+  t.append(make_event(5, 0, EventKind::kStmtEnter, 1));
+  t.append(make_event(10, 0, EventKind::kAdvance, 2));
+  t.append(make_event(10, 1, EventKind::kAwaitEnd, 3));
+  t.append(make_event(12, 1, EventKind::kStmtExit, 4));
+  t.sort_canonical();
+  EXPECT_EQ(t[0].id, 1u);
+  EXPECT_EQ(t[1].id, 2u);
+  EXPECT_EQ(t[2].id, 3u);
+  EXPECT_EQ(t[3].id, 4u);
+  EXPECT_TRUE(t.is_time_ordered());
 }
 
 TEST(TraceIo, SaveToUnwritablePathThrows) {
