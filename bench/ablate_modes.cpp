@@ -25,26 +25,29 @@ int main(int argc, char** argv) {
       "Vector mode emits one event per strip; concurrent (DOALL) divides\n"
       "events across processors.");
 
+  constexpr int kLoops[] = {1, 7, 12, 22};
+  const char* const kModeNames[] = {"scalar", "vector", "concurrent"};
+  std::vector<experiments::Scenario> grid;
+  for (const int loop : kLoops) {
+    grid.push_back(bench::sequential_scenario(loop, n, setup));
+    grid.push_back(bench::vector_scenario(loop, n, setup));
+    grid.push_back(bench::concurrent_scenario(
+        loop, n, setup, experiments::PlanKind::kStatementsOnly));
+  }
+  const auto runs =
+      experiments::run_grid(grid, bench::grid_options_from_cli(cli));
+
   std::printf("%-5s %-11s %12s %10s %10s %10s\n", "loop", "mode", "actual",
               "events", "slowdown", "tb err%");
-  for (const int loop : {1, 7, 12, 22}) {
-    struct Mode {
-      const char* name;
-      experiments::LoopRun run;
-    };
-    const Mode modes[] = {
-        {"scalar", experiments::run_sequential_experiment(loop, n, setup)},
-        {"vector", experiments::run_vector_experiment(loop, n, setup)},
-        {"concurrent", experiments::run_concurrent_experiment(
-                           loop, n, setup,
-                           experiments::PlanKind::kStatementsOnly)},
-    };
-    for (const auto& m : modes) {
-      std::printf("%-5d %-11s %12lld %10zu %9.2fx %+9.2f%%\n", loop, m.name,
-                  static_cast<long long>(m.run.actual.total_time()),
-                  m.run.measured.size(),
-                  m.run.tb_quality.measured_over_actual,
-                  m.run.tb_quality.percent_error);
+  std::size_t cell = 0;
+  for (const int loop : kLoops) {
+    for (const char* const mode : kModeNames) {
+      const auto& run = runs[cell++];
+      std::printf("%-5d %-11s %12lld %10zu %9.2fx %+9.2f%%\n", loop, mode,
+                  static_cast<long long>(run.actual.total_time()),
+                  run.measured.size(),
+                  run.tb_quality.measured_over_actual,
+                  run.tb_quality.percent_error);
     }
     std::printf("\n");
   }

@@ -29,9 +29,17 @@ int main(int argc, char** argv) {
   for (const double f : factors) std::printf(" %9.0f%%", (f - 1.0) * 100.0);
   std::printf("      <- calibration error\n");
 
-  for (const int loop : {3, 17}) {
-    const auto run = experiments::run_concurrent_experiment(
-        loop, n, setup, experiments::PlanKind::kFull);
+  constexpr int kLoops[] = {3, 17};
+  std::vector<experiments::Scenario> grid;
+  for (const int loop : kLoops)
+    grid.push_back(bench::concurrent_scenario(loop, n, setup,
+                                              experiments::PlanKind::kFull));
+  const auto runs =
+      experiments::run_grid(grid, bench::grid_options_from_cli(cli));
+
+  std::size_t cell = 0;
+  for (const int loop : kLoops) {
+    const auto& run = runs[cell++];
     const auto plan =
         experiments::make_plan(experiments::PlanKind::kFull, setup);
     const auto true_ov = experiments::overheads_for(plan, setup.machine);

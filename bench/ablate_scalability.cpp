@@ -19,15 +19,27 @@ int main(int argc, char** argv) {
       "Ablation — Machine-Size Sweep",
       "Actual speedup and event-based recovery error vs. processor count.");
 
-  for (const int loop : {3, 17}) {
+  constexpr int kLoops[] = {3, 17};
+  constexpr std::uint32_t kProcs[] = {1u, 2u, 4u, 8u, 12u, 16u};
+  std::vector<experiments::Scenario> grid;
+  for (const int loop : kLoops) {
+    for (const std::uint32_t procs : kProcs) {
+      experiments::Setup setup = bench::setup_from_cli(cli);
+      setup.machine.num_procs = procs;
+      grid.push_back(bench::concurrent_scenario(loop, n, setup,
+                                                experiments::PlanKind::kFull));
+    }
+  }
+  const auto runs =
+      experiments::run_grid(grid, bench::grid_options_from_cli(cli));
+
+  std::size_t cell = 0;
+  for (const int loop : kLoops) {
     std::printf("loop %d\n%-8s %12s %10s %10s %10s\n", loop, "procs",
                 "actual", "speedup", "slowdown", "eb err%");
     double base = 0.0;
-    for (const std::uint32_t procs : {1u, 2u, 4u, 8u, 12u, 16u}) {
-      experiments::Setup setup = bench::setup_from_cli(cli);
-      setup.machine.num_procs = procs;
-      const auto run = experiments::run_concurrent_experiment(
-          loop, n, setup, experiments::PlanKind::kFull);
+    for (const std::uint32_t procs : kProcs) {
+      const auto& run = runs[cell++];
       const auto actual = static_cast<double>(run.actual.total_time());
       if (procs == 1) base = actual;
       std::printf("%-8u %12.0f %9.2fx %9.2fx %+9.1f%%\n", procs, actual,

@@ -25,14 +25,31 @@ int main(int argc, char** argv) {
               "stmt probe", "slowdown", "tb err%", "eb err%");
   std::printf("---------------------------------+-----------+--------------------\n");
 
-  for (const int loop : {3, 17}) {
-    for (const double probe : {40.0, 90.0, 175.0, 350.0, 700.0}) {
-      for (const auto kind : {experiments::PlanKind::kStatementsOnly,
-                              experiments::PlanKind::kFull}) {
+  // Every cell of a loop's sweep shares one actual run: probe costs and
+  // plan kind never reach the uninstrumented simulation, so the grid's
+  // memoization collapses the 10 variants to a single actual per loop.
+  constexpr int kLoops[] = {3, 17};
+  constexpr double kProbes[] = {40.0, 90.0, 175.0, 350.0, 700.0};
+  constexpr experiments::PlanKind kKinds[] = {
+      experiments::PlanKind::kStatementsOnly, experiments::PlanKind::kFull};
+  std::vector<experiments::Scenario> grid;
+  for (const int loop : kLoops) {
+    for (const double probe : kProbes) {
+      for (const auto kind : kKinds) {
         experiments::Setup setup = bench::setup_from_cli(cli);
         setup.stmt.mean = probe;
-        const auto run =
-            experiments::run_concurrent_experiment(loop, n, setup, kind);
+        grid.push_back(bench::concurrent_scenario(loop, n, setup, kind));
+      }
+    }
+  }
+  const auto runs =
+      experiments::run_grid(grid, bench::grid_options_from_cli(cli));
+
+  std::size_t cell = 0;
+  for (const int loop : kLoops) {
+    for (const double probe : kProbes) {
+      for (const auto kind : kKinds) {
+        const auto& run = runs[cell++];
         const bool full = kind == experiments::PlanKind::kFull;
         std::string eb = "n/a";
         if (full)

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "experiments/experiments.hpp"
+#include "experiments/grid.hpp"
 #include "support/cli.hpp"
 #include "support/text.hpp"
 
@@ -78,6 +79,55 @@ inline experiments::Setup setup_from_cli(const support::Cli& cli) {
 inline std::int64_t trip_from_cli(const support::Cli& cli,
                                   std::int64_t def = 1001) {
   return cli.get_int("n", def);
+}
+
+/// Grid options shared by the benches: worker count from --threads
+/// (default 0 = hardware concurrency; results are thread-count invariant).
+inline experiments::GridOptions grid_options_from_cli(const support::Cli& cli) {
+  experiments::GridOptions options;
+  options.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  return options;
+}
+
+/// Scenario builders: one grid cell per call.  These are the single place
+/// the benches construct (mode, loop, n, Setup, plan) tuples, so sweeps
+/// differ only in the fields they vary.
+inline experiments::Scenario sequential_scenario(
+    int loop, std::int64_t n, const experiments::Setup& setup,
+    experiments::PlanKind plan = experiments::PlanKind::kStatementsOnly) {
+  experiments::Scenario s;
+  s.loop = loop;
+  s.n = n;
+  s.mode = experiments::ExecMode::kSequential;
+  s.setup = setup;
+  s.plan = plan;
+  return s;
+}
+
+inline experiments::Scenario concurrent_scenario(
+    int loop, std::int64_t n, const experiments::Setup& setup,
+    experiments::PlanKind plan,
+    sim::Schedule schedule = sim::Schedule::kCyclic) {
+  experiments::Scenario s;
+  s.loop = loop;
+  s.n = n;
+  s.mode = experiments::ExecMode::kConcurrent;
+  s.schedule = schedule;
+  s.setup = setup;
+  s.plan = plan;
+  return s;
+}
+
+inline experiments::Scenario vector_scenario(
+    int loop, std::int64_t n, const experiments::Setup& setup,
+    experiments::PlanKind plan = experiments::PlanKind::kStatementsOnly) {
+  experiments::Scenario s;
+  s.loop = loop;
+  s.n = n;
+  s.mode = experiments::ExecMode::kVector;
+  s.setup = setup;
+  s.plan = plan;
+  return s;
 }
 
 }  // namespace perturb::bench

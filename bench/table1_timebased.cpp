@@ -22,13 +22,18 @@ int main(int argc, char** argv) {
       "DOACROSS loops 3, 4, 17 on the simulated 8-CE machine; full\n"
       "statement instrumentation; analysis assumes event independence.");
 
+  std::vector<experiments::Scenario> grid;
+  for (const auto& row : bench::paper_table1())
+    grid.push_back(bench::concurrent_scenario(
+        row.loop, n, setup, experiments::PlanKind::kStatementsOnly));
+  const auto runs =
+      experiments::run_grid(grid, bench::grid_options_from_cli(cli));
+
   std::vector<bench::PaperRatioRow> ours;
-  for (const auto& row : bench::paper_table1()) {
-    const auto run = experiments::run_concurrent_experiment(
-        row.loop, n, setup, experiments::PlanKind::kStatementsOnly);
-    ours.push_back({row.loop, run.tb_quality.measured_over_actual,
-                    run.tb_quality.approx_over_actual});
-  }
+  for (std::size_t i = 0; i < runs.size(); ++i)
+    ours.push_back({bench::paper_table1()[i].loop,
+                    runs[i].tb_quality.measured_over_actual,
+                    runs[i].tb_quality.approx_over_actual});
   bench::print_ratio_table(bench::paper_table1(), ours);
 
   std::printf("Shape check: loops 3 and 4 under-approximated (< 1), loop 17\n"

@@ -21,14 +21,25 @@ int main(int argc, char** argv) {
       "Same loops with synchronization instrumentation added; event-based\n"
       "analysis enforces the advance/await partial order (§4.2.3).");
 
+  // One grid covers both halves of the output: full-plan cells feed the
+  // ratio table AND the error comparison, statements-only cells feed only
+  // the comparison.  Each loop's two cells share a memoized actual run.
+  const auto& paper = bench::paper_table2();
+  std::vector<experiments::Scenario> grid;
+  for (const auto& row : paper)
+    grid.push_back(bench::concurrent_scenario(row.loop, n, setup,
+                                              experiments::PlanKind::kFull));
+  for (const auto& row : paper)
+    grid.push_back(bench::concurrent_scenario(
+        row.loop, n, setup, experiments::PlanKind::kStatementsOnly));
+  const auto runs =
+      experiments::run_grid(grid, bench::grid_options_from_cli(cli));
+
   std::vector<bench::PaperRatioRow> ours;
-  for (const auto& row : bench::paper_table2()) {
-    const auto run = experiments::run_concurrent_experiment(
-        row.loop, n, setup, experiments::PlanKind::kFull);
-    ours.push_back({row.loop, run.eb_quality.measured_over_actual,
-                    run.eb_quality.approx_over_actual});
-  }
-  bench::print_ratio_table(bench::paper_table2(), ours);
+  for (std::size_t i = 0; i < paper.size(); ++i)
+    ours.push_back({paper[i].loop, runs[i].eb_quality.measured_over_actual,
+                    runs[i].eb_quality.approx_over_actual});
+  bench::print_ratio_table(paper, ours);
 
   std::printf("Shape check: all Approx/Actual within a few percent of 1.0\n"
               "despite measured slowdowns of 3x-14x.\n");
@@ -36,13 +47,11 @@ int main(int argc, char** argv) {
   // Errors side by side with Table 1, as §5.2 discusses (loop 3: -63%% vs
   // -4%% in the paper).
   std::printf("\n%-6s %16s %16s\n", "Loop", "time-based err", "event-based err");
-  for (const auto& row : bench::paper_table2()) {
-    const auto t1 = experiments::run_concurrent_experiment(
-        row.loop, n, setup, experiments::PlanKind::kStatementsOnly);
-    const auto t2 = experiments::run_concurrent_experiment(
-        row.loop, n, setup, experiments::PlanKind::kFull);
-    std::printf("%-6d %+15.1f%% %+15.1f%%\n", row.loop,
-                t1.tb_quality.percent_error, t2.eb_quality.percent_error);
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    const auto& full = runs[i];
+    const auto& stmts = runs[paper.size() + i];
+    std::printf("%-6d %+15.1f%% %+15.1f%%\n", paper[i].loop,
+                stmts.tb_quality.percent_error, full.eb_quality.percent_error);
   }
   return 0;
 }

@@ -18,8 +18,8 @@ int main(int argc, char** argv) {
       "Per-processor waiting as a percentage of total execution time,\n"
       "derived from the event-based approximated trace.");
 
-  const auto run = experiments::run_concurrent_experiment(
-      17, n, setup, experiments::PlanKind::kFull);
+  const auto run = experiments::run_scenario(bench::concurrent_scenario(
+      17, n, setup, experiments::PlanKind::kFull));
   const auto plan = experiments::make_plan(experiments::PlanKind::kFull, setup);
   const auto ov = experiments::overheads_for(plan, setup.machine);
 

@@ -33,17 +33,16 @@ core::AnalysisOverheads overheads_for(const instr::InstrumentationPlan& plan,
   return ov;
 }
 
-LoopRun run_program_experiment(const sim::Program& program, const Setup& setup,
-                               PlanKind plan_kind, const std::string& name,
-                               core::RepairMode repair) {
-  const instr::InstrumentationPlan plan = make_plan(plan_kind, setup);
-
+LoopRun analyze_pair(trace::Trace actual, trace::Trace measured,
+                     const instr::InstrumentationPlan& plan,
+                     const sim::MachineConfig& machine,
+                     core::RepairMode repair) {
   LoopRun run;
-  run.actual = sim::simulate_actual(setup.machine, program, name + "/actual");
-  run.measured = sim::simulate(setup.machine, program, plan, name + "/measured");
+  run.actual = std::move(actual);
+  run.measured = std::move(measured);
 
   core::PipelineOptions options;
-  options.overheads = overheads_for(plan, setup.machine);
+  options.overheads = overheads_for(plan, machine);
   options.repair = repair;
   core::AnalysisPipeline pipeline(std::move(options));
   pipeline.add(core::AnalyzerKind::kTimeBased)
@@ -63,6 +62,18 @@ LoopRun run_program_experiment(const sim::Program& program, const Setup& setup,
   run.tb_quality = *result.outputs[0].quality;
   run.eb_quality = *result.outputs[1].quality;
   return run;
+}
+
+LoopRun run_program_experiment(const sim::Program& program, const Setup& setup,
+                               PlanKind plan_kind, const std::string& name,
+                               core::RepairMode repair) {
+  const instr::InstrumentationPlan plan = make_plan(plan_kind, setup);
+  trace::Trace actual =
+      sim::simulate_actual(setup.machine, program, name + "/actual");
+  trace::Trace measured =
+      sim::simulate(setup.machine, program, plan, name + "/measured");
+  return analyze_pair(std::move(actual), std::move(measured), plan,
+                      setup.machine, repair);
 }
 
 LoopRun run_sequential_experiment(int loop, std::int64_t n, const Setup& setup,

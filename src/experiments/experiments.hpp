@@ -60,6 +60,15 @@ struct LoopRun {
   core::ApproximationQuality eb_quality;  ///< event-based vs actual
 };
 
+/// Analysis tail shared by every experiment driver: runs the time-based and
+/// event-based pipeline over an already-simulated (actual, measured) pair
+/// and scores both approximations.  With a repair mode other than kOff the
+/// measured trace is triaged and repaired before analysis.
+LoopRun analyze_pair(trace::Trace actual, trace::Trace measured,
+                     const instr::InstrumentationPlan& plan,
+                     const sim::MachineConfig& machine,
+                     core::RepairMode repair = core::RepairMode::kOff);
+
 /// Runs the full pipeline on an arbitrary finalized program.  With a repair
 /// mode other than kOff the measured trace is triaged and repaired before
 /// analysis (the simulator's output is normally clean; the path matters when

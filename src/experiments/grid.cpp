@@ -1,0 +1,201 @@
+#include "experiments/grid.hpp"
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+
+#include "loops/programs.hpp"
+#include "support/check.hpp"
+#include "support/parallel.hpp"
+#include "support/text.hpp"
+#include "trace/io.hpp"
+
+namespace perturb::experiments {
+
+const char* exec_mode_name(ExecMode mode) noexcept {
+  switch (mode) {
+    case ExecMode::kSequential: return "seq";
+    case ExecMode::kConcurrent: return "con";
+    case ExecMode::kVector: return "vec";
+  }
+  return "?";
+}
+
+std::string scenario_name(const Scenario& s) {
+  return "lfk" + std::to_string(s.loop) + "-" + exec_mode_name(s.mode);
+}
+
+namespace {
+
+sim::Program make_program(const Scenario& s) {
+  switch (s.mode) {
+    case ExecMode::kSequential: return loops::make_sequential_ir(s.loop, s.n);
+    case ExecMode::kConcurrent:
+      return loops::make_concurrent_ir(s.loop, s.n, s.schedule);
+    case ExecMode::kVector: return loops::make_vector_ir(s.loop, s.n);
+  }
+  PERTURB_CHECK_MSG(false, "unknown execution mode");
+  return loops::make_sequential_ir(s.loop, s.n);
+}
+
+/// Memo key of the uninstrumented run: everything the actual trace depends
+/// on — program identity (mode, loop, trip, schedule) and every machine
+/// parameter.  Probe costs, plan kind, and repair mode are deliberately
+/// absent: variant sweeps over those share one actual simulation.  The
+/// schedule only shapes concurrent IR, so other modes collapse it.
+std::string actual_key(const Scenario& s) {
+  const sim::MachineConfig& m = s.setup.machine;
+  std::string key = support::strf(
+      "%d|%d|%lld|%d|%u|%a", static_cast<int>(s.mode), s.loop,
+      static_cast<long long>(s.n),
+      s.mode == ExecMode::kConcurrent ? static_cast<int>(s.schedule) : -1,
+      m.num_procs, m.ticks_per_us);
+  for (const sim::Cycles c :
+       {m.advance_cost, m.await_check_cost, m.await_resume_cost,
+        m.lock_acquire_cost, m.lock_release_cost, m.sem_acquire_cost,
+        m.sem_release_cost, m.barrier_depart_cost, m.loop_spawn_cost,
+        m.iter_dispatch_cost, m.self_sched_fetch_cost, m.self_sched_serialize,
+        m.seq_loop_iter_cost})
+    key += support::strf("|%lld", static_cast<long long>(c));
+  return key;
+}
+
+trace::Trace simulate_actual_for(const Scenario& s) {
+  const sim::Program program = make_program(s);
+  return sim::simulate_actual(s.setup.machine, program,
+                              scenario_name(s) + "/actual");
+}
+
+trace::Trace measured_for(const Scenario& s,
+                          const instr::InstrumentationPlan& plan,
+                          trace::IoArena& arena) {
+  if (s.measured_path.empty())
+    return sim::simulate(s.setup.machine, make_program(s), plan,
+                         scenario_name(s) + "/measured");
+  if (s.repair == core::RepairMode::kOff)
+    return trace::load(s.measured_path, arena);
+  // Repairing scenarios tolerate truncated captures the way the pipeline's
+  // own file path does: salvage what the file still holds, then let
+  // acquisition triage it.
+  trace::SalvageReport report;
+  return trace::load_salvage(s.measured_path, report, arena);
+}
+
+/// One grid cell, given its (possibly shared) actual trace.
+LoopRun run_cell(const Scenario& s, trace::Trace actual,
+                 trace::IoArena& arena) {
+  const instr::InstrumentationPlan plan = make_plan(s.plan, s.setup);
+  trace::Trace measured = measured_for(s, plan, arena);
+  if (s.mutate_measured) s.mutate_measured(measured);
+  return analyze_pair(std::move(actual), std::move(measured), plan,
+                      s.setup.machine, s.repair);
+}
+
+}  // namespace
+
+LoopRun run_scenario(const Scenario& s) {
+  trace::IoArena arena;
+  return run_cell(s, simulate_actual_for(s), arena);
+}
+
+std::vector<LoopRun> run_grid(const std::vector<Scenario>& scenarios,
+                              const GridOptions& options) {
+  std::vector<LoopRun> runs(scenarios.size());
+  if (scenarios.empty()) return runs;
+  // Group cells by actual-run key.  The grouping runs serially so the
+  // unique-key order — and hence which worker simulates which actual —
+  // depends only on the scenario list, never on timing.
+  std::vector<std::size_t> actual_of(scenarios.size());
+  std::vector<std::size_t> owner;  ///< first scenario using each unique key
+  if (options.memoize_actual) {
+    std::unordered_map<std::string, std::size_t> key_index;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const auto [it, fresh] =
+          key_index.try_emplace(actual_key(scenarios[i]), owner.size());
+      if (fresh) owner.push_back(i);
+      actual_of[i] = it->second;
+    }
+  }
+
+  support::TaskPool pool(options.threads);
+  std::vector<trace::IoArena> arenas(pool.size());
+
+  // No sharing to exploit (memoization off, or every key unique): one fused
+  // pass with cell-local actual runs instead of a pre-pass plus a barrier.
+  if (!options.memoize_actual || owner.size() == scenarios.size()) {
+    // Each cell is self-contained; worker w is the sole user of arenas[w]
+    // and each result slot is written by exactly one cell.
+    pool.parallel_for(scenarios.size(),
+                      [&](std::size_t worker, std::size_t i) {
+                        runs[i] = run_cell(scenarios[i],
+                                           simulate_actual_for(scenarios[i]),
+                                           arenas[worker]);
+                      });
+    return runs;
+  }
+
+  // Simulate each unique actual once; every cell then analyzes its own copy
+  // (LoopRun owns its traces, and simulation is deterministic, so sharing
+  // versus re-simulating is observationally identical).
+  std::vector<trace::Trace> actuals(owner.size());
+  pool.parallel_for(owner.size(), [&](std::size_t k) {
+    actuals[k] = simulate_actual_for(scenarios[owner[k]]);
+  });
+  pool.parallel_for(scenarios.size(), [&](std::size_t worker, std::size_t i) {
+    runs[i] = run_cell(scenarios[i], trace::Trace(actuals[actual_of[i]]),
+                       arenas[worker]);
+  });
+  return runs;
+}
+
+std::vector<LoopRun> run_grid_reference(
+    const std::vector<Scenario>& scenarios) {
+  std::vector<LoopRun> runs;
+  runs.reserve(scenarios.size());
+  trace::IoArena arena;
+  const sim::NullInstrumentation null_hook;
+  for (const Scenario& s : scenarios) {
+    const sim::Program program = make_program(s);
+    const std::string name = scenario_name(s);
+    const instr::InstrumentationPlan plan = make_plan(s.plan, s.setup);
+
+    LoopRun run;
+    run.actual = sim::simulate_reference(s.setup.machine, program, null_hook,
+                                         name + "/actual");
+    if (s.measured_path.empty())
+      run.measured = sim::simulate_reference(s.setup.machine, program, plan,
+                                             name + "/measured");
+    else
+      run.measured = measured_for(s, plan, arena);
+    if (s.mutate_measured) s.mutate_measured(run.measured);
+
+    core::PipelineOptions options;
+    options.overheads = overheads_for(plan, s.setup.machine);
+    options.repair = s.repair;
+    core::AnalysisPipeline pipeline(std::move(options));
+    pipeline.add(core::AnalyzerKind::kTimeBased)
+        .add(core::AnalyzerKind::kEventBased);
+    auto acquired = s.repair == core::RepairMode::kOff
+                        ? core::trusted_acquire(run.measured)
+                        : pipeline.acquire(run.measured);
+    // Run without an actual trace so the pipeline skips its (optimized)
+    // quality scoring; score below through the reference comparator.
+    auto result = pipeline.run(std::move(acquired), nullptr);
+    PERTURB_CHECK_MSG(result.acquire.ok, result.acquire.diagnosis);
+
+    run.tb_quality = core::assess_reference(
+        result.acquire.measured, result.outputs[0].approx, run.actual);
+    run.eb_quality = core::assess_reference(
+        result.acquire.measured, result.outputs[1].approx, run.actual);
+    run.tb_quality.degraded_input = result.acquire.degraded;
+    run.eb_quality.degraded_input = result.acquire.degraded;
+
+    run.time_based = std::move(result.outputs[0].approx);
+    run.event_based = std::move(*result.outputs[1].event_stats);
+    run.event_based.approx = std::move(result.outputs[1].approx);
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+}  // namespace perturb::experiments

@@ -1,0 +1,82 @@
+// Parallel experiment grids.
+//
+// The paper's tables and this repo's ablations are all sweeps: the same loop
+// experiment repeated across processor counts, probe costs, plans, or
+// execution modes.  A Scenario captures one cell of such a sweep as data;
+// run_grid fans a vector of them across a deterministic task pool, with two
+// structural optimizations the serial drivers cannot express:
+//
+//  1. Actual-run memoization.  The uninstrumented ("actual") simulation
+//     depends only on the program and the machine — not on probe costs,
+//     plans, or repair modes — so variant sweeps share one actual run per
+//     (mode, loop, n, schedule, machine) key instead of re-simulating it
+//     per cell.
+//  2. Per-worker I/O arenas.  Scenarios that analyze captured trace files
+//     load them through one reusable buffer per worker.
+//
+// Results are bit-identical to running each scenario alone, at any thread
+// count and with memoization on or off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "experiments/experiments.hpp"
+
+namespace perturb::experiments {
+
+/// How a scenario lowers its Livermore loop to IR (§3 ran the suite in
+/// scalar, vector, and concurrent modes).
+enum class ExecMode : std::uint8_t { kSequential, kConcurrent, kVector };
+
+/// "seq", "con", or "vec" — the suffix used in canonical run names.
+const char* exec_mode_name(ExecMode mode) noexcept;
+
+/// One cell of an experiment grid.  Every field is data (no hidden state),
+/// so a scenario can be hashed, compared, and dispatched to any worker.
+struct Scenario {
+  int loop = 3;
+  std::int64_t n = 1001;
+  ExecMode mode = ExecMode::kConcurrent;
+  sim::Schedule schedule = sim::Schedule::kCyclic;  ///< concurrent mode only
+  Setup setup;
+  PlanKind plan = PlanKind::kStatementsOnly;
+  core::RepairMode repair = core::RepairMode::kOff;
+  /// When set, the measured trace is loaded from this file (through the
+  /// worker's I/O arena) instead of simulated — the degraded-capture path.
+  std::string measured_path;
+  /// Optional fault injection applied to the measured trace before
+  /// acquisition.  Must be a pure function of the trace for the grid's
+  /// determinism guarantee to hold.
+  std::function<void(trace::Trace&)> mutate_measured;
+};
+
+/// Canonical run name, e.g. "lfk17-con"; matches the serial
+/// run_{sequential,concurrent,vector}_experiment drivers so traces are
+/// byte-identical between the two paths.
+std::string scenario_name(const Scenario& s);
+
+/// Runs one scenario through the full pipeline — the canonical serial
+/// semantics that run_grid reproduces bit-identically.
+LoopRun run_scenario(const Scenario& s);
+
+struct GridOptions {
+  std::size_t threads = 1;     ///< task-pool workers; 0 = hardware concurrency
+  bool memoize_actual = true;  ///< share actual runs across matching cells
+};
+
+/// Runs every scenario across a support::TaskPool.  result[i] is
+/// bit-identical to run_scenario(scenarios[i]) for every thread count and
+/// memoization setting.
+std::vector<LoopRun> run_grid(const std::vector<Scenario>& scenarios,
+                              const GridOptions& options = {});
+
+/// The pre-optimization grid driver, kept verbatim in spirit: one scenario
+/// at a time, no actual-run memoization, simulate_reference for both runs
+/// and compare_reference for quality scoring.  Produces results identical
+/// to run_grid; exists as the reference timing in bench/bench_sim.
+std::vector<LoopRun> run_grid_reference(const std::vector<Scenario>& scenarios);
+
+}  // namespace perturb::experiments

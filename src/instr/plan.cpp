@@ -2,9 +2,6 @@
 
 #include <cmath>
 
-#include "support/check.hpp"
-#include "support/prng.hpp"
-
 namespace perturb::instr {
 
 ProbeCategory category_of(EventKind kind) noexcept {
@@ -100,33 +97,6 @@ Cycles InstrumentationPlan::mean_cost(EventKind kind) const noexcept {
   const auto k = static_cast<std::size_t>(kind);
   if (!record_[k]) return 0;
   return static_cast<Cycles>(std::llround(cost_[k].mean));
-}
-
-bool InstrumentationPlan::records(EventKind kind, EventId id) const {
-  const auto k = static_cast<std::size_t>(kind);
-  if (!record_[k]) return false;
-  if (kind == EventKind::kStmtExit && !record_stmt_exit_) return false;
-  if (site_filter_ &&
-      (kind == EventKind::kStmtEnter || kind == EventKind::kStmtExit)) {
-    if (id >= site_filter_->size() || !(*site_filter_)[id]) return false;
-  }
-  return true;
-}
-
-Cycles InstrumentationPlan::probe_cost(EventKind kind, EventId /*id*/,
-                                       ProcId proc,
-                                       std::uint64_t proc_event_index) const {
-  const auto k = static_cast<std::size_t>(kind);
-  PERTURB_DCHECK(record_[k]);
-  const ProbeCost& c = cost_[k];
-  if (c.mean <= 0.0) return 0;
-  const double jitter =
-      c.jitter_frac == 0.0
-          ? 0.0
-          : c.mean * c.jitter_frac *
-                support::keyed_jitter(seed_, proc, proc_event_index);
-  const auto cycles = static_cast<Cycles>(std::llround(c.mean + jitter));
-  return cycles < 0 ? 0 : cycles;
 }
 
 }  // namespace perturb::instr

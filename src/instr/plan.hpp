@@ -1,12 +1,14 @@
 // Instrumentation plans: which events a measurement records, and what each
 // probe costs.
 //
-// A plan implements the simulator's InstrumentationHook.  Probe costs are
-// mean cycles plus deterministic per-event jitter (keyed on seed, processor,
-// and the processor's event ordinal).  The *analysis* is only ever given the
-// mean (see mean_cost()) — the jitter is the physical source of residual
-// approximation error, standing in for the real probe-cost variance of the
-// paper's software tracer.
+// A plan implements the simulator's InstrumentationHook through
+// sim::CostTableHook — the sealed table-driven hook the engine's fast path
+// dispatches to statically.  Probe costs are mean cycles plus deterministic
+// per-event jitter (keyed on seed, processor, and the processor's event
+// ordinal).  The *analysis* is only ever given the mean (see mean_cost()) —
+// the jitter is the physical source of residual approximation error,
+// standing in for the real probe-cost variance of the paper's software
+// tracer.
 //
 // Presets mirror the paper's experiments:
 //  - statements_only: §3's full statement-level tracing (Table 1 / Figure 1),
@@ -15,10 +17,7 @@
 //  - sync_only: minimal-volume plan used by the volume/accuracy ablation.
 #pragma once
 
-#include <array>
 #include <cstdint>
-#include <optional>
-#include <vector>
 
 #include "sim/hooks.hpp"
 #include "trace/event.hpp"
@@ -30,11 +29,9 @@ using trace::EventId;
 using trace::EventKind;
 using trace::ProcId;
 
-/// Probe cost specification for one event category.
-struct ProbeCost {
-  double mean = 0.0;         ///< mean probe cost in cycles
-  double jitter_frac = 0.0;  ///< uniform jitter amplitude, fraction of mean
-};
+/// Probe cost specification for one event category (the simulator's table
+/// entry type; re-exported under the historical name).
+using ProbeCost = sim::ProbeCost;
 
 /// Event categories a plan prices separately.
 enum class ProbeCategory : std::uint8_t {
@@ -45,7 +42,7 @@ enum class ProbeCategory : std::uint8_t {
 
 ProbeCategory category_of(EventKind kind) noexcept;
 
-class InstrumentationPlan final : public sim::InstrumentationHook {
+class InstrumentationPlan final : public sim::CostTableHook {
  public:
   /// Statement events only (plus zero-cost program markers so total time is
   /// well defined) — the paper's §3 instrumentation.
@@ -59,33 +56,12 @@ class InstrumentationPlan final : public sim::InstrumentationHook {
   /// Synchronization events only.
   static InstrumentationPlan sync_only(ProbeCost sync, std::uint64_t seed);
 
-  /// Enables/disables recording of kStmtExit events (the paper records one
-  /// event per statement; enter+exit pairs are the richer default).
-  void set_record_stmt_exit(bool on) noexcept { record_stmt_exit_ = on; }
-
-  /// Restricts statement probes to sites for which `enabled[id]` is true
-  /// (ids beyond the vector are disabled).  Sync/control events unaffected.
-  void set_site_filter(std::vector<bool> enabled) {
-    site_filter_ = std::move(enabled);
-  }
-
   /// Mean probe cost the analysis should assume for this kind (0 when the
   /// kind is not recorded).
   Cycles mean_cost(EventKind kind) const noexcept;
 
-  // sim::InstrumentationHook:
-  bool records(EventKind kind, EventId id) const override;
-  Cycles probe_cost(EventKind kind, EventId id, ProcId proc,
-                    std::uint64_t proc_event_index) const override;
-
  private:
   InstrumentationPlan() = default;
-
-  std::array<bool, trace::kNumEventKinds> record_{};
-  std::array<ProbeCost, trace::kNumEventKinds> cost_{};
-  bool record_stmt_exit_ = true;
-  std::optional<std::vector<bool>> site_filter_;
-  std::uint64_t seed_ = 0;
 };
 
 }  // namespace perturb::instr

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -22,6 +23,17 @@ using trace::Tick;
 /// unique across repeated executions of the same loop.
 constexpr std::int64_t kPairStride = std::int64_t{1} << 32;
 
+/// advanced_flat slot value for "no advance executed for this index yet".
+constexpr Tick kNotAdvanced = std::numeric_limits<Tick>::min();
+
+/// Waiter-list size beyond which an advance's waiter lookup switches from
+/// the linear scan to the per-pair index.  Waiter counts are bounded by the
+/// processor count, so only large simulated machines ever cross this.
+constexpr std::size_t kWaiterIndexThreshold = 32;
+
+/// queued_clock_ sentinel for "processor not runnable".
+constexpr Tick kIdleClock = std::numeric_limits<Tick>::max();
+
 struct Frame {
   enum class Kind : std::uint8_t {
     kBlock,       ///< executing a block of nodes
@@ -40,10 +52,19 @@ struct Frame {
   int phase = 0;          ///< kCritical / kParWorker state
 };
 
+/// One event as recorded into a per-processor arena: the event plus its
+/// global emission ordinal, which is the tie-break that reproduces the
+/// reference engine's append order among equal timestamps.
+struct Pending {
+  Event e;
+  std::uint64_t seq;
+};
+
 struct Proc {
   ProcId id = 0;
   Tick clock = 0;
   std::vector<Frame> stack;
+  std::vector<Pending> arena;  ///< fast path: this processor's events
   std::uint64_t events_recorded = 0;
   bool queued = false;
   std::int64_t par_iter = -1;  ///< current parallel-loop iteration, -1 outside
@@ -70,11 +91,24 @@ class WaitList {
 };
 
 struct VarState {
-  std::unordered_map<std::int64_t, Tick> advanced;  ///< pair → visibility time
+  // Reference path: pair → visibility time.
+  std::unordered_map<std::int64_t, Tick> advanced;
+  // Fast path: the active episode's advances as a flat index-keyed table
+  // (re-assigned per loop execution), plus a rare overflow map for advance
+  // indices beyond the loop's trip count (dead advances nobody can await).
+  std::vector<Tick> advanced_flat;
+  std::unordered_map<std::int64_t, Tick> advanced_over;
   /// Blocked awaiters as flat (pair, proc) entries in block order; an
   /// advance wakes its pair's entries front-to-back, which preserves the
   /// per-pair FIFO the old map-of-vectors gave.
   std::vector<std::pair<std::int64_t, ProcId>> waiters;
+  /// Fast path, large machines: per-pair waiter FIFOs keyed on the awaited
+  /// pair, populated once `waiters` outgrows kWaiterIndexThreshold.  In
+  /// debug builds `waiters` is kept as a shadow to assert the index wakes
+  /// the exact processors, in the exact order, the linear scan would.
+  std::unordered_map<std::int64_t, std::vector<ProcId>> waiter_index;
+  bool indexed = false;
+  std::size_t waiter_count = 0;
 };
 
 struct LockState {
@@ -95,10 +129,135 @@ struct SemState {
   WaitList waiters;           ///< FIFO by request (pop) time
 };
 
+/// Exact integer count of i in [0, trip) with 0 <= scale*i + offset < trip —
+/// the iterations whose await is dependence-carrying (emits awaitB/awaitE).
+std::int64_t count_awaitable(const IndexExpr& ix, std::int64_t trip) {
+  if (trip <= 0) return 0;
+  if (ix.scale == 0)
+    return (ix.offset >= 0 && ix.offset < trip) ? trip : 0;
+  const auto ceil_div = [](std::int64_t a, std::int64_t b) {  // b > 0
+    return a >= 0 ? (a + b - 1) / b : -((-a) / b);
+  };
+  const auto floor_div = [](std::int64_t a, std::int64_t b) {  // b > 0
+    return a >= 0 ? a / b : -(((-a) + b - 1) / b);
+  };
+  std::int64_t lo, hi;
+  if (ix.scale > 0) {
+    lo = ceil_div(-ix.offset, ix.scale);
+    hi = floor_div(trip - 1 - ix.offset, ix.scale);
+  } else {
+    const std::int64_t s = -ix.scale;
+    // 0 <= -s*i + offset < trip  ⇔  offset - (trip-1) <= s*i <= offset
+    lo = ceil_div(ix.offset - (trip - 1), s);
+    hi = floor_div(ix.offset, s);
+  }
+  lo = std::max<std::int64_t>(lo, 0);
+  hi = std::min<std::int64_t>(hi, trip - 1);
+  return hi >= lo ? hi - lo + 1 : 0;
+}
+
+/// Exact number of events a run of `prog` under `hook` records, folded from
+/// the IR's trip counts; lets the fast path reserve its arenas up front and
+/// the final trace exactly.  `HookT` is the sealed hook type, so the
+/// records() queries here are the same direct calls the run loop makes.
+template <typename HookT>
+class EventCounter {
+ public:
+  EventCounter(const MachineConfig& cfg, const HookT& hook)
+      : cfg_(cfg), hook_(hook) {}
+
+  std::uint64_t count(const Program& prog) const {
+    std::uint64_t total = rec(EventKind::kProgramBegin, 0) +
+                          rec(EventKind::kProgramEnd, 0);
+    total += block(prog.root(), 1, nullptr);
+    return total;
+  }
+
+ private:
+  std::uint64_t rec(EventKind kind, trace::EventId id) const {
+    return hook_.records(kind, id) ? 1u : 0u;
+  }
+
+  std::uint64_t block(const Block& b, std::uint64_t execs,
+                      const Node* par) const {
+    std::uint64_t total = 0;
+    for (const auto& n : b.nodes) total += node(*n, execs, par);
+    return total;
+  }
+
+  std::uint64_t node(const Node& n, std::uint64_t execs,
+                     const Node* par) const {
+    switch (n.kind) {
+      case NodeKind::kCompute:
+        if (!n.traced) return 0;
+        return execs * (rec(EventKind::kStmtEnter, n.id) +
+                        rec(EventKind::kStmtExit, n.id));
+      case NodeKind::kSeqLoop:
+        return block(n.body, execs * static_cast<std::uint64_t>(n.trip), par);
+      case NodeKind::kParLoop: {
+        const auto trip = static_cast<std::uint64_t>(n.trip);
+        std::uint64_t per_exec =
+            rec(EventKind::kLoopBegin, n.id) + rec(EventKind::kLoopEnd, n.id) +
+            trip * (rec(EventKind::kIterBegin, n.id) +
+                    rec(EventKind::kIterEnd, n.id)) +
+            cfg_.num_procs * (rec(EventKind::kBarrierArrive, n.id) +
+                              rec(EventKind::kBarrierDepart, n.id));
+        return execs * per_exec + block(n.body, execs * trip, &n);
+      }
+      case NodeKind::kCritical:
+        return execs * (rec(EventKind::kLockAcquire, n.id) +
+                        rec(EventKind::kLockRelease, n.id)) +
+               block(n.body, execs, par);
+      case NodeKind::kSemRegion:
+        return execs * (rec(EventKind::kSemAcquire, n.id) +
+                        rec(EventKind::kSemRelease, n.id)) +
+               block(n.body, execs, par);
+      case NodeKind::kAdvance:
+        return execs * rec(EventKind::kAdvance, n.id);
+      case NodeKind::kAwait: {
+        PERTURB_CHECK_MSG(par != nullptr, "await outside parallel loop");
+        // execs is a multiple of the governing trip; scale by the number of
+        // iterations whose await index lands inside [0, trip).
+        const std::uint64_t sat =
+            static_cast<std::uint64_t>(count_awaitable(n.index, par->trip));
+        const std::uint64_t per_iter_execs =
+            par->trip > 0 ? execs / static_cast<std::uint64_t>(par->trip) : 0;
+        return per_iter_execs * sat *
+               (rec(EventKind::kAwaitBegin, n.id) +
+                rec(EventKind::kAwaitEnd, n.id));
+      }
+    }
+    return 0;
+  }
+
+  const MachineConfig& cfg_;
+  const HookT& hook_;
+};
+
+/// The discrete-event engine, templated on the hook's concrete type and on
+/// the execution strategy.
+///
+/// `HookT` seals per-event dispatch: for NullInstrumentation and
+/// CostTableHook (both `final`), records()/probe_cost() compile to direct,
+/// inlinable calls; `HookT = InstrumentationHook` is the retained virtual
+/// fallback for out-of-tree hooks.
+///
+/// `kFastPath` selects between:
+///  - the fast engine: per-processor append-only event arenas merged once at
+///    finalize by (time, emission ordinal), a run-ahead scheduler that keeps
+///    stepping the current processor while it remains the global (tick, pid)
+///    minimum instead of cycling it through the ready heap, flat
+///    index-keyed advance tables, and the indexed waiter lookup;
+///  - the reference engine (`kFastPath = false`): the pre-optimization
+///    implementation — single shared trace vector restored to time order by
+///    a stable sort, every action through the heap, hash-map advance state,
+///    linear waiter scans.  Retained as the equivalence baseline for tests
+///    and bench/bench_sim; both strategies produce byte-identical traces.
+template <typename HookT, bool kFastPath>
 class Engine {
  public:
-  Engine(const MachineConfig& cfg, const Program& prog,
-         const InstrumentationHook& hook, const std::string& run_name)
+  Engine(const MachineConfig& cfg, const Program& prog, const HookT& hook,
+         const std::string& run_name)
       : cfg_(cfg), prog_(prog), hook_(hook) {
     PERTURB_CHECK_MSG(prog.finalized(), "program must be finalized");
     PERTURB_CHECK(cfg.num_procs > 0);
@@ -108,11 +267,22 @@ class Engine {
     info.ticks_per_us = cfg.ticks_per_us;
     trace_ = trace::Trace(info);
     procs_.resize(cfg.num_procs);
+    if constexpr (kFastPath) {
+      expected_events_ = EventCounter<HookT>(cfg, hook).count(prog);
+    }
     for (std::uint32_t q = 0; q < cfg.num_procs; ++q) {
       procs_[q].id = static_cast<ProcId>(q);
       procs_[q].stack.reserve(16);  // typical nesting; avoids regrow churn
+      if constexpr (kFastPath) {
+        // Exact total split evenly; imbalanced schedules regrow amortized.
+        procs_[q].arena.reserve(expected_events_ / cfg.num_procs + 8);
+      }
     }
-    ready_.reset(cfg.num_procs);
+    if constexpr (kFastPath) {
+      queued_clock_.assign(cfg.num_procs, kIdleClock);
+    } else {
+      ready_.reset(cfg.num_procs);
+    }
     vars_.resize(prog.num_sync_vars() + 1);
     locks_.resize(prog.num_locks() + 1);
     sems_.resize(prog.num_semaphores() + 1);
@@ -130,25 +300,129 @@ class Engine {
         {Frame::Kind::kBlock, &prog_.root(), 0, nullptr, 0, 0});
     enqueue(master);
 
-    while (!ready_.empty()) {
-      const auto [t, pid] = ready_.top();
-      ready_.pop();
-      Proc& p = procs_[pid];
-      PERTURB_CHECK(p.queued);
-      PERTURB_CHECK_MSG(t == p.clock, "stale heap entry");
-      p.queued = false;
-      step(p);
+    if constexpr (kFastPath) {
+      run_fast();
+    } else {
+      while (!ready_.empty()) {
+        const auto [t, pid] = ready_.top();
+        ready_.pop();
+        Proc& p = procs_[pid];
+        PERTURB_CHECK(p.queued);
+        PERTURB_CHECK_MSG(t == p.clock, "stale heap entry");
+        p.queued = false;
+        step(p);
+      }
     }
     check_quiescent();
-    // Events were appended in action-processing order (nondecreasing action
-    // start times), but an action may emit events later than a subsequently
-    // processed action's events.  The stable sort restores global time order
-    // while keeping the happened-before-consistent order among ties.
-    trace_.sort_canonical();
+    if constexpr (kFastPath) {
+      merge_arenas();
+    } else {
+      // Events were appended in action-processing order (nondecreasing
+      // action start times), but an action may emit events later than a
+      // subsequently processed action's events.  The stable sort restores
+      // global time order while keeping the happened-before-consistent
+      // order among ties.
+      trace_.sort_canonical();
+    }
     return std::move(trace_);
   }
 
  private:
+  // ---- fast run loop ---------------------------------------------------
+
+  /// The fast path selects the next action by scanning a compact per-proc
+  /// clock array instead of maintaining a binary heap: with the machine
+  /// sizes the paper's experiments use (<= 16 processors) the whole array is
+  /// one or two cache lines, so an O(P) argmin beats heap sift bookkeeping —
+  /// and enqueue/dequeue become single stores.  Strict less with ascending
+  /// scan order reproduces the heap's (tick, pid) lexicographic minimum.
+  void run_fast() {
+    for (;;) {
+      Tick best = kIdleClock;
+      std::size_t pid = queued_clock_.size();
+      for (std::size_t q = 0; q < queued_clock_.size(); ++q) {
+        if (queued_clock_[q] < best) {
+          best = queued_clock_[q];
+          pid = q;
+        }
+      }
+      if (pid == queued_clock_.size()) break;
+      Proc& p = procs_[pid];
+      PERTURB_DCHECK(p.queued && p.clock == best);
+      queued_clock_[pid] = kIdleClock;
+      p.queued = false;
+      step(p);
+    }
+  }
+
+  /// Merges the per-processor arenas into one (time, emission ordinal)
+  /// ordered trace — exactly the order the reference engine's stable sort
+  /// produces.  Arenas are individually sorted (per-processor clocks are
+  /// nondecreasing and ordinals increase per emission), so a k-way merge
+  /// suffices; a winner tree over the cursors keeps it to ceil(log2 P) key
+  /// comparisons per event, which beats both a rescan per event and the
+  /// reference path's O(n log n) stable sort.
+  void merge_arenas() {
+    std::size_t total = 0;
+    for (const auto& q : procs_) total += q.arena.size();
+    PERTURB_DCHECK(total == expected_events_);
+    std::vector<Event>& out = trace_.events();
+    out.resize(total);
+    Event* dst = out.data();
+
+    const std::size_t num = procs_.size();
+    if (num == 1) {
+      for (const Pending& pe : procs_[0].arena) *dst++ = pe.e;
+      return;
+    }
+    // Merge keys are (time, seq) packed into one 128-bit integer so the
+    // winner selection compiles to compare + conditional moves instead of
+    // data-dependent branches — which way a cross-processor time comparison
+    // goes is a coin flip, and mispredicts would dominate the merge.
+    __extension__ typedef unsigned __int128 Key;  // NOLINT: cmov-friendly key
+    const auto key_of = [](const Pending& pe) {
+      return (static_cast<Key>(static_cast<std::uint64_t>(pe.e.time)) << 64) |
+             pe.seq;
+    };
+    // Exhausted cursors park on a maximal-key sentinel and simply keep
+    // losing; termination is by count.  Leaves are padded to a power of two
+    // with pre-exhausted dummies.
+    static constexpr Pending kExhausted{
+        {std::numeric_limits<Tick>::max(), 0, 0, 0, 0, EventKind::kUser},
+        std::numeric_limits<std::uint64_t>::max()};
+    std::size_t leaves = 1;
+    while (leaves < num) leaves <<= 1;
+    std::vector<const Pending*> head(leaves, &kExhausted);
+    std::vector<const Pending*> end(leaves, nullptr);
+    std::vector<Key> key(leaves, key_of(kExhausted));
+    for (std::size_t q = 0; q < num; ++q) {
+      if (procs_[q].arena.empty()) continue;
+      head[q] = procs_[q].arena.data();
+      end[q] = head[q] + procs_[q].arena.size();
+      key[q] = key_of(*head[q]);
+    }
+    // tree[i] = cursor winning the subtree rooted at i; leaves at
+    // tree[leaves + q] = q.
+    std::vector<std::uint32_t> tree(2 * leaves);
+    for (std::size_t q = 0; q < leaves; ++q)
+      tree[leaves + q] = static_cast<std::uint32_t>(q);
+    for (std::size_t i = leaves - 1; i >= 1; --i) {
+      const std::uint32_t x = tree[2 * i], y = tree[2 * i + 1];
+      tree[i] = key[x] < key[y] ? x : y;
+    }
+    for (std::size_t n = 0; n < total; ++n) {
+      const std::uint32_t w = tree[1];
+      *dst++ = head[w]->e;
+      if (++head[w] == end[w]) head[w] = &kExhausted;
+      key[w] = key_of(*head[w]);
+      // Replay the winner's path to the root.
+      for (std::size_t i = (leaves + w) >> 1; i >= 1; i >>= 1) {
+        const std::uint32_t x = tree[2 * i], y = tree[2 * i + 1];
+        tree[i] = key[x] < key[y] ? x : y;
+      }
+    }
+  }
+
   // ---- event emission -------------------------------------------------
 
   void emit(Proc& p, EventKind kind, trace::EventId id, trace::ObjectId object,
@@ -164,14 +438,23 @@ class Engine {
     e.object = object;
     e.proc = p.id;
     e.kind = kind;
-    trace_.append(e);
+    if constexpr (kFastPath) {
+      PERTURB_DCHECK(p.arena.empty() || p.arena.back().e.time <= e.time);
+      p.arena.push_back({e, seq_++});
+    } else {
+      trace_.append(e);
+    }
     ++p.events_recorded;
   }
 
   void enqueue(Proc& p) {
     PERTURB_CHECK(!p.queued);
     p.queued = true;
-    ready_.push(p.clock, p.id);
+    if constexpr (kFastPath) {
+      queued_clock_[p.id] = p.clock;
+    } else {
+      ready_.push(p.clock, p.id);
+    }
   }
 
   // ---- stepping --------------------------------------------------------
@@ -254,7 +537,8 @@ class Engine {
       case NodeKind::kCompute: {
         const std::int64_t payload = p.par_iter >= 0 ? p.par_iter : 0;
         if (n.traced) emit(p, EventKind::kStmtEnter, n.id, 0, payload);
-        const Cycles cost = n.cost_fn ? n.cost_fn(iteration_context(p)) : n.cost;
+        const Cycles cost =
+            n.cost_fn ? n.cost_fn(iteration_context(p)) : n.cost;
         PERTURB_CHECK_MSG(cost >= 0, "negative computed statement cost");
         p.clock += cost;
         if (n.traced) emit(p, EventKind::kStmtExit, n.id, 0, payload);
@@ -307,6 +591,19 @@ class Engine {
     return par_episode_ * kPairStride + idx;
   }
 
+  /// Fast path: records an advance's visibility, preferring the flat table
+  /// for in-range indices.  Returns false on a duplicate.
+  bool advance_insert(VarState& v, std::int64_t idx, Tick visibility) {
+    if (idx < static_cast<std::int64_t>(v.advanced_flat.size())) {
+      if (v.advanced_flat[static_cast<std::size_t>(idx)] != kNotAdvanced)
+        return false;
+      v.advanced_flat[static_cast<std::size_t>(idx)] = visibility;
+      return true;
+    }
+    // Beyond the trip count: recordable but never awaitable.
+    return v.advanced_over.insert({pair_index(idx), visibility}).second;
+  }
+
   void do_advance(Proc& p, const Node& n) {
     PERTURB_CHECK_MSG(par_loop_ != nullptr, "advance outside parallel loop");
     PERTURB_CHECK(p.par_iter >= 0);
@@ -317,22 +614,32 @@ class Engine {
     p.clock += cfg_.advance_cost;
     const Tick visibility = p.clock;  // visible before the probe runs
     VarState& v = vars_[n.object];
-    const bool inserted = v.advanced.insert({pair, visibility}).second;
-    PERTURB_CHECK_MSG(inserted, "duplicate advance of " + n.label);
+    if constexpr (kFastPath) {
+      PERTURB_CHECK_MSG(advance_insert(v, idx, visibility),
+                        "duplicate advance of " + n.label);
+    } else {
+      const bool inserted = v.advanced.insert({pair, visibility}).second;
+      PERTURB_CHECK_MSG(inserted, "duplicate advance of " + n.label);
+    }
 
     emit(p, EventKind::kAdvance, n.id, n.object, pair);
 
-    // Wake this pair's blocked awaiters in block order; the stable compaction
-    // keeps every other pair's entries in their original FIFO order.
-    std::size_t keep = 0;
-    for (std::size_t r = 0; r < v.waiters.size(); ++r) {
-      if (v.waiters[r].first == pair) {
-        wake_awaiter(procs_[v.waiters[r].second], visibility);
-      } else {
-        v.waiters[keep++] = v.waiters[r];
+    if constexpr (kFastPath) {
+      if (v.waiter_count > 0) wake_waiters(v, pair, visibility);
+    } else {
+      // Wake this pair's blocked awaiters in block order; the stable
+      // compaction keeps every other pair's entries in their original FIFO
+      // order.
+      std::size_t keep = 0;
+      for (std::size_t r = 0; r < v.waiters.size(); ++r) {
+        if (v.waiters[r].first == pair) {
+          wake_awaiter(procs_[v.waiters[r].second], visibility);
+        } else {
+          v.waiters[keep++] = v.waiters[r];
+        }
       }
+      v.waiters.resize(keep);
     }
-    v.waiters.resize(keep);
     enqueue(p);
   }
 
@@ -357,15 +664,24 @@ class Engine {
     const Node& n = *f.node;
     const std::int64_t pair = f.iter;
     VarState& v = vars_[n.object];
-    const auto it = v.advanced.find(pair);
-    if (it == v.advanced.end()) {
+    Tick visibility = kNotAdvanced;
+    if constexpr (kFastPath) {
+      // Await indices are < trip (do_await filtered the rest), so only the
+      // flat table can hold the partner.
+      const auto idx = static_cast<std::size_t>(pair % kPairStride);
+      visibility = v.advanced_flat[idx];
+    } else {
+      const auto it = v.advanced.find(pair);
+      if (it != v.advanced.end()) visibility = it->second;
+    }
+    if (visibility == kNotAdvanced) {
       // Not yet advanced anywhere at or before our clock: block.  The
       // matching advance will wake us (heap order guarantees it has not been
       // processed yet).
-      v.waiters.emplace_back(pair, p.id);
+      add_waiter(v, pair, p.id);
       return;  // not enqueued
     }
-    if (it->second <= p.clock) {
+    if (visibility <= p.clock) {
       // Satisfied without waiting.
       p.stack.pop_back();
       emit(p, EventKind::kAwaitEnd, n.id, n.object, pair);
@@ -374,10 +690,74 @@ class Engine {
     }
     // The advance was executed by an earlier-start action but becomes visible
     // in our future: wait for visibility.
-    p.clock = it->second + cfg_.await_resume_cost;
+    p.clock = visibility + cfg_.await_resume_cost;
     p.stack.pop_back();
     emit(p, EventKind::kAwaitEnd, n.id, n.object, pair);
     enqueue(p);
+  }
+
+  void add_waiter(VarState& v, std::int64_t pair, ProcId pid) {
+    if constexpr (!kFastPath) {
+      v.waiters.emplace_back(pair, pid);
+      return;
+    }
+    ++v.waiter_count;
+    if (!v.indexed) {
+      v.waiters.emplace_back(pair, pid);
+      if (v.waiters.size() > kWaiterIndexThreshold) {
+        for (const auto& w : v.waiters)
+          v.waiter_index[w.first].push_back(w.second);
+        v.indexed = true;
+#ifdef NDEBUG
+        v.waiters.clear();  // debug builds keep the shadow for the assert
+#endif
+      }
+      return;
+    }
+    v.waiter_index[pair].push_back(pid);
+#ifndef NDEBUG
+    v.waiters.emplace_back(pair, pid);
+#endif
+  }
+
+  /// Fast-path wake: linear scan while the list is small, per-pair index
+  /// lookup once it crossed the threshold.  Wake order is block order for
+  /// the advanced pair either way (asserted against the linear scan in
+  /// debug builds).
+  void wake_waiters(VarState& v, std::int64_t pair, Tick visibility) {
+    if (!v.indexed) {
+      std::size_t keep = 0;
+      for (std::size_t r = 0; r < v.waiters.size(); ++r) {
+        if (v.waiters[r].first == pair) {
+          --v.waiter_count;
+          wake_awaiter(procs_[v.waiters[r].second], visibility);
+        } else {
+          v.waiters[keep++] = v.waiters[r];
+        }
+      }
+      v.waiters.resize(keep);
+      return;
+    }
+    const auto it = v.waiter_index.find(pair);
+#ifndef NDEBUG
+    std::vector<ProcId> linear;
+    std::size_t keep = 0;
+    for (std::size_t r = 0; r < v.waiters.size(); ++r) {
+      if (v.waiters[r].first == pair) {
+        linear.push_back(v.waiters[r].second);
+      } else {
+        v.waiters[keep++] = v.waiters[r];
+      }
+    }
+    v.waiters.resize(keep);
+    PERTURB_CHECK_MSG((it == v.waiter_index.end() && linear.empty()) ||
+                          (it != v.waiter_index.end() && linear == it->second),
+                      "waiter index diverged from linear wake order");
+#endif
+    if (it == v.waiter_index.end()) return;
+    for (const ProcId qid : it->second) wake_awaiter(procs_[qid], visibility);
+    v.waiter_count -= it->second.size();
+    v.waiter_index.erase(it);
   }
 
   void wake_awaiter(Proc& q, Tick visibility) {
@@ -496,8 +876,14 @@ class Engine {
     // Fresh synchronization state per loop execution; nothing may be in
     // flight between parallel loops.
     for (auto& v : vars_) {
-      PERTURB_CHECK_MSG(v.waiters.empty(), "awaiter leaked across loops");
-      v.advanced.clear();
+      if constexpr (kFastPath) {
+        PERTURB_CHECK_MSG(v.waiter_count == 0, "awaiter leaked across loops");
+        v.advanced_flat.assign(static_cast<std::size_t>(n.trip), kNotAdvanced);
+        v.advanced_over.clear();
+      } else {
+        PERTURB_CHECK_MSG(v.waiters.empty(), "awaiter leaked across loops");
+        v.advanced.clear();
+      }
     }
     scheduler_ = make_scheduler(n.schedule, n.trip, cfg_.num_procs, cfg_);
     barrier_.arrived = 0;
@@ -564,7 +950,8 @@ class Engine {
       q.par_iter = -1;
       q.clock = std::max(q.clock, release) + cfg_.barrier_depart_cost;
       emit(q, EventKind::kBarrierDepart, loop.id, loop.id, episode);
-      if (q.id == master) emit(q, EventKind::kLoopEnd, loop.id, loop.id, episode);
+      if (q.id == master)
+        emit(q, EventKind::kLoopEnd, loop.id, loop.id, episode);
       if (!q.stack.empty()) enqueue(q);
     }
   }
@@ -578,8 +965,13 @@ class Engine {
           support::strf("deadlock: processor %u still has %zu frames",
                         unsigned(p.id), p.stack.size()));
     }
-    for (const auto& v : vars_)
-      PERTURB_CHECK_MSG(v.waiters.empty(), "deadlock: awaiter never woken");
+    for (const auto& v : vars_) {
+      if constexpr (kFastPath) {
+        PERTURB_CHECK_MSG(v.waiter_count == 0, "deadlock: awaiter never woken");
+      } else {
+        PERTURB_CHECK_MSG(v.waiters.empty(), "deadlock: awaiter never woken");
+      }
+    }
     for (const auto& l : locks_)
       PERTURB_CHECK_MSG(!l.held && l.waiters.empty(),
                         "deadlock: lock held or contended at exit");
@@ -592,7 +984,7 @@ class Engine {
 
   const MachineConfig& cfg_;
   const Program& prog_;
-  const InstrumentationHook& hook_;
+  const HookT& hook_;
   trace::Trace trace_;
   std::vector<Proc> procs_;
   std::vector<VarState> vars_;    ///< indexed by sync-var id (0 unused)
@@ -601,6 +993,12 @@ class Engine {
 
   // Min-heap of (action start time, processor); ties resolve by processor id.
   ReadyQueue ready_;
+
+  // Fast-path run-loop state.
+  std::uint64_t seq_ = 0;             ///< global emission ordinal
+  std::uint64_t expected_events_ = 0; ///< exact IR-folded recorded-event count
+  std::vector<Tick> queued_clock_;    ///< per-proc action time, kIdleClock when
+                                      ///< not runnable (replaces the heap)
 
   // Active parallel loop (at most one).
   const Node* par_loop_ = nullptr;
@@ -617,7 +1015,25 @@ class Engine {
 trace::Trace simulate(const MachineConfig& config, const Program& program,
                       const InstrumentationHook& hook,
                       const std::string& run_name) {
-  return Engine(config, program, hook, run_name).run();
+  // Seal the two standard hook types so their per-event records()/
+  // probe_cost() calls dispatch (and inline) statically; anything else runs
+  // the same fast engine through the retained virtual interface.
+  if (const auto* null_hook = dynamic_cast<const NullInstrumentation*>(&hook))
+    return Engine<NullInstrumentation, true>(config, program, *null_hook,
+                                             run_name)
+        .run();
+  if (const auto* table = dynamic_cast<const CostTableHook*>(&hook))
+    return Engine<CostTableHook, true>(config, program, *table, run_name).run();
+  return Engine<InstrumentationHook, true>(config, program, hook, run_name)
+      .run();
+}
+
+trace::Trace simulate_reference(const MachineConfig& config,
+                                const Program& program,
+                                const InstrumentationHook& hook,
+                                const std::string& run_name) {
+  return Engine<InstrumentationHook, false>(config, program, hook, run_name)
+      .run();
 }
 
 trace::Trace simulate_actual(const MachineConfig& config,

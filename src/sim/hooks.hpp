@@ -10,11 +10,23 @@
 //
 // A run with NullInstrumentation records every event at zero cost: that trace
 // is the logical event trace of §2 — the program's *actual* performance.
+//
+// Dispatch: the engine's run loop is templated on the hook's concrete type
+// (see engine.cpp).  NullInstrumentation and CostTableHook are sealed, so
+// their per-event records()/probe_cost() calls compile to direct, inlinable
+// code in the fast-path instantiations; hooks outside this header run
+// through the retained virtual path.
 #pragma once
 
+#include <array>
+#include <cmath>
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "sim/ir.hpp"
+#include "support/check.hpp"
+#include "support/prng.hpp"
 #include "trace/event.hpp"
 
 namespace perturb::sim {
@@ -44,6 +56,67 @@ class NullInstrumentation final : public InstrumentationHook {
                     std::uint64_t) const override {
     return 0;
   }
+};
+
+/// Probe cost specification for one event category.
+struct ProbeCost {
+  double mean = 0.0;         ///< mean probe cost in cycles
+  double jitter_frac = 0.0;  ///< uniform jitter amplitude, fraction of mean
+};
+
+/// The standard table-driven hook: per-kind record flags and probe costs
+/// (mean + deterministic keyed jitter), an optional per-site statement
+/// filter, and a kStmtExit toggle.  records() and probe_cost() are `final`
+/// so the engine's sealed fast path can dispatch to them statically; the
+/// instrumentation layer's presets (instr::InstrumentationPlan) derive from
+/// this class and only fill in the tables.
+class CostTableHook : public InstrumentationHook {
+ public:
+  bool records(trace::EventKind kind, trace::EventId id) const final {
+    const auto k = static_cast<std::size_t>(kind);
+    if (!record_[k]) return false;
+    if (kind == trace::EventKind::kStmtExit && !record_stmt_exit_) return false;
+    if (site_filter_ && (kind == trace::EventKind::kStmtEnter ||
+                         kind == trace::EventKind::kStmtExit)) {
+      if (id >= site_filter_->size() || !(*site_filter_)[id]) return false;
+    }
+    return true;
+  }
+
+  Cycles probe_cost(trace::EventKind kind, trace::EventId /*id*/,
+                    trace::ProcId proc,
+                    std::uint64_t proc_event_index) const final {
+    const auto k = static_cast<std::size_t>(kind);
+    PERTURB_DCHECK(record_[k]);
+    const ProbeCost& c = cost_[k];
+    if (c.mean <= 0.0) return 0;
+    const double jitter =
+        c.jitter_frac == 0.0
+            ? 0.0
+            : c.mean * c.jitter_frac *
+                  support::keyed_jitter(seed_, proc, proc_event_index);
+    const auto cycles = static_cast<Cycles>(std::llround(c.mean + jitter));
+    return cycles < 0 ? 0 : cycles;
+  }
+
+  /// Enables/disables recording of kStmtExit events (the paper records one
+  /// event per statement; enter+exit pairs are the richer default).
+  void set_record_stmt_exit(bool on) noexcept { record_stmt_exit_ = on; }
+
+  /// Restricts statement probes to sites for which `enabled[id]` is true
+  /// (ids beyond the vector are disabled).  Sync/control events unaffected.
+  void set_site_filter(std::vector<bool> enabled) {
+    site_filter_ = std::move(enabled);
+  }
+
+ protected:
+  CostTableHook() = default;
+
+  std::array<bool, trace::kNumEventKinds> record_{};
+  std::array<ProbeCost, trace::kNumEventKinds> cost_{};
+  bool record_stmt_exit_ = true;
+  std::optional<std::vector<bool>> site_filter_;
+  std::uint64_t seed_ = 0;
 };
 
 }  // namespace perturb::sim

@@ -52,6 +52,29 @@ double percentile(std::vector<double> values, double q) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+double percentile_inplace(std::vector<double>& values, double q) {
+  PERTURB_CHECK_MSG(!values.empty(), "percentile of empty set");
+  PERTURB_CHECK(q >= 0.0 && q <= 1.0);
+  if (values.size() == 1) return values.front();
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  // values[lo] after selection is the lo-th order statistic — the same
+  // value sort-based percentile() reads — and the (lo+1)-th is the minimum
+  // of the upper partition, so interpolation is bit-identical.
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(lo),
+                   values.end());
+  const double at_lo = values[lo];
+  const double at_hi =
+      lo + 1 < values.size()
+          ? *std::min_element(
+                values.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                values.end())
+          : at_lo;
+  return at_lo * (1.0 - frac) + at_hi * frac;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
       counts_(bins, 0) {

@@ -37,6 +37,12 @@ class OnlineStats {
 /// `q` in [0, 1].  The input is copied and partially sorted.
 double percentile(std::vector<double> values, double q);
 
+/// Same result as percentile(), computed by selection (nth_element) instead
+/// of a full sort — O(n) per call.  Permutes `values`; callers that no
+/// longer need the original order (e.g. error summaries extracting a few
+/// quantiles from a large sample) avoid percentile()'s copy + sort.
+double percentile_inplace(std::vector<double>& values, double q);
+
 /// Fixed-width histogram over [lo, hi) with `bins` buckets plus
 /// underflow/overflow counters.
 class Histogram {

@@ -1,51 +1,59 @@
 #!/usr/bin/env python3
-"""Gate a BENCH_hotpath.json run against the committed baseline.
+"""Gate a fast-vs-reference bench run against its committed baseline.
 
-The hotpath bench measures the optimized and retained-reference
-implementations in the same process, so its speedup ratios are
-machine-relative and comparable across hosts (absolute events/sec are
-not).  This script therefore checks ratios, not rates:
+The hotpath and simulator benches measure the optimized and
+retained-reference implementations in the same process, so their speedup
+ratios are machine-relative and comparable across hosts (absolute
+events/sec are not).  This script therefore checks ratios, not rates:
 
-  * the binary-load and end-to-end speedups must stay >= --floor (2.0,
-    the bar the hot-path overhaul was built to clear);
+  * keys with an absolute floor must stay at or above it.  Floors come
+    from the baseline file's "floors" object when present (the simulator
+    bench emits one); otherwise the legacy hotpath keys (binary_load,
+    end_to_end) are floored at --floor (2.0, the bar the hot-path
+    overhaul was built to clear);
   * no speedup may regress more than --tolerance (default 20%) below
     the committed baseline's value for the same key.
 
-The index-build speedup is reported and regression-checked but has no
-absolute floor: on small CI boxes its ratio is noise-dominated.
+Unfloored speedups are reported and regression-checked only: on small
+CI boxes some ratios are noise-dominated.
 
 Usage:
   tools/check_bench.py BENCH_hotpath.json --baseline bench/baseline/BENCH_hotpath.json
+  tools/check_bench.py BENCH_sim.json --baseline bench/baseline/BENCH_sim.json
 """
 
 import argparse
 import json
 import sys
 
-FLOOR_KEYS = ("binary_load", "end_to_end")
+LEGACY_FLOOR_KEYS = ("binary_load", "end_to_end")
 
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
     if "speedups" not in data:
-        sys.exit(f"{path}: no 'speedups' object (not a hotpath bench file?)")
+        sys.exit(f"{path}: no 'speedups' object (not a speedup bench file?)")
     return data
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("result", help="BENCH_hotpath.json from this run")
+    ap.add_argument("result", help="bench JSON from this run")
     ap.add_argument("--baseline", required=True,
-                    help="committed baseline BENCH_hotpath.json")
+                    help="committed baseline bench JSON")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional regression vs baseline")
     ap.add_argument("--floor", type=float, default=2.0,
-                    help="absolute minimum for binary_load and end_to_end")
+                    help="absolute minimum for the legacy floor keys, used "
+                         "when the baseline has no 'floors' object")
     args = ap.parse_args()
 
     result = load(args.result)
     baseline = load(args.baseline)
+    floors = baseline.get("floors")
+    if floors is None:
+        floors = {key: args.floor for key in LEGACY_FLOOR_KEYS}
 
     failures = []
     for key, base in sorted(baseline["speedups"].items()):
@@ -59,19 +67,20 @@ def main():
             verdict = f"REGRESSION (>{args.tolerance:.0%} below baseline)"
             failures.append(f"{key}: {got:.2f}x < {allowed:.2f}x allowed "
                             f"(baseline {base:.2f}x)")
-        if key in FLOOR_KEYS and got < args.floor:
-            verdict = f"BELOW FLOOR ({args.floor:.1f}x)"
-            failures.append(f"{key}: {got:.2f}x < {args.floor:.1f}x floor")
-        print(f"  {key:12s} {got:6.2f}x  (baseline {base:.2f}x) {verdict}")
+        floor = floors.get(key)
+        if floor is not None and got < floor:
+            verdict = f"BELOW FLOOR ({floor:.1f}x)"
+            failures.append(f"{key}: {got:.2f}x < {floor:.1f}x floor")
+        print(f"  {key:20s} {got:6.2f}x  (baseline {base:.2f}x) {verdict}")
 
     if failures:
         print("\nbench check FAILED:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
+    floors_desc = ", ".join(f"{k}>={v:.1f}x" for k, v in sorted(floors.items()))
     print("\nbench check passed "
-          f"({result.get('events', '?')} events, tolerance "
-          f"{args.tolerance:.0%}, floor {args.floor:.1f}x)")
+          f"(tolerance {args.tolerance:.0%}; floors: {floors_desc})")
     return 0
 
 
