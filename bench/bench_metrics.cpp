@@ -1,0 +1,153 @@
+// bench_metrics — self-overhead of the metrics registry.
+//
+// The repo's observability layer must be cheap enough to leave on: this
+// harness runs the full analysis pipeline (load -> triage -> index ->
+// event-based analysis) over a large synthetic DOACROSS trace with metrics
+// disabled and enabled, interleaving the repetitions so both sides see the
+// same thermal/cache conditions, and reports
+//
+//   * the on/off throughput ratio ("metrics_on_over_off"; 1.0 = free,
+//     gated in CI at >= 0.98, i.e. at most ~2% overhead), and
+//   * phase coverage: with metrics on, the summed pipeline.phase.* timer
+//     nanoseconds divided by the end-to-end wall time of the same run.
+//     Coverage near 1.0 means the per-stage timers account for the whole
+//     pipeline; the harness checks >= 0.90 in-process.
+//
+// Results go to BENCH_metrics.json (--out).  --n scales the trace (default
+// 143000 iterations ~= 1e6 events; CI smoke uses --n 4000), --reps the
+// per-side repetitions.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "loops/programs.hpp"
+#include "sim/engine.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/metrics.hpp"
+#include "support/text.hpp"
+#include "trace/io.hpp"
+
+namespace {
+
+using namespace perturb;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 143000);
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps", 9));
+  const std::string out_path = cli.get("out", "BENCH_metrics.json");
+  bench::print_header("BENCH metrics",
+                      "pipeline throughput with the metrics registry off vs "
+                      "on, plus phase-timer coverage");
+
+  const experiments::Setup setup = bench::setup_from_cli(cli);
+  const auto prog = loops::make_concurrent_ir(3, n);
+  const auto plan = experiments::make_plan(experiments::PlanKind::kFull, setup);
+  const trace::Trace measured =
+      sim::simulate(setup.machine, prog, plan, "bench_metrics");
+  const std::size_t events = measured.size();
+
+  const std::string tmp = out_path + ".trace.tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary);
+    trace::write_binary(f, measured);
+  }
+
+  core::PipelineOptions options;
+  options.overheads = experiments::overheads_for(plan, setup.machine);
+  options.machine = setup.machine;
+  core::AnalysisPipeline pipeline(options);
+  pipeline.add(core::AnalyzerKind::kEventBased);
+
+  const auto run_once = [&] {
+    auto result = pipeline.run_file(tmp);
+    if (!result.acquire.ok || result.outputs[0].approx.size() != events)
+      std::abort();
+  };
+
+  // Warm up both modes (first enabled run also interns the lazily-registered
+  // handles), then interleave timed reps and keep each side's best.
+  support::Metrics::enable(false);
+  run_once();
+  support::Metrics::enable(true);
+  run_once();
+  double best_off = 0.0;
+  double best_on = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    support::Metrics::enable(false);
+    auto start = Clock::now();
+    run_once();
+    const double off = seconds_since(start);
+    if (off > 0.0 && (best_off == 0.0 || off < best_off)) best_off = off;
+
+    support::Metrics::enable(true);
+    start = Clock::now();
+    run_once();
+    const double on = seconds_since(start);
+    if (on > 0.0 && (best_on == 0.0 || on < best_on)) best_on = on;
+  }
+  const double rate_off =
+      best_off > 0.0 ? static_cast<double>(events) / best_off : 0.0;
+  const double rate_on =
+      best_on > 0.0 ? static_cast<double>(events) / best_on : 0.0;
+  const double ratio = rate_off > 0.0 ? rate_on / rate_off : 0.0;
+  const double overhead_pct = (1.0 - ratio) * 100.0;
+
+  // Phase coverage: one clean enabled run, snapshot, and compare the summed
+  // stage timers against that run's wall clock.
+  support::Metrics::enable(true);
+  support::Metrics::reset();
+  const auto wall_start = Clock::now();
+  run_once();
+  const double wall = seconds_since(wall_start);
+  const auto snap = support::Metrics::snapshot();
+  std::uint64_t phase_ns = 0;
+  for (const auto& [name, h] : snap.histograms)
+    if (name.rfind("pipeline.phase.", 0) == 0) phase_ns += h.sum;
+  const double coverage =
+      wall > 0.0 ? static_cast<double>(phase_ns) / 1e9 / wall : 0.0;
+  support::Metrics::enable(false);
+  std::remove(tmp.c_str());
+
+  std::printf("metrics overhead (lfk3 concurrent, %zu events, %zu reps)\n",
+              events, reps);
+  std::printf("  %-20s %12.0f events/sec\n", "pipeline_off", rate_off);
+  std::printf("  %-20s %12.0f events/sec\n", "pipeline_on", rate_on);
+  std::printf("  on/off ratio %.4fx (overhead %.2f%%), phase coverage %.3f\n",
+              ratio, overhead_pct, coverage);
+
+  // The stage timers must account for (almost) the entire pipeline run —
+  // uninstrumented gaps would make the snapshot lie about where time goes.
+  PERTURB_CHECK_MSG(coverage >= 0.90 && coverage <= 1.05,
+                    "pipeline.phase.* timers do not cover the run");
+
+  std::string json = "{\n  \"bench\": \"metrics\",\n";
+  json += support::strf("  \"loop\": 3,\n  \"n\": %lld,\n  \"events\": %zu,\n",
+                        static_cast<long long>(n), events);
+  json += support::strf(
+      "  \"rates\": {\"pipeline_off\": %.1f, \"pipeline_on\": %.1f},\n",
+      rate_off, rate_on);
+  json += support::strf("  \"overhead_pct\": %.2f,\n", overhead_pct);
+  json += support::strf("  \"phase_coverage\": %.3f,\n", coverage);
+  json += support::strf("  \"speedups\": {\"metrics_on_over_off\": %.3f}\n}\n",
+                        ratio);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  PERTURB_CHECK_MSG(f != nullptr, "cannot open bench output file");
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

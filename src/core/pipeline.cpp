@@ -7,6 +7,7 @@
 #include "analysis/waiting.hpp"
 #include "core/timebased.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/text.hpp"
 
@@ -16,6 +17,25 @@ namespace {
 
 using trace::Trace;
 using trace::TraceIndex;
+
+// Self-observability: wall-clock spans of the pipeline composition
+// (load → triage → repair → index → analyses) plus tallies of what flowed
+// through each stage.  On the single-file, single-thread path the stages are
+// disjoint, so the per-stage sums account for nearly all of the end-to-end
+// time; batched drivers overlap stages across workers, where the sums
+// measure aggregate stage cost instead.
+const support::HistogramMetric kPhaseLoad("pipeline.phase.load.ns");
+const support::HistogramMetric kPhaseTriage("pipeline.phase.triage.ns");
+const support::HistogramMetric kPhaseRepair("pipeline.phase.repair.ns");
+const support::HistogramMetric kPhaseIndex("pipeline.phase.index.ns");
+const support::HistogramMetric kPhaseAnalyses("pipeline.phase.analyses.ns");
+const support::Counter kRuns("pipeline.runs");
+const support::Counter kEventsMeasured("pipeline.events.measured");
+const support::Counter kTriageViolations("pipeline.triage.violations");
+const support::Counter kRepairDropped("pipeline.repair.events_dropped");
+const support::Counter kRepairSynthesized("pipeline.repair.events_synthesized");
+const support::Counter kRepairAdjusted("pipeline.repair.events_adjusted");
+const support::Counter kQualityScored("pipeline.quality.scored");
 
 class TimeBasedAnalyzer final : public Analyzer {
  public:
@@ -146,11 +166,19 @@ AcquireOutcome AnalysisPipeline::acquire_file(const std::string& path) const {
 
 AcquireOutcome AnalysisPipeline::acquire_file(const std::string& path,
                                               trace::IoArena& arena) const {
-  if (options_.repair == RepairMode::kOff)
-    return acquire(trace::load(path, arena));
+  if (options_.repair == RepairMode::kOff) {
+    Trace loaded = [&] {
+      const support::PhaseTimer timer(kPhaseLoad);
+      return trace::load(path, arena);
+    }();
+    return acquire(std::move(loaded));
+  }
 
   AcquireOutcome outcome;
-  outcome.measured = trace::load_salvage(path, outcome.salvage, arena);
+  {
+    const support::PhaseTimer timer(kPhaseLoad);
+    outcome.measured = trace::load_salvage(path, outcome.salvage, arena);
+  }
   if (!outcome.salvage.complete) {
     outcome.salvaged = true;
     outcome.degraded = true;
@@ -171,7 +199,11 @@ AcquireOutcome AnalysisPipeline::acquire(Trace measured) const {
   AcquireOutcome outcome;
   trace::ValidateOptions validate_opts;
   validate_opts.sync_slack = options_.sync_slack;
-  outcome.violations = trace::validate(measured, validate_opts);
+  {
+    const support::PhaseTimer timer(kPhaseTriage);
+    outcome.violations = trace::validate(measured, validate_opts);
+  }
+  kTriageViolations.add(outcome.violations.size());
   if (outcome.violations.empty()) {
     outcome.measured = std::move(measured);
     outcome.ok = true;
@@ -191,9 +223,15 @@ AcquireOutcome AnalysisPipeline::acquire(Trace measured) const {
   trace::RepairOptions repair_opts;
   repair_opts.aggressive = options_.repair == RepairMode::kAggressive;
   repair_opts.sync_slack = options_.sync_slack;
-  auto result = trace::repair(measured, repair_opts);
+  auto result = [&] {
+    const support::PhaseTimer timer(kPhaseRepair);
+    return trace::repair(measured, repair_opts);
+  }();
   outcome.repaired = true;
   outcome.manifest = std::move(result.manifest);
+  kRepairDropped.add(outcome.manifest.events_dropped);
+  kRepairSynthesized.add(outcome.manifest.events_synthesized);
+  kRepairAdjusted.add(outcome.manifest.events_adjusted);
   if (outcome.manifest.severity == trace::RepairSeverity::kUnsalvageable) {
     outcome.diagnosis = support::strf(
         "trace is unsalvageable: %zu violation(s) survived repair:\n%s",
@@ -213,6 +251,9 @@ void AnalysisPipeline::run_analyzers(PipelineResult& result,
                                      const TraceIndex& index,
                                      const Trace* actual,
                                      support::TaskPool& pool) const {
+  // The span covers the whole fan-out on the calling thread, so quality
+  // scoring inside the workers is part of the analyses stage.
+  const support::PhaseTimer timer(kPhaseAnalyses);
   result.outputs.resize(analyzers_.size());
   // Independent passes over the shared immutable index: each analyzer
   // writes only its own slot, so the run is deterministic at any thread
@@ -225,6 +266,7 @@ void AnalysisPipeline::run_analyzers(PipelineResult& result,
           assess(result.acquire.measured, out.approx, *actual);
       q.degraded_input = result.acquire.degraded;
       out.quality = q;
+      kQualityScored.add();
     }
     result.outputs[k] = std::move(out);
   });
@@ -235,10 +277,16 @@ PipelineResult AnalysisPipeline::run(AcquireOutcome acquired,
   PipelineResult result;
   result.acquire = std::move(acquired);
   if (!result.acquire.ok) return result;
+  kRuns.add();
+  kEventsMeasured.add(result.acquire.measured.size());
 
   support::TaskPool pool(options_.threads);
-  const TraceIndex index(result.acquire.measured, pool);
-  run_analyzers(result, index, actual, pool);
+  std::optional<TraceIndex> index;
+  {
+    const support::PhaseTimer timer(kPhaseIndex);
+    index.emplace(result.acquire.measured, pool);
+  }
+  run_analyzers(result, *index, actual, pool);
   return result;
 }
 
@@ -249,24 +297,39 @@ PipelineResult AnalysisPipeline::run_fused(Trace measured, const Trace* actual,
   trace::ValidateOptions validate_opts;
   validate_opts.sync_slack = options_.sync_slack;
   outcome.measured = std::move(measured);
+  kRuns.add();
+  kEventsMeasured.add(outcome.measured.size());
   // The index must be built after the trace reaches its final address
   // (outcome.measured); it is read only within this scope.
-  const TraceIndex index(outcome.measured, pool);
-  outcome.violations = trace::validate(index, validate_opts);
+  std::optional<TraceIndex> index;
+  {
+    const support::PhaseTimer timer(kPhaseIndex);
+    index.emplace(outcome.measured, pool);
+  }
+  {
+    const support::PhaseTimer timer(kPhaseTriage);
+    outcome.violations = trace::validate(*index, validate_opts);
+  }
+  kTriageViolations.add(outcome.violations.size());
   if (outcome.violations.empty()) {
     outcome.ok = true;
-    run_analyzers(result, index, actual, pool);
+    run_analyzers(result, *index, actual, pool);
     return result;
   }
 
   // Violating input: hand the trace to the standard acquire path (diagnosis
   // or repair).  A repaired trace differs from the loaded one, so the shared
-  // index is of no use past this point.
+  // index is of no use past this point.  (Triage runs — and is counted —
+  // again inside acquire; the counters tally work done, not work needed.)
   PipelineResult degraded;
   degraded.acquire = acquire(std::move(outcome.measured));
   if (!degraded.acquire.ok) return degraded;
-  const TraceIndex repaired_index(degraded.acquire.measured, pool);
-  run_analyzers(degraded, repaired_index, actual, pool);
+  std::optional<TraceIndex> repaired_index;
+  {
+    const support::PhaseTimer timer(kPhaseIndex);
+    repaired_index.emplace(degraded.acquire.measured, pool);
+  }
+  run_analyzers(degraded, *repaired_index, actual, pool);
   return degraded;
 }
 
@@ -280,7 +343,11 @@ PipelineResult AnalysisPipeline::run_file(const std::string& path,
                                           const Trace* actual) const {
   if (options_.repair != RepairMode::kOff) return run(acquire_file(path), actual);
   support::TaskPool pool(options_.threads);
-  return run_fused(trace::load(path), actual, pool);
+  Trace loaded = [&] {
+    const support::PhaseTimer timer(kPhaseLoad);
+    return trace::load(path);
+  }();
+  return run_fused(std::move(loaded), actual, pool);
 }
 
 PipelineResult AnalysisPipeline::run_one(const std::string& path,
@@ -292,11 +359,21 @@ PipelineResult AnalysisPipeline::run_one(const std::string& path,
       PipelineResult result;
       result.acquire = acquire_file(path, arena);
       if (!result.acquire.ok) return result;
-      const TraceIndex index(result.acquire.measured);
-      run_analyzers(result, index, actual, inline_pool);
+      kRuns.add();
+      kEventsMeasured.add(result.acquire.measured.size());
+      std::optional<TraceIndex> index;
+      {
+        const support::PhaseTimer timer(kPhaseIndex);
+        index.emplace(result.acquire.measured);
+      }
+      run_analyzers(result, *index, actual, inline_pool);
       return result;
     }
-    return run_fused(trace::load(path, arena), actual, inline_pool);
+    Trace loaded = [&] {
+      const support::PhaseTimer timer(kPhaseLoad);
+      return trace::load(path, arena);
+    }();
+    return run_fused(std::move(loaded), actual, inline_pool);
   } catch (const trace::IoError& e) {
     PipelineResult failed;
     failed.acquire.diagnosis = e.what();

@@ -6,6 +6,7 @@
 
 #include "loops/programs.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/text.hpp"
 #include "trace/io.hpp"
@@ -91,6 +92,27 @@ LoopRun run_cell(const Scenario& s, trace::Trace actual,
                       s.setup.machine, s.repair);
 }
 
+// Self-observability: grid volume, actual-run memoization effectiveness
+// (hits = cells that reused another cell's simulated actual), and the static
+// per-worker cell partition as a balance histogram.
+const support::Counter kGridCells("grid.cells");
+const support::Counter kGridMemoHits("grid.memo.hits");
+const support::Counter kGridMemoMisses("grid.memo.misses");
+const support::HistogramMetric kGridWorkerCells("grid.worker.cells");
+
+void record_grid_metrics(std::size_t cells, std::size_t unique,
+                         const support::TaskPool& pool) {
+  if (!support::Metrics::enabled()) return;
+  kGridCells.add(cells);
+  kGridMemoMisses.add(unique);
+  kGridMemoHits.add(cells - unique);
+  // parallel_for assigns worker w the block [w*n/W, (w+1)*n/W); the block
+  // sizes describe the fan-out without any per-cell recording.
+  for (std::size_t w = 0; w < pool.size(); ++w)
+    kGridWorkerCells.observe(static_cast<std::uint64_t>(
+        (w + 1) * cells / pool.size() - w * cells / pool.size()));
+}
+
 }  // namespace
 
 LoopRun run_scenario(const Scenario& s) {
@@ -119,6 +141,10 @@ std::vector<LoopRun> run_grid(const std::vector<Scenario>& scenarios,
 
   support::TaskPool pool(options.threads);
   std::vector<trace::IoArena> arenas(pool.size());
+  record_grid_metrics(scenarios.size(),
+                      options.memoize_actual ? owner.size()
+                                             : scenarios.size(),
+                      pool);
 
   // No sharing to exploit (memoization off, or every key unique): one fused
   // pass with cell-local actual runs instead of a pre-pass plus a barrier.

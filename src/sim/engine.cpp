@@ -8,6 +8,7 @@
 #include "sim/ready_queue.hpp"
 #include "sim/scheduler.hpp"
 #include "support/check.hpp"
+#include "support/metrics.hpp"
 #include "support/text.hpp"
 
 namespace perturb::sim {
@@ -310,6 +311,7 @@ class Engine {
         PERTURB_CHECK(p.queued);
         PERTURB_CHECK_MSG(t == p.clock, "stale heap entry");
         p.queued = false;
+        if (metrics_on_) --runnable_;
         step(p);
       }
     }
@@ -324,6 +326,7 @@ class Engine {
       // order among ties.
       trace_.sort_canonical();
     }
+    if (metrics_on_) flush_metrics();
     return std::move(trace_);
   }
 
@@ -351,6 +354,7 @@ class Engine {
       PERTURB_DCHECK(p.queued && p.clock == best);
       queued_clock_[pid] = kIdleClock;
       p.queued = false;
+      if (metrics_on_) --runnable_;
       step(p);
     }
   }
@@ -450,6 +454,10 @@ class Engine {
   void enqueue(Proc& p) {
     PERTURB_CHECK(!p.queued);
     p.queued = true;
+    if (metrics_on_) {
+      ++runnable_;
+      runnable_peak_ = std::max(runnable_peak_, runnable_);
+    }
     if constexpr (kFastPath) {
       queued_clock_[p.id] = p.clock;
     } else {
@@ -708,6 +716,7 @@ class Engine {
         for (const auto& w : v.waiters)
           v.waiter_index[w.first].push_back(w.second);
         v.indexed = true;
+        if (metrics_on_) ++waiter_index_switches_;
 #ifdef NDEBUG
         v.waiters.clear();  // debug builds keep the shadow for the assert
 #endif
@@ -956,6 +965,24 @@ class Engine {
     }
   }
 
+  // ---- self-observability --------------------------------------------------
+
+  /// One registry write-out per completed run; handles are function-local
+  /// statics so nothing registers unless a simulation actually runs with
+  /// metrics enabled.
+  void flush_metrics() const {
+    static const support::Counter runs("sim.runs");
+    static const support::Counter events("sim.events");
+    static const support::Counter ticks("sim.ticks");
+    static const support::Counter switches("sim.waiter_index_switches");
+    static const support::Gauge ready_peak("sim.ready_peak");
+    runs.add();
+    events.add(trace_.size());
+    ticks.add(static_cast<std::uint64_t>(trace_.total_time()));
+    switches.add(waiter_index_switches_);
+    ready_peak.record_max(static_cast<std::int64_t>(runnable_peak_));
+  }
+
   // ---- termination --------------------------------------------------------
 
   void check_quiescent() const {
@@ -1008,6 +1035,14 @@ class Engine {
   BarrierState barrier_;
   std::vector<ProcId> barrier_scratch_;  ///< release_barrier working set
   std::unordered_map<const Node*, std::int64_t> loop_episodes_;
+
+  // Self-observability tallies, flushed once per run (flush_metrics).  The
+  // enable flag is cached at construction so the per-enqueue cost is one
+  // predictable branch on a member bool; nothing is recorded per event.
+  const bool metrics_on_ = support::Metrics::enabled();
+  std::uint32_t runnable_ = 0;        ///< processors currently enqueued
+  std::uint32_t runnable_peak_ = 0;   ///< ready-queue high-water mark
+  std::uint64_t waiter_index_switches_ = 0;
 };
 
 }  // namespace

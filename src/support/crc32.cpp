@@ -4,6 +4,8 @@
 #include <bit>
 #include <cstring>
 
+#include "support/metrics.hpp"
+
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define PERTURB_CRC32_PCLMUL 1
 #include <immintrin.h>
@@ -132,17 +134,30 @@ __attribute__((target("pclmul,sse4.1"))) std::uint32_t crc32_fold_pclmul(
 
 }  // namespace
 
+namespace {
+
+// Self-observability: which CRC implementation each update took.  A PCLMUL
+// update that leaves a sub-16-byte tail to the table path still counts as
+// one PCLMUL update (the fold did the bulk of the work).
+const Counter kCrcPclmul("io.crc.pclmul");
+const Counter kCrcSlice16("io.crc.slice16");
+
+}  // namespace
+
 void Crc32::update(const void* data, std::size_t size) noexcept {
   const auto* p = static_cast<const unsigned char*>(data);
   std::uint32_t c = state_;
+  bool folded_pclmul = false;
 #ifdef PERTURB_CRC32_PCLMUL
   if (size >= 64 && has_pclmul()) {
     const std::size_t folded = size & ~static_cast<std::size_t>(15);
     c = crc32_fold_pclmul(p, folded, c);
     p += folded;
     size -= folded;
+    folded_pclmul = true;
   }
 #endif
+  (folded_pclmul ? kCrcPclmul : kCrcSlice16).add();
   if constexpr (std::endian::native == std::endian::little) {
     // Head: align the 8-byte loads below (also handles short inputs).
     while (size > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {

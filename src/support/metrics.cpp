@@ -1,0 +1,321 @@
+#include "support/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace perturb::support {
+
+namespace {
+
+constexpr std::size_t kMaxCounters = 256;
+constexpr std::size_t kMaxGauges = 64;
+constexpr std::size_t kMaxHistograms = 64;
+/// Gauges merge by max, so INT64_MIN marks "never recorded" for free.
+constexpr std::int64_t kGaugeUnset = std::numeric_limits<std::int64_t>::min();
+
+std::size_t bucket_of(std::uint64_t value) noexcept {
+  return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value)) - 1;
+}
+
+void raise_max(std::atomic<std::uint64_t>& cell, std::uint64_t v) noexcept {
+  std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void raise_max(std::atomic<std::int64_t>& cell, std::int64_t v) noexcept {
+  std::int64_t cur = cell.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void lower_min(std::atomic<std::uint64_t>& cell, std::uint64_t v) noexcept {
+  std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  while (cur > v &&
+         !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+struct HistogramCells {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max{0};
+  std::array<std::atomic<std::uint64_t>, 64> buckets{};
+};
+
+/// One thread's private cells.  The owning thread is the only writer;
+/// snapshot/reset access them with relaxed atomics under the registry mutex.
+struct Shard {
+  Shard() {
+    for (auto& g : gauges) g.store(kGaugeUnset, std::memory_order_relaxed);
+  }
+  ~Shard() {
+    for (auto& h : histograms) delete h.load(std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges;
+  /// Allocated per metric on this thread's first observe; published with
+  /// release so the snapshot thread sees initialized cells.
+  std::array<std::atomic<HistogramCells*>, kMaxHistograms> histograms{};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> histogram_names;
+  std::vector<std::unique_ptr<Shard>> shards;
+};
+
+/// Leaked singleton: handles live in namespace-scope statics all over the
+/// program and worker threads may still record during static teardown, so
+/// the registry must outlive everything with static storage duration.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+/// Constant-initialized so the disabled fast path is one relaxed load with
+/// no static-init guard in front of it.
+std::atomic<bool> g_enabled{false};
+
+thread_local Shard* t_shard = nullptr;
+
+Shard& shard() {
+  if (t_shard == nullptr) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.shards.push_back(std::make_unique<Shard>());
+    t_shard = r.shards.back().get();
+  }
+  return *t_shard;
+}
+
+std::uint32_t intern(std::vector<std::string>& names, std::string_view name,
+                     std::size_t cap) {
+  PERTURB_CHECK_MSG(!name.empty(), "metric name must be non-empty");
+  // Names go into JSON keys verbatim; the dotted-lowercase convention never
+  // needs escaping, and this keeps it that way.
+  PERTURB_CHECK_MSG(name.find_first_of("\"\\\n") == std::string_view::npos,
+                    "metric name must not need JSON escaping");
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return static_cast<std::uint32_t>(i);
+  PERTURB_CHECK_MSG(names.size() < cap, "metric registry slot limit reached");
+  names.emplace_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+std::uint32_t intern_in(std::vector<std::string> Registry::*names,
+                        std::string_view name, std::size_t cap) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return intern(r.*names, name, cap);
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void Metrics::enable(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Metrics::enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+MetricsSnapshot Metrics::snapshot() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  MetricsSnapshot snap;
+  for (std::size_t i = 0; i < r.counter_names.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& s : r.shards)
+      total += s->counters[i].load(std::memory_order_relaxed);
+    snap.counters[r.counter_names[i]] = total;
+  }
+  for (std::size_t i = 0; i < r.gauge_names.size(); ++i) {
+    std::int64_t best = kGaugeUnset;
+    for (const auto& s : r.shards)
+      best = std::max(best, s->gauges[i].load(std::memory_order_relaxed));
+    snap.gauges[r.gauge_names[i]] = best == kGaugeUnset ? 0 : best;
+  }
+  for (std::size_t i = 0; i < r.histogram_names.size(); ++i) {
+    HistogramSnapshot h;
+    std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& s : r.shards) {
+      const HistogramCells* cells =
+          s->histograms[i].load(std::memory_order_acquire);
+      if (cells == nullptr) continue;
+      h.count += cells->count.load(std::memory_order_relaxed);
+      h.sum += cells->sum.load(std::memory_order_relaxed);
+      min = std::min(min, cells->min.load(std::memory_order_relaxed));
+      h.max = std::max(h.max, cells->max.load(std::memory_order_relaxed));
+      for (std::size_t b = 0; b < h.buckets.size(); ++b)
+        h.buckets[b] += cells->buckets[b].load(std::memory_order_relaxed);
+    }
+    h.min = h.count > 0 ? min : 0;
+    snap.histograms[r.histogram_names[i]] = h;
+  }
+  return snap;
+}
+
+void Metrics::reset() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& s : r.shards) {
+    for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& g : s->gauges) g.store(kGaugeUnset, std::memory_order_relaxed);
+    for (auto& slot : s->histograms) {
+      HistogramCells* cells = slot.load(std::memory_order_relaxed);
+      if (cells == nullptr) continue;
+      cells->count.store(0, std::memory_order_relaxed);
+      cells->sum.store(0, std::memory_order_relaxed);
+      cells->min.store(std::numeric_limits<std::uint64_t>::max(),
+                       std::memory_order_relaxed);
+      cells->max.store(0, std::memory_order_relaxed);
+      for (auto& b : cells->buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t Metrics::shard_count() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return r.shards.size();
+}
+
+Counter::Counter(std::string_view name)
+    : slot_(intern_in(&Registry::counter_names, name, kMaxCounters)) {}
+
+void Counter::add(std::uint64_t delta) const noexcept {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  shard().counters[slot_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+Gauge::Gauge(std::string_view name)
+    : slot_(intern_in(&Registry::gauge_names, name, kMaxGauges)) {}
+
+void Gauge::record_max(std::int64_t value) const noexcept {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  raise_max(shard().gauges[slot_], value);
+}
+
+HistogramMetric::HistogramMetric(std::string_view name)
+    : slot_(intern_in(&Registry::histogram_names, name, kMaxHistograms)) {}
+
+void HistogramMetric::observe(std::uint64_t value) const noexcept {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  Shard& s = shard();
+  auto& slot = s.histograms[slot_];
+  HistogramCells* h = slot.load(std::memory_order_relaxed);
+  if (h == nullptr) {
+    h = new HistogramCells;
+    slot.store(h, std::memory_order_release);
+  }
+  h->count.fetch_add(1, std::memory_order_relaxed);
+  h->sum.fetch_add(value, std::memory_order_relaxed);
+  lower_min(h->min, value);
+  raise_max(h->max, value);
+  h->buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+PhaseTimer::PhaseTimer(const HistogramMetric& sink) noexcept
+    : sink_(g_enabled.load(std::memory_order_relaxed) ? &sink : nullptr) {
+  if (sink_ != nullptr) start_ns_ = now_ns();
+}
+
+PhaseTimer::~PhaseTimer() {
+  if (sink_ != nullptr) sink_->observe(now_ns() - start_ns_);
+}
+
+namespace {
+
+void append_object_open(std::string& out, const char* key) {
+  out += "  \"";
+  out += key;
+  out += "\": {";
+}
+
+void append_key(std::string& out, const std::string& name, bool& first) {
+  out += first ? "\n" : ",\n";
+  first = false;
+  out += "    \"";
+  out += name;
+  out += "\": ";
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t value) {
+  out += '"';
+  out += key;
+  out += "\": ";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n";
+
+  append_object_open(out, "counters");
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    append_key(out, name, first);
+    out += std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  append_object_open(out, "gauges");
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    append_key(out, name, first);
+    out += std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  append_object_open(out, "histograms");
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    append_key(out, name, first);
+    out += '{';
+    append_field(out, "count", h.count);
+    out += ", ";
+    append_field(out, "sum", h.sum);
+    out += ", ";
+    append_field(out, "min", h.min);
+    out += ", ";
+    append_field(out, "max", h.max);
+    out += ", \"buckets\": {";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      append_field(out, std::to_string(b).c_str(), h.buckets[b]);
+    }
+    out += "}}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+
+  out += "}\n";
+  return out;
+}
+
+}  // namespace perturb::support

@@ -1,0 +1,130 @@
+// Self-observability: a low-overhead metrics registry.
+//
+// The paper's subject is what instrumentation costs; this is the repo
+// turning that lens on itself.  The registry holds three metric kinds —
+// monotonic counters, max-gauges, and log2-bucketed histograms (which double
+// as timers via PhaseTimer) — recorded into thread-local shards of relaxed
+// atomics and merged deterministically at snapshot time.
+//
+// Cost model:
+//   - disabled (the default): every record operation is one relaxed atomic
+//     load and a branch; no clock reads, no allocation, no shard creation.
+//   - enabled: one or two relaxed fetch_adds on cache lines private to the
+//     recording thread (each thread owns a shard; only snapshot/reset read
+//     across shards, under the registry mutex).
+//
+// Determinism: a snapshot depends only on the multiset of recorded values
+// and the set of registered metric names — counters and histogram cells are
+// commutative sums, gauges are maxima — so the merged result (and the JSON
+// rendered from it, which walks sorted std::map keys) is bit-identical
+// regardless of how work was sharded across 1, 2, or N threads.
+//
+// Handles are interned by name: constructing support::Counter("x") twice —
+// even from different translation units — yields the same slot.  Handles
+// are cheap to copy and are usually function-local or namespace-scope
+// statics near the code they instrument.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace perturb::support {
+
+/// Merged view of one histogram: exact count/sum/min/max plus 64 log2
+/// buckets (bucket i counts values v with bit_width(v) - 1 == i; zero lands
+/// in bucket 0 alongside one).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when count == 0
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, 64> buckets{};
+};
+
+/// Point-in-time merge of every registered metric across all shards.
+/// Registered-but-untouched metrics appear with zero values, so the key set
+/// depends only on what the binary registered, never on which threads ran.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Stable-key JSON: objects keyed by metric name in sorted (map) order,
+  /// integer values only, histogram buckets as a sparse {"index": count}
+  /// object.  Identical snapshots render byte-identical text.
+  std::string to_json() const;
+};
+
+/// Static facade over the process-wide registry.
+class Metrics {
+ public:
+  /// Global record switch; off at startup.  Flipping it does not clear
+  /// already-recorded values (use reset()).
+  static void enable(bool on) noexcept;
+  static bool enabled() noexcept;
+
+  /// Merges all shards.  Safe to call while other threads record; relaxed
+  /// reads may miss in-flight increments but never tear a value.
+  static MetricsSnapshot snapshot();
+
+  /// Zeroes every cell in every shard; registrations are kept.
+  static void reset();
+
+  /// Number of thread shards created so far (diagnostic/test hook: the
+  /// disabled path must never create one).
+  static std::size_t shard_count();
+};
+
+/// Monotonic counter handle.
+class Counter {
+ public:
+  explicit Counter(std::string_view name);
+  void add(std::uint64_t delta = 1) const noexcept;
+
+ private:
+  std::uint32_t slot_;
+};
+
+/// High-watermark gauge: shards merge by max.  Unset gauges snapshot as 0.
+class Gauge {
+ public:
+  explicit Gauge(std::string_view name);
+  void record_max(std::int64_t value) const noexcept;
+
+ private:
+  std::uint32_t slot_;
+};
+
+/// Histogram handle; `observe` files a value into its log2 bucket and the
+/// exact count/sum/min/max.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::string_view name);
+  void observe(std::uint64_t value) const noexcept;
+
+ private:
+  std::uint32_t slot_;
+  friend class PhaseTimer;
+};
+
+/// RAII wall-clock span recorded into a histogram in nanoseconds.  Arms
+/// itself only when metrics are enabled at construction: the disabled path
+/// performs no clock reads at all.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(const HistogramMetric& sink) noexcept;
+  ~PhaseTimer();
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  const HistogramMetric* sink_;  ///< null when disarmed
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace perturb::support

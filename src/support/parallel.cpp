@@ -1,5 +1,6 @@
 #include "support/parallel.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -10,13 +11,23 @@ namespace perturb::support {
 
 namespace {
 
+std::atomic<int> g_hw_override{-1};
+
 std::size_t resolve_threads(std::size_t threads) {
   if (threads != 0) return threads;
-  const unsigned hw = std::thread::hardware_concurrency();
+  const int injected = g_hw_override.load(std::memory_order_relaxed);
+  const unsigned hw = injected >= 0 ? static_cast<unsigned>(injected)
+                                    : std::thread::hardware_concurrency();
+  // hardware_concurrency() may legitimately return 0 (unknown / restricted
+  // container); a zero-worker pool would deadlock, so clamp to one.
   return hw == 0 ? 1 : hw;
 }
 
 }  // namespace
+
+void set_hardware_concurrency_override(int value) noexcept {
+  g_hw_override.store(value, std::memory_order_relaxed);
+}
 
 struct TaskPool::Impl {
   explicit Impl(std::size_t workers) : exceptions(workers) {

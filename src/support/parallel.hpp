@@ -58,4 +58,11 @@ class TaskPool {
 void parallel_for(std::size_t threads, std::size_t n,
                   const std::function<void(std::size_t)>& body);
 
+/// Test hook: substitutes `value` for std::thread::hardware_concurrency()
+/// when TaskPool resolves `threads == 0`.  Restricted containers may report
+/// a concurrency of 0; the pool clamps that to one worker, and this hook
+/// lets tests exercise the clamp without such an environment.  A negative
+/// value restores the real query.
+void set_hardware_concurrency_override(int value) noexcept;
+
 }  // namespace perturb::support

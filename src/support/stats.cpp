@@ -41,8 +41,8 @@ double OnlineStats::variance() const noexcept {
 double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> values, double q) {
-  PERTURB_CHECK_MSG(!values.empty(), "percentile of empty set");
   PERTURB_CHECK(q >= 0.0 && q <= 1.0);
+  if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
   if (values.size() == 1) return values.front();
   const double rank = q * static_cast<double>(values.size() - 1);
@@ -53,8 +53,8 @@ double percentile(std::vector<double> values, double q) {
 }
 
 double percentile_inplace(std::vector<double>& values, double q) {
-  PERTURB_CHECK_MSG(!values.empty(), "percentile of empty set");
   PERTURB_CHECK(q >= 0.0 && q <= 1.0);
+  if (values.empty()) return 0.0;
   if (values.size() == 1) return values.front();
   const double rank = q * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

@@ -34,13 +34,17 @@ class OnlineStats {
 };
 
 /// Percentile with linear interpolation between closest ranks.
-/// `q` in [0, 1].  The input is copied and partially sorted.
+/// `q` in [0, 1].  The input is copied and partially sorted.  An empty
+/// input yields 0.0 — the defined empty-set result, so summaries over
+/// zero matched events (e.g. a fully repaired-away trace) degrade to zero
+/// error instead of crashing quality scoring.
 double percentile(std::vector<double> values, double q);
 
 /// Same result as percentile(), computed by selection (nth_element) instead
 /// of a full sort — O(n) per call.  Permutes `values`; callers that no
 /// longer need the original order (e.g. error summaries extracting a few
 /// quantiles from a large sample) avoid percentile()'s copy + sort.
+/// Shares percentile()'s empty-input contract (returns 0.0).
 double percentile_inplace(std::vector<double>& values, double q);
 
 /// Fixed-width histogram over [lo, hi) with `bins` buckets plus

@@ -20,6 +20,7 @@
 
 #include "support/check.hpp"
 #include "support/crc32.hpp"
+#include "support/metrics.hpp"
 #include "support/text.hpp"
 
 namespace perturb::trace {
@@ -749,18 +750,42 @@ void save(const std::string& path, const Trace& trace) {
   if (!out.good()) io_fail("write failed: " + path);
 }
 
+namespace {
+
+// Self-observability: file/byte volume through the load paths and how much
+// of a torn file the salvage pass got back.
+const support::Counter kLoadFiles("io.load.files");
+const support::Counter kLoadBytes("io.load.bytes");
+const support::Counter kSalvageChunksTotal("io.salvage.chunks_total");
+const support::Counter kSalvageChunksRecovered("io.salvage.chunks_recovered");
+const support::Counter kSalvageIncomplete("io.salvage.incomplete");
+
+/// Opens a text trace for reading and records its size (binary loads count
+/// the mapped image instead).
+std::ifstream open_text_counted(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) io_fail("cannot open for read: " + path);
+  const auto end = in.tellg();
+  if (end > 0) kLoadBytes.add(static_cast<std::uint64_t>(end));
+  in.seekg(0);
+  return in;
+}
+
+}  // namespace
+
 Trace load(const std::string& path) {
   IoArena arena;
   return load(path, arena);
 }
 
 Trace load(const std::string& path, IoArena& arena) {
+  kLoadFiles.add();
   if (is_text_path(path)) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in.good()) io_fail("cannot open for read: " + path);
+    std::ifstream in = open_text_counted(path);
     return read_text(in);
   }
   const FileImage image(path, arena.buffer);
+  kLoadBytes.add(image.size());
   return read_binary(image.data(), image.size());
 }
 
@@ -771,16 +796,21 @@ Trace load_salvage(const std::string& path, SalvageReport& report) {
 
 Trace load_salvage(const std::string& path, SalvageReport& report,
                    IoArena& arena) {
+  kLoadFiles.add();
   if (is_text_path(path)) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in.good()) io_fail("cannot open for read: " + path);
+    std::ifstream in = open_text_counted(path);
     report = SalvageReport{};
     Trace t = read_text(in);
     report.events_declared = report.events_recovered = t.size();
     return t;
   }
   const FileImage image(path, arena.buffer);
-  return read_binary_salvage(image.data(), image.size(), report);
+  kLoadBytes.add(image.size());
+  Trace t = read_binary_salvage(image.data(), image.size(), report);
+  kSalvageChunksTotal.add(report.chunks_total);
+  kSalvageChunksRecovered.add(report.chunks_recovered);
+  if (!report.complete) kSalvageIncomplete.add();
+  return t;
 }
 
 }  // namespace perturb::trace

@@ -1,9 +1,11 @@
 #include "trace/trace_stats.hpp"
 
 #include <cmath>
-#include <vector>
+#include <limits>
 #include <map>
 #include <tuple>
+#include <type_traits>
+#include <vector>
 
 #include "support/stats.hpp"
 #include "support/text.hpp"
@@ -53,6 +55,20 @@ struct MatchKey {
 };
 
 constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};
+
+// The packing above is collision-free only while the fields fit their
+// shifts: id and object must each fit 32 bits, proc must fit 24 bits above
+// the 8-bit kind so `proc << 8 | kind` can never alias a different (proc,
+// kind) pair — nor reach the kEmptySlot occupancy sentinel.  If any of
+// these types ever widens, MatchKey must widen with it.
+static_assert(sizeof(EventId) <= 4, "MatchKey packs id into 32 bits");
+static_assert(sizeof(ObjectId) <= 4, "MatchKey packs object into 32 bits");
+static_assert(sizeof(ProcId) <= 2, "MatchKey packs proc above an 8-bit kind");
+static_assert(sizeof(std::underlying_type_t<EventKind>) == 1,
+              "MatchKey packs kind into 8 bits");
+static_assert(((std::uint64_t{std::numeric_limits<ProcId>::max()} << 8) |
+               0xff) != kEmptySlot,
+              "a real proc_kind must never equal the empty-slot sentinel");
 
 std::uint64_t mix64(std::uint64_t x) noexcept {
   x += 0x9e3779b97f4a7c15ULL;

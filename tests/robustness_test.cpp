@@ -6,11 +6,16 @@
 
 #include <algorithm>
 
+#include <new>
+#include <stdexcept>
+
+#include "../tools/tool_util.hpp"
 #include "core/eventbased.hpp"
 #include "core/timebased.hpp"
 #include "experiments/experiments.hpp"
 #include "support/check.hpp"
 #include "trace/faults.hpp"
+#include "trace/io.hpp"
 #include "trace/validate.hpp"
 
 namespace perturb::core {
@@ -148,6 +153,46 @@ TEST(Robustness, ForeignProcessorIdsHandled) {
   EXPECT_EQ(eb.approx.size(), 1u);
   const auto tb = time_based_approximation(m, {});
   EXPECT_EQ(tb.size(), 1u);
+}
+
+// ---- tool exit-code mapping -------------------------------------------
+
+// run_tool must translate every escape path into the documented exit codes;
+// before the std::exception/... handlers were added, anything outside the
+// CheckError hierarchy escaped and aborted the process.
+TEST(ToolExitCodes, SuccessPassesThrough) {
+  EXPECT_EQ(tools::run_tool([] { return tools::kExitOk; }), tools::kExitOk);
+  EXPECT_EQ(tools::run_tool([] { return 7; }), 7);
+}
+
+TEST(ToolExitCodes, IoErrorMapsToThree) {
+  const int code = tools::run_tool(
+      []() -> int { throw trace::IoError("disk on fire"); });
+  EXPECT_EQ(code, tools::kExitIoError);
+}
+
+TEST(ToolExitCodes, CheckErrorMapsToTwo) {
+  // IoError derives from CheckError, so ordering matters; a plain CheckError
+  // must still land on the bad-trace code, not the I/O one.
+  const int code =
+      tools::run_tool([]() -> int { throw CheckError("bad trace"); });
+  EXPECT_EQ(code, tools::kExitBadTrace);
+}
+
+TEST(ToolExitCodes, UnexpectedStdExceptionMapsToInternal) {
+  const int code = tools::run_tool(
+      []() -> int { throw std::runtime_error("logic slipped"); });
+  EXPECT_EQ(code, tools::kExitInternal);
+}
+
+TEST(ToolExitCodes, BadAllocMapsToInternal) {
+  const int code = tools::run_tool([]() -> int { throw std::bad_alloc(); });
+  EXPECT_EQ(code, tools::kExitInternal);
+}
+
+TEST(ToolExitCodes, NonExceptionThrowMapsToInternal) {
+  const int code = tools::run_tool([]() -> int { throw 42; });
+  EXPECT_EQ(code, tools::kExitInternal);
 }
 
 }  // namespace

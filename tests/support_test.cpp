@@ -166,8 +166,21 @@ TEST(Stats, PercentileSingleElement) {
   EXPECT_DOUBLE_EQ(percentile({7.0}, 0.3), 7.0);
 }
 
-TEST(Stats, PercentileRejectsEmpty) {
-  EXPECT_THROW(percentile({}, 0.5), CheckError);
+TEST(Stats, PercentileEmptyInputIsDefinedZero) {
+  // Regression: an all-unmatched comparison produces an empty error sample;
+  // the percentile must degrade to the defined empty-set result (0.0), not
+  // crash quality scoring with a failed check.
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_EQ(percentile({}, 0.0), 0.0);
+  EXPECT_EQ(percentile({}, 1.0), 0.0);
+  std::vector<double> empty;
+  EXPECT_EQ(percentile_inplace(empty, 0.95), 0.0);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Stats, PercentileStillRejectsBadQuantile) {
+  EXPECT_THROW(percentile({1.0}, -0.1), CheckError);
+  EXPECT_THROW(percentile({}, 1.5), CheckError);
 }
 
 TEST(Stats, HistogramBinsAndOverflow) {
@@ -348,6 +361,27 @@ TEST(TaskPool, PropagatesBodyException) {
                                      PERTURB_CHECK_MSG(false, "boom at 57");
                                  }),
                CheckError);
+}
+
+TEST(TaskPool, ZeroHardwareConcurrencyClampsToOneWorker) {
+  // Regression: hardware_concurrency() may report 0 on restricted
+  // containers; TaskPool(0) must clamp to a single working pool instead of
+  // resolving to zero workers.
+  set_hardware_concurrency_override(0);
+  TaskPool pool(0);
+  set_hardware_concurrency_override(-1);  // restore the real query
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> hits(16, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_TRUE(
+      std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+}
+
+TEST(TaskPool, HardwareConcurrencyOverrideIsHonored) {
+  set_hardware_concurrency_override(3);
+  TaskPool pool(0);
+  set_hardware_concurrency_override(-1);
+  EXPECT_EQ(pool.size(), 3u);
 }
 
 TEST(TaskPool, FreeFunctionPartitionIsStatic) {

@@ -2,7 +2,9 @@
 // merging, serialization round-trips, and trace comparison.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "support/check.hpp"
@@ -418,6 +420,63 @@ TEST(TraceCompare, UnmatchedEventsCounted) {
   EXPECT_EQ(c.matched_events, 1u);
   EXPECT_EQ(c.unmatched_a, 1u);
   EXPECT_EQ(c.unmatched_b, 1u);
+}
+
+// Regression for the optimized comparator's packed MatchKey: boundary-valued
+// ids/objects/procs/payloads must neither alias each other nor collide with
+// the table's empty-slot sentinel.  The ordered-map reference implementation
+// keys on the unpacked tuple, so any packing bug shows up as a disagreement.
+TEST(TraceCompare, PackedKeyBoundariesAgreeWithReference) {
+  constexpr EventId kMaxId = std::numeric_limits<EventId>::max();
+  constexpr ObjectId kMaxObject = std::numeric_limits<ObjectId>::max();
+  constexpr ProcId kMaxProc = std::numeric_limits<ProcId>::max();
+  constexpr std::int64_t kMinPayload = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kMaxPayload = std::numeric_limits<std::int64_t>::max();
+
+  Trace a({"a", std::uint32_t{kMaxProc} + 1, 1.0});
+  Trace b({"b", std::uint32_t{kMaxProc} + 1, 1.0});
+  const auto both = [&](Tick ta, Tick tb, ProcId proc, EventKind kind,
+                        EventId id, ObjectId object, std::int64_t payload) {
+    a.append(make_event(ta, proc, kind, id, object, payload));
+    b.append(make_event(tb, proc, kind, id, object, payload));
+  };
+
+  // All fields simultaneously at their maxima (proc_kind = 0xffffff).
+  both(10, 13, kMaxProc, EventKind::kSemRelease, kMaxId, kMaxObject,
+       kMaxPayload);
+  // Extreme payloads with otherwise-identical identity must stay distinct.
+  both(20, 20, 0, EventKind::kStmtEnter, 1, 0, kMinPayload);
+  both(30, 36, 0, EventKind::kStmtEnter, 1, 0, kMaxPayload);
+  // (id, object) pairs that would alias under a mis-shifted 32-bit pack.
+  both(40, 41, 1, EventKind::kAdvance, 1, 2, 7);
+  both(50, 53, 1, EventKind::kAdvance, 2, 1, 7);
+  both(60, 60, 1, EventKind::kAdvance, 0, kMaxObject, 7);
+  both(70, 79, 1, EventKind::kAdvance, 1, 0, 7);
+  // (proc, kind) pairs that would alias under a mis-shifted 8-bit pack.
+  both(80, 82, 1, EventKind::kStmtEnter, 5, 0, 0);
+  both(90, 95, 0, EventKind::kStmtExit, 5, 0, 0);
+  // Unmatched on both sides, with boundary identities.
+  a.append(make_event(100, kMaxProc, EventKind::kUser, kMaxId, 0, -1));
+  b.append(make_event(100, kMaxProc, EventKind::kUser, kMaxId, 1, -1));
+  // Repeats of a boundary key: occurrence ordinals pair in order.
+  both(110, 111, kMaxProc, EventKind::kSemRelease, kMaxId, kMaxObject,
+       kMaxPayload);
+
+  const TraceComparison fast = compare(a, b);
+  const TraceComparison ref = compare_reference(a, b);
+  EXPECT_EQ(fast.matched_events, ref.matched_events);
+  EXPECT_EQ(fast.unmatched_a, ref.unmatched_a);
+  EXPECT_EQ(fast.unmatched_b, ref.unmatched_b);
+  EXPECT_EQ(fast.max_abs_time_error, ref.max_abs_time_error);
+  EXPECT_DOUBLE_EQ(fast.mean_abs_time_error, ref.mean_abs_time_error);
+  EXPECT_DOUBLE_EQ(fast.rms_time_error, ref.rms_time_error);
+  EXPECT_DOUBLE_EQ(fast.p50_abs_time_error, ref.p50_abs_time_error);
+  EXPECT_DOUBLE_EQ(fast.p95_abs_time_error, ref.p95_abs_time_error);
+  EXPECT_DOUBLE_EQ(fast.total_time_ratio, ref.total_time_ratio);
+  // Sanity: the boundary events genuinely participate.
+  EXPECT_EQ(fast.matched_events, 10u);
+  EXPECT_EQ(fast.unmatched_a, 1u);
+  EXPECT_EQ(fast.unmatched_b, 1u);
 }
 
 }  // namespace

@@ -24,9 +24,14 @@
 //                              repair manifest is printed; "aggressive"
 //                              additionally drops whatever cannot be repaired
 //   --report                   print waiting/parallelism/critical-path report
+//   --metrics[=FILE]           emit a self-observability snapshot (JSON) to
+//                              stdout or FILE: per-stage pipeline timings,
+//                              I/O byte counts, repair tallies (use the
+//                              `=FILE` form; a space-separated value would
+//                              be taken as the positional trace argument)
 //
 // Exit codes: 0 success, 1 usage error, 2 unsalvageable/invalid trace,
-// 3 I/O error.
+// 3 I/O error, 4 internal error.
 //
 // This is the paper's workflow as a command-line tool: capture a measured
 // trace (simulator, rt runtime, or your own producer writing the trace
@@ -41,6 +46,7 @@
 #include "core/pipeline.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
+#include "support/metrics.hpp"
 #include "support/text.hpp"
 #include "tool_util.hpp"
 #include "trace/io.hpp"
@@ -53,7 +59,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: perturb-analyze <measured-trace> [options]\n"
                "  --mode event|time  --repair[=aggressive]  --sync-slack <t>\n"
-               "  --output <f>  --actual <f>  --report  (see header for all)\n"
+               "  --output <f>  --actual <f>  --report  --metrics[=FILE]\n"
+               "  (see header for all)\n"
                "%s",
                tools::kExitCodeHelp);
   return tools::kExitUsage;
@@ -129,7 +136,8 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  return tools::run_tool([&]() -> int {
+  const tools::MetricsFlag metrics(*cli);
+  const int code = tools::run_tool([&]() -> int {
     core::PipelineOptions options;
     options.overheads = overheads_from_cli(*cli);
     options.event_based.model_locks = !cli->get_bool("no-locks", false);
@@ -148,8 +156,14 @@ int main(int argc, char** argv) {
     std::optional<trace::Trace> actual;
     if (cli->has("actual")) actual = trace::load(cli->get("actual", ""));
 
-    const auto result = pipeline.run_file(
-        cli->positional()[0], actual ? &*actual : nullptr);
+    // End-to-end span around the pipeline; a metrics snapshot can relate the
+    // per-stage timings to this to see what the stage timers fail to cover.
+    static const support::HistogramMetric run_span("tool.run.ns");
+    const auto result = [&] {
+      const support::PhaseTimer timer(run_span);
+      return pipeline.run_file(cli->positional()[0],
+                               actual ? &*actual : nullptr);
+    }();
     std::printf("%s", core::render_acquire(result.acquire).c_str());
     if (!result.acquire.ok) {
       std::fprintf(stderr, "%s\n", result.acquire.diagnosis.c_str());
@@ -196,4 +210,5 @@ int main(int argc, char** argv) {
                   core::render_pipeline_report(out.approx, options).c_str());
     return tools::kExitOk;
   });
+  return metrics.finish(code);
 }

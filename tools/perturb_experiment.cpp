@@ -17,9 +17,11 @@
 //   --repair[=aggressive]  triage/repair the measured trace before analysis
 //                     (matters with fault injection or degraded capture)
 //   --out-prefix <p>  write <p>.actual.ptt / <p>.measured.ptt / <p>.approx.ptt
+//   --metrics[=FILE]  emit a self-observability snapshot (JSON) to stdout or
+//                     FILE: simulator tallies, pipeline stage timings
 //
 // Exit codes: 0 success, 1 usage error, 2 unsalvageable/invalid trace,
-// 3 I/O error.
+// 3 I/O error, 4 internal error.
 #include <cstdio>
 #include <string>
 
@@ -40,7 +42,7 @@ int usage(const std::string& what) {
                "  [--plan statements|sync|full] "
                "[--schedule cyclic|block|self] [--procs p]\n"
                "  [--stmt-probe c] [--seed s] [--repair[=aggressive]] "
-               "[--out-prefix p]\n"
+               "[--out-prefix p] [--metrics[=FILE]]\n"
                "%s",
                what.c_str(), perturb::tools::kExitCodeHelp);
   return perturb::tools::kExitUsage;
@@ -83,7 +85,8 @@ int main(int argc, char** argv) {
     repair = repair_arg == "aggressive" ? core::RepairMode::kAggressive
                                         : core::RepairMode::kConservative;
 
-  return tools::run_tool([&]() -> int {
+  const tools::MetricsFlag metrics(cli);
+  const int code = tools::run_tool([&]() -> int {
     experiments::Setup setup;
     setup.machine.num_procs =
         static_cast<std::uint32_t>(cli.get_int("procs", 8));
@@ -122,4 +125,5 @@ int main(int argc, char** argv) {
     }
     return tools::kExitOk;
   });
+  return metrics.finish(code);
 }

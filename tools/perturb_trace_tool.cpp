@@ -9,14 +9,19 @@
 //   perturb-trace repair <in> <out> [--aggressive] [--sync-slack N]
 //                                        salvage + repair a degraded trace
 //
+// All commands accept --metrics[=FILE]: emit a self-observability snapshot
+// (JSON) to stdout or FILE after the command runs.
+//
 // Exit codes: 0 success, 1 usage error, 2 unsalvageable/invalid trace,
-// 3 I/O error.
+// 3 I/O error, 4 internal error.
 //
 // Trace files are written by trace::save (text when the path ends in .ptt,
 // binary otherwise); the simulator, the rt runtime, and perturb-analyze all
 // produce them.
 #include <cstdio>
 #include <algorithm>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -109,11 +114,23 @@ int cmd_repair(const support::Cli& cli, const std::string& in_path,
 
 int main(int argc, char** argv) {
   using namespace perturb;
-  const support::Cli cli(argc, argv);
+  std::optional<support::Cli> parsed;
+  try {
+    parsed.emplace(argc, argv);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
+  }
+  const support::Cli& cli = *parsed;
   const auto& args = cli.positional();
   if (args.size() < 2) return usage();
   const std::string& command = args[0];
-  return tools::run_tool([&]() -> int {
+  const tools::MetricsFlag metrics(cli);
+  const int code = tools::run_tool([&]() -> int {
+    // Undocumented regression hook: forces the internal-error path so the
+    // test suite can assert a clean kExitInternal instead of an abort.
+    if (command == "selftest-internal-error")
+      throw std::runtime_error("forced internal error");
     if (command == "merge") {
       // args: merge <out> <in...> — merge time-ordered per-processor (or
       // per-buffer) traces into one; metadata comes from the first input.
@@ -155,4 +172,5 @@ int main(int argc, char** argv) {
     }
     return usage();
   });
+  return metrics.finish(code);
 }

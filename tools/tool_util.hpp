@@ -6,12 +6,17 @@
 //   1  usage error (bad command line)
 //   2  unsalvageable or invalid trace / failed check
 //   3  I/O error (unreadable/unwritable file, corrupt serialization)
+//   4  internal error (unexpected exception; bug or resource exhaustion)
 #pragma once
 
 #include <cstdio>
+#include <exception>
+#include <string>
 #include <utility>
 
 #include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/metrics.hpp"
 #include "trace/io.hpp"
 
 namespace perturb::tools {
@@ -20,13 +25,17 @@ inline constexpr int kExitOk = 0;
 inline constexpr int kExitUsage = 1;
 inline constexpr int kExitBadTrace = 2;
 inline constexpr int kExitIoError = 3;
+inline constexpr int kExitInternal = 4;
 
 inline constexpr const char* kExitCodeHelp =
     "exit codes: 0 success, 1 usage error, 2 unsalvageable/invalid trace, "
-    "3 I/O error\n";
+    "3 I/O error, 4 internal error\n";
 
 /// Runs a tool body, reporting failures on stderr and mapping them onto the
-/// standard exit codes above.
+/// standard exit codes above.  Catch order matters: IoError derives from
+/// CheckError, and the trailing std::exception/... handlers turn anything
+/// unexpected (std::bad_alloc, filesystem errors, a bug) into a clean
+/// kExitInternal instead of an unhandled-exception abort.
 template <typename Fn>
 int run_tool(Fn&& body) {
   try {
@@ -37,7 +46,57 @@ int run_tool(Fn&& body) {
   } catch (const CheckError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitBadTrace;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return kExitInternal;
+  } catch (...) {
+    std::fprintf(stderr, "internal error: unknown exception\n");
+    return kExitInternal;
   }
 }
+
+/// Shared handling of the `--metrics[=FILE]` flag: construct before the tool
+/// body runs (turns the registry on when requested), then route the exit
+/// code through finish() to emit the snapshot — to FILE, or to stdout when
+/// the flag was given bare.  Use the `--metrics=FILE` form for files: the
+/// parser's space form (`--metrics FILE`) would swallow the next positional
+/// argument.
+class MetricsFlag {
+ public:
+  explicit MetricsFlag(const support::Cli& cli)
+      : requested_(cli.has("metrics")), path_(cli.get("metrics", "")) {
+    if (path_ == "true") path_.clear();  // bare --metrics parses as "true"
+    if (requested_) support::Metrics::enable(true);
+  }
+
+  bool requested() const noexcept { return requested_; }
+
+  /// Writes the snapshot and returns the final exit code: `code` unchanged,
+  /// except that a snapshot-file write failure turns an otherwise-successful
+  /// run into kExitIoError.  The snapshot is emitted even when the tool
+  /// failed — partial-run metrics are exactly what a failure investigation
+  /// wants.
+  int finish(int code) const {
+    if (!requested_) return code;
+    const std::string json = support::Metrics::snapshot().to_json();
+    if (path_.empty()) {
+      std::fputs(json.c_str(), stdout);
+      return code;
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    const bool wrote = f != nullptr && std::fputs(json.c_str(), f) >= 0;
+    if (f != nullptr) std::fclose(f);
+    if (!wrote) {
+      std::fprintf(stderr, "error: cannot write metrics snapshot to %s\n",
+                   path_.c_str());
+      return code == kExitOk ? kExitIoError : code;
+    }
+    return code;
+  }
+
+ private:
+  bool requested_;
+  std::string path_;
+};
 
 }  // namespace perturb::tools
