@@ -28,6 +28,7 @@
 #include "sim/engine.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
+#include "support/fsio.hpp"
 #include "support/metrics.hpp"
 #include "support/text.hpp"
 #include "trace/io.hpp"
@@ -144,10 +145,9 @@ int main(int argc, char** argv) {
   json += support::strf("  \"speedups\": {\"metrics_on_over_off\": %.3f}\n}\n",
                         ratio);
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  PERTURB_CHECK_MSG(f != nullptr, "cannot open bench output file");
-  std::fputs(json.c_str(), f);
-  std::fclose(f);
+  std::string werr;
+  PERTURB_CHECK_MSG(support::write_file_atomic(out_path, json, &werr),
+                    "cannot write bench output file");
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -33,6 +33,7 @@
 #include "sim/engine.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
+#include "support/fsio.hpp"
 #include "support/text.hpp"
 #include "trace/index.hpp"
 #include "trace/io.hpp"
@@ -245,10 +246,9 @@ void run_hotpath(const support::Cli& cli, const experiments::Setup& setup) {
       load_speedup, index_speedup, e2e_speedup);
   json += "}\n}\n";
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  PERTURB_CHECK_MSG(f != nullptr, "cannot open hotpath bench output file");
-  std::fputs(json.c_str(), f);
-  std::fclose(f);
+  std::string werr;
+  PERTURB_CHECK_MSG(support::write_file_atomic(out_path, json, &werr),
+                    "cannot write hotpath bench output file");
   std::printf("wrote %s\n", out_path.c_str());
 }
 
@@ -330,10 +330,9 @@ int main(int argc, char** argv) {
   }
   json += "\n  ]\n}\n";
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  PERTURB_CHECK_MSG(f != nullptr, "cannot open bench output file");
-  std::fputs(json.c_str(), f);
-  std::fclose(f);
+  std::string werr;
+  PERTURB_CHECK_MSG(support::write_file_atomic(out_path, json, &werr),
+                    "cannot write bench output file");
   std::printf("\nwrote %s\n", out_path.c_str());
 
   run_hotpath(cli, setup);

@@ -29,6 +29,7 @@
 #include "loops/programs.hpp"
 #include "sim/engine.hpp"
 #include "support/check.hpp"
+#include "support/fsio.hpp"
 #include "support/text.hpp"
 #include "trace/trace_stats.hpp"
 
@@ -252,10 +253,9 @@ int main(int argc, char** argv) {
   json += "},\n  \"floors\": {\"simulate_null_lfk3\": 2.0, "
           "\"grid_8thread\": 3.0}\n}\n";
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  PERTURB_CHECK_MSG(f != nullptr, "cannot open bench output file");
-  std::fputs(json.c_str(), f);
-  std::fclose(f);
+  std::string werr;
+  PERTURB_CHECK_MSG(support::write_file_atomic(out_path, json, &werr),
+                    "cannot write bench output file");
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

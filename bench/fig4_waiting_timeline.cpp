@@ -3,11 +3,12 @@
 // ASCII timeline ('#' = waiting) and writes the interval data as CSV next to
 // the binary when --csv is given.
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 
 #include "analysis/timeline.hpp"
 #include "analysis/waiting.hpp"
 #include "bench_util.hpp"
+#include "support/fsio.hpp"
 
 int main(int argc, char** argv) {
   using namespace perturb;
@@ -42,8 +43,14 @@ int main(int argc, char** argv) {
 
   if (cli.has("csv")) {
     const std::string path = cli.get("csv", "fig4_waiting.csv");
-    std::ofstream out(path);
+    std::ostringstream out;
     analysis::write_waiting_csv(out, stats);
+    std::string werr;
+    if (!support::write_file_atomic(path, out.str(), &werr)) {
+      std::fprintf(stderr, "error: cannot write %s: %s\n", path.c_str(),
+                   werr.c_str());
+      return 1;
+    }
     std::printf("interval data written to %s\n", path.c_str());
   }
   return 0;

@@ -2,11 +2,12 @@
 // event-based approximation, plus the paper's headline number — an average
 // parallelism of 7.5 (8 processors) excluding the sequential portions.
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 
 #include "analysis/parallelism.hpp"
 #include "analysis/timeline.hpp"
 #include "bench_util.hpp"
+#include "support/fsio.hpp"
 
 int main(int argc, char** argv) {
   using namespace perturb;
@@ -46,8 +47,14 @@ int main(int argc, char** argv) {
 
   if (cli.has("csv")) {
     const std::string path = cli.get("csv", "fig5_parallelism.csv");
-    std::ofstream out(path);
+    std::ostringstream out;
     analysis::write_parallelism_csv(out, profile);
+    std::string werr;
+    if (!support::write_file_atomic(path, out.str(), &werr)) {
+      std::fprintf(stderr, "error: cannot write %s: %s\n", path.c_str(),
+                   werr.c_str());
+      return 1;
+    }
     std::printf("step data written to %s\n", path.c_str());
   }
   return 0;

@@ -37,6 +37,12 @@ const support::Counter kRepairSynthesized("pipeline.repair.events_synthesized");
 const support::Counter kRepairAdjusted("pipeline.repair.events_adjusted");
 const support::Counter kQualityScored("pipeline.quality.scored");
 
+/// Cooperative cancellation checkpoint at a phase boundary; no-op without a
+/// token.  Throws support::CancelledError once the options' token has fired.
+void checkpoint(const PipelineOptions& options, const char* where) {
+  if (options.cancel != nullptr) options.cancel->check(where);
+}
+
 class TimeBasedAnalyzer final : public Analyzer {
  public:
   const char* name() const noexcept override { return "time-based"; }
@@ -166,6 +172,7 @@ AcquireOutcome AnalysisPipeline::acquire_file(const std::string& path) const {
 
 AcquireOutcome AnalysisPipeline::acquire_file(const std::string& path,
                                               trace::IoArena& arena) const {
+  checkpoint(options_, "load");
   if (options_.repair == RepairMode::kOff) {
     Trace loaded = [&] {
       const support::PhaseTimer timer(kPhaseLoad);
@@ -197,6 +204,15 @@ AcquireOutcome AnalysisPipeline::acquire_file(const std::string& path,
 
 AcquireOutcome AnalysisPipeline::acquire(Trace measured) const {
   AcquireOutcome outcome;
+  if (measured.empty()) {
+    // A header-only file (declared count 0, or a salvage that recovered
+    // nothing) used to flow all the way into the analyzers and produce NaN
+    // ratios; fail the acquisition with a diagnosis instead.
+    outcome.diagnosis = "trace contains no events; nothing to analyze";
+    outcome.measured = std::move(measured);
+    return outcome;
+  }
+  checkpoint(options_, "triage");
   trace::ValidateOptions validate_opts;
   validate_opts.sync_slack = options_.sync_slack;
   {
@@ -220,6 +236,7 @@ AcquireOutcome AnalysisPipeline::acquire(Trace measured) const {
     return outcome;
   }
 
+  checkpoint(options_, "repair");
   trace::RepairOptions repair_opts;
   repair_opts.aggressive = options_.repair == RepairMode::kAggressive;
   repair_opts.sync_slack = options_.sync_slack;
@@ -254,12 +271,14 @@ void AnalysisPipeline::run_analyzers(PipelineResult& result,
   // The span covers the whole fan-out on the calling thread, so quality
   // scoring inside the workers is part of the analyses stage.
   const support::PhaseTimer timer(kPhaseAnalyses);
+  checkpoint(options_, "analyses");
   result.outputs.resize(analyzers_.size());
   // Independent passes over the shared immutable index: each analyzer
   // writes only its own slot, so the run is deterministic at any thread
   // count.
   pool.parallel_for(analyzers_.size(), [&](std::size_t k) {
     const Analyzer& analyzer = *analyzers_[k];
+    checkpoint(options_, analyzer.name());
     AnalyzerOutput out = analyzer.run(index, options_);
     if (actual != nullptr && analyzer.produces_trace()) {
       ApproximationQuality q =
@@ -280,6 +299,7 @@ PipelineResult AnalysisPipeline::run(AcquireOutcome acquired,
   kRuns.add();
   kEventsMeasured.add(result.acquire.measured.size());
 
+  checkpoint(options_, "index");
   support::TaskPool pool(options_.threads);
   std::optional<TraceIndex> index;
   {
@@ -294,6 +314,14 @@ PipelineResult AnalysisPipeline::run_fused(Trace measured, const Trace* actual,
                                            support::TaskPool& pool) const {
   PipelineResult result;
   AcquireOutcome& outcome = result.acquire;
+  if (measured.empty()) {
+    // Same guard as acquire(): header-only inputs fail with a diagnosis
+    // instead of producing NaN analysis output.
+    outcome.diagnosis = "trace contains no events; nothing to analyze";
+    outcome.measured = std::move(measured);
+    return result;
+  }
+  checkpoint(options_, "index");
   trace::ValidateOptions validate_opts;
   validate_opts.sync_slack = options_.sync_slack;
   outcome.measured = std::move(measured);
@@ -342,6 +370,7 @@ PipelineResult AnalysisPipeline::run(Trace measured,
 PipelineResult AnalysisPipeline::run_file(const std::string& path,
                                           const Trace* actual) const {
   if (options_.repair != RepairMode::kOff) return run(acquire_file(path), actual);
+  checkpoint(options_, "load");
   support::TaskPool pool(options_.threads);
   Trace loaded = [&] {
     const support::PhaseTimer timer(kPhaseLoad);
@@ -374,6 +403,13 @@ PipelineResult AnalysisPipeline::run_one(const std::string& path,
       return trace::load(path, arena);
     }();
     return run_fused(std::move(loaded), actual, inline_pool);
+  } catch (const trace::MalformedTraceError& e) {
+    // Invalid content (empty file, bad magic, corrupt header): a per-entry
+    // failure, same as an unreadable file — one bad input must not abort
+    // the batch.
+    PipelineResult failed;
+    failed.acquire.diagnosis = e.what();
+    return failed;
   } catch (const trace::IoError& e) {
     PipelineResult failed;
     failed.acquire.diagnosis = e.what();

@@ -29,6 +29,7 @@
 #include "core/likely.hpp"
 #include "core/overheads.hpp"
 #include "core/quality.hpp"
+#include "support/cancel.hpp"
 #include "trace/index.hpp"
 #include "trace/io.hpp"
 #include "trace/repair.hpp"
@@ -61,6 +62,13 @@ struct PipelineOptions {
   std::size_t threads = 1;
   RepairMode repair = RepairMode::kOff;
   trace::Tick sync_slack = 0;  ///< validation slack for measured traces
+  /// Optional cooperative-cancellation token (borrowed, not owned; may be
+  /// shared with the thread that cancels).  When set, the pipeline polls it
+  /// at every phase boundary — after load, before triage/repair/index, and
+  /// before each analyzer — and aborts by throwing support::CancelledError.
+  /// The server uses this to enforce per-job deadlines without killing the
+  /// worker mid-phase.
+  const support::CancelToken* cancel = nullptr;
 };
 
 /// Provenance of the load→salvage→triage→repair front half.

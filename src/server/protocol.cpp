@@ -1,0 +1,120 @@
+#include "server/protocol.hpp"
+
+#include <cstring>
+
+namespace perturb::server {
+
+namespace {
+
+// Payload magics ("QREP"/"QREQ" reversed in memory on little-endian, but the
+// value is what matters — both sides memcpy the u32).
+constexpr std::uint32_t kRequestMagic = 0x51455250u;  // "PREQ"
+constexpr std::uint32_t kReplyMagic = 0x50455250u;    // "PREP"
+
+template <typename T>
+void put(std::string& out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+/// Bounds-checked POD read; false once the buffer runs out.
+template <typename T>
+bool get(const char*& p, const char* end, T& value) {
+  if (static_cast<std::size_t>(end - p) < sizeof(T)) return false;
+  std::memcpy(&value, p, sizeof(T));
+  p += sizeof(T);
+  return true;
+}
+
+bool get_bytes(const char*& p, const char* end, std::uint32_t len,
+               std::string& out) {
+  if (static_cast<std::size_t>(end - p) < len) return false;
+  out.assign(p, len);
+  p += len;
+  return true;
+}
+
+}  // namespace
+
+const char* status_name(JobStatus status) noexcept {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kRejectedOverload: return "rejected_overload";
+    case JobStatus::kDeadlineExceeded: return "deadline_exceeded";
+    case JobStatus::kCancelledDrain: return "cancelled_drain";
+    case JobStatus::kInvalidTrace: return "invalid_trace";
+    case JobStatus::kIoError: return "io_error";
+    case JobStatus::kInternalError: return "internal_error";
+    case JobStatus::kShuttingDown: return "shutting_down";
+    case JobStatus::kBadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+std::string encode_request(const JobRequest& request) {
+  std::string out;
+  out.reserve(28 + request.payload.size());
+  put(out, kRequestMagic);
+  put(out, request.job_id);
+  put(out, request.flags);
+  put(out, request.analyzers);
+  put(out, request.repair);
+  put<std::uint8_t>(out, 0);  // reserved
+  put(out, request.deadline_ms);
+  put(out, request.likely_samples);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(request.payload.size()));
+  out += request.payload;
+  return out;
+}
+
+std::string encode_reply(const JobReply& reply) {
+  std::string out;
+  out.reserve(24 + reply.detail.size());
+  put(out, kReplyMagic);
+  put(out, reply.job_id);
+  put(out, static_cast<std::uint8_t>(reply.status));
+  put<std::uint8_t>(out, 0);  // reserved
+  put<std::uint16_t>(out, 0);
+  put(out, reply.attempts);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(reply.detail.size()));
+  out += reply.detail;
+  return out;
+}
+
+bool decode_request(const char* data, std::size_t size, JobRequest& out) {
+  const char* p = data;
+  const char* end = data + size;
+  std::uint32_t magic = 0;
+  std::uint8_t reserved = 0;
+  std::uint32_t payload_len = 0;
+  if (!get(p, end, magic) || magic != kRequestMagic) return false;
+  if (!get(p, end, out.job_id) || !get(p, end, out.flags) ||
+      !get(p, end, out.analyzers) || !get(p, end, out.repair) ||
+      !get(p, end, reserved) || !get(p, end, out.deadline_ms) ||
+      !get(p, end, out.likely_samples) || !get(p, end, payload_len))
+    return false;
+  if (!get_bytes(p, end, payload_len, out.payload)) return false;
+  return p == end;  // trailing garbage is a decode failure, not slack
+}
+
+bool decode_reply(const char* data, std::size_t size, JobReply& out) {
+  const char* p = data;
+  const char* end = data + size;
+  std::uint32_t magic = 0;
+  std::uint8_t status = 0;
+  std::uint8_t r8 = 0;
+  std::uint16_t r16 = 0;
+  std::uint32_t detail_len = 0;
+  if (!get(p, end, magic) || magic != kReplyMagic) return false;
+  if (!get(p, end, out.job_id) || !get(p, end, status) || !get(p, end, r8) ||
+      !get(p, end, r16) || !get(p, end, out.attempts) ||
+      !get(p, end, detail_len))
+    return false;
+  if (status > static_cast<std::uint8_t>(JobStatus::kBadRequest)) return false;
+  out.status = static_cast<JobStatus>(status);
+  if (!get_bytes(p, end, detail_len, out.detail)) return false;
+  return p == end;
+}
+
+}  // namespace perturb::server

@@ -1,0 +1,96 @@
+// Wire protocol of the perturbation-analysis daemon.
+//
+// Transport framing is a 4-byte little-endian payload length followed by the
+// payload; the payload is a fixed-layout little-endian header plus one
+// variable-length field.  Two payload kinds exist: a job request (client →
+// server) and a job reply (server → client).  The protocol is deliberately
+// content-addressed and clock-free: a reply is a pure function of the
+// request and the server's configuration, never of wall-clock time or worker
+// scheduling, so replies are bit-identical across runs and worker counts
+// (the determinism contract the server tests pin down).
+//
+// Every decode is strict: unknown magic, short buffers, or trailing garbage
+// fail decoding rather than being guessed at, and the frame layer caps
+// payload sizes so a corrupt length prefix cannot trigger a giant
+// allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace perturb::server {
+
+/// Frames (and therefore inline trace payloads) are capped well below any
+/// plausible job size; a corrupt length prefix fails fast instead of
+/// allocating gigabytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
+
+/// Terminal status of one job.
+enum class JobStatus : std::uint8_t {
+  kOk = 0,
+  kRejectedOverload = 1,   ///< admission queue or byte budget full; not run
+  kDeadlineExceeded = 2,   ///< cancelled at a pipeline checkpoint
+  kCancelledDrain = 3,     ///< shutdown drain timed out while job queued/ran
+  kInvalidTrace = 4,       ///< malformed payload or failed acquisition
+  kIoError = 5,            ///< unreadable path / persistent transient fault
+  kInternalError = 6,      ///< worker caught an unexpected exception
+  kShuttingDown = 7,       ///< server draining; job was never admitted
+  kBadRequest = 8,         ///< undecodable or semantically invalid request
+};
+
+/// Human-readable status name ("ok", "rejected_overload", ...).
+const char* status_name(JobStatus status) noexcept;
+
+/// Which built-in analyzers a job runs, as a bitmask.
+enum AnalyzerMask : std::uint8_t {
+  kMaskTimeBased = 1u << 0,
+  kMaskEventBased = 1u << 1,
+  kMaskLiberal = 1u << 2,
+  kMaskLikely = 1u << 3,
+};
+inline constexpr std::uint8_t kAllAnalyzers =
+    kMaskTimeBased | kMaskEventBased | kMaskLiberal | kMaskLikely;
+
+/// Request flag bits.
+enum RequestFlags : std::uint8_t {
+  /// Payload is a filesystem path the server loads, instead of an inline
+  /// binary trace image.
+  kFlagPayloadIsPath = 1u << 0,
+  /// Chaos hook: the worker throws an unexpected exception instead of
+  /// running the job.  Only honored when the server was configured with
+  /// allow_poison (tests / fault drills); otherwise rejected as a bad
+  /// request.  Exists so worker crash isolation is exercised at the real
+  /// catch boundary, not a simulation of it.
+  kFlagPoison = 1u << 1,
+};
+
+struct JobRequest {
+  std::uint64_t job_id = 0;
+  std::uint8_t flags = 0;               ///< RequestFlags
+  std::uint8_t analyzers = kMaskTimeBased | kMaskEventBased;
+  std::uint8_t repair = 0;              ///< core::RepairMode as integer
+  std::uint32_t deadline_ms = 0;        ///< 0: server default
+  std::uint32_t likely_samples = 0;     ///< 0: server default (job cost knob)
+  /// Inline binary trace image, or a path when kFlagPayloadIsPath is set.
+  std::string payload;
+};
+
+struct JobReply {
+  std::uint64_t job_id = 0;
+  JobStatus status = JobStatus::kInternalError;
+  std::uint32_t attempts = 0;  ///< execution attempts (retries + 1); 0 if not run
+  /// OK: deterministic result summary.  Failure: diagnosis text.
+  std::string detail;
+};
+
+/// Payload encoders (framing is the socket layer's job).
+std::string encode_request(const JobRequest& request);
+std::string encode_reply(const JobReply& reply);
+
+/// Strict decoders; false on any malformed payload (wrong magic, short
+/// buffer, length fields that disagree with the payload size).
+bool decode_request(const char* data, std::size_t size, JobRequest& out);
+bool decode_reply(const char* data, std::size_t size, JobReply& out);
+
+}  // namespace perturb::server

@@ -1,0 +1,148 @@
+#include "server/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "server/protocol.hpp"
+
+namespace perturb::server {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Fills sockaddr_un; false when the path does not fit (sun_path is ~108
+/// bytes on Linux).
+bool fill_addr(const std::string& path, sockaddr_un& addr) {
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) return false;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ::ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+/// 0 = EOF before any byte, 1 = got everything, -1 = error/torn.
+int recv_all(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ::ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;
+    got += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+void Fd::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Fd::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+bool send_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  char prefix[4];
+  std::memcpy(prefix, &len, sizeof(len));
+  return send_all(fd, prefix, sizeof(prefix)) &&
+         send_all(fd, payload.data(), payload.size());
+}
+
+FrameResult recv_frame(int fd, std::string& payload) {
+  char prefix[4];
+  const int head = recv_all(fd, prefix, sizeof(prefix));
+  if (head == 0) return FrameResult::kClosed;
+  if (head < 0) return FrameResult::kError;
+  std::uint32_t len = 0;
+  std::memcpy(&len, prefix, sizeof(len));
+  if (len > kMaxFrameBytes) return FrameResult::kError;
+  payload.resize(len);
+  if (len > 0 && recv_all(fd, payload.data(), len) != 1)
+    return FrameResult::kError;
+  return FrameResult::kOk;
+}
+
+Fd listen_unix(const std::string& path, std::string& error) {
+  sockaddr_un addr{};
+  if (!fill_addr(path, addr)) {
+    error = "socket path empty or too long: " + path;
+    return Fd();
+  }
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    error = "socket: " + errno_text();
+    return Fd();
+  }
+  // A previous instance that crashed leaves its socket file behind; binding
+  // over it needs the unlink.  A *live* instance is not detected here — the
+  // daemon's pid/lock handling is out of scope for this layer.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    error = "bind " + path + ": " + errno_text();
+    return Fd();
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    error = "listen " + path + ": " + errno_text();
+    return Fd();
+  }
+  return fd;
+}
+
+Fd accept_unix(int listen_fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return Fd();
+  return Fd(::accept(listen_fd, nullptr, nullptr));
+}
+
+Fd connect_unix(const std::string& path, std::string& error) {
+  sockaddr_un addr{};
+  if (!fill_addr(path, addr)) {
+    error = "socket path empty or too long: " + path;
+    return Fd();
+  }
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    error = "socket: " + errno_text();
+    return Fd();
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    error = "connect " + path + ": " + errno_text();
+    return Fd();
+  }
+  return fd;
+}
+
+}  // namespace perturb::server

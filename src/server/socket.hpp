@@ -1,0 +1,72 @@
+// Minimal AF_UNIX stream-socket layer: RAII fds, length-prefixed frame
+// send/receive, a polling listener.  POSIX-only, like the daemon itself
+// (the library is compiled only on UNIX; see src/server/CMakeLists.txt).
+//
+// Framing: a 4-byte little-endian payload length, then the payload.  recv
+// and send loop over partial transfers; a peer that closes mid-frame yields
+// a clean "connection closed" result, never a torn payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace perturb::server {
+
+/// Owning file descriptor.  Move-only; close() is idempotent.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { close(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+  /// shutdown(2) both directions: unblocks any thread parked in recv/send on
+  /// this fd (used by the drain path); the fd itself stays open until close.
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+enum class FrameResult : std::uint8_t {
+  kOk = 0,
+  kClosed,    ///< orderly EOF at a frame boundary
+  kError,     ///< I/O error, torn frame, or oversized length prefix
+};
+
+/// Sends one length-prefixed frame; false on any send failure.  Safe for
+/// concurrent frames on the same fd only under an external lock (the server
+/// serializes replies per connection).
+bool send_frame(int fd, const std::string& payload);
+
+/// Receives one length-prefixed frame.
+FrameResult recv_frame(int fd, std::string& payload);
+
+/// Binds and listens on an AF_UNIX socket at `path`, replacing a stale
+/// socket file.  Returns an invalid Fd and fills `error` on failure.
+Fd listen_unix(const std::string& path, std::string& error);
+
+/// Accepts one connection, waiting up to `timeout_ms`.  Returns an invalid
+/// Fd on timeout or error (the listener polls so a stop flag can be checked
+/// between waits).
+Fd accept_unix(int listen_fd, int timeout_ms);
+
+/// Connects to the AF_UNIX socket at `path`.  Returns an invalid Fd and
+/// fills `error` on failure.
+Fd connect_unix(const std::string& path, std::string& error);
+
+}  // namespace perturb::server

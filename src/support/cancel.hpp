@@ -1,0 +1,96 @@
+// Cooperative cancellation with deadlines.
+//
+// A CancelToken is shared between the party that wants work stopped (the
+// server's drain path, a deadline armed at admission) and the code doing the
+// work (the analysis pipeline, which polls at phase boundaries).  Cancellation
+// is cooperative: nothing is interrupted mid-instruction; the worker observes
+// the token at its next checkpoint and unwinds by throwing CancelledError,
+// leaving every data structure it touched in a consistent state.
+//
+// The token is safe to poll from any thread and to cancel from any thread;
+// both sides use relaxed atomics (a checkpoint that races a cancel by one
+// poll interval is within the contract — cancellation is a latency bound,
+// not a barrier).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace perturb::support {
+
+/// Why a CancelToken fired.
+enum class CancelReason : std::uint8_t {
+  kNone = 0,
+  kCancelled,  ///< explicit cancel() — e.g. server drain
+  kDeadline,   ///< the armed deadline passed
+};
+
+/// Thrown by CancelToken::check() at a checkpoint once the token has fired.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError(CancelReason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+
+  CancelReason reason() const noexcept { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Arms (or re-arms) an absolute deadline.  The token fires once the clock
+  /// passes it; deadline firing is sticky like an explicit cancel.
+  void set_deadline(Clock::time_point deadline) noexcept {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Removes the deadline and un-cancels: reuse the same token object for
+  /// the next job without reallocation.
+  void reset() noexcept {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Fires the token explicitly (sticky).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Current firing state; kNone while the token has not fired.
+  CancelReason state() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed))
+      return CancelReason::kCancelled;
+    const auto ns = deadline_ns_.load(std::memory_order_relaxed);
+    if (ns != 0 && Clock::now().time_since_epoch().count() >= ns)
+      return CancelReason::kDeadline;
+    return CancelReason::kNone;
+  }
+
+  bool fired() const noexcept { return state() != CancelReason::kNone; }
+
+  /// Checkpoint: throws CancelledError naming `where` once the token has
+  /// fired, otherwise returns.  `where` should identify the phase about to
+  /// run (the work being skipped), e.g. "analyses".
+  void check(const char* where) const {
+    const CancelReason r = state();
+    if (r == CancelReason::kNone) return;
+    throw CancelledError(
+        r, std::string(r == CancelReason::kDeadline ? "deadline exceeded"
+                                                    : "cancelled") +
+               " before " + where);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// Steady-clock deadline in epoch ns; 0 = no deadline armed.
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+}  // namespace perturb::support

@@ -1,0 +1,73 @@
+#include "support/fsio.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PERTURB_FSIO_POSIX 1
+#include <unistd.h>
+#endif
+
+#include "support/text.hpp"
+
+namespace perturb::support {
+
+namespace {
+
+void set_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+}
+
+/// Temporary sibling of `path`: same directory (so the rename cannot cross a
+/// filesystem boundary) and pid-tagged (so concurrent writers of the same
+/// destination never share a staging file).
+std::string temp_name(const std::string& path) {
+#ifdef PERTURB_FSIO_POSIX
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return strf("%s.tmp.%ld", path.c_str(), pid);
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, const char* data,
+                       std::size_t size, std::string* error) {
+  const std::string tmp = temp_name(path);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    set_error(error, strf("cannot open for write: %s (%s)", tmp.c_str(),
+                          std::strerror(errno)));
+    return false;
+  }
+  bool ok = size == 0 || std::fwrite(data, 1, size, f) == size;
+  ok = std::fflush(f) == 0 && ok;
+#ifdef PERTURB_FSIO_POSIX
+  // Push the bytes to stable storage before the rename publishes them, so a
+  // power loss cannot surface a renamed-but-empty file.
+  ok = ok && ::fsync(::fileno(f)) == 0;
+#endif
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    set_error(error, strf("write failed: %s (%s)", tmp.c_str(),
+                          std::strerror(errno)));
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, strf("cannot rename %s to %s (%s)", tmp.c_str(),
+                          path.c_str(), std::strerror(errno)));
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool write_file_atomic(const std::string& path, const std::string& contents,
+                       std::string* error) {
+  return write_file_atomic(path, contents.data(), contents.size(), error);
+}
+
+}  // namespace perturb::support

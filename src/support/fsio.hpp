@@ -1,0 +1,27 @@
+// Atomic file writes.
+//
+// Every file the tools and the server emit (metrics snapshots, CSV series,
+// binary traces, bench JSON) is written via write_file_atomic: the bytes go
+// to a temporary file in the same directory, which is then renamed over the
+// destination.  A reader therefore sees either the old complete file or the
+// new complete file — never a torn prefix — and a crash or SIGTERM mid-write
+// leaves the destination untouched.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace perturb::support {
+
+/// Writes `size` bytes at `data` to `path` atomically (temp file + rename).
+/// Returns true on success.  On failure returns false, fills `*error` with a
+/// diagnosis when non-null, removes the temporary file, and leaves any
+/// existing file at `path` untouched.
+bool write_file_atomic(const std::string& path, const char* data,
+                       std::size_t size, std::string* error = nullptr);
+
+/// Convenience overload for string contents.
+bool write_file_atomic(const std::string& path, const std::string& contents,
+                       std::string* error = nullptr);
+
+}  // namespace perturb::support

@@ -271,6 +271,27 @@ void append_field(std::string& out, const char* key, std::uint64_t value) {
 
 }  // namespace
 
+std::uint64_t histogram_quantile(const HistogramSnapshot& h, double q) {
+  if (h.count == 0) return 0;
+  if (q <= 0.0) return h.min;
+  if (q >= 1.0) return h.max;
+  // Rank of the q-th value (1-based), then walk the log2 buckets to the one
+  // holding it.  The estimate is the bucket's upper bound — a value v in
+  // bucket b satisfies v < 2^(b+1) — clamped into the exact [min, max].
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(h.count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    seen += h.buckets[b];
+    if (seen >= rank) {
+      const std::uint64_t upper =
+          b >= 63 ? h.max : (std::uint64_t{2} << b) - 1;
+      return std::max(h.min, std::min(h.max, upper));
+    }
+  }
+  return h.max;
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::string out = "{\n";
 

@@ -59,6 +59,14 @@ struct MetricsSnapshot {
   std::string to_json() const;
 };
 
+/// Estimated quantile (q in [0, 1]) of the values recorded into a histogram,
+/// derived from its log2 buckets: the upper bound of the bucket holding the
+/// q-th value, clamped into the exact [min, max].  Resolution is one power of
+/// two — coarse, but exactly what tail-latency reporting (p50/p99/p99.9 of a
+/// nanosecond timer) needs from an always-on registry.  Returns 0 for an
+/// empty histogram.
+std::uint64_t histogram_quantile(const HistogramSnapshot& h, double q);
+
 /// Static facade over the process-wide registry.
 class Metrics {
  public:

@@ -20,6 +20,7 @@
 
 #include "support/check.hpp"
 #include "support/crc32.hpp"
+#include "support/fsio.hpp"
 #include "support/metrics.hpp"
 #include "support/text.hpp"
 
@@ -40,6 +41,13 @@ constexpr std::uint32_t kMaxProcs = 1u << 20;
 
 [[noreturn]] void io_fail(const std::string& msg) { throw IoError(msg); }
 
+/// Header-level defects: the bytes are not a usable trace at all (empty
+/// file, bad magic, corrupt or truncated header).  Not salvageable and not
+/// an I/O failure — see MalformedTraceError.
+[[noreturn]] void malformed_fail(const std::string& msg) {
+  throw MalformedTraceError(msg);
+}
+
 }  // namespace
 
 void write_text(std::ostream& out, const Trace& trace) {
@@ -56,9 +64,10 @@ void write_text(std::ostream& out, const Trace& trace) {
 
 Trace read_text(std::istream& in) {
   std::string line;
-  PERTURB_CHECK_MSG(std::getline(in, line), "empty trace stream");
-  PERTURB_CHECK_MSG(trim(line) == "#perturb-trace v1",
-                    "bad trace header: " + line);
+  if (!std::getline(in, line))
+    malformed_fail("empty trace file (no header line)");
+  if (trim(line) != "#perturb-trace v1")
+    malformed_fail("bad trace header: " + line);
   TraceInfo info;
   bool have_info = false;
   std::vector<Event> events;
@@ -119,6 +128,16 @@ T get(std::istream& in) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
   if (!in.good()) io_fail("truncated binary trace");
+  return v;
+}
+
+/// Header-field read: truncation here means the header itself is cut, which
+/// is a malformed (unsalvageable) trace rather than a torn body.
+template <typename T>
+T get_header(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in.good()) malformed_fail("binary trace header truncated");
   return v;
 }
 
@@ -188,34 +207,41 @@ Event get_event(ByteSource& src) {
 /// Reads the v2 header block (length-prefixed, CRC-trailed).  Throws IoError
 /// on corruption — a trace whose metadata cannot be trusted is unsalvageable.
 TraceInfo read_header_v2(std::istream& in, std::uint64_t& count) {
-  const auto header_len = get<std::uint32_t>(in);
+  const auto header_len = get_header<std::uint32_t>(in);
   if (header_len > kMaxNameLen + 64)
-    io_fail(strf("binary trace header field #header_len %u exceeds sanity cap",
-                 unsigned(header_len)));
+    malformed_fail(
+        strf("binary trace header field #header_len %u exceeds sanity cap",
+             unsigned(header_len)));
   if (header_len > stream_remaining(in))
-    io_fail("binary trace header truncated");
+    malformed_fail("binary trace header truncated");
   std::vector<char> block(header_len);
   in.read(block.data(), static_cast<std::streamsize>(header_len));
-  if (!in.good()) io_fail("binary trace header truncated");
-  const auto crc = get<std::uint32_t>(in);
+  if (!in.good()) malformed_fail("binary trace header truncated");
+  const auto crc = get_header<std::uint32_t>(in);
   if (crc != support::crc32(block.data(), block.size()))
-    io_fail("binary trace header checksum mismatch");
+    malformed_fail("binary trace header checksum mismatch");
 
-  ByteSource src{block.data(), block.data() + block.size()};
-  const auto name_len = src.get<std::uint32_t>();
-  if (name_len > static_cast<std::size_t>(src.end - src.p))
-    io_fail(strf("binary trace header field #name_len %u exceeds header size",
-                 unsigned(name_len)));
-  TraceInfo info;
-  info.name.assign(src.p, name_len);
-  src.p += name_len;
-  info.num_procs = src.get<std::uint32_t>();
-  if (info.num_procs > kMaxProcs)
-    io_fail(strf("binary trace header field #procs %u exceeds sanity cap",
-                 unsigned(info.num_procs)));
-  info.ticks_per_us = src.get<double>();
-  count = src.get<std::uint64_t>();
-  return info;
+  try {
+    ByteSource src{block.data(), block.data() + block.size()};
+    const auto name_len = src.get<std::uint32_t>();
+    if (name_len > static_cast<std::size_t>(src.end - src.p))
+      malformed_fail(
+          strf("binary trace header field #name_len %u exceeds header size",
+               unsigned(name_len)));
+    TraceInfo info;
+    info.name.assign(src.p, name_len);
+    src.p += name_len;
+    info.num_procs = src.get<std::uint32_t>();
+    if (info.num_procs > kMaxProcs)
+      malformed_fail(strf("binary trace header field #procs %u exceeds sanity cap",
+                          unsigned(info.num_procs)));
+    info.ticks_per_us = src.get<double>();
+    count = src.get<std::uint64_t>();
+    return info;
+  } catch (const IoError&) {
+    // ByteSource underrun inside the header block: the header is malformed.
+    malformed_fail("binary trace header truncated");
+  }
 }
 
 /// Shared v2 chunk-reading loop.  In strict mode any defect throws IoError;
@@ -304,22 +330,23 @@ Trace read_v2(std::istream& in, bool salvage, SalvageReport& report) {
 /// Legacy v1 reader (unframed, no checksums).  Salvage mode keeps the
 /// events read before the stream ran out.
 Trace read_v1(std::istream& in, bool salvage, SalvageReport& report) {
-  const auto name_len = get<std::uint32_t>(in);
+  const auto name_len = get_header<std::uint32_t>(in);
   if (name_len > kMaxNameLen)
-    io_fail(strf("binary trace header field #name_len %u exceeds sanity cap",
-                 unsigned(name_len)));
+    malformed_fail(
+        strf("binary trace header field #name_len %u exceeds sanity cap",
+             unsigned(name_len)));
   if (name_len > stream_remaining(in))
-    io_fail("truncated binary trace string");
+    malformed_fail("binary trace header truncated");
   TraceInfo info;
   info.name.assign(name_len, '\0');
   in.read(info.name.data(), static_cast<std::streamsize>(name_len));
-  if (!in.good()) io_fail("truncated binary trace string");
-  info.num_procs = get<std::uint32_t>(in);
+  if (!in.good()) malformed_fail("binary trace header truncated");
+  info.num_procs = get_header<std::uint32_t>(in);
   if (info.num_procs > kMaxProcs)
-    io_fail(strf("binary trace header field #procs %u exceeds sanity cap",
-                 unsigned(info.num_procs)));
-  info.ticks_per_us = get<double>(in);
-  const auto count = get<std::uint64_t>(in);
+    malformed_fail(strf("binary trace header field #procs %u exceeds sanity cap",
+                        unsigned(info.num_procs)));
+  info.ticks_per_us = get_header<double>(in);
+  const auto count = get_header<std::uint64_t>(in);
   report.version = kVersionV1;
   report.events_declared = static_cast<std::size_t>(count);
 
@@ -360,12 +387,16 @@ Trace read_v1(std::istream& in, bool salvage, SalvageReport& report) {
 Trace read_binary_impl(std::istream& in, bool salvage, SalvageReport& report) {
   char magic[4];
   in.read(magic, 4);
-  if (!in.good() || std::memcmp(magic, kMagic, 4) != 0)
-    io_fail("bad binary trace magic");
-  const auto version = get<std::uint32_t>(in);
+  if (!in.good()) {
+    if (in.gcount() == 0) malformed_fail("empty trace file (zero bytes)");
+    malformed_fail("bad binary trace magic");
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0)
+    malformed_fail("bad binary trace magic");
+  const auto version = get_header<std::uint32_t>(in);
   if (version == kVersionV1) return read_v1(in, salvage, report);
   if (version == kVersionV2) return read_v2(in, salvage, report);
-  io_fail(strf("unsupported binary trace version %u", unsigned(version)));
+  malformed_fail(strf("unsupported binary trace version %u", unsigned(version)));
 }
 
 // ---- zero-copy buffer reader -------------------------------------------
@@ -401,6 +432,17 @@ struct BufCursor {
     p += sizeof(T);
     return v;
   }
+
+  /// Header-field read; see get_header(std::istream&).
+  template <typename T>
+  T get_header() {
+    if (remaining() < sizeof(T))
+      malformed_fail("binary trace header truncated");
+    T v{};
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    return v;
+  }
 };
 
 /// Decodes `n` records at `src` into `dst`, validating kinds.  Writes into
@@ -420,32 +462,39 @@ std::uint32_t decode_events(const char* src, std::uint32_t n, Event* dst) {
 /// v2 header parse over the buffer; same checks and messages as
 /// read_header_v2.
 TraceInfo read_header_v2_buffer(BufCursor& cur, std::uint64_t& count) {
-  const auto header_len = cur.get<std::uint32_t>();
+  const auto header_len = cur.get_header<std::uint32_t>();
   if (header_len > kMaxNameLen + 64)
-    io_fail(strf("binary trace header field #header_len %u exceeds sanity cap",
-                 unsigned(header_len)));
-  if (header_len > cur.remaining()) io_fail("binary trace header truncated");
+    malformed_fail(
+        strf("binary trace header field #header_len %u exceeds sanity cap",
+             unsigned(header_len)));
+  if (header_len > cur.remaining())
+    malformed_fail("binary trace header truncated");
   const char* block = cur.p;
   cur.p += header_len;
-  const auto crc = cur.get<std::uint32_t>();
+  const auto crc = cur.get_header<std::uint32_t>();
   if (crc != support::crc32(block, header_len))
-    io_fail("binary trace header checksum mismatch");
+    malformed_fail("binary trace header checksum mismatch");
 
-  ByteSource src{block, block + header_len};
-  const auto name_len = src.get<std::uint32_t>();
-  if (name_len > static_cast<std::size_t>(src.end - src.p))
-    io_fail(strf("binary trace header field #name_len %u exceeds header size",
-                 unsigned(name_len)));
-  TraceInfo info;
-  info.name.assign(src.p, name_len);
-  src.p += name_len;
-  info.num_procs = src.get<std::uint32_t>();
-  if (info.num_procs > kMaxProcs)
-    io_fail(strf("binary trace header field #procs %u exceeds sanity cap",
-                 unsigned(info.num_procs)));
-  info.ticks_per_us = src.get<double>();
-  count = src.get<std::uint64_t>();
-  return info;
+  try {
+    ByteSource src{block, block + header_len};
+    const auto name_len = src.get<std::uint32_t>();
+    if (name_len > static_cast<std::size_t>(src.end - src.p))
+      malformed_fail(
+          strf("binary trace header field #name_len %u exceeds header size",
+               unsigned(name_len)));
+    TraceInfo info;
+    info.name.assign(src.p, name_len);
+    src.p += name_len;
+    info.num_procs = src.get<std::uint32_t>();
+    if (info.num_procs > kMaxProcs)
+      malformed_fail(strf("binary trace header field #procs %u exceeds sanity cap",
+                          unsigned(info.num_procs)));
+    info.ticks_per_us = src.get<double>();
+    count = src.get<std::uint64_t>();
+    return info;
+  } catch (const IoError&) {
+    malformed_fail("binary trace header truncated");
+  }
 }
 
 Trace read_v2_buffer(BufCursor cur, bool salvage, SalvageReport& report) {
@@ -524,20 +573,22 @@ Trace read_v2_buffer(BufCursor cur, bool salvage, SalvageReport& report) {
 }
 
 Trace read_v1_buffer(BufCursor cur, bool salvage, SalvageReport& report) {
-  const auto name_len = cur.get<std::uint32_t>();
+  const auto name_len = cur.get_header<std::uint32_t>();
   if (name_len > kMaxNameLen)
-    io_fail(strf("binary trace header field #name_len %u exceeds sanity cap",
-                 unsigned(name_len)));
-  if (name_len > cur.remaining()) io_fail("truncated binary trace string");
+    malformed_fail(
+        strf("binary trace header field #name_len %u exceeds sanity cap",
+             unsigned(name_len)));
+  if (name_len > cur.remaining())
+    malformed_fail("binary trace header truncated");
   TraceInfo info;
   info.name.assign(cur.p, name_len);
   cur.p += name_len;
-  info.num_procs = cur.get<std::uint32_t>();
+  info.num_procs = cur.get_header<std::uint32_t>();
   if (info.num_procs > kMaxProcs)
-    io_fail(strf("binary trace header field #procs %u exceeds sanity cap",
-                 unsigned(info.num_procs)));
-  info.ticks_per_us = cur.get<double>();
-  const auto count = cur.get<std::uint64_t>();
+    malformed_fail(strf("binary trace header field #procs %u exceeds sanity cap",
+                        unsigned(info.num_procs)));
+  info.ticks_per_us = cur.get_header<double>();
+  const auto count = cur.get_header<std::uint64_t>();
   report.version = kVersionV1;
   report.events_declared = static_cast<std::size_t>(count);
 
@@ -588,13 +639,14 @@ Trace read_v1_buffer(BufCursor cur, bool salvage, SalvageReport& report) {
 Trace read_binary_buffer_impl(const char* data, std::size_t size, bool salvage,
                               SalvageReport& report) {
   BufCursor cur{data, data + size};
+  if (size == 0) malformed_fail("empty trace file (zero bytes)");
   if (cur.remaining() < 4 || std::memcmp(cur.p, kMagic, 4) != 0)
-    io_fail("bad binary trace magic");
+    malformed_fail("bad binary trace magic");
   cur.p += 4;
-  const auto version = cur.get<std::uint32_t>();
+  const auto version = cur.get_header<std::uint32_t>();
   if (version == kVersionV1) return read_v1_buffer(cur, salvage, report);
   if (version == kVersionV2) return read_v2_buffer(cur, salvage, report);
-  io_fail(strf("unsupported binary trace version %u", unsigned(version)));
+  malformed_fail(strf("unsupported binary trace version %u", unsigned(version)));
 }
 
 }  // namespace
@@ -741,13 +793,19 @@ class FileImage {
 }  // namespace
 
 void save(const std::string& path, const Trace& trace) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.good()) io_fail("cannot open for write: " + path);
+  // Atomic: the image is rendered in memory and published with a temp-file +
+  // rename, so a crash or ENOSPC mid-save never leaves a torn trace at
+  // `path` (the salvage reader should earn its keep on real corruption, not
+  // on our own interrupted writes).
+  std::ostringstream out;
   if (is_text_path(path))
     write_text(out, trace);
   else
     write_binary(out, trace);
   if (!out.good()) io_fail("write failed: " + path);
+  std::string error;
+  if (!support::write_file_atomic(path, out.str(), &error))
+    io_fail("cannot write " + path + ": " + error);
 }
 
 namespace {

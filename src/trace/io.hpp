@@ -28,6 +28,18 @@ class IoError : public CheckError {
   explicit IoError(const std::string& what) : CheckError(what) {}
 };
 
+/// Thrown when a file's *contents* are not a usable trace at all: zero
+/// bytes, wrong magic, an unsupported version, or a corrupt/truncated header
+/// — defects from which not even the salvage reader can recover an event.
+/// Deliberately NOT an IoError: the file was read fine, its content is
+/// invalid, so tools map this to the invalid-trace exit code (2) rather than
+/// the I/O-failure code (3).  Body-level corruption past a valid header
+/// stays IoError in strict mode (the salvage path recovers a prefix).
+class MalformedTraceError : public CheckError {
+ public:
+  explicit MalformedTraceError(const std::string& what) : CheckError(what) {}
+};
+
 /// Outcome of a salvage read: how much of the stream was recovered and why
 /// recovery stopped (if it did).
 struct SalvageReport {

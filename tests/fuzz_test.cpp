@@ -22,6 +22,7 @@
 #include <string>
 
 #include "core/eventbased.hpp"
+#include "core/pipeline.hpp"
 #include "instr/plan.hpp"
 #include "sim/engine.hpp"
 #include "support/prng.hpp"
@@ -344,6 +345,113 @@ TEST(FuzzBinaryBytes, PureTruncationAlwaysSalvages) {
     prev = t.size();
   }
   EXPECT_EQ(prev, base.num_events);
+}
+
+// ---- degenerate inputs: the header edge cases random mutation rarely hits.
+// These are *content* defects, not I/O failures: the file read fine, its
+// bytes are unusable.  Both readers must reject with MalformedTraceError
+// (the exit-2 class) and the same message.
+
+/// Strict-reads `bytes` through the stream and buffer paths; both must throw
+/// MalformedTraceError, and with identical messages.
+void expect_malformed(const std::string& bytes, const std::string& what) {
+  std::string stream_msg;
+  try {
+    std::istringstream in(bytes, std::ios::binary);
+    trace::read_binary(in);
+    FAIL() << what << ": stream reader accepted degenerate input";
+  } catch (const trace::MalformedTraceError& e) {
+    stream_msg = e.what();
+  }
+  std::string buffer_msg;
+  try {
+    trace::read_binary(bytes.data(), bytes.size());
+    FAIL() << what << ": buffer reader accepted degenerate input";
+  } catch (const trace::MalformedTraceError& e) {
+    buffer_msg = e.what();
+  }
+  EXPECT_EQ(stream_msg, buffer_msg) << what;
+
+  // Salvage cannot rescue a file with no usable header either; it must
+  // reject just as loudly rather than return an empty "recovered" trace.
+  try {
+    std::istringstream in(bytes, std::ios::binary);
+    trace::SalvageReport report;
+    trace::read_binary_salvage(in, report);
+    FAIL() << what << ": stream salvage accepted degenerate input";
+  } catch (const trace::MalformedTraceError&) {
+  }
+  try {
+    trace::SalvageReport report;
+    trace::read_binary_salvage(bytes.data(), bytes.size(), report);
+    FAIL() << what << ": buffer salvage accepted degenerate input";
+  } catch (const trace::MalformedTraceError&) {
+  }
+}
+
+TEST(FuzzBinaryBytes, ZeroByteImageIsMalformedNotCrash) {
+  expect_malformed(std::string(), "zero-byte");
+  // The diagnosis names the actual defect.
+  try {
+    trace::read_binary(nullptr, 0);
+    FAIL();
+  } catch (const trace::MalformedTraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("empty trace file"),
+              std::string::npos);
+  }
+}
+
+TEST(FuzzBinaryBytes, TruncationInsideHeaderIsMalformedAtEveryCut) {
+  // Cuts before the first event record leave no declared-event prefix to
+  // salvage: every one must be a loud MalformedTraceError, never a crash,
+  // over-read, or silently empty trace.  (Cuts past the header are the
+  // salvageable case covered by PureTruncationAlwaysSalvages.)
+  const BaseImage& base = base_image();
+  std::size_t header_end = base.bytes.size();
+  for (std::size_t cut = 1; cut < base.bytes.size(); ++cut) {
+    const std::string torn = base.bytes.substr(0, cut);
+    try {
+      std::istringstream in(torn, std::ios::binary);
+      trace::SalvageReport report;
+      trace::read_binary_salvage(in, report);
+      header_end = cut;  // first cut the salvage reader survives
+      break;
+    } catch (const trace::MalformedTraceError&) {
+    }
+  }
+  ASSERT_LT(header_end, base.bytes.size());
+  for (std::size_t cut = 1; cut < header_end; ++cut)
+    expect_malformed(base.bytes.substr(0, cut),
+                     "cut at byte " + std::to_string(cut));
+}
+
+TEST(FuzzBinaryBytes, BadMagicAndBadVersionAreMalformed) {
+  std::string wrong_magic = base_image().bytes;
+  wrong_magic[0] = static_cast<char>(wrong_magic[0] ^ 0x55);
+  expect_malformed(wrong_magic, "bad magic");
+
+  std::string bad_version = base_image().bytes;
+  bad_version[4] = char(0x7F);  // version byte follows the 4-byte magic
+  expect_malformed(bad_version, "unsupported version");
+}
+
+TEST(FuzzBinaryBytes, EmptyTraceFailsPipelineStructurally) {
+  // A syntactically valid image declaring zero events parses, but analysis
+  // must fail acquisition with a diagnosis instead of emitting NaNs.
+  std::ostringstream out(std::ios::binary);
+  trace::write_binary(out, trace::Trace{});
+  const std::string image = out.str();
+  const trace::Trace empty =
+      trace::read_binary(image.data(), image.size());
+  EXPECT_EQ(empty.size(), 0u);
+
+  core::PipelineOptions options;
+  core::AnalysisPipeline pipeline(std::move(options));
+  pipeline.add(core::AnalyzerKind::kTimeBased);
+  const auto acquired = pipeline.acquire(trace::Trace{empty});
+  EXPECT_FALSE(acquired.ok);
+  EXPECT_NE(acquired.diagnosis.find("no events"), std::string::npos)
+      << acquired.diagnosis;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBinaryBytes,

@@ -1,0 +1,471 @@
+// Robustness suite for the perturbation-analysis daemon (src/server).
+//
+// What must hold, per the server's contract:
+//   * overload is shed with structured kRejectedOverload replies — the
+//     admission path answers immediately instead of blocking the client;
+//   * a job whose deadline passes while it waits is cancelled at a pipeline
+//     checkpoint and answered kDeadlineExceeded;
+//   * a poisonous job (worker throws) costs exactly one structured error
+//     reply; the same worker then serves healthy jobs;
+//   * graceful drain finishes in-flight work, sheds what the drain budget
+//     cannot cover, and answers kShuttingDown to late arrivals;
+//   * replies for deadline-free jobs are bit-identical whether the daemon
+//     runs 1, 2, or 8 workers (fault injection keyed on job id, not on
+//     scheduling);
+//   * transient faults are retried with backoff and succeed within the
+//     attempt budget.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "experiments/experiments.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "trace/io.hpp"
+
+namespace perturb::server {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Unique socket path per test (ctest runs suites in parallel processes).
+std::string test_socket() {
+  static std::atomic<int> counter{0};
+  return "/tmp/perturb_srv_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// The shared workload image: the standard loop-17 measured trace.
+const std::string& payload() {
+  static const std::string image = [] {
+    experiments::Setup setup;
+    const auto run = experiments::run_concurrent_experiment(
+        17, 200, setup, experiments::PlanKind::kFull);
+    std::ostringstream out;
+    trace::write_binary(out, run.measured);
+    return out.str();
+  }();
+  return image;
+}
+
+ServerConfig base_config(const std::string& socket_path,
+                         std::size_t workers) {
+  ServerConfig config;
+  config.socket_path = socket_path;
+  config.workers = workers;
+  experiments::Setup setup;
+  config.pipeline.overheads = experiments::overheads_for(
+      experiments::make_plan(experiments::PlanKind::kFull, setup),
+      setup.machine);
+  config.pipeline.machine = setup.machine;
+  config.pipeline.sync_slack = 130;
+  return config;
+}
+
+JobRequest job(std::uint64_t id, std::uint8_t analyzers = kMaskTimeBased) {
+  JobRequest request;
+  request.job_id = id;
+  request.analyzers = analyzers;
+  request.payload = payload();
+  return request;
+}
+
+/// A job that holds a worker for roughly `samples/6600` seconds (calibrated:
+/// 2000 Monte-Carlo samples of the loop-17 workload ≈ 300 ms).
+JobRequest slow_job(std::uint64_t id, std::uint32_t samples) {
+  JobRequest request = job(id, kMaskLikely);
+  request.likely_samples = samples;
+  return request;
+}
+
+TEST(Server, AnalyzesInlineTraceAndFilePath) {
+  const std::string socket_path = test_socket();
+  PerturbServer daemon(base_config(socket_path, 2));
+  daemon.start();
+  Client client(socket_path);
+
+  const JobReply inline_reply = client.call(job(1, kMaskTimeBased | kMaskEventBased));
+  EXPECT_EQ(inline_reply.status, JobStatus::kOk);
+  EXPECT_EQ(inline_reply.attempts, 1u);
+  EXPECT_NE(inline_reply.detail.find("analyzer=time-based"),
+            std::string::npos);
+  EXPECT_NE(inline_reply.detail.find("analyzer=event-based"),
+            std::string::npos);
+
+  // Path jobs load server-side through the worker's arena.
+  const std::string path = test_socket() + ".trace.bin";
+  {
+    std::ostringstream unused;
+    trace::Trace t = trace::read_binary(payload().data(), payload().size());
+    trace::save(path, t);
+  }
+  JobRequest by_path;
+  by_path.job_id = 2;
+  by_path.flags = kFlagPayloadIsPath;
+  by_path.payload = path;
+  const JobReply path_reply = client.call(by_path);
+  EXPECT_EQ(path_reply.status, JobStatus::kOk);
+  EXPECT_EQ(path_reply.detail, inline_reply.detail);
+  ::unlink(path.c_str());
+  daemon.shutdown();
+}
+
+TEST(Server, MalformedAndEmptyPayloadsAreInvalidTraceNotCrash) {
+  const std::string socket_path = test_socket();
+  PerturbServer daemon(base_config(socket_path, 1));
+  daemon.start();
+  Client client(socket_path);
+
+  JobRequest empty = job(1);
+  empty.payload.clear();
+  const JobReply empty_reply = client.call(empty);
+  EXPECT_EQ(empty_reply.status, JobStatus::kInvalidTrace);
+  EXPECT_NE(empty_reply.detail.find("empty trace file"), std::string::npos);
+
+  JobRequest garbage = job(2);
+  garbage.payload = "this is not a trace";
+  const JobReply garbage_reply = client.call(garbage);
+  EXPECT_EQ(garbage_reply.status, JobStatus::kInvalidTrace);
+
+  // Missing file: an I/O error, structurally reported.
+  JobRequest missing;
+  missing.job_id = 3;
+  missing.flags = kFlagPayloadIsPath;
+  missing.payload = "/nonexistent/trace.bin";
+  const JobReply missing_reply = client.call(missing);
+  EXPECT_EQ(missing_reply.status, JobStatus::kIoError);
+
+  // The worker survived all three; a healthy job still completes.
+  EXPECT_EQ(client.call(job(4)).status, JobStatus::kOk);
+  daemon.shutdown();
+}
+
+TEST(Server, BadRequestsAreRejectedStructurally) {
+  const std::string socket_path = test_socket();
+  PerturbServer daemon(base_config(socket_path, 1));
+  daemon.start();
+  Client client(socket_path);
+
+  JobRequest no_analyzers = job(1);
+  no_analyzers.analyzers = 0;
+  EXPECT_EQ(client.call(no_analyzers).status, JobStatus::kBadRequest);
+
+  JobRequest poison = job(2);
+  poison.flags |= kFlagPoison;  // allow_poison is off in base_config
+  EXPECT_EQ(client.call(poison).status, JobStatus::kBadRequest);
+
+  EXPECT_EQ(client.call(job(3)).status, JobStatus::kOk);
+  daemon.shutdown();
+}
+
+TEST(Server, OverloadShedsWithStructuredRejection) {
+  const std::string socket_path = test_socket();
+  ServerConfig config = base_config(socket_path, 1);
+  config.queue_depth = 1;
+  PerturbServer daemon(std::move(config));
+  daemon.start();
+
+  // Saturate the single worker and the one queue slot with two slow jobs
+  // (~1.2 s each), and give them time to be admitted before probing — the
+  // shed contract is about jobs arriving at a *full* server.
+  std::vector<std::thread> holders;
+  std::vector<JobStatus> held_status(2);
+  for (int k = 0; k < 2; ++k) {
+    holders.emplace_back([&, k] {
+      Client holder(socket_path);
+      held_status[static_cast<std::size_t>(k)] =
+          holder.call(slow_job(10 + static_cast<std::uint64_t>(k), 10000))
+              .status;
+    });
+    // Stagger: let the worker pop the first job before the second arrives,
+    // so one runs and one queues (rather than racing for the queue slot).
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Worker busy + queue at cap: the probe must be rejected immediately, not
+  // blocked for the >1 s the in-flight job still has to run.
+  Client prober(socket_path);
+  const auto start = Clock::now();
+  const JobReply reply = prober.call(job(100));
+  const double rejection_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          Clock::now() - start)
+          .count();
+  EXPECT_EQ(reply.status, JobStatus::kRejectedOverload);
+  EXPECT_NE(reply.detail.find("cap"), std::string::npos) << reply.detail;
+  EXPECT_LT(rejection_ms, 500.0);
+
+  // Both slow jobs were admitted (one running, one queued) and finish fine:
+  // shedding protects admitted work instead of cancelling it.
+  for (auto& holder : holders) holder.join();
+  for (const JobStatus status : held_status)
+    EXPECT_EQ(status, JobStatus::kOk) << status_name(status);
+  daemon.shutdown();
+}
+
+TEST(Server, DeadlinePassedInQueueCancelsAtCheckpoint) {
+  const std::string socket_path = test_socket();
+  PerturbServer daemon(base_config(socket_path, 1));
+  daemon.start();
+
+  // Hold the only worker for ~1.5 s...
+  std::thread holder([&] {
+    Client client(socket_path);
+    EXPECT_EQ(client.call(slow_job(1, 10000)).status, JobStatus::kOk);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // ...so this job's 50 ms deadline expires while it queues; the worker
+  // must cancel it at the first pipeline checkpoint.
+  Client client(socket_path);
+  JobRequest doomed = job(2);
+  doomed.deadline_ms = 50;
+  const JobReply reply = client.call(doomed);
+  EXPECT_EQ(reply.status, JobStatus::kDeadlineExceeded);
+  EXPECT_NE(reply.detail.find("deadline exceeded before"), std::string::npos)
+      << reply.detail;
+  holder.join();
+
+  // The worker that cancelled is still healthy.
+  EXPECT_EQ(client.call(job(3)).status, JobStatus::kOk);
+  daemon.shutdown();
+}
+
+TEST(Server, PoisonJobCostsOneReplyNotAWorker) {
+  const std::string socket_path = test_socket();
+  ServerConfig config = base_config(socket_path, 1);
+  config.allow_poison = true;
+  PerturbServer daemon(std::move(config));
+  daemon.start();
+  Client client(socket_path);
+
+  JobRequest poison = job(1);
+  poison.flags |= kFlagPoison;
+  const JobReply reply = client.call(poison);
+  EXPECT_EQ(reply.status, JobStatus::kInternalError);
+  EXPECT_NE(reply.detail.find("poison"), std::string::npos);
+
+  // The sole worker just caught an unexpected exception; it must keep
+  // serving healthy jobs.
+  for (std::uint64_t id = 2; id < 6; ++id)
+    EXPECT_EQ(client.call(job(id)).status, JobStatus::kOk) << id;
+  daemon.shutdown();
+}
+
+TEST(Server, GracefulDrainFinishesInFlightAndRefusesNewJobs) {
+  const std::string socket_path = test_socket();
+  ServerConfig config = base_config(socket_path, 1);
+  config.drain_timeout_ms = 30000;  // ample: the in-flight job must finish
+  PerturbServer daemon(std::move(config));
+  daemon.start();
+
+  JobStatus slow_status = JobStatus::kInternalError;
+  std::thread holder([&] {
+    Client client(socket_path);
+    slow_status = client.call(slow_job(1, 4000)).status;
+  });
+  // Late client connects before the drain begins; its frames during the
+  // drain must get kShuttingDown.
+  Client late(socket_path);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::atomic<bool> drained{false};
+  std::thread drainer([&] {
+    daemon.shutdown();
+    drained.store(true);
+  });
+  // Give shutdown() a head start to flip the draining flag: a probe that
+  // wins the race is admitted and then queues behind the slow job for the
+  // whole drain window, leaving no frame to see kShuttingDown with.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  bool saw_shutting_down = false;
+  for (std::uint64_t id = 10; id < 300 && !drained.load(); ++id) {
+    JobReply reply;
+    try {
+      reply = late.call(job(id));
+    } catch (const trace::IoError&) {
+      break;  // drain tore the connection down after the grace period
+    }
+    if (reply.status == JobStatus::kShuttingDown) {
+      saw_shutting_down = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  drainer.join();
+  holder.join();
+  // Graceful: the in-flight job finished despite the shutdown racing it.
+  EXPECT_EQ(slow_status, JobStatus::kOk);
+  EXPECT_TRUE(saw_shutting_down);
+}
+
+TEST(Server, DrainTimeoutShedsQueuedJobsAsCancelled) {
+  const std::string socket_path = test_socket();
+  ServerConfig config = base_config(socket_path, 1);
+  config.queue_depth = 16;
+  config.drain_timeout_ms = 50;  // far less than the queued work
+  PerturbServer daemon(std::move(config));
+  daemon.start();
+
+  // One running job (~600 ms) plus several queued behind it.
+  std::vector<std::thread> senders;
+  std::vector<JobStatus> statuses(5, JobStatus::kInternalError);
+  for (std::size_t k = 0; k < statuses.size(); ++k)
+    senders.emplace_back([&, k] {
+      Client client(socket_path);
+      statuses[k] =
+          client.call(slow_job(1 + static_cast<std::uint64_t>(k), 4000))
+              .status;
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  daemon.shutdown();
+  for (auto& sender : senders) sender.join();
+
+  std::size_t ok = 0;
+  std::size_t cancelled = 0;
+  for (const JobStatus status : statuses) {
+    if (status == JobStatus::kOk) ++ok;
+    if (status == JobStatus::kCancelledDrain) ++cancelled;
+  }
+  // The drain budget (50 ms) covers at most the running job; the queue
+  // behind it must be shed as kCancelledDrain, not silently dropped.
+  EXPECT_GE(ok, 1u);
+  EXPECT_GE(cancelled, 1u);
+  EXPECT_EQ(ok + cancelled, statuses.size());
+}
+
+TEST(Server, RetryRecoversTransientFaultDeterministically) {
+  // Choose a job id that faults on attempt 1 but not attempt 2 under the
+  // test seed — the retry must recover it with attempts == 2.
+  const std::uint64_t seed = 42;
+  const double rate = 0.5;
+  std::uint64_t flaky_id = 0;
+  std::uint64_t stable_id = 0;
+  for (std::uint64_t id = 1; id < 1000; ++id) {
+    const bool first = PerturbServer::fault_fires(seed, id, 1, rate);
+    const bool second = PerturbServer::fault_fires(seed, id, 2, rate);
+    if (flaky_id == 0 && first && !second) flaky_id = id;
+    if (stable_id == 0 && !first) stable_id = id;
+    if (flaky_id != 0 && stable_id != 0) break;
+  }
+  ASSERT_NE(flaky_id, 0u);
+  ASSERT_NE(stable_id, 0u);
+
+  const std::string socket_path = test_socket();
+  ServerConfig config = base_config(socket_path, 1);
+  config.fault_seed = seed;
+  config.fault_rate = rate;
+  config.max_attempts = 3;
+  config.retry_backoff_us = 100;
+  PerturbServer daemon(std::move(config));
+  daemon.start();
+  Client client(socket_path);
+
+  const JobReply flaky = client.call(job(flaky_id));
+  EXPECT_EQ(flaky.status, JobStatus::kOk);
+  EXPECT_EQ(flaky.attempts, 2u);
+
+  const JobReply stable = client.call(job(stable_id));
+  EXPECT_EQ(stable.status, JobStatus::kOk);
+  EXPECT_EQ(stable.attempts, 1u);
+
+  // An id that faults on every attempt within the budget fails with a
+  // structured I/O error naming the attempt count.
+  std::uint64_t doomed_id = 0;
+  for (std::uint64_t id = 1; id < 100000; ++id)
+    if (PerturbServer::fault_fires(seed, id, 1, rate) &&
+        PerturbServer::fault_fires(seed, id, 2, rate) &&
+        PerturbServer::fault_fires(seed, id, 3, rate)) {
+      doomed_id = id;
+      break;
+    }
+  ASSERT_NE(doomed_id, 0u);
+  const JobReply doomed = client.call(job(doomed_id));
+  EXPECT_EQ(doomed.status, JobStatus::kIoError);
+  EXPECT_EQ(doomed.attempts, 3u);
+  EXPECT_NE(doomed.detail.find("after 3 attempts"), std::string::npos);
+  daemon.shutdown();
+}
+
+/// Runs the same deadline-free job mix at a given worker count and returns
+/// the encoded reply bytes per job id.
+std::map<std::uint64_t, std::string> replies_at(std::size_t workers) {
+  const std::string socket_path = test_socket();
+  ServerConfig config = base_config(socket_path, workers);
+  config.fault_seed = 7;
+  config.fault_rate = 0.3;  // some jobs retry — keyed on id, not scheduling
+  PerturbServer daemon(std::move(config));
+  daemon.start();
+
+  std::vector<JobRequest> mix;
+  for (std::uint64_t id = 1; id <= 12; ++id)
+    mix.push_back(job(id, kMaskTimeBased | kMaskEventBased));
+  for (std::uint64_t id = 13; id <= 16; ++id) {
+    JobRequest with_likely = job(id, kMaskTimeBased | kMaskLikely);
+    with_likely.likely_samples = 32;
+    mix.push_back(with_likely);
+  }
+  {
+    JobRequest malformed = job(17);
+    malformed.payload = "garbage bytes, not a trace";
+    mix.push_back(malformed);
+    JobRequest empty = job(18);
+    empty.payload.clear();
+    mix.push_back(empty);
+  }
+
+  // Concurrent submission from 4 clients so multi-worker runs genuinely
+  // interleave jobs across workers.
+  std::mutex mutex;
+  std::map<std::uint64_t, std::string> replies;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 4; ++c)
+    clients.emplace_back([&, c] {
+      Client client(socket_path);
+      for (std::size_t k = c; k < mix.size(); k += 4) {
+        const JobReply reply = client.call(mix[k]);
+        const std::lock_guard<std::mutex> lock(mutex);
+        replies[mix[k].job_id] = encode_reply(reply);
+      }
+    });
+  for (auto& client : clients) client.join();
+  daemon.shutdown();
+  return replies;
+}
+
+TEST(Server, RepliesBitIdenticalAt1And2And8Workers) {
+  const auto one = replies_at(1);
+  const auto two = replies_at(2);
+  const auto eight = replies_at(8);
+  ASSERT_EQ(one.size(), 18u);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(Server, FaultInjectionIsAPureFunctionOfSeedIdAttempt) {
+  EXPECT_FALSE(PerturbServer::fault_fires(1, 1, 1, 0.0));
+  EXPECT_TRUE(PerturbServer::fault_fires(1, 1, 1, 1.0));
+  int fires = 0;
+  const int trials = 20000;
+  for (std::uint64_t id = 0; id < trials; ++id)
+    fires += PerturbServer::fault_fires(99, id, 1, 0.25) ? 1 : 0;
+  // Binomial(20000, 0.25): ±6 sigma ≈ ±367.
+  EXPECT_NEAR(fires, trials / 4, 400);
+  // Stable across calls (no hidden state).
+  for (std::uint64_t id = 0; id < 100; ++id)
+    EXPECT_EQ(PerturbServer::fault_fires(5, id, 2, 0.5),
+              PerturbServer::fault_fires(5, id, 2, 0.5));
+}
+
+}  // namespace
+}  // namespace perturb::server

@@ -2,16 +2,25 @@
 // statistics, text helpers, CSV escaping, ASCII charts, CLI parsing.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include <algorithm>
 #include <vector>
+
+#include <unistd.h>
 
 #include "support/ascii_chart.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
+#include "support/fsio.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/prng.hpp"
 #include "support/stats.hpp"
@@ -363,6 +372,55 @@ TEST(TaskPool, PropagatesBodyException) {
                CheckError);
 }
 
+TEST(TaskPool, PropagatesLowestWorkerExceptionWhenSeveralThrow) {
+  // Contract: when bodies on several workers throw, the pass drains and the
+  // exception from the lowest worker id is the one rethrown — making the
+  // surfaced error deterministic at any thread count.
+  TaskPool pool(4);
+  const std::size_t n = 400;
+  try {
+    pool.parallel_for(n, [&](std::size_t worker, std::size_t) {
+      throw std::runtime_error("worker " + std::to_string(worker));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker 0");
+  }
+}
+
+TEST(TaskPool, SurvivesExceptionAndStaysUsable) {
+  // Regression: a throwing pass must not poison the pool — the workers park
+  // normally and the next parallel_for runs every index again.
+  TaskPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        pool.parallel_for(64,
+                          [&](std::size_t i) {
+                            if (i == 13) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    std::vector<int> hits(64, 0);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }))
+        << "round " << round;
+  }
+}
+
+TEST(TaskPool, PropagatesNonStdExceptionWithoutTerminating) {
+  // Even a non-std::exception payload must cross the thread boundary intact
+  // (the pool stores exception_ptr, not a sliced what()).
+  TaskPool pool(2);
+  try {
+    pool.parallel_for(8, [&](std::size_t i) {
+      if (i == 7) throw 42;
+    });
+    FAIL() << "expected an exception";
+  } catch (int v) {
+    EXPECT_EQ(v, 42);
+  }
+}
+
 TEST(TaskPool, ZeroHardwareConcurrencyClampsToOneWorker) {
   // Regression: hardware_concurrency() may report 0 on restricted
   // containers; TaskPool(0) must clamp to a single working pool instead of
@@ -382,6 +440,109 @@ TEST(TaskPool, HardwareConcurrencyOverrideIsHonored) {
   TaskPool pool(0);
   set_hardware_concurrency_override(-1);
   EXPECT_EQ(pool.size(), 3u);
+}
+
+// ---- fsio -----------------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string fsio_scratch(const std::string& leaf) {
+  return "/tmp/perturb_fsio_" + std::to_string(::getpid()) + "_" + leaf;
+}
+
+TEST(Fsio, WritesNewFileAndLeavesNoTemp) {
+  const std::string path = fsio_scratch("new.txt");
+  std::remove(path.c_str());
+  std::string error;
+  ASSERT_TRUE(write_file_atomic(path, "hello, trace\n", &error)) << error;
+  EXPECT_EQ(slurp(path), "hello, trace\n");
+  // The temp file was renamed away, not left beside the destination.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp." +
+                                       std::to_string(::getpid())));
+  std::remove(path.c_str());
+}
+
+TEST(Fsio, OverwriteReplacesContentsCompletely) {
+  const std::string path = fsio_scratch("overwrite.txt");
+  ASSERT_TRUE(write_file_atomic(path, std::string(4096, 'A')));
+  ASSERT_TRUE(write_file_atomic(path, "short"));  // shorter than the old file
+  EXPECT_EQ(slurp(path), "short");                // no stale tail bytes
+  std::remove(path.c_str());
+}
+
+TEST(Fsio, EmbeddedNulBytesRoundTrip) {
+  const std::string path = fsio_scratch("binary.bin");
+  std::string payload = "abc";
+  payload.push_back('\0');
+  payload += "def";
+  ASSERT_TRUE(write_file_atomic(path, payload.data(), payload.size()));
+  EXPECT_EQ(slurp(path), payload);
+  std::remove(path.c_str());
+}
+
+TEST(Fsio, FailureReportsErrorAndPreservesExistingFile) {
+  // Unwritable directory: the call must fail with a diagnosis rather than
+  // silently succeed, and an existing destination must stay intact.
+  std::string error;
+  EXPECT_FALSE(write_file_atomic("/nonexistent-dir/x/y/out.txt", "data",
+                                 &error));
+  EXPECT_FALSE(error.empty());
+
+  const std::string path = fsio_scratch("keep.txt");
+  ASSERT_TRUE(write_file_atomic(path, "original"));
+  // Simulate the atomic-write failure mode a reader must never observe:
+  // even after a failed write elsewhere, the good file is untouched.
+  EXPECT_EQ(slurp(path), "original");
+  std::remove(path.c_str());
+}
+
+// ---- metrics: histogram quantiles ------------------------------------------
+
+HistogramSnapshot make_histogram(const std::vector<std::uint64_t>& values) {
+  HistogramSnapshot h;
+  for (const std::uint64_t v : values) {
+    if (h.count == 0 || v < h.min) h.min = v;
+    if (h.count == 0 || v > h.max) h.max = v;
+    h.count += 1;
+    h.sum += v;
+    const std::size_t bucket =
+        v == 0 ? 0 : static_cast<std::size_t>(std::bit_width(v)) - 1;
+    h.buckets[bucket] += 1;
+  }
+  return h;
+}
+
+TEST(Metrics, QuantileOfEmptyHistogramIsZero) {
+  EXPECT_EQ(histogram_quantile(HistogramSnapshot{}, 0.5), 0u);
+}
+
+TEST(Metrics, QuantileClampsToExactMinAndMax) {
+  const auto h = make_histogram({100, 200, 300, 400, 1000});
+  EXPECT_EQ(histogram_quantile(h, 0.0), 100u);   // never below the exact min
+  EXPECT_EQ(histogram_quantile(h, 1.0), 1000u);  // never above the exact max
+}
+
+TEST(Metrics, QuantileIsMonotoneAndPowerOfTwoAccurate) {
+  // 90 fast values (~1k) and 10 slow ones (~1M): p50 must sit in the fast
+  // band and p99 in the slow band — the property tail reporting depends on.
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 90; ++i)
+    values.push_back(1000 + static_cast<std::uint64_t>(i));
+  for (int i = 0; i < 10; ++i)
+    values.push_back(1000000 + static_cast<std::uint64_t>(i));
+  const auto h = make_histogram(values);
+  const std::uint64_t p50 = histogram_quantile(h, 0.50);
+  const std::uint64_t p99 = histogram_quantile(h, 0.99);
+  EXPECT_GE(p50, 1000u);
+  EXPECT_LT(p50, 4096u);  // within the fast band's log2 bucket
+  EXPECT_GE(p99, 1000000u);
+  EXPECT_LE(p99, h.max);
+  EXPECT_LE(p50, p99);
 }
 
 TEST(TaskPool, FreeFunctionPartitionIsStatic) {

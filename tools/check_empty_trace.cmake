@@ -1,0 +1,39 @@
+# Exit-code contract for invalid trace content: a zero-byte file and a
+# truncated binary header are *invalid traces* (exit 2), not I/O errors
+# (exit 3) — the file was read fine; its content is unusable.
+#
+# Invoked by ctest with -DTOOL=<perturb-trace> -DWORK_DIR=<scratch dir>.
+
+set(empty "${WORK_DIR}/empty_trace.bin")
+file(WRITE "${empty}" "")
+execute_process(COMMAND "${TOOL}" info "${empty}" RESULT_VARIABLE code
+  OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR
+    "zero-byte trace: expected exit 2, got ${code} (stderr: ${err})")
+endif()
+if(NOT err MATCHES "empty trace file")
+  message(FATAL_ERROR "zero-byte trace: unhelpful diagnosis: ${err}")
+endif()
+
+# Magic only — the header is cut off before the version field (CMake strings
+# cannot hold NUL bytes, so the 4 magic bytes are as deep as this script can
+# write; the gtest fuzz suite covers deeper truncation points).
+set(truncated "${WORK_DIR}/truncated_trace.bin")
+file(WRITE "${truncated}" "PTRC")
+execute_process(COMMAND "${TOOL}" info "${truncated}" RESULT_VARIABLE code
+  OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR
+    "truncated header: expected exit 2, got ${code} (stderr: ${err})")
+endif()
+if(NOT err MATCHES "header truncated")
+  message(FATAL_ERROR "truncated header: unhelpful diagnosis: ${err}")
+endif()
+
+# A genuinely unreadable file stays an I/O error (exit 3).
+execute_process(COMMAND "${TOOL}" info "${WORK_DIR}/no_such_trace.bin"
+  RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(NOT code EQUAL 3)
+  message(FATAL_ERROR "missing file: expected exit 3, got ${code}")
+endif()

@@ -1,0 +1,299 @@
+// perturb-loadgen — load generator and smoke driver for perturb-server.
+//
+//   perturb-loadgen --socket /tmp/perturb.sock --jobs 200 --concurrency 8
+//   perturb-loadgen --socket /tmp/s.sock --rate 500 --jobs 1000   # open loop
+//   perturb-loadgen --launch ./perturb-server --jobs 50           # smoke
+//
+// Generates a deterministic workload (a measured trace from the standard
+// loop-17 experiment, serialized once and sent inline with every job),
+// drives the daemon closed-loop (a fixed number of in-flight jobs: measures
+// capacity) or open-loop (jobs dispatched on a fixed schedule regardless of
+// completions: measures behavior past saturation, where the server must
+// shed rather than stall), and reports client-observed latency — p50, p99,
+// p99.9 computed exactly from every sample, not from histogram buckets —
+// plus a per-status breakdown.
+//
+// With --launch, the loadgen forks the given server binary, waits for its
+// socket, runs the load, then SIGTERMs it and propagates a failed drain as
+// its own exit code — the ctest smoke test of the daemon lifecycle.
+//
+// Options:
+//   --socket <path>      server socket (default /tmp/perturb-loadgen.sock)
+//   --launch <binary>    spawn `binary --socket PATH` first, SIGTERM after
+//   --launch-args <s>    extra args for --launch, space-separated
+//   --jobs <n>           total jobs (default 100)
+//   --concurrency <c>    closed-loop in-flight jobs / open-loop senders
+//   --rate <r>           open-loop dispatch rate, jobs/sec; 0 = closed loop
+//   --deadline-ms <t>    per-job deadline (0 = server default)
+//   --analyzers <list>   comma list: time,event,liberal,likely (default
+//                        time,event)
+//   --likely-samples <n> per-job Monte-Carlo cost knob (0 = server default)
+//   --loop <k> --n <t>   workload trace shape (default loop 17, n 200)
+//   --summary=FILE       write the JSON summary to FILE (atomic) instead of
+//                        stdout
+//
+// Exit codes: 0 success, 1 usage error, 3 connection failure or failed
+// server drain, 4 internal error.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "experiments/experiments.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "support/cli.hpp"
+#include "support/fsio.hpp"
+#include "support/stats.hpp"
+#include "support/text.hpp"
+#include "tool_util.hpp"
+#include "trace/io.hpp"
+
+namespace {
+
+using namespace perturb;
+using Clock = std::chrono::steady_clock;
+
+int usage(const std::string& what) {
+  std::fprintf(stderr,
+               "error: %s\n"
+               "usage: perturb-loadgen [--socket PATH] [--launch BIN] "
+               "[--jobs n] [--concurrency c]\n"
+               "  [--rate r] [--deadline-ms t] [--analyzers list] "
+               "[--likely-samples n]\n"
+               "  [--loop k] [--n trip] [--summary=FILE]\n"
+               "%s",
+               what.c_str(), tools::kExitCodeHelp);
+  return tools::kExitUsage;
+}
+
+/// One measurement: job latency by terminal status.
+struct Sample {
+  server::JobStatus status;
+  double latency_us;
+};
+
+struct Shared {
+  std::mutex mutex;
+  std::vector<Sample> samples;
+  std::atomic<std::uint64_t> next_job{1};
+};
+
+std::uint8_t analyzers_from(const std::string& list, bool& ok) {
+  std::uint8_t mask = 0;
+  ok = true;
+  for (const auto& name : support::split(list, ',')) {
+    if (name == "time") mask |= server::kMaskTimeBased;
+    else if (name == "event") mask |= server::kMaskEventBased;
+    else if (name == "liberal") mask |= server::kMaskLiberal;
+    else if (name == "likely") mask |= server::kMaskLikely;
+    else ok = false;
+  }
+  if (mask == 0) ok = false;
+  return mask;
+}
+
+/// The workload payload: the measured trace of the standard experiment,
+/// serialized to the binary format once and shared by every job.
+std::string make_payload(int loop, std::int64_t n) {
+  experiments::Setup setup;
+  const auto run = experiments::run_concurrent_experiment(
+      loop, n, setup, experiments::PlanKind::kFull);
+  std::ostringstream image;
+  trace::write_binary(image, run.measured);
+  return image.str();
+}
+
+/// Sends `count` jobs sequentially over one connection, recording each
+/// reply's client-observed latency.  Closed-loop worker body; the open loop
+/// adds a dispatch schedule on top.
+void run_sender(const std::string& socket_path, const server::JobRequest& base,
+                std::size_t count, std::uint64_t period_us, Shared& shared) {
+  server::Client client(socket_path);
+  std::vector<Sample> local;
+  local.reserve(count);
+  const auto t0 = Clock::now();
+  for (std::size_t k = 0; k < count; ++k) {
+    if (period_us > 0) {
+      // Open loop: dispatch at the scheduled instant even if the previous
+      // reply was slow — the schedule, not the server, paces the offered
+      // load (a saturated server must shed to keep us on schedule).
+      const auto due = t0 + std::chrono::microseconds(period_us * k);
+      std::this_thread::sleep_until(due);
+    }
+    server::JobRequest request = base;
+    request.job_id = shared.next_job.fetch_add(1);
+    const auto start = Clock::now();
+    const server::JobReply reply = client.call(request);
+    const double us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            Clock::now() - start)
+            .count();
+    local.push_back(Sample{reply.status, us});
+  }
+  const std::lock_guard<std::mutex> lock(shared.mutex);
+  shared.samples.insert(shared.samples.end(), local.begin(), local.end());
+}
+
+/// Forks `binary --socket PATH <extra args>`; returns the child pid.
+pid_t launch_server(const std::string& binary, const std::string& socket_path,
+                    const std::string& extra) {
+  std::vector<std::string> args{binary, "--socket=" + socket_path};
+  for (const auto& a : support::split(extra, ' '))
+    if (!a.empty()) args.push_back(a);
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  ::execv(argv[0], argv.data());
+  std::perror("execv");
+  ::_exit(127);
+}
+
+bool wait_for_socket(const std::string& socket_path, int timeout_ms) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (Clock::now() < deadline) {
+    try {
+      server::Client probe(socket_path);
+      return true;
+    } catch (const trace::IoError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Cli cli(argc, argv);
+  const std::string socket_path =
+      cli.get("socket", "/tmp/perturb-loadgen.sock");
+  const auto jobs = static_cast<std::size_t>(cli.get_int("jobs", 100));
+  const auto concurrency =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   cli.get_int("concurrency", 4)));
+  const double rate = cli.get_double("rate", 0.0);
+  bool mask_ok = false;
+  const std::uint8_t analyzers =
+      analyzers_from(cli.get("analyzers", "time,event"), mask_ok);
+  if (!mask_ok) return usage("bad --analyzers list");
+  if (jobs == 0) return usage("--jobs must be positive");
+
+  return tools::run_tool([&]() -> int {
+    pid_t server_pid = -1;
+    if (cli.has("launch")) {
+      server_pid = launch_server(cli.get("launch", ""), socket_path,
+                                 cli.get("launch-args", ""));
+      if (!wait_for_socket(socket_path, 10000)) {
+        std::fprintf(stderr, "error: server socket never appeared\n");
+        ::kill(server_pid, SIGKILL);
+        return tools::kExitIoError;
+      }
+    }
+
+    server::JobRequest base;
+    base.analyzers = analyzers;
+    base.deadline_ms =
+        static_cast<std::uint32_t>(cli.get_int("deadline-ms", 0));
+    base.likely_samples =
+        static_cast<std::uint32_t>(cli.get_int("likely-samples", 0));
+    base.payload =
+        make_payload(static_cast<int>(cli.get_int("loop", 17)),
+                     cli.get_int("n", 200));
+
+    // Open loop: `concurrency` senders share the target rate; each follows
+    // its own schedule.  Closed loop: each sender issues back to back.
+    const std::uint64_t period_us =
+        rate > 0.0 ? static_cast<std::uint64_t>(
+                         1e6 * double(concurrency) / rate)
+                   : 0;
+    Shared shared;
+    const auto wall_start = Clock::now();
+    std::vector<std::thread> senders;
+    for (std::size_t c = 0; c < concurrency; ++c) {
+      const std::size_t count =
+          jobs / concurrency + (c < jobs % concurrency ? 1 : 0);
+      if (count == 0) continue;
+      senders.emplace_back([&, count] {
+        run_sender(socket_path, base, count, period_us, shared);
+      });
+    }
+    for (auto& sender : senders) sender.join();
+    const double wall_s =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            Clock::now() - wall_start)
+            .count();
+
+    // Per-status counts + exact latency percentiles over accepted jobs.
+    std::size_t counts[9] = {};
+    std::vector<double> ok_latency;
+    for (const auto& sample : shared.samples) {
+      counts[static_cast<std::size_t>(sample.status)]++;
+      if (sample.status == server::JobStatus::kOk)
+        ok_latency.push_back(sample.latency_us);
+    }
+    const double p50 = support::percentile(ok_latency, 0.50);
+    const double p99 = support::percentile(ok_latency, 0.99);
+    const double p999 = support::percentile(ok_latency, 0.999);
+
+    std::string json = "{\n";
+    json += support::strf("  \"jobs\": %zu,\n", shared.samples.size());
+    json += support::strf("  \"wall_seconds\": %.3f,\n", wall_s);
+    json += support::strf("  \"throughput_per_sec\": %.1f,\n",
+                          wall_s > 0 ? double(shared.samples.size()) / wall_s
+                                     : 0.0);
+    json += "  \"status_counts\": {";
+    bool first = true;
+    for (std::size_t s = 0; s < 9; ++s) {
+      if (counts[s] == 0) continue;
+      if (!first) json += ", ";
+      first = false;
+      json += support::strf(
+          "\"%s\": %zu",
+          server::status_name(static_cast<server::JobStatus>(s)), counts[s]);
+    }
+    json += "},\n";
+    json += support::strf(
+        "  \"ok_latency_us\": {\"p50\": %.1f, \"p99\": %.1f, "
+        "\"p999\": %.1f}\n}\n",
+        p50, p99, p999);
+
+    if (cli.has("summary") && cli.get("summary", "") != "true") {
+      std::string werr;
+      if (!support::write_file_atomic(cli.get("summary", ""), json, &werr)) {
+        std::fprintf(stderr, "error: cannot write summary: %s\n",
+                     werr.c_str());
+        return tools::kExitIoError;
+      }
+    } else {
+      std::fputs(json.c_str(), stdout);
+    }
+
+    if (server_pid > 0) {
+      // The lifecycle half of the smoke test: SIGTERM must drain cleanly.
+      ::kill(server_pid, SIGTERM);
+      int status = 0;
+      if (::waitpid(server_pid, &status, 0) != server_pid ||
+          !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr, "error: server did not drain cleanly (%d)\n",
+                     status);
+        return tools::kExitIoError;
+      }
+      std::printf("server drained cleanly\n");
+    }
+    return tools::kExitOk;
+  });
+}

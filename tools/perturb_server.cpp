@@ -1,0 +1,130 @@
+// perturb-server — the perturbation-analysis daemon.
+//
+//   perturb-server --socket /tmp/perturb.sock --workers 4
+//       --queue-depth 64 --deadline-ms 2000 --metrics=/tmp/perturb.metrics
+//
+// Accepts trace-analysis jobs over an AF_UNIX socket (length-prefixed binary
+// protocol; see src/server/protocol.hpp) and shards them across a worker
+// pool running the standard analysis pipeline.  Overload is shed with
+// explicit rejections, per-job deadlines cancel cooperatively at pipeline
+// phase boundaries, a poisonous job costs one reply rather than a worker,
+// and SIGTERM/SIGINT drain gracefully: admission stops, in-flight jobs
+// finish (or are cancelled after --drain-timeout-ms), and the final metrics
+// snapshot is flushed before exit.
+//
+// Options:
+//   --socket <path>        AF_UNIX socket path (required)
+//   --workers <n>          worker threads (default 1)
+//   --queue-depth <n>      max queued jobs before shedding (default 64)
+//   --max-inflight-mb <n>  payload-byte budget, queued + running (default 64)
+//   --deadline-ms <t>      default per-job deadline from admission; 0 = none
+//   --drain-timeout-ms <t> graceful-drain budget on SIGTERM (default 5000)
+//   --fault-rate <p>       injected transient-fault probability (default 0)
+//   --fault-seed <s>       fault-injection seed (deterministic per job id)
+//   --max-attempts <n>     execution attempts per job (default 3)
+//   --allow-poison         honor the kFlagPoison chaos hook (drills only)
+//   --likely-samples <n>   default Monte-Carlo sample count (default 64)
+//   --stmt-probe / --sync-probe / --control-probe <c>
+//                          probe mean costs (defaults match perturb-experiment)
+//   --sync-slack <t>       validation slack for measured traces (default 130)
+//   --seed <s>             analysis seed (default 1991)
+//   --metrics[=FILE]       flush a metrics snapshot on exit (atomic write)
+//
+// Exit codes: 0 clean drain, 1 usage error, 3 socket/bind failure,
+// 4 internal error.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "experiments/experiments.hpp"
+#include "server/server.hpp"
+#include "support/cli.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) { g_signal.store(sig); }
+
+int usage(const std::string& what) {
+  std::fprintf(stderr,
+               "error: %s\n"
+               "usage: perturb-server --socket PATH [--workers n] "
+               "[--queue-depth n] [--max-inflight-mb n]\n"
+               "  [--deadline-ms t] [--drain-timeout-ms t] [--fault-rate p] "
+               "[--fault-seed s]\n"
+               "  [--max-attempts n] [--allow-poison] [--likely-samples n] "
+               "[--sync-slack t]\n"
+               "  [--stmt-probe c] [--sync-probe c] [--control-probe c] "
+               "[--seed s] [--metrics[=FILE]]\n"
+               "%s",
+               what.c_str(), perturb::tools::kExitCodeHelp);
+  return perturb::tools::kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace perturb;
+  const support::Cli cli(argc, argv);
+  const std::string socket_path = cli.get("socket", "");
+  if (socket_path.empty()) return usage("--socket is required");
+
+  server::ServerConfig config;
+  config.socket_path = socket_path;
+  config.workers = static_cast<std::size_t>(cli.get_int("workers", 1));
+  config.queue_depth =
+      static_cast<std::size_t>(cli.get_int("queue-depth", 64));
+  config.max_inflight_bytes =
+      static_cast<std::size_t>(cli.get_int("max-inflight-mb", 64)) << 20;
+  config.default_deadline_ms =
+      static_cast<std::uint32_t>(cli.get_int("deadline-ms", 0));
+  config.drain_timeout_ms =
+      static_cast<std::uint32_t>(cli.get_int("drain-timeout-ms", 5000));
+  config.fault_rate = cli.get_double("fault-rate", 0.0);
+  config.fault_seed =
+      static_cast<std::uint64_t>(cli.get_int("fault-seed", 0x70657254));
+  config.max_attempts =
+      static_cast<std::uint32_t>(cli.get_int("max-attempts", 3));
+  config.allow_poison = cli.get_bool("allow-poison", false);
+
+  // Analysis defaults mirror the perturb-experiment full plan, so traces
+  // produced there analyze sensibly here without per-job tuning.
+  experiments::Setup setup;
+  setup.stmt.mean = cli.get_double("stmt-probe", setup.stmt.mean);
+  setup.sync.mean = cli.get_double("sync-probe", setup.sync.mean);
+  setup.control.mean = cli.get_double("control-probe", setup.control.mean);
+  config.pipeline.overheads = experiments::overheads_for(
+      experiments::make_plan(experiments::PlanKind::kFull, setup),
+      setup.machine);
+  config.pipeline.machine = setup.machine;
+  config.pipeline.sync_slack = cli.get_int("sync-slack", 130);
+  config.pipeline.likely_samples =
+      static_cast<std::size_t>(cli.get_int("likely-samples", 64));
+  config.pipeline.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1991));
+
+  const tools::MetricsFlag metrics(cli);
+  const int code = tools::run_tool([&]() -> int {
+    server::PerturbServer daemon(std::move(config));
+    daemon.start();
+    std::printf("perturb-server listening on %s\n", socket_path.c_str());
+    std::fflush(stdout);
+
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    while (g_signal.load() == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::printf("signal %d: draining\n", g_signal.load());
+    std::fflush(stdout);
+    daemon.shutdown();
+    return tools::kExitOk;
+  });
+  // The final snapshot is flushed after the drain, so it reflects the whole
+  // run (atomic write: a snapshot reader never sees a torn file).
+  return metrics.finish(code);
+}

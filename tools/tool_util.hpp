@@ -16,6 +16,7 @@
 
 #include "support/check.hpp"
 #include "support/cli.hpp"
+#include "support/fsio.hpp"
 #include "support/metrics.hpp"
 #include "trace/io.hpp"
 
@@ -83,12 +84,12 @@ class MetricsFlag {
       std::fputs(json.c_str(), stdout);
       return code;
     }
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    const bool wrote = f != nullptr && std::fputs(json.c_str(), f) >= 0;
-    if (f != nullptr) std::fclose(f);
-    if (!wrote) {
-      std::fprintf(stderr, "error: cannot write metrics snapshot to %s\n",
-                   path_.c_str());
+    // Atomic (temp + rename): a crash or full disk mid-write must not leave
+    // a truncated snapshot where a previous complete one stood.
+    std::string error;
+    if (!support::write_file_atomic(path_, json, &error)) {
+      std::fprintf(stderr, "error: cannot write metrics snapshot to %s: %s\n",
+                   path_.c_str(), error.c_str());
       return code == kExitOk ? kExitIoError : code;
     }
     return code;
