@@ -1,0 +1,222 @@
+// bench_stream — memory economics of streaming trace analysis.
+//
+// The streaming path (trace::ChunkReader → windowed StreamingReconstructor,
+// core::AnalysisPipeline::run_stream_file) exists to analyze traces that do
+// not fit comfortably in memory.  This harness pins down both halves of that
+// claim on a >=100k-event Livermore loop-3 trace:
+//
+//   * peak_rss_batch_over_stream: peak resident set of a batch run_file
+//     analysis divided by a summary-mode streaming run, each measured in its
+//     own forked child (ru_maxrss) net of a null child's inherited
+//     footprint.  Gated in CI at >= 4.0 — the streaming run must hold
+//     <= 25% of the batch peak.
+//
+//   * stream_throughput_vs_batch: streamed events/sec over batch events/sec
+//     (best of --reps).  Streaming pays per-window bookkeeping; this ratio
+//     keeps that honest.  Reported and regression-checked, low floor.
+//
+// Equivalence gates (always on, any size): the collected streaming
+// approximation must be bit-identical to the batch event-based analyzer's,
+// and the summary-mode totals must match it.  Results go to
+// BENCH_stream.json (--out); CI smoke shrinks --n.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "experiments/experiments.hpp"
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/fsio.hpp"
+#include "support/text.hpp"
+#include "trace/chunk_reader.hpp"
+#include "trace/io.hpp"
+
+namespace {
+
+using namespace perturb;
+using Clock = std::chrono::steady_clock;
+
+/// What one forked phase reports back through its pipe.
+struct PhaseResult {
+  std::int64_t rss_kb = 0;  ///< child ru_maxrss (Linux: KiB)
+  double secs = 0.0;        ///< wall time of the workload closure
+  std::uint64_t extra = 0;  ///< phase-specific payload (event counts)
+};
+
+/// Runs `work` in a forked child and returns its peak RSS + wall time.
+/// Fork-per-phase keeps each measurement clean: neither allocator reuse nor
+/// a previous phase's high-water mark can leak into the next one.
+template <typename Fn>
+PhaseResult run_phase(const char* name, Fn&& work) {
+  int pipe_fds[2];
+  PERTURB_CHECK_MSG(::pipe(pipe_fds) == 0, "pipe failed");
+  const pid_t pid = ::fork();
+  PERTURB_CHECK_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    PhaseResult r;
+    const auto start = Clock::now();
+    r.extra = work();
+    r.secs = std::chrono::duration<double>(Clock::now() - start).count();
+    struct rusage usage{};
+    ::getrusage(RUSAGE_SELF, &usage);
+    r.rss_kb = static_cast<std::int64_t>(usage.ru_maxrss);
+    const ssize_t wrote = ::write(pipe_fds[1], &r, sizeof(r));
+    ::_exit(wrote == sizeof(r) ? 0 : 1);
+  }
+  ::close(pipe_fds[1]);
+  PhaseResult r;
+  const ssize_t got = ::read(pipe_fds[0], &r, sizeof(r));
+  ::close(pipe_fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  PERTURB_CHECK_MSG(got == sizeof(r) && WIFEXITED(status) &&
+                        WEXITSTATUS(status) == 0,
+                    std::string("phase '") + name + "' child failed");
+  return r;
+}
+
+core::PipelineOptions pipeline_options(std::size_t window) {
+  experiments::Setup setup;
+  core::PipelineOptions options;
+  options.overheads = experiments::overheads_for(
+      experiments::make_plan(experiments::PlanKind::kFull, setup),
+      setup.machine);
+  options.machine = setup.machine;
+  options.sync_slack = 130;
+  options.stream_window = window;
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 32000);
+  const auto window = static_cast<std::size_t>(
+      cli.get_int("window", static_cast<std::int64_t>(
+                                core::PipelineOptions{}.stream_window)));
+  const int reps = static_cast<int>(cli.get_int("reps", 3));
+  const std::string out_path = cli.get("out", "BENCH_stream.json");
+  const std::string trace_path =
+      "/tmp/perturb_bench_stream_" + std::to_string(::getpid()) + ".bin";
+  bench::print_header("BENCH stream",
+                      "peak-RSS and throughput of windowed streaming "
+                      "analysis vs the batch pipeline");
+
+  // The workload trace is generated (and the big intermediate traces die)
+  // inside its own child, so the measuring children inherit a parent that
+  // never held it — the null baseline stays small and stable.
+  const PhaseResult gen = run_phase("generate", [&] {
+    experiments::Setup setup;
+    const auto run = experiments::run_concurrent_experiment(
+        3, n, setup, experiments::PlanKind::kFull);
+    trace::save(trace_path, run.measured);
+    return static_cast<std::uint64_t>(run.measured.size());
+  });
+  const auto events = static_cast<std::size_t>(gen.extra);
+  std::printf("workload       lfk3 n=%lld: %zu events (window %zu)\n",
+              static_cast<long long>(n), events, window);
+
+  const PhaseResult null_phase =
+      run_phase("null", [] { return std::uint64_t{0}; });
+
+  PhaseResult batch;
+  PhaseResult stream;
+  for (int rep = 0; rep < reps; ++rep) {
+    const PhaseResult b = run_phase("batch", [&] {
+      core::AnalysisPipeline pipeline(pipeline_options(window));
+      pipeline.add(core::AnalyzerKind::kEventBased);
+      const core::PipelineResult result = pipeline.run_file(trace_path);
+      PERTURB_CHECK_MSG(result.acquire.ok, "batch analysis failed");
+      return static_cast<std::uint64_t>(
+          result.output("event-based")->approx.size());
+    });
+    const PhaseResult s = run_phase("stream", [&] {
+      const core::AnalysisPipeline pipeline(pipeline_options(window));
+      const core::StreamOutcome out =
+          pipeline.run_stream_file(trace_path, /*collect=*/false);
+      PERTURB_CHECK_MSG(out.ok, "streaming analysis failed");
+      return static_cast<std::uint64_t>(out.measured_events);
+    });
+    if (rep == 0 || b.secs < batch.secs) batch = b;
+    if (rep == 0 || s.secs < stream.secs) stream = s;
+  }
+  PERTURB_CHECK_MSG(batch.extra == events && stream.extra == events,
+                    "phase event counts disagree with the workload");
+
+  // Equivalence gates, in-process (memory no longer being measured): the
+  // collected stream reproduces the batch event-based approximation bit for
+  // bit, and summary mode reports its exact totals.
+  {
+    core::AnalysisPipeline pipeline(pipeline_options(window));
+    pipeline.add(core::AnalyzerKind::kEventBased);
+    const core::PipelineResult b = pipeline.run_file(trace_path);
+    const core::StreamOutcome collected =
+        pipeline.run_stream_file(trace_path, /*collect=*/true);
+    const core::StreamOutcome summary =
+        pipeline.run_stream_file(trace_path, /*collect=*/false);
+    const trace::Trace& oracle = b.output("event-based")->approx;
+    PERTURB_CHECK_MSG(collected.event_stats.approx.events() == oracle.events(),
+                      "streamed approximation diverged from batch");
+    PERTURB_CHECK_MSG(summary.approx_span == oracle.span() &&
+                          summary.approx_total == oracle.total_time(),
+                      "summary-mode totals diverged from batch");
+    std::printf("equivalence    streamed == batch on %zu events\n",
+                oracle.size());
+  }
+  ::unlink(trace_path.c_str());
+
+  const double batch_net =
+      static_cast<double>(batch.rss_kb - null_phase.rss_kb);
+  const double stream_net =
+      static_cast<double>(stream.rss_kb - null_phase.rss_kb);
+  const double rss_ratio = stream_net > 0 ? batch_net / stream_net : 0.0;
+  const double batch_eps =
+      batch.secs > 0 ? static_cast<double>(events) / batch.secs : 0.0;
+  const double stream_eps =
+      stream.secs > 0 ? static_cast<double>(events) / stream.secs : 0.0;
+  const double throughput = batch_eps > 0 ? stream_eps / batch_eps : 0.0;
+  std::printf("peak rss       null %lld KiB, batch %lld KiB, stream %lld KiB"
+              "  -> ratio %.2fx\n",
+              static_cast<long long>(null_phase.rss_kb),
+              static_cast<long long>(batch.rss_kb),
+              static_cast<long long>(stream.rss_kb), rss_ratio);
+  std::printf("throughput     batch %.0f ev/s, stream %.0f ev/s  -> %.2fx\n",
+              batch_eps, stream_eps, throughput);
+
+  std::string json = "{\n";
+  json += support::strf("  \"bench\": \"stream\",\n");
+  json += support::strf("  \"n\": %lld,\n  \"window\": %zu,\n",
+                        static_cast<long long>(n), window);
+  json += support::strf("  \"events\": %zu,\n", events);
+  json += support::strf(
+      "  \"rss_kb\": {\"null\": %lld, \"batch\": %lld, \"stream\": %lld},\n",
+      static_cast<long long>(null_phase.rss_kb),
+      static_cast<long long>(batch.rss_kb),
+      static_cast<long long>(stream.rss_kb));
+  json += support::strf(
+      "  \"rates\": {\"batch_events_per_sec\": %.0f, "
+      "\"stream_events_per_sec\": %.0f},\n",
+      batch_eps, stream_eps);
+  json += support::strf(
+      "  \"speedups\": {\"peak_rss_batch_over_stream\": %.2f, "
+      "\"stream_throughput_vs_batch\": %.2f},\n",
+      rss_ratio, throughput);
+  json +=
+      "  \"floors\": {\"peak_rss_batch_over_stream\": 4.0, "
+      "\"stream_throughput_vs_batch\": 0.25}\n}\n";
+
+  std::string error;
+  PERTURB_CHECK_MSG(support::write_file_atomic(out_path, json, &error),
+                    "cannot write bench output file");
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <limits>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "support/check.hpp"
@@ -334,6 +337,496 @@ EventBasedResult event_based_approximation(const trace::TraceIndex& index,
                                            const AnalysisOverheads& overheads,
                                            const EventBasedOptions& options) {
   return Reconstructor(index, overheads, options).run();
+}
+
+// ---- streaming (windowed) reconstruction ---------------------------------
+
+void CollectSink::on_segment(trace::ProcId proc, const RetimedEvent* events,
+                             std::size_t n) {
+  if (chains_.size() <= proc) chains_.resize(proc + 1u);
+  chains_[proc].insert(chains_[proc].end(), events, events + n);
+}
+
+std::size_t CollectSink::size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& c : chains_) total += c.size();
+  return total;
+}
+
+trace::Trace CollectSink::take(const trace::TraceInfo& measured_info) {
+  Trace approx(measured_info);
+  approx.info().name = measured_info.name + "/event-based";
+  approx.events().reserve(size());
+  // Same linear min-scan k-way merge as the batch build_result: each chain
+  // is nondecreasing in (t_a, measured index), so the merge equals a stable
+  // sort by time of the re-timed events.
+  struct Cursor {
+    Tick t;
+    std::size_t idx;
+    std::size_t chain;
+    std::size_t pos;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(chains_.size());
+  for (std::size_t p = 0; p < chains_.size(); ++p)
+    if (!chains_[p].empty())
+      cursors.push_back(
+          {chains_[p][0].event.time, chains_[p][0].index, p, 0});
+  while (!cursors.empty()) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < cursors.size(); ++k) {
+      const Cursor& a = cursors[k];
+      const Cursor& b = cursors[best];
+      if (a.t < b.t || (a.t == b.t && a.idx < b.idx)) best = k;
+    }
+    Cursor& c = cursors[best];
+    approx.append(chains_[c.chain][c.pos].event);
+    if (++c.pos < chains_[c.chain].size()) {
+      const RetimedEvent& next = chains_[c.chain][c.pos];
+      c.t = next.event.time;
+      c.idx = next.index;
+    } else {
+      cursors[best] = cursors.back();
+      cursors.pop_back();
+    }
+  }
+  chains_.clear();
+  return approx;
+}
+
+/// Streaming mirror of the batch Reconstructor.  Dependencies on already
+/// retired events are answered from small lookaside records created at
+/// ingest (one per advance / lock release / semaphore release / loop spawn
+/// / barrier episode / resolved await-begin) instead of from a TraceIndex,
+/// and events wait in per-processor FIFO queues until their dependencies
+/// resolve.  Every formula, clamp, stats update, and fallback matches
+/// try_resolve in the batch Reconstructor above — when editing either,
+/// update both (the stream_test fuzz grid holds them equal).
+struct StreamingReconstructor::Impl {
+  /// A dependency source's approximated time, shared between the pending
+  /// event that will resolve it and everyone captured a reference to it.
+  struct DepRec {
+    Tick ta = 0;
+    bool resolved = false;
+  };
+
+  /// One LoopBegin: fork dependents need both its measured and approximated
+  /// times.
+  struct LoopRec {
+    Tick tm = 0;
+    Tick ta = 0;
+    bool resolved = false;
+  };
+
+  /// A resolved await-begin's approximated and measured times.
+  struct AwaitBRec {
+    Tick ta = 0;
+    Tick tm = 0;
+  };
+
+  struct BarrierRec {
+    std::size_t seen = 0;      ///< arrivals ingested
+    std::size_t resolved = 0;  ///< arrivals resolved
+    Tick max_ta = 0;
+  };
+
+  /// Per-processor independent-execution segment state; see the batch
+  /// Reconstructor's SegmentBasis.
+  struct SegmentBasis {
+    bool valid = false;
+    Tick basis_ta = 0;
+    Tick basis_tm = 0;
+    Tick overhead = 0;
+  };
+
+  /// An ingested, not yet resolved event.  `rec` is the event's own DepRec
+  /// (advance, lock/semaphore release) or its captured dependency (lock
+  /// acquire); `self` is a LoopBegin's loop ordinal or a SemAcquire's
+  /// per-object acquire ordinal.  DepRecs live in `dep_arena_` (a deque:
+  /// appends never move existing elements), so a plain pointer stays valid
+  /// for the reconstructor's lifetime — no per-record heap allocation.
+  struct Pending {
+    Event e;
+    std::size_t index = 0;
+    std::size_t fork = kNone;  ///< loop ordinal of the fork dependency
+    std::size_t self = kNone;
+    DepRec* rec = nullptr;
+  };
+
+  struct AwaitBKey {
+    SyncKey key;
+    trace::ProcId proc = 0;
+    friend bool operator==(const AwaitBKey&, const AwaitBKey&) = default;
+  };
+  struct AwaitBKeyHash {
+    std::size_t operator()(const AwaitBKey& k) const noexcept {
+      return trace::SyncKeyHash{}(k.key) * 1000003u + k.proc;
+    }
+  };
+
+  Impl(const AnalysisOverheads& overheads, const EventBasedOptions& options,
+       std::size_t window, StreamSink& sink)
+      : ov_(overheads), opt_(options), window_(window), sink_(&sink) {}
+
+  // ---- ingest -------------------------------------------------------------
+
+  DepRec* new_rec() {
+    dep_arena_.emplace_back();
+    return &dep_arena_.back();
+  }
+
+  void push(const Event* events, std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) ingest(events[k]);
+    if (resident_ >= window_) {
+      ++windows_;
+      drain();
+    }
+  }
+
+  void ingest(const Event& e) {
+    Pending pd;
+    pd.e = e;
+    pd.index = next_index_++;
+
+    // Fork tracking — the per-event transition of the index builders' scan.
+    if (e.kind == EventKind::kLoopBegin) {
+      pd.self = loop_recs_.size();
+      loop_recs_.push_back({e.time, 0, false});
+      open_loop_ = pd.self;
+      if (joined_loop_.size() <= e.proc) joined_loop_.resize(e.proc + 1u, 0);
+      joined_loop_[e.proc] = open_loop_ + 1;  // master's chain covers it
+    } else if (e.kind == EventKind::kLoopEnd) {
+      open_loop_ = kNone;
+    } else if (open_loop_ != kNone) {
+      if (joined_loop_.size() <= e.proc) joined_loop_.resize(e.proc + 1u, 0);
+      if (joined_loop_[e.proc] != open_loop_ + 1) {
+        joined_loop_[e.proc] = open_loop_ + 1;
+        pd.fork = open_loop_;
+      }
+    }
+
+    const SyncKey key{e.object, e.payload};
+    switch (e.kind) {
+      case EventKind::kAdvance:
+        pd.rec = new_rec();
+        advances_[key] = pd.rec;  // latest seen wins, like last_advance
+        break;
+      case EventKind::kLockRelease:
+        pd.rec = new_rec();
+        lock_latest_[e.object] = pd.rec;
+        break;
+      case EventKind::kLockAcquire: {
+        // Captured at ingest == the latest release *before* this event,
+        // exactly TraceIndex::lock_dep.
+        const auto it = lock_latest_.find(e.object);
+        if (it != lock_latest_.end()) pd.rec = it->second;
+        break;
+      }
+      case EventKind::kSemAcquire:
+        pd.self = sem_acquire_count_[e.object]++;
+        break;
+      case EventKind::kSemRelease:
+        pd.rec = new_rec();
+        sem_releases_[e.object].push_back(pd.rec);
+        break;
+      case EventKind::kBarrierArrive:
+        ++barriers_[key].seen;
+        break;
+      default:
+        break;
+    }
+
+    if (queues_.size() <= e.proc) queues_.resize(e.proc + 1u);
+    queues_[e.proc].push_back(std::move(pd));
+    ++resident_;
+    resident_hwm_ = std::max(resident_hwm_, resident_);
+  }
+
+  // ---- resolution ---------------------------------------------------------
+
+  Tick base_time(const Pending& pd) {
+    const Event& e = pd.e;
+    const Cycles alpha = ov_.probe_for(e.kind);
+    if (pd.fork != kNone) {
+      const LoopRec& lr = loop_recs_[pd.fork];
+      Tick gap = (e.time - lr.tm) - alpha;
+      if (gap < 0) gap = 0;
+      return lr.ta + gap;
+    }
+    if (basis_.size() <= e.proc) basis_.resize(e.proc + 1u);
+    SegmentBasis& seg = basis_[e.proc];
+    if (!seg.valid) {
+      const Tick t = e.time - alpha;
+      return t < 0 ? 0 : t;
+    }
+    seg.overhead += alpha;
+    Tick t = seg.basis_ta + (e.time - seg.basis_tm) - seg.overhead;
+    if (t < seg.basis_ta) t = seg.basis_ta;
+    return t;
+  }
+
+  void rebase(const Event& e, Tick t) {
+    if (basis_.size() <= e.proc) basis_.resize(e.proc + 1u);
+    basis_[e.proc] = {true, t, e.time, 0};
+  }
+
+  /// Streaming try_resolve: false — with no side effects — while a
+  /// dependency is unresolved (or, before end-of-stream, possibly not yet
+  /// ingested).  The formulae are the batch Reconstructor's.
+  bool try_resolve(Pending& pd) {
+    const Event& e = pd.e;
+    if (pd.fork != kNone && !loop_recs_[pd.fork].resolved) return false;
+    Tick t;
+    bool anchored = false;  // time came from a dependency model
+    switch (e.kind) {
+      case EventKind::kAwaitEnd: {
+        const SyncKey key{e.object, e.payload};
+        const auto adv = advances_.find(key);
+        const DepRec* advrec = adv == advances_.end() ? nullptr : adv->second;
+        // An unseen advance may still arrive; only end-of-stream makes the
+        // batch reader's "no advance" (kNone) fallback definitive.
+        if (advrec == nullptr && !eof_) return false;
+        if (advrec != nullptr && !advrec->resolved) return false;
+        const auto ab = awaitbs_.find(AwaitBKey{key, e.proc});
+        if (advrec == nullptr || ab == awaitbs_.end()) {
+          // Degenerate trace (missing partner events): fall back to the
+          // time-based rule.
+          t = base_time(pd);
+          break;
+        }
+        anchored = true;
+        const Tick advance_t = advrec->ta;
+        const Tick await_b_t = ab->second.ta;
+        ++stats_.awaits_total;
+        const Cycles gamma = ov_.probe_for(EventKind::kAwaitEnd);
+        const Tick nowait_span =
+            ov_.s_nowait + gamma + std::max<Cycles>(4, gamma / 4);
+        const bool waited_measured = e.time - ab->second.tm > nowait_span;
+        // One await-end consumes one await-begin on its own processor:
+        // retire the record so the lookaside tracks outstanding awaits
+        // (O(window)), not every await in the trace.
+        awaitbs_.erase(ab);
+        const Tick no_wait_t = await_b_t + ov_.s_nowait;
+        const Tick wait_t = advance_t + ov_.s_wait;
+        const bool waits_approx = wait_t > no_wait_t;
+        stats_.waits_measured += waited_measured ? 1 : 0;
+        stats_.waits_approx += waits_approx ? 1 : 0;
+        stats_.waits_removed += (waited_measured && !waits_approx) ? 1 : 0;
+        stats_.waits_introduced += (!waited_measured && waits_approx) ? 1 : 0;
+        t = std::max(no_wait_t, wait_t);
+        break;
+      }
+      case EventKind::kLockAcquire: {
+        if (!opt_.model_locks) {
+          t = base_time(pd);
+          break;
+        }
+        if (pd.rec != nullptr && !pd.rec->resolved) return false;
+        anchored = true;
+        const Tick request = last_ta(e.proc);
+        const Tick available = pd.rec == nullptr ? request : pd.rec->ta;
+        t = std::max(request, available) + ov_.lock_acquire;
+        break;
+      }
+      case EventKind::kSemAcquire: {
+        const auto cap = opt_.semaphore_capacity.find(e.object);
+        if (cap == opt_.semaphore_capacity.end()) {
+          t = base_time(pd);  // capacity unknown: time-based fallback
+          break;
+        }
+        const DepRec* dep = nullptr;
+        if (pd.self >= static_cast<std::size_t>(cap->second)) {
+          const std::size_t r =
+              pd.self - static_cast<std::size_t>(cap->second);
+          const auto rel = sem_releases_.find(e.object);
+          const std::size_t have =
+              rel == sem_releases_.end() ? 0 : rel->second.size();
+          if (r < have) {
+            dep = rel->second[r];
+          } else if (!eof_) {
+            return false;  // the release may still arrive
+          }
+        }
+        if (dep != nullptr && !dep->resolved) return false;
+        anchored = true;
+        const Tick request = last_ta(e.proc);
+        const Tick available = dep == nullptr ? request : dep->ta;
+        t = std::max(request, available) + ov_.sem_acquire;
+        break;
+      }
+      case EventKind::kBarrierDepart: {
+        if (!opt_.model_barriers) {
+          t = base_time(pd);
+          break;
+        }
+        // Arrivals precede departures in any consistent episode, so every
+        // arrival is already ingested (seen) by the time the departure is
+        // at its queue head — the seen count equals the episode's full
+        // arrival list.
+        const auto it = barriers_.find(SyncKey{e.object, e.payload});
+        Tick release = 0;
+        if (it != barriers_.end()) {
+          if (it->second.resolved < it->second.seen) return false;
+          release = it->second.max_ta;
+        }
+        anchored = true;
+        t = release + ov_.barrier_depart;
+        break;
+      }
+      default:
+        t = base_time(pd);
+        break;
+    }
+    // Per-processor monotonicity: the dependency models can only push events
+    // later than the same-processor predecessor, never earlier.
+    if (e.proc < has_last_.size() && has_last_[e.proc])
+      t = std::max(t, last_ta_[e.proc]);
+
+    // Publish this event as a dependency source.
+    switch (e.kind) {
+      case EventKind::kAdvance:
+      case EventKind::kLockRelease:
+      case EventKind::kSemRelease:
+        pd.rec->ta = t;
+        pd.rec->resolved = true;
+        break;
+      case EventKind::kAwaitBegin:
+        awaitbs_[AwaitBKey{SyncKey{e.object, e.payload}, e.proc}] = {t, e.time};
+        break;
+      case EventKind::kBarrierArrive: {
+        BarrierRec& br = barriers_[SyncKey{e.object, e.payload}];
+        ++br.resolved;
+        br.max_ta = std::max(br.max_ta, t);
+        break;
+      }
+      case EventKind::kLoopBegin: {
+        LoopRec& lr = loop_recs_[pd.self];
+        lr.ta = t;
+        lr.resolved = true;
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (has_last_.size() <= e.proc) {
+      has_last_.resize(e.proc + 1u, 0);
+      last_ta_.resize(e.proc + 1u, 0);
+    }
+    const bool first_on_proc =
+        basis_.size() <= e.proc || !basis_[e.proc].valid;
+    has_last_[e.proc] = 1;
+    last_ta_[e.proc] = t;
+    if (anchored || first_on_proc || pd.fork != kNone) rebase(e, t);
+    // Retire: the pending event now carries its approximated time.
+    pd.e.time = t;
+    return true;
+  }
+
+  Tick last_ta(trace::ProcId proc) const {
+    return proc < has_last_.size() && has_last_[proc] ? last_ta_[proc] : 0;
+  }
+
+  /// Round-robin over the per-processor queues until a full pass makes no
+  /// progress, spilling each processor's resolved run as one segment.
+  void drain() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t p = 0; p < queues_.size(); ++p) {
+        auto& q = queues_[p];
+        scratch_.clear();
+        while (!q.empty() && try_resolve(q.front())) {
+          scratch_.push_back({q.front().e, q.front().index});
+          q.pop_front();
+          --resident_;
+          progress = true;
+        }
+        if (!scratch_.empty()) {
+          sink_->on_segment(static_cast<trace::ProcId>(p), scratch_.data(),
+                            scratch_.size());
+          ++spills_;
+        }
+      }
+    }
+  }
+
+  EventBasedResult finish() {
+    eof_ = true;
+    ++windows_;
+    drain();
+    PERTURB_CHECK_MSG(
+        resident_ == 0,
+        support::strf("event-based analysis deadlocked with %zu unresolved "
+                      "events (inconsistent measured trace?)",
+                      resident_));
+    return std::move(stats_);
+  }
+
+  const AnalysisOverheads ov_;
+  const EventBasedOptions opt_;
+  const std::size_t window_;
+  StreamSink* sink_;
+
+  bool eof_ = false;
+  std::size_t next_index_ = 0;
+  std::size_t resident_ = 0;
+  std::size_t resident_hwm_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t spills_ = 0;
+
+  std::vector<std::deque<Pending>> queues_;  ///< by processor
+  std::vector<RetimedEvent> scratch_;
+
+  // Ingest-side scan state (fork / ordinal assignment).
+  std::vector<std::size_t> joined_loop_;  ///< by proc; loop ordinal + 1
+  std::size_t open_loop_ = kNone;
+  std::unordered_map<trace::ObjectId, std::size_t> sem_acquire_count_;
+  std::unordered_map<trace::ObjectId, DepRec*> lock_latest_;
+
+  // Dependency lookasides.  DepRecs are arena-allocated (16 bytes apiece, no
+  // per-record malloc): sync state is the only reconstructor footprint that
+  // scales with the trace, so its constant factor decides how far streaming
+  // undercuts batch peak RSS.
+  std::deque<DepRec> dep_arena_;
+  std::vector<LoopRec> loop_recs_;
+  std::unordered_map<SyncKey, DepRec*, trace::SyncKeyHash> advances_;
+  std::unordered_map<AwaitBKey, AwaitBRec, AwaitBKeyHash> awaitbs_;
+  std::unordered_map<trace::ObjectId, std::vector<DepRec*>> sem_releases_;
+  std::unordered_map<SyncKey, BarrierRec, trace::SyncKeyHash> barriers_;
+
+  // Resolution-side per-processor state.
+  std::vector<SegmentBasis> basis_;
+  std::vector<Tick> last_ta_;
+  std::vector<std::uint8_t> has_last_;
+
+  EventBasedResult stats_;
+};
+
+StreamingReconstructor::StreamingReconstructor(
+    const AnalysisOverheads& overheads, const EventBasedOptions& options,
+    std::size_t window, StreamSink& sink)
+    : impl_(std::make_unique<Impl>(overheads, options, window, sink)) {}
+
+StreamingReconstructor::~StreamingReconstructor() = default;
+
+void StreamingReconstructor::push(const trace::Event* events, std::size_t n) {
+  impl_->push(events, n);
+}
+
+EventBasedResult StreamingReconstructor::finish() { return impl_->finish(); }
+
+std::uint64_t StreamingReconstructor::windows_processed() const noexcept {
+  return impl_->windows_;
+}
+std::uint64_t StreamingReconstructor::segments_spilled() const noexcept {
+  return impl_->spills_;
+}
+std::size_t StreamingReconstructor::resident_high_water() const noexcept {
+  return impl_->resident_hwm_;
+}
+std::uint64_t StreamingReconstructor::events_pushed() const noexcept {
+  return impl_->next_index_;
 }
 
 }  // namespace perturb::core

@@ -22,7 +22,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "core/overheads.hpp"
 #include "trace/index.hpp"
@@ -67,5 +70,98 @@ EventBasedResult event_based_approximation(const trace::Trace& measured,
 EventBasedResult event_based_approximation(const trace::TraceIndex& index,
                                            const AnalysisOverheads& overheads,
                                            const EventBasedOptions& options = {});
+
+// ---- streaming (windowed) reconstruction ---------------------------------
+
+/// One re-timed event spilled by the streaming reconstructor: the measured
+/// event with its time replaced by the approximated time, plus its index in
+/// the measured trace (the merge tie-breaker).
+struct RetimedEvent {
+  trace::Event event;
+  std::size_t index = 0;
+};
+
+/// Receives completed per-processor segments as the streaming reconstructor
+/// retires events.  Within one processor, segments arrive in trace order
+/// with nondecreasing times; across processors, no order is guaranteed.
+class StreamSink {
+ public:
+  virtual ~StreamSink() = default;
+  virtual void on_segment(trace::ProcId proc, const RetimedEvent* events,
+                          std::size_t n) = 0;
+};
+
+/// Sink that keeps every segment and merges the per-processor chains into a
+/// full approximated trace — the same (t_a, measured index) k-way merge the
+/// batch reconstructor performs, so the result is bit-identical to it.
+class CollectSink final : public StreamSink {
+ public:
+  void on_segment(trace::ProcId proc, const RetimedEvent* events,
+                  std::size_t n) override;
+
+  /// Events collected so far.
+  std::size_t size() const noexcept;
+
+  /// Merges into the approximated trace ("<name>/event-based", like the
+  /// batch reconstructor) and resets the sink.
+  trace::Trace take(const trace::TraceInfo& measured_info);
+
+ private:
+  std::vector<std::vector<RetimedEvent>> chains_;  ///< by processor
+};
+
+/// Windowed event-based reconstructor: consumes the measured trace in
+/// chunks, resolves the same dependency models as the batch Reconstructor
+/// retire-as-you-go, and spills completed per-processor segments to a
+/// StreamSink with O(window + live sync state) resident events.
+///
+/// Equivalence contract: on a happened-before-consistent trace — at most
+/// one advance per sync key, await-begins preceding their await-ends, and
+/// barrier arrivals preceding the episode's departures, all guaranteed by
+/// trace::validate and preserved under prefix truncation — the spilled
+/// events carry exactly the approximated times the batch reconstructor
+/// assigns, and CollectSink::take reproduces its output trace bit for bit.
+/// Missing partner events (a truncated advance, an over-capacity semaphore
+/// release that never arrives) resolve at finish() with the batch
+/// reconstructor's same fallback rules.
+///
+/// The window is a drain threshold, not a hard cap: events blocked on an
+/// unresolved dependency stay resident past it until the dependency
+/// resolves (or finish()), so adversarial traces degrade to batch memory
+/// instead of producing wrong answers.
+class StreamingReconstructor {
+ public:
+  StreamingReconstructor(const AnalysisOverheads& overheads,
+                         const EventBasedOptions& options, std::size_t window,
+                         StreamSink& sink);
+  ~StreamingReconstructor();
+
+  StreamingReconstructor(const StreamingReconstructor&) = delete;
+  StreamingReconstructor& operator=(const StreamingReconstructor&) = delete;
+
+  /// Ingests the next events in measured trace order.
+  void push(const trace::Event* events, std::size_t n);
+  void push(const std::vector<trace::Event>& events) {
+    push(events.data(), events.size());
+  }
+
+  /// Resolves everything still pending (applying end-of-stream fallbacks
+  /// for partners that never arrived), flushes the sink, and returns the
+  /// waiting-classification stats (`approx` is left empty — it lives in the
+  /// sink).  Throws CheckError with the batch reconstructor's deadlock
+  /// diagnosis if unresolvable events remain.
+  EventBasedResult finish();
+
+  // Observability: drain passes run, segments spilled, and the high-water
+  // mark of resident (ingested, not yet retired) events.
+  std::uint64_t windows_processed() const noexcept;
+  std::uint64_t segments_spilled() const noexcept;
+  std::size_t resident_high_water() const noexcept;
+  std::uint64_t events_pushed() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace perturb::core

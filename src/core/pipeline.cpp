@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include <cstdio>
 #include <utility>
 
 #include "analysis/critical_path.hpp"
@@ -10,6 +11,7 @@
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/text.hpp"
+#include "trace/chunk_reader.hpp"
 
 namespace perturb::core {
 
@@ -37,11 +39,62 @@ const support::Counter kRepairSynthesized("pipeline.repair.events_synthesized");
 const support::Counter kRepairAdjusted("pipeline.repair.events_adjusted");
 const support::Counter kQualityScored("pipeline.quality.scored");
 
+// Streaming path: chunks decoded, drain passes run, segments spilled to the
+// sink, and the high-water mark of events resident in the reconstructor
+// (the number the O(window) memory claim is about).
+const support::Counter kStreamChunks("pipeline.stream.chunks");
+const support::Counter kStreamWindows("pipeline.stream.windows");
+const support::Counter kStreamSpills("pipeline.stream.spills");
+const support::Gauge kStreamResidentHwm("pipeline.stream.resident_events.hwm");
+
 /// Cooperative cancellation checkpoint at a phase boundary; no-op without a
 /// token.  Throws support::CancelledError once the options' token has fired.
 void checkpoint(const PipelineOptions& options, const char* where) {
   if (options.cancel != nullptr) options.cancel->check(where);
 }
+
+/// StreamSink that folds retired events into the approximated-trace summary
+/// (span, total time) without keeping them: the O(window) half of
+/// run_stream_file.  The program markers are resolved in merged-trace order
+/// — (approximated time, measured index), the CollectSink merge key — so
+/// span()/total() equal Trace::span()/total_time() on the collected trace.
+class TotalsSink final : public StreamSink {
+ public:
+  void on_segment(trace::ProcId /*proc*/, const RetimedEvent* events,
+                  std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      const trace::Event& e = events[i].event;  // time = approximated
+      const std::pair<trace::Tick, std::size_t> key{e.time, events[i].index};
+      if (count_ == 0 || e.time < min_) min_ = e.time;
+      if (count_ == 0 || e.time > max_) max_ = e.time;
+      ++count_;
+      if (e.kind == trace::EventKind::kProgramBegin &&
+          (!have_begin_ || key < begin_)) {
+        have_begin_ = true;
+        begin_ = key;
+      }
+      if (e.kind == trace::EventKind::kProgramEnd &&
+          (!have_end_ || key > end_)) {
+        have_end_ = true;
+        end_ = key;
+      }
+    }
+  }
+
+  trace::Tick span() const { return count_ == 0 ? 0 : max_ - min_; }
+  trace::Tick total() const {
+    return have_begin_ && have_end_ ? end_.first - begin_.first : span();
+  }
+
+ private:
+  std::size_t count_ = 0;
+  trace::Tick min_ = 0;
+  trace::Tick max_ = 0;
+  bool have_begin_ = false;
+  bool have_end_ = false;
+  std::pair<trace::Tick, std::size_t> begin_{};
+  std::pair<trace::Tick, std::size_t> end_{};
+};
 
 class TimeBasedAnalyzer final : public Analyzer {
  public:
@@ -310,8 +363,9 @@ PipelineResult AnalysisPipeline::run(AcquireOutcome acquired,
   return result;
 }
 
-PipelineResult AnalysisPipeline::run_fused(Trace measured, const Trace* actual,
-                                           support::TaskPool& pool) const {
+PipelineResult AnalysisPipeline::run_fused(
+    Trace measured, const Trace* actual, support::TaskPool& pool,
+    trace::IncrementalTraceIndex* builder) const {
   PipelineResult result;
   AcquireOutcome& outcome = result.acquire;
   if (measured.empty()) {
@@ -332,7 +386,10 @@ PipelineResult AnalysisPipeline::run_fused(Trace measured, const Trace* actual,
   std::optional<TraceIndex> index;
   {
     const support::PhaseTimer timer(kPhaseIndex);
-    index.emplace(outcome.measured, pool);
+    if (builder != nullptr)
+      index.emplace(std::move(*builder).seal(outcome.measured));
+    else
+      index.emplace(outcome.measured, pool);
   }
   {
     const support::PhaseTimer timer(kPhaseTriage);
@@ -377,6 +434,126 @@ PipelineResult AnalysisPipeline::run_file(const std::string& path,
     return trace::load(path);
   }();
   return run_fused(std::move(loaded), actual, pool);
+}
+
+PipelineResult AnalysisPipeline::run_sealed(
+    Trace measured, trace::IncrementalTraceIndex builder,
+    const Trace* actual) const {
+  support::TaskPool pool(options_.threads);
+  return run_fused(std::move(measured), actual, pool, &builder);
+}
+
+StreamOutcome AnalysisPipeline::run_stream_file(const std::string& path,
+                                                bool collect) const {
+  PERTURB_CHECK_MSG(options_.stream_window >= trace::kStreamChunkEvents,
+                    "stream window must hold at least one chunk");
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".ptt") == 0)
+    throw trace::MalformedTraceError(
+        "text traces cannot be streamed; convert to v2 binary or run batch "
+        "mode");
+  checkpoint(options_, "load");
+
+  StreamOutcome out;
+  // Incremental read through a fixed buffer into the feed-mode reader — NOT
+  // a whole-file map: mapped pages the decode touches would stay resident,
+  // and bounding resident memory is this entry point's whole purpose.
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr)
+    throw trace::IoError("cannot open trace file: " + path);
+  struct FileCloser {
+    std::FILE* f;
+    ~FileCloser() { std::fclose(f); }
+  } closer{file};
+  trace::ChunkReader reader(options_.repair != RepairMode::kOff);
+
+  CollectSink collected;
+  TotalsSink totals;
+  StreamingReconstructor recon(options_.overheads, options_.event_based,
+                               options_.stream_window,
+                               collect ? static_cast<StreamSink&>(collected)
+                                       : totals);
+
+  // Measured-trace summary, accumulated in trace order as chunks decode —
+  // the same first-wins ProgramBegin / last-wins ProgramEnd scan
+  // Trace::total_time() runs over a materialized trace.
+  bool have_begin = false;
+  bool have_end = false;
+  trace::Tick begin_t = 0;
+  trace::Tick end_t = 0;
+  trace::Tick min_t = 0;
+  trace::Tick max_t = 0;
+  std::vector<trace::Event> chunk;
+  std::vector<char> buffer(256 * 1024);
+  bool eof = false;
+  for (;;) {
+    // Drain every chunk the fed bytes complete before reading more, so the
+    // reader's backlog stays bounded by one read buffer.
+    while (reader.next(chunk) == trace::ChunkReader::Status::kChunk) {
+      checkpoint(options_, "stream");
+      ++out.chunks;
+      for (const trace::Event& e : chunk) {
+        if (out.measured_events == 0 || e.time < min_t) min_t = e.time;
+        if (out.measured_events == 0 || e.time > max_t) max_t = e.time;
+        ++out.measured_events;
+        if (e.kind == trace::EventKind::kProgramBegin && !have_begin) {
+          have_begin = true;
+          begin_t = e.time;
+        }
+        if (e.kind == trace::EventKind::kProgramEnd) {
+          have_end = true;
+          end_t = e.time;
+        }
+      }
+      recon.push(chunk);
+    }
+    if (eof) break;
+    const std::size_t got = std::fread(buffer.data(), 1, buffer.size(), file);
+    if (got > 0) reader.feed(buffer.data(), got);
+    if (got < buffer.size()) {
+      if (std::ferror(file) != 0)
+        throw trace::IoError("cannot read trace file: " + path);
+      reader.finish();
+      eof = true;
+    }
+  }
+  out.info = reader.info();
+  out.salvage = reader.report();
+  out.salvaged = !out.salvage.complete;
+  if (out.measured_events == 0) {
+    out.diagnosis =
+        out.salvaged
+            ? support::strf(
+                  "trace is unsalvageable: no events recovered from %s",
+                  path.c_str())
+            : "trace contains no events; nothing to analyze";
+    return out;
+  }
+  out.measured_span = max_t - min_t;
+  out.measured_total = have_begin && have_end ? end_t - begin_t
+                                              : out.measured_span;
+  kRuns.add();
+  kEventsMeasured.add(out.measured_events);
+
+  checkpoint(options_, "analyses");
+  out.event_stats = recon.finish();
+  if (collect) {
+    out.event_stats.approx = collected.take(reader.info());
+    out.approx_span = out.event_stats.approx.span();
+    out.approx_total = out.event_stats.approx.total_time();
+  } else {
+    out.approx_span = totals.span();
+    out.approx_total = totals.total();
+  }
+  out.windows = recon.windows_processed();
+  out.spills = recon.segments_spilled();
+  out.resident_high_water = recon.resident_high_water();
+  kStreamChunks.add(out.chunks);
+  kStreamWindows.add(out.windows);
+  kStreamSpills.add(out.spills);
+  kStreamResidentHwm.record_max(
+      static_cast<std::int64_t>(out.resident_high_water));
+  out.ok = true;
+  return out;
 }
 
 PipelineResult AnalysisPipeline::run_one(const std::string& path,

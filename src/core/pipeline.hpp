@@ -62,6 +62,11 @@ struct PipelineOptions {
   std::size_t threads = 1;
   RepairMode repair = RepairMode::kOff;
   trace::Tick sync_slack = 0;  ///< validation slack for measured traces
+  /// Drain threshold for the streaming entry points (run_stream_file): the
+  /// windowed reconstructor retires resolved events once this many are
+  /// resident.  Must hold at least one chunk (trace::kStreamChunkEvents);
+  /// the batch entry points ignore it.
+  std::size_t stream_window = 8192;
   /// Optional cooperative-cancellation token (borrowed, not owned; may be
   /// shared with the thread that cancels).  When set, the pipeline polls it
   /// at every phase boundary — after load, before triage/repair/index, and
@@ -141,6 +146,33 @@ struct PipelineResult {
   const AnalyzerOutput* output(std::string_view analyzer) const;
 };
 
+/// Outcome of one streaming run (run_stream_file): chunk-incremental decode
+/// feeding the windowed event-based reconstructor, with O(stream_window)
+/// resident events end to end.
+struct StreamOutcome {
+  bool ok = false;
+  std::string diagnosis;  ///< why the run failed, when !ok
+  trace::TraceInfo info;  ///< header of the streamed trace
+  bool salvaged = false;  ///< torn input; the valid prefix was analyzed
+  trace::SalvageReport salvage;
+  /// Measured-trace summary, accumulated at ingest (never materialized):
+  /// same values Trace::size/span/total_time report on the batch load.
+  std::size_t measured_events = 0;
+  trace::Tick measured_span = 0;
+  trace::Tick measured_total = 0;
+  /// Waiting classification from the reconstructor.  Its `approx` trace is
+  /// filled only when the run collected (batch-identical merge); otherwise
+  /// the approximated summary rides in approx_span/approx_total.
+  EventBasedResult event_stats;
+  trace::Tick approx_span = 0;
+  trace::Tick approx_total = 0;
+  // Streaming observability; also published as pipeline.stream.* metrics.
+  std::size_t chunks = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t spills = 0;
+  std::size_t resident_high_water = 0;
+};
+
 class AnalysisPipeline {
  public:
   explicit AnalysisPipeline(PipelineOptions options);
@@ -175,6 +207,27 @@ class AnalysisPipeline {
   PipelineResult run_file(const std::string& path,
                           const trace::Trace* actual = nullptr) const;
 
+  /// Streaming analysis: decodes `path` chunk by chunk (trace::ChunkReader)
+  /// and re-times events through the windowed event-based reconstructor,
+  /// never materializing the whole trace.  `collect` additionally merges the
+  /// full approximated trace into the result — bit-identical to the batch
+  /// event-based analyzer, at O(trace) memory; leave it off for summaries.
+  /// Repair mode selects the decode strategy: kOff is strict (torn input
+  /// throws trace::IoError, like trace::load), anything else salvages the
+  /// valid prefix.  Triage and repair passes do not run — streaming analyzes
+  /// the trace as-is, so feed it trusted measurement output or use the batch
+  /// path for inputs that may need repair.
+  StreamOutcome run_stream_file(const std::string& path, bool collect) const;
+
+  /// Streaming-server entry: analyzes a trace whose index was built
+  /// incrementally while its chunks arrived.  `measured` must hold exactly
+  /// the events appended to `builder`, in order.  Triage validates through
+  /// the sealed index (same fused fast path as run_file); violating traces
+  /// fall back to the standard acquire/repair path.
+  PipelineResult run_sealed(trace::Trace measured,
+                            trace::IncrementalTraceIndex builder,
+                            const trace::Trace* actual = nullptr) const;
+
   /// Batched driver: runs the full pipeline over every path, fanning the
   /// files across options().threads workers with one reusable load buffer
   /// per worker; each file's analysis runs single-threaded inside its
@@ -191,9 +244,13 @@ class AnalysisPipeline {
   /// the validator reads the same index the analyzers consume, instead of
   /// building a private one inside trace::validate.  Falls back to the
   /// standard acquire (repair) path when triage finds violations, since a
-  /// repaired trace needs a fresh index anyway.
-  PipelineResult run_fused(trace::Trace measured, const trace::Trace* actual,
-                           support::TaskPool& pool) const;
+  /// repaired trace needs a fresh index anyway.  `builder`, when non-null,
+  /// is a chunk-fed incremental index that is sealed over `measured` instead
+  /// of building the index from scratch (the run_sealed path).
+  PipelineResult run_fused(
+      trace::Trace measured, const trace::Trace* actual,
+      support::TaskPool& pool,
+      trace::IncrementalTraceIndex* builder = nullptr) const;
   /// run_file body for one batch item: loads through `arena`, runs
   /// single-threaded, converts trace::IoError into a failed acquisition.
   PipelineResult run_one(const std::string& path, const trace::Trace* actual,

@@ -63,6 +63,21 @@ enum RequestFlags : std::uint8_t {
   /// request.  Exists so worker crash isolation is exercised at the real
   /// catch boundary, not a simulation of it.
   kFlagPoison = 1u << 1,
+  /// Streamed-job framing: a chunked job is OPEN, zero or more CHUNK frames,
+  /// then CLOSE, all carrying the same job_id on one connection.  OPEN fixes
+  /// the job's options (analyzers, repair, deadline — anchored at OPEN
+  /// admission, so transfer time counts against it) and makes the admission
+  /// decision; CHUNK/CLOSE payloads append successive bytes of a v2 binary
+  /// trace image, decoded and indexed as they arrive and charged against the
+  /// in-flight byte budget (over budget mid-stream → kRejectedOverload and
+  /// the stream is dropped).  Exactly one reply is sent per stream, at CLOSE
+  /// or at the frame that failed it.  Exactly one of the three bits must be
+  /// set on a stream frame, never combined with kFlagPayloadIsPath.  A CHUNK
+  /// for an unknown stream is dropped silently (the tail of an
+  /// already-terminated stream); an orphan CLOSE gets kBadRequest.
+  kFlagStreamOpen = 1u << 2,
+  kFlagStreamChunk = 1u << 3,
+  kFlagStreamClose = 1u << 4,
 };
 
 struct JobRequest {

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "support/metrics.hpp"
 #include "support/prng.hpp"
 #include "support/text.hpp"
+#include "trace/chunk_reader.hpp"
 #include "trace/io.hpp"
 
 namespace perturb::server {
@@ -43,6 +46,8 @@ const support::Counter kInternalErrors("server.jobs.internal_error");
 const support::Counter kBadRequests("server.jobs.bad_request");
 const support::Counter kRetries("server.retries");
 const support::Counter kFaultsInjected("server.faults.injected");
+const support::Counter kStreamsOpened("server.streams.opened");
+const support::Counter kStreamChunks("server.streams.chunks");
 const support::HistogramMetric kQueueWaitNs("server.queue_wait.ns");
 const support::HistogramMetric kServiceNs("server.service.ns");
 const support::Gauge kQueueDepthMax("server.queue.depth.max");
@@ -83,10 +88,39 @@ struct Connection {
   }
 };
 
+/// Prebuilt state of a chunked job, assembled by the reader as CHUNK frames
+/// arrived: the decoded events, the incrementally built index, and the
+/// chunk-level salvage provenance.  The worker seals the builder into the
+/// shared TraceIndex instead of re-indexing from scratch.
+struct StreamJobState {
+  trace::TraceInfo info;
+  std::vector<trace::Event> events;
+  trace::IncrementalTraceIndex builder;
+  bool salvaged = false;
+  trace::SalvageReport report;
+};
+
 struct Job {
   JobRequest request;
   std::shared_ptr<Connection> conn;
   Clock::time_point admitted;
+  std::size_t charged_bytes = 0;  ///< in-flight byte refund at completion
+  std::unique_ptr<StreamJobState> stream;  ///< chunked job; null for inline
+};
+
+/// One stream the reader is accumulating between OPEN and CLOSE.
+struct OpenStream {
+  JobRequest open;             ///< options frame; its flags/payload ride here
+  Clock::time_point admitted;  ///< deadline anchor (transfer time counts)
+  trace::ChunkReader reader;
+  std::unique_ptr<StreamJobState> state;
+  std::size_t charged = 0;  ///< bytes charged against the in-flight budget
+
+  OpenStream(JobRequest request, bool salvage)
+      : open(std::move(request)),
+        admitted(Clock::now()),
+        reader(salvage),
+        state(std::make_unique<StreamJobState>()) {}
 };
 
 /// Per-worker reusable state; jobs never share any of it.
@@ -95,7 +129,11 @@ struct WorkerState {
   trace::IoArena arena;
 };
 
-constexpr std::uint8_t kKnownRequestFlags = kFlagPayloadIsPath | kFlagPoison;
+constexpr std::uint8_t kKnownRequestFlags = kFlagPayloadIsPath | kFlagPoison |
+                                            kFlagStreamOpen | kFlagStreamChunk |
+                                            kFlagStreamClose;
+constexpr std::uint8_t kStreamFlags =
+    kFlagStreamOpen | kFlagStreamChunk | kFlagStreamClose;
 
 }  // namespace
 
@@ -169,9 +207,25 @@ struct PerturbServer::Impl {
     return pipeline;
   }
 
-  core::PipelineResult run_job(const JobRequest& request,
-                               WorkerState& state) const {
+  core::PipelineResult run_job(const Job& job, WorkerState& state) const {
+    const JobRequest& request = job.request;
     const core::AnalysisPipeline pipeline = build_pipeline(request, state);
+    if (job.stream != nullptr) {
+      // Chunked job: the reader already decoded the trace and built the
+      // incremental index; seal and analyze.  Copies (not moves) the state,
+      // since execute() may retry this job after an injected fault.
+      StreamJobState& s = *job.stream;
+      trace::Trace measured(s.info);
+      measured.events() = s.events;
+      core::PipelineResult result =
+          pipeline.run_sealed(std::move(measured), s.builder);
+      // Salvage provenance comes from the reader's chunk decode, which the
+      // worker's acquisition path never saw.
+      result.acquire.salvaged = s.salvaged;
+      result.acquire.salvage = s.report;
+      result.acquire.degraded |= s.salvaged;
+      return result;
+    }
     if (request.flags & kFlagPayloadIsPath)
       return pipeline.run(pipeline.acquire_file(request.payload, state.arena));
     // Inline payloads are binary trace images (the compact format clients
@@ -196,7 +250,7 @@ struct PerturbServer::Impl {
           throw trace::IoError(
               strf("injected transient I/O fault (attempt %u)", attempt));
         }
-        const core::PipelineResult result = run_job(request, state);
+        const core::PipelineResult result = run_job(job, state);
         if (!result.acquire.ok) {
           reply.status = JobStatus::kInvalidTrace;
           reply.detail = result.acquire.diagnosis;
@@ -291,7 +345,7 @@ struct PerturbServer::Impl {
       job.conn->release();
       {
         const std::lock_guard<std::mutex> lock(queue_mutex);
-        inflight_bytes -= job.request.payload.size();
+        inflight_bytes -= job.charged_bytes;
         --busy_workers;
       }
       drained_cv.notify_all();
@@ -300,7 +354,62 @@ struct PerturbServer::Impl {
 
   // ---- admission (reader side) -------------------------------------------
 
+  /// Decodes whatever complete chunks the stream's buffer now holds into the
+  /// job state.  Returns false and fills `error` when the decode failed
+  /// terminally (strict-mode defect or malformed header); the caller replies
+  /// and drops the stream.
+  static bool pump_stream(OpenStream& os, JobReply& error) {
+    try {
+      std::vector<trace::Event> chunk;
+      while (os.reader.next(chunk) == trace::ChunkReader::Status::kChunk) {
+        os.state->builder.append(chunk.data(), chunk.size());
+        os.state->events.insert(os.state->events.end(), chunk.begin(),
+                                chunk.end());
+      }
+      return true;
+    } catch (const trace::MalformedTraceError& e) {
+      error.status = JobStatus::kInvalidTrace;
+      error.detail = e.what();
+      kInvalidTrace.add();
+    } catch (const trace::IoError& e) {
+      // A decode defect in strict mode is content corruption, not a
+      // transient fault: no retry budget applies, the stream is dead.
+      error.status = JobStatus::kIoError;
+      error.detail = e.what();
+      kJobIoError.add();
+    } catch (const CheckError& e) {
+      error.status = JobStatus::kInvalidTrace;
+      error.detail = e.what();
+      kInvalidTrace.add();
+    }
+    error.job_id = os.open.job_id;
+    return false;
+  }
+
   void reader_loop(const std::shared_ptr<Connection>& conn) {
+    // Streams being accumulated on this connection, by job id.  The reader
+    // thread is their only owner; bytes charged to the in-flight budget are
+    // the one piece of shared state (refunded on any terminal outcome).
+    std::unordered_map<std::uint64_t, std::unique_ptr<OpenStream>> streams;
+    const auto refund = [&](std::size_t bytes) {
+      if (bytes == 0) return;
+      const std::lock_guard<std::mutex> lock(queue_mutex);
+      inflight_bytes -= bytes;
+    };
+    /// Charges `bytes` against the in-flight budget; false (with the shed
+    /// reason) when over.
+    const auto charge = [&](std::size_t bytes, std::string& shed) {
+      const std::lock_guard<std::mutex> lock(queue_mutex);
+      if (inflight_bytes + bytes > config.max_inflight_bytes) {
+        shed = strf("in-flight bytes %zu + %zu over budget %zu",
+                    inflight_bytes, bytes, config.max_inflight_bytes);
+        return false;
+      }
+      inflight_bytes += bytes;
+      kInflightBytesMax.record_max(static_cast<std::int64_t>(inflight_bytes));
+      return true;
+    };
+
     std::string payload;
     for (;;) {
       const FrameResult got = recv_frame(conn->fd.get(), payload);
@@ -316,12 +425,16 @@ struct PerturbServer::Impl {
         conn->send_reply(reply);
         continue;
       }
+      const std::uint8_t stream_bits = request.flags & kStreamFlags;
       if ((request.flags & ~kKnownRequestFlags) != 0 ||
           (request.analyzers & ~kAllAnalyzers) != 0 ||
           request.analyzers == 0 ||
           request.repair > static_cast<std::uint8_t>(
                                core::RepairMode::kAggressive) ||
-          ((request.flags & kFlagPoison) && !config.allow_poison)) {
+          ((request.flags & kFlagPoison) && !config.allow_poison) ||
+          // Stream frames: exactly one of OPEN/CHUNK/CLOSE, never a path.
+          (stream_bits & (stream_bits - 1)) != 0 ||
+          (stream_bits != 0 && (request.flags & kFlagPayloadIsPath) != 0)) {
         JobReply reply;
         reply.job_id = request.job_id;
         reply.status = JobStatus::kBadRequest;
@@ -331,12 +444,150 @@ struct PerturbServer::Impl {
         continue;
       }
       if (draining.load(std::memory_order_acquire)) {
+        // A mid-stream frame during drain terminates its stream; a CHUNK
+        // whose stream is already gone stays silent so the stream's one
+        // terminal reply is not followed by more.
+        const auto it = streams.find(request.job_id);
+        if (stream_bits == kFlagStreamChunk && it == streams.end()) continue;
+        if (it != streams.end()) {
+          refund(it->second->charged);
+          streams.erase(it);
+        }
         JobReply reply;
         reply.job_id = request.job_id;
         reply.status = JobStatus::kShuttingDown;
         reply.detail = "server is draining";
         kShedShutdown.add();
         conn->send_reply(reply);
+        continue;
+      }
+
+      if (stream_bits == kFlagStreamOpen) {
+        if (streams.find(request.job_id) != streams.end()) {
+          JobReply reply;
+          reply.job_id = request.job_id;
+          reply.status = JobStatus::kBadRequest;
+          reply.detail = "stream already open for this job id";
+          kBadRequests.add();
+          conn->send_reply(reply);
+          continue;
+        }
+        // Admission decision happens at OPEN, like an inline job's enqueue:
+        // the queue must have room and the first bytes must fit the budget.
+        const std::size_t bytes = request.payload.size();
+        bool at_depth = false;
+        {
+          const std::lock_guard<std::mutex> lock(queue_mutex);
+          at_depth = queue.size() >= config.queue_depth;
+        }
+        std::string shed_detail =
+            at_depth ? strf("queue depth at cap") : std::string();
+        if (at_depth || !charge(bytes, shed_detail)) {
+          JobReply reply;
+          reply.job_id = request.job_id;
+          reply.status = JobStatus::kRejectedOverload;
+          reply.detail = shed_detail;
+          kShedOverload.add();
+          conn->send_reply(reply);
+          continue;
+        }
+        kStreamsOpened.add();
+        const bool salvage = static_cast<core::RepairMode>(request.repair) !=
+                             core::RepairMode::kOff;
+        auto os = std::make_unique<OpenStream>(std::move(request), salvage);
+        os->charged = bytes;
+        if (!os->open.payload.empty()) {
+          os->reader.feed(os->open.payload.data(), os->open.payload.size());
+          os->open.payload.clear();
+          os->open.payload.shrink_to_fit();
+        }
+        JobReply error;
+        if (!pump_stream(*os, error)) {
+          refund(os->charged);
+          conn->send_reply(error);
+          continue;
+        }
+        streams.emplace(os->open.job_id, std::move(os));
+        continue;
+      }
+
+      if (stream_bits == kFlagStreamChunk || stream_bits == kFlagStreamClose) {
+        const auto it = streams.find(request.job_id);
+        if (it == streams.end()) {
+          if (stream_bits == kFlagStreamChunk) continue;  // terminated tail
+          JobReply reply;
+          reply.job_id = request.job_id;
+          reply.status = JobStatus::kBadRequest;
+          reply.detail = "close for a stream that is not open";
+          kBadRequests.add();
+          conn->send_reply(reply);
+          continue;
+        }
+        OpenStream& os = *it->second;
+        std::string shed_detail;
+        if (!charge(request.payload.size(), shed_detail)) {
+          JobReply reply;
+          reply.job_id = request.job_id;
+          reply.status = JobStatus::kRejectedOverload;
+          reply.detail = shed_detail;
+          kShedOverload.add();
+          conn->send_reply(reply);
+          refund(os.charged);
+          streams.erase(it);
+          continue;
+        }
+        os.charged += request.payload.size();
+        if (!request.payload.empty())
+          os.reader.feed(request.payload.data(), request.payload.size());
+        if (stream_bits == kFlagStreamChunk) kStreamChunks.add();
+        if (stream_bits == kFlagStreamClose) os.reader.finish();
+        JobReply error;
+        if (!pump_stream(os, error)) {
+          refund(os.charged);
+          conn->send_reply(error);
+          streams.erase(it);
+          continue;
+        }
+        if (stream_bits == kFlagStreamChunk) continue;
+
+        // CLOSE: package the prebuilt state and enqueue like an inline job
+        // (the deadline anchor stays at OPEN admission).
+        os.state->info = os.reader.info();
+        os.state->report = os.reader.report();
+        os.state->salvaged = !os.reader.report().complete;
+        bool admitted = false;
+        std::string shed;
+        {
+          const std::lock_guard<std::mutex> lock(queue_mutex);
+          if (queue.size() >= config.queue_depth) {
+            shed = strf("queue depth %zu at cap", queue.size());
+          } else {
+            kQueueDepthMax.record_max(
+                static_cast<std::int64_t>(queue.size() + 1));
+            conn->pending.fetch_add(1, std::memory_order_acq_rel);
+            Job job;
+            job.request = std::move(os.open);
+            job.conn = conn;
+            job.admitted = os.admitted;
+            job.charged_bytes = os.charged;
+            job.stream = std::move(os.state);
+            queue.push_back(std::move(job));
+            admitted = true;
+          }
+        }
+        if (admitted) {
+          kJobsAccepted.add();
+          queue_cv.notify_one();
+        } else {
+          JobReply reply;
+          reply.job_id = request.job_id;
+          reply.status = JobStatus::kRejectedOverload;
+          reply.detail = shed;
+          kShedOverload.add();
+          conn->send_reply(reply);
+          refund(os.charged);
+        }
+        streams.erase(it);
         continue;
       }
 
@@ -361,7 +612,12 @@ struct PerturbServer::Impl {
           kInflightBytesMax.record_max(
               static_cast<std::int64_t>(inflight_bytes));
           conn->pending.fetch_add(1, std::memory_order_acq_rel);
-          queue.push_back(Job{std::move(request), conn, Clock::now()});
+          Job job;
+          job.request = std::move(request);
+          job.conn = conn;
+          job.admitted = Clock::now();
+          job.charged_bytes = bytes;
+          queue.push_back(std::move(job));
           admitted = true;
         }
       }
@@ -377,6 +633,10 @@ struct PerturbServer::Impl {
         conn->send_reply(reply);
       }
     }
+    // Streams the client abandoned (connection closed mid-stream) give their
+    // budget back; their jobs were never enqueued, so nothing else holds it.
+    for (auto& entry : streams) refund(entry.second->charged);
+    streams.clear();
     conn->reader_done.store(true, std::memory_order_release);
     conn->release();
   }
@@ -500,19 +760,64 @@ Client::~Client() = default;
 Client::Client(Client&&) noexcept = default;
 Client& Client::operator=(Client&&) noexcept = default;
 
-JobReply Client::call(const JobRequest& request) {
-  if (!send_frame(impl_->fd.get(), encode_request(request)))
-    throw trace::IoError("server connection lost while sending job");
+namespace {
+
+JobReply recv_reply_checked(int fd, std::uint64_t job_id) {
   std::string payload;
-  const FrameResult got = recv_frame(impl_->fd.get(), payload);
+  const FrameResult got = recv_frame(fd, payload);
   if (got != FrameResult::kOk)
     throw trace::IoError("server connection closed before reply");
   JobReply reply;
   if (!decode_reply(payload.data(), payload.size(), reply))
     throw trace::IoError("undecodable reply frame from server");
-  if (reply.job_id != request.job_id && reply.job_id != 0)
+  if (reply.job_id != job_id && reply.job_id != 0)
     throw trace::IoError("reply job id does not match request");
   return reply;
+}
+
+}  // namespace
+
+JobReply Client::call(const JobRequest& request) {
+  if (!send_frame(impl_->fd.get(), encode_request(request)))
+    throw trace::IoError("server connection lost while sending job");
+  return recv_reply_checked(impl_->fd.get(), request.job_id);
+}
+
+JobReply Client::call_stream(const JobRequest& request,
+                             std::size_t chunk_bytes) {
+  PERTURB_CHECK_MSG(chunk_bytes > 0, "chunk_bytes must be positive");
+  PERTURB_CHECK_MSG((request.flags & kFlagPayloadIsPath) == 0,
+                    "streamed jobs carry inline trace bytes, not a path");
+  constexpr std::uint8_t kAnyStream =
+      kFlagStreamOpen | kFlagStreamChunk | kFlagStreamClose;
+
+  // OPEN carries the options and no payload; the trace bytes follow in
+  // CHUNK frames with the final piece riding CLOSE.
+  JobRequest open = request;
+  open.flags = static_cast<std::uint8_t>((request.flags & ~kAnyStream) |
+                                         kFlagStreamOpen);
+  open.payload.clear();
+  if (!send_frame(impl_->fd.get(), encode_request(open)))
+    throw trace::IoError("server connection lost while opening stream");
+
+  JobRequest piece;
+  piece.job_id = request.job_id;
+  piece.analyzers = request.analyzers;
+  piece.repair = request.repair;
+  const std::string& image = request.payload;
+  std::size_t offset = 0;
+  while (image.size() - offset > chunk_bytes) {
+    piece.flags = kFlagStreamChunk;
+    piece.payload.assign(image, offset, chunk_bytes);
+    offset += chunk_bytes;
+    if (!send_frame(impl_->fd.get(), encode_request(piece)))
+      throw trace::IoError("server connection lost while streaming chunks");
+  }
+  piece.flags = kFlagStreamClose;
+  piece.payload.assign(image, offset, image.size() - offset);
+  if (!send_frame(impl_->fd.get(), encode_request(piece)))
+    throw trace::IoError("server connection lost while closing stream");
+  return recv_reply_checked(impl_->fd.get(), request.job_id);
 }
 
 }  // namespace perturb::server

@@ -28,6 +28,12 @@
 //     then cancels stragglers via their tokens, and finally tears down
 //     connections and the socket file.  Call it from a SIGTERM handler's
 //     main-loop check; it is idempotent.
+//   * Chunked jobs.  A client can stream a trace in pieces (OPEN → CHUNK* →
+//     CLOSE frames; see protocol.hpp) instead of one inline payload.  The
+//     reader decodes each chunk on arrival (trace::ChunkReader) and feeds an
+//     incremental index (trace::IncrementalTraceIndex), so the worker starts
+//     from a prebuilt index; admission, byte budgets, deadlines (anchored at
+//     OPEN), and cancellation behave exactly as for inline jobs.
 //
 // Determinism: a reply is a pure function of the request and the server
 // configuration.  Replies carry no timestamps, fault injection is keyed on
@@ -121,6 +127,14 @@ class Client {
 
   /// Sends one job and waits for its reply.
   JobReply call(const JobRequest& request);
+
+  /// Streams one job as OPEN → CHUNK* → CLOSE frames and waits for the
+  /// single reply.  `request.payload` is the complete v2 binary trace image
+  /// (kFlagPayloadIsPath is invalid here); it is cut into `chunk_bytes`-sized
+  /// CHUNK payloads.  Options (analyzers, repair, deadline, ...) ride on the
+  /// OPEN frame.
+  JobReply call_stream(const JobRequest& request,
+                       std::size_t chunk_bytes = 64 * 1024);
 
  private:
   struct Impl;

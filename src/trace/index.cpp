@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "support/check.hpp"
 #include "support/parallel.hpp"
 
 namespace perturb::trace {
@@ -159,6 +160,14 @@ void TraceIndex::build(support::TaskPool* pool) {
     build_structure();
   }
 
+  finish_tables(advance_entries, await_entries, pool);
+}
+
+// Shared by build() and IncrementalTraceIndex::seal().
+void TraceIndex::finish_tables(
+    std::vector<std::pair<SyncKey, std::size_t>>& advance_entries,
+    std::vector<std::pair<AwaitKey, std::size_t>>& await_entries,
+    support::TaskPool* pool) {
   // Flat tables: sort by key then trace index, then split into parallel
   // key/index arrays so per-key occurrence lists are contiguous ascending
   // slices of the index array.
@@ -387,6 +396,102 @@ const TraceIndex::BarrierEpisode* TraceIndex::barrier_episode(
     ObjectId object, std::int64_t payload) const {
   const auto it = barrier_slot_.find(SyncKey{object, payload});
   return it == barrier_slot_.end() ? nullptr : &barriers_[it->second];
+}
+
+// Per-event transition of build()'s two scans (chains + structure), with the
+// scan locals held as members so the state survives between chunks.
+void IncrementalTraceIndex::append(const Event& e) {
+  TraceIndex& x = index_;
+  const std::size_t i = x.prev_on_proc_.size();
+  constexpr std::size_t npos = TraceIndex::npos;
+  x.prev_on_proc_.push_back(npos);
+  x.fork_dep_.push_back(npos);
+  x.lock_dep_.push_back(npos);
+  x.sem_ordinal_.push_back(npos);
+
+  // Per-processor chain.
+  const std::size_t p = e.proc;
+  if (last_on_proc_.size() <= p) last_on_proc_.resize(p + 1u, npos);
+  if (x.proc_events_.size() <= p) x.proc_events_.resize(p + 1u);
+  x.prev_on_proc_[i] = last_on_proc_[p];
+  last_on_proc_[p] = i;
+  x.proc_events_[p].push_back(i);
+
+  // Fork tracking: inside a parallel-loop episode, a processor's first
+  // event depends on the loop's spawn, not on that processor's previous
+  // event (it was idle through the master's sequential section).
+  if (e.kind == EventKind::kLoopBegin) {
+    open_loop_ = x.loops_.size();
+    x.loops_.push_back({i, npos, e.object, e.proc});
+    if (joined_loop_.size() <= e.proc) joined_loop_.resize(e.proc + 1u, 0);
+    joined_loop_[e.proc] = open_loop_ + 1;  // master's chain covers it
+  } else if (e.kind == EventKind::kLoopEnd) {
+    if (open_loop_ != npos) x.loops_[open_loop_].end_index = i;
+    open_loop_ = npos;
+  } else if (open_loop_ != npos) {
+    if (joined_loop_.size() <= e.proc) joined_loop_.resize(e.proc + 1u, 0);
+    if (joined_loop_[e.proc] != open_loop_ + 1) {
+      joined_loop_[e.proc] = open_loop_ + 1;
+      x.fork_dep_[i] = x.loops_[open_loop_].begin_index;
+    }
+  }
+
+  const SyncKey key{e.object, e.payload};
+  switch (e.kind) {
+    case EventKind::kAdvance:
+      advance_entries_.emplace_back(key, i);
+      break;
+    case EventKind::kAwaitBegin:
+      await_entries_.emplace_back(TraceIndex::AwaitKey{key, e.proc}, i);
+      break;
+    case EventKind::kLockAcquire: {
+      const auto lr = last_release_.find(e.object);
+      if (lr != last_release_.end()) x.lock_dep_[i] = lr->second;
+      break;
+    }
+    case EventKind::kLockRelease:
+      last_release_[e.object] = i;
+      break;
+    case EventKind::kSemAcquire:
+      x.sem_ordinal_[i] = sem_acquire_count_[e.object]++;
+      break;
+    case EventKind::kSemRelease:
+      x.sem_releases_[e.object].push_back(i);
+      break;
+    case EventKind::kBarrierArrive:
+    case EventKind::kBarrierDepart: {
+      const auto [it, inserted] =
+          x.barrier_slot_.insert({key, x.barriers_.size()});
+      if (inserted) x.barriers_.push_back({key, {}, {}});
+      TraceIndex::BarrierEpisode& ep = x.barriers_[it->second];
+      (e.kind == EventKind::kBarrierArrive ? ep.arrivals : ep.departs)
+          .push_back(i);
+      break;
+    }
+    case EventKind::kIterBegin: {
+      if (open_iter_.size() <= e.proc) open_iter_.resize(e.proc + 1u, npos);
+      open_iter_[e.proc] = x.iters_.size();
+      x.iters_.push_back({i, npos, e.payload, e.object, e.proc});
+      break;
+    }
+    case EventKind::kIterEnd: {
+      if (e.proc < open_iter_.size() && open_iter_[e.proc] != npos) {
+        x.iters_[open_iter_[e.proc]].end_index = i;
+        open_iter_[e.proc] = npos;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+TraceIndex IncrementalTraceIndex::seal(const Trace& trace) && {
+  PERTURB_CHECK_MSG(trace.size() == size(),
+                    "sealed trace does not match the appended events");
+  index_.trace_ = &trace;
+  index_.finish_tables(advance_entries_, await_entries_, nullptr);
+  return std::move(index_);
 }
 
 }  // namespace perturb::trace

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "trace/event.hpp"
@@ -204,6 +205,11 @@ class TraceIndex {
                                         std::int64_t payload) const;
 
  private:
+  /// No-build constructor for the incremental builder; every member is
+  /// filled by IncrementalTraceIndex before the index is handed out.
+  TraceIndex() : trace_(nullptr) {}
+  friend class IncrementalTraceIndex;
+
   void build(support::TaskPool* pool);
   void build_reference();
 
@@ -216,6 +222,14 @@ class TraceIndex {
       return a.proc < b.proc;
     }
   };
+
+  /// Shared table finisher: sorts the collected advance/await entries into
+  /// the flat key/index arrays, extracts duplicate advances, and orders the
+  /// barrier episodes.  Used by build() and by IncrementalTraceIndex::seal()
+  /// so both construction paths produce identical tables.
+  void finish_tables(std::vector<std::pair<SyncKey, std::size_t>>& advances,
+                     std::vector<std::pair<AwaitKey, std::size_t>>& awaits,
+                     support::TaskPool* pool);
 
   const Trace* trace_;
   std::vector<std::size_t> prev_on_proc_;
@@ -238,6 +252,43 @@ class TraceIndex {
   std::unordered_map<ObjectId, std::vector<std::size_t>> sem_releases_;
   std::vector<BarrierEpisode> barriers_;  ///< sorted by key
   std::unordered_map<SyncKey, std::size_t, SyncKeyHash> barrier_slot_;
+};
+
+/// Incremental TraceIndex builder for streaming loads: append events as
+/// chunks arrive, then seal() into the immutable index.  Each append runs
+/// the same per-event transition as build()'s two scans; seal() runs the
+/// same table finishers — so the sealed index is identical (every query
+/// answers the same) to a TraceIndex built over the complete trace in one
+/// shot, with ReferenceBuild as the common oracle.
+class IncrementalTraceIndex {
+ public:
+  IncrementalTraceIndex() = default;
+
+  void append(const Event& e);
+  void append(const Event* events, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) append(events[i]);
+  }
+
+  /// Events appended so far.
+  std::size_t size() const noexcept { return index_.prev_on_proc_.size(); }
+
+  /// Seals into an index over `trace`, which must hold exactly the appended
+  /// events in append order and must outlive the result.  Consumes the
+  /// builder.
+  TraceIndex seal(const Trace& trace) &&;
+
+ private:
+  TraceIndex index_;
+  std::vector<std::pair<SyncKey, std::size_t>> advance_entries_;
+  std::vector<std::pair<TraceIndex::AwaitKey, std::size_t>> await_entries_;
+
+  // Scan state carried between appends (the locals of build()'s two scans).
+  std::vector<std::size_t> last_on_proc_;
+  std::unordered_map<ObjectId, std::size_t> last_release_;
+  std::unordered_map<ObjectId, std::size_t> sem_acquire_count_;
+  std::vector<std::size_t> open_iter_;    // by proc; npos = none open
+  std::vector<std::size_t> joined_loop_;  // by proc; loop ordinal + 1
+  std::size_t open_loop_ = TraceIndex::npos;
 };
 
 }  // namespace perturb::trace

@@ -220,28 +220,7 @@ TraceInfo read_header_v2(std::istream& in, std::uint64_t& count) {
   const auto crc = get_header<std::uint32_t>(in);
   if (crc != support::crc32(block.data(), block.size()))
     malformed_fail("binary trace header checksum mismatch");
-
-  try {
-    ByteSource src{block.data(), block.data() + block.size()};
-    const auto name_len = src.get<std::uint32_t>();
-    if (name_len > static_cast<std::size_t>(src.end - src.p))
-      malformed_fail(
-          strf("binary trace header field #name_len %u exceeds header size",
-               unsigned(name_len)));
-    TraceInfo info;
-    info.name.assign(src.p, name_len);
-    src.p += name_len;
-    info.num_procs = src.get<std::uint32_t>();
-    if (info.num_procs > kMaxProcs)
-      malformed_fail(strf("binary trace header field #procs %u exceeds sanity cap",
-                          unsigned(info.num_procs)));
-    info.ticks_per_us = src.get<double>();
-    count = src.get<std::uint64_t>();
-    return info;
-  } catch (const IoError&) {
-    // ByteSource underrun inside the header block: the header is malformed.
-    malformed_fail("binary trace header truncated");
-  }
+  return detail::parse_v2_header_block(block.data(), block.size(), count);
 }
 
 /// Shared v2 chunk-reading loop.  In strict mode any defect throws IoError;
@@ -445,11 +424,12 @@ struct BufCursor {
   }
 };
 
-/// Decodes `n` records at `src` into `dst`, validating kinds.  Writes into
-/// pre-sized storage rather than push_back so the per-event work is one kind
-/// check plus one 27-byte copy.  Returns the count actually written (< n
-/// only when a bad kind stopped the decode).
-std::uint32_t decode_events(const char* src, std::uint32_t n, Event* dst) {
+}  // namespace
+
+namespace detail {
+
+std::uint32_t decode_event_records(const char* src, std::uint32_t n,
+                                   Event* dst) {
   for (std::uint32_t i = 0; i < n; ++i, src += kEventBytes) {
     if (static_cast<unsigned char>(src[26]) >= kNumEventKinds) return i;
     // void* cast: the record covers only the first 27 bytes (tail padding
@@ -459,24 +439,10 @@ std::uint32_t decode_events(const char* src, std::uint32_t n, Event* dst) {
   return n;
 }
 
-/// v2 header parse over the buffer; same checks and messages as
-/// read_header_v2.
-TraceInfo read_header_v2_buffer(BufCursor& cur, std::uint64_t& count) {
-  const auto header_len = cur.get_header<std::uint32_t>();
-  if (header_len > kMaxNameLen + 64)
-    malformed_fail(
-        strf("binary trace header field #header_len %u exceeds sanity cap",
-             unsigned(header_len)));
-  if (header_len > cur.remaining())
-    malformed_fail("binary trace header truncated");
-  const char* block = cur.p;
-  cur.p += header_len;
-  const auto crc = cur.get_header<std::uint32_t>();
-  if (crc != support::crc32(block, header_len))
-    malformed_fail("binary trace header checksum mismatch");
-
+TraceInfo parse_v2_header_block(const char* block, std::size_t len,
+                                std::uint64_t& count) {
   try {
-    ByteSource src{block, block + header_len};
+    ByteSource src{block, block + len};
     const auto name_len = src.get<std::uint32_t>();
     if (name_len > static_cast<std::size_t>(src.end - src.p))
       malformed_fail(
@@ -493,8 +459,31 @@ TraceInfo read_header_v2_buffer(BufCursor& cur, std::uint64_t& count) {
     count = src.get<std::uint64_t>();
     return info;
   } catch (const IoError&) {
+    // ByteSource underrun inside the header block: the header is malformed.
     malformed_fail("binary trace header truncated");
   }
+}
+
+}  // namespace detail
+
+namespace {
+
+/// v2 header parse over the buffer; same checks and messages as
+/// read_header_v2.
+TraceInfo read_header_v2_buffer(BufCursor& cur, std::uint64_t& count) {
+  const auto header_len = cur.get_header<std::uint32_t>();
+  if (header_len > kMaxNameLen + 64)
+    malformed_fail(
+        strf("binary trace header field #header_len %u exceeds sanity cap",
+             unsigned(header_len)));
+  if (header_len > cur.remaining())
+    malformed_fail("binary trace header truncated");
+  const char* block = cur.p;
+  cur.p += header_len;
+  const auto crc = cur.get_header<std::uint32_t>();
+  if (crc != support::crc32(block, header_len))
+    malformed_fail("binary trace header checksum mismatch");
+  return detail::parse_v2_header_block(block, header_len, count);
 }
 
 Trace read_v2_buffer(BufCursor cur, bool salvage, SalvageReport& report) {
@@ -556,8 +545,8 @@ Trace read_v2_buffer(BufCursor cur, bool salvage, SalvageReport& report) {
       defect(strf("chunk %zu: checksum mismatch", chunk_no));
       break;
     }
-    const std::uint32_t decoded =
-        decode_events(cur.p + sizeof(n), n, t.events().data() + filled);
+    const std::uint32_t decoded = detail::decode_event_records(
+        cur.p + sizeof(n), n, t.events().data() + filled);
     filled += decoded;
     if (decoded != n) {
       defect(strf("chunk %zu: bad event kind in binary trace", chunk_no));
@@ -611,8 +600,8 @@ Trace read_v1_buffer(BufCursor cur, bool salvage, SalvageReport& report) {
   while (done < whole) {
     const auto step = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(whole - done, 1u << 30));
-    const auto got = decode_events(cur.p + done * kEventBytes, step,
-                                   t.events().data() + done);
+    const auto got = detail::decode_event_records(cur.p + done * kEventBytes,
+                                                  step, t.events().data() + done);
     done += got;
     if (got != step) {
       bad_kind = true;
@@ -726,71 +715,54 @@ bool is_text_path(const std::string& path) {
   return path.size() >= 4 && path.compare(path.size() - 4, 4, ".ptt") == 0;
 }
 
-/// The raw bytes of a file, memory-mapped when the platform allows it so
-/// binary loads touch each byte exactly once (CRC + decode); otherwise read
-/// whole into the caller's reusable buffer.
-class FileImage {
- public:
-  FileImage(const std::string& path, std::vector<char>& fallback) {
-#ifdef PERTURB_HAVE_MMAP
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0) io_fail("cannot open for read: " + path);
-    struct stat st {};
-    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
-      const auto len = static_cast<std::size_t>(st.st_size);
-      void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
-      if (map != MAP_FAILED) {
-        ::close(fd);
-        map_ = map;
-        data_ = static_cast<const char*>(map);
-        size_ = len;
-        return;
-      }
-    }
-    // Not a regular mappable file (pipe, empty, exotic fs): read it whole.
-    fallback.clear();
-    char buf[1 << 16];
-    for (;;) {
-      const ::ssize_t got = ::read(fd, buf, sizeof(buf));
-      if (got < 0) {
-        ::close(fd);
-        io_fail("cannot open for read: " + path);
-      }
-      if (got == 0) break;
-      fallback.insert(fallback.end(), buf, buf + got);
-    }
-    ::close(fd);
-    data_ = fallback.data();
-    size_ = fallback.size();
-#else
-    std::ifstream in(path, std::ios::binary);
-    if (!in.good()) io_fail("cannot open for read: " + path);
-    fallback.assign(std::istreambuf_iterator<char>(in),
-                    std::istreambuf_iterator<char>());
-    data_ = fallback.data();
-    size_ = fallback.size();
-#endif
-  }
-
-  ~FileImage() {
-#ifdef PERTURB_HAVE_MMAP
-    if (map_ != nullptr) ::munmap(map_, size_);
-#endif
-  }
-
-  FileImage(const FileImage&) = delete;
-  FileImage& operator=(const FileImage&) = delete;
-
-  const char* data() const noexcept { return data_; }
-  std::size_t size() const noexcept { return size_; }
-
- private:
-  void* map_ = nullptr;
-  const char* data_ = nullptr;
-  std::size_t size_ = 0;
-};
-
 }  // namespace
+
+FileImage::FileImage(const std::string& path, std::vector<char>& fallback) {
+#ifdef PERTURB_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) io_fail("cannot open for read: " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    const auto len = static_cast<std::size_t>(st.st_size);
+    void* map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      ::close(fd);
+      map_ = map;
+      data_ = static_cast<const char*>(map);
+      size_ = len;
+      return;
+    }
+  }
+  // Not a regular mappable file (pipe, empty, exotic fs): read it whole.
+  fallback.clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ::ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got < 0) {
+      ::close(fd);
+      io_fail("cannot open for read: " + path);
+    }
+    if (got == 0) break;
+    fallback.insert(fallback.end(), buf, buf + got);
+  }
+  ::close(fd);
+  data_ = fallback.data();
+  size_ = fallback.size();
+#else
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) io_fail("cannot open for read: " + path);
+  fallback.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+  data_ = fallback.data();
+  size_ = fallback.size();
+#endif
+}
+
+FileImage::~FileImage() {
+#ifdef PERTURB_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+}
 
 void save(const std::string& path, const Trace& trace) {
   // Atomic: the image is rendered in memory and published with a temp-file +

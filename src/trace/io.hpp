@@ -100,6 +100,46 @@ struct IoArena {
   std::vector<char> buffer;
 };
 
+/// The raw bytes of a file, memory-mapped when the platform allows it so
+/// binary loads touch each byte exactly once (CRC + decode); otherwise read
+/// whole into the caller's reusable buffer.  Throws IoError when the file
+/// cannot be opened or read.  Used by the batch loaders and as the file
+/// source of the streaming trace::ChunkReader.
+class FileImage {
+ public:
+  FileImage(const std::string& path, std::vector<char>& fallback);
+  ~FileImage();
+
+  FileImage(const FileImage&) = delete;
+  FileImage& operator=(const FileImage&) = delete;
+
+  const char* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  void* map_ = nullptr;
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+namespace detail {
+
+/// Decodes `n` fixed-width binary event records (27 bytes each) at `src`
+/// into pre-sized storage at `dst`, validating event kinds.  Returns the
+/// count actually written (< n only when a bad kind stopped the decode).
+/// Shared by the batch readers and the streaming ChunkReader so both decode
+/// records identically.
+std::uint32_t decode_event_records(const char* src, std::uint32_t n,
+                                   Event* dst);
+
+/// Parses the CRC-verified v2 header *block* (name_len, name, num_procs,
+/// ticks_per_us, count); throws MalformedTraceError with the batch reader's
+/// messages on any defect.
+TraceInfo parse_v2_header_block(const char* block, std::size_t len,
+                                std::uint64_t& count);
+
+}  // namespace detail
+
 /// File-path conveniences; format chosen by extension (".ptt" text,
 /// anything else binary).  Binary loads go through the zero-copy reader over
 /// a memory-mapped image of the file when the platform allows it.

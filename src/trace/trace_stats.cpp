@@ -1,5 +1,6 @@
 #include "trace/trace_stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -24,6 +25,33 @@ TraceStats compute_stats(const Trace& trace) {
   }
   s.span = trace.span();
   s.total_time = trace.total_time();
+  return s;
+}
+
+void StatsBuilder::add(const Event& e) {
+  if (stats_.total_events == 0) {
+    min_ = e.time;
+    max_ = e.time;
+  } else {
+    min_ = std::min(min_, e.time);
+    max_ = std::max(max_, e.time);
+  }
+  ++stats_.total_events;
+  ++stats_.kind_counts[static_cast<std::size_t>(e.kind)];
+  if (e.proc < stats_.per_proc_events.size()) ++stats_.per_proc_events[e.proc];
+  if (e.kind == EventKind::kProgramBegin && !have_begin_) {
+    begin_ = e.time;
+    have_begin_ = true;
+  } else if (e.kind == EventKind::kProgramEnd) {
+    end_ = e.time;
+    have_end_ = true;
+  }
+}
+
+TraceStats StatsBuilder::build() const {
+  TraceStats s = stats_;
+  s.span = stats_.total_events == 0 ? 0 : max_ - min_;
+  s.total_time = have_begin_ && have_end_ ? end_ - begin_ : s.span;
   return s;
 }
 

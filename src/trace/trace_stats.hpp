@@ -21,6 +21,37 @@ struct TraceStats {
 
 TraceStats compute_stats(const Trace& trace);
 
+/// Incremental TraceStats accumulator for streaming loads: feed events in
+/// trace order as chunks decode, then build().  Produces exactly what
+/// compute_stats reports over the same events — including the edge rules
+/// (span 0 when empty, first-wins ProgramBegin, last-wins ProgramEnd,
+/// total_time falling back to span without both markers, out-of-range
+/// processors counted in totals but not per-proc).
+class StatsBuilder {
+ public:
+  /// `num_procs` sizes the per-processor table (the header's declared
+  /// count, like compute_stats uses trace.info().num_procs).
+  explicit StatsBuilder(std::size_t num_procs) {
+    stats_.per_proc_events.assign(num_procs, 0);
+  }
+
+  void add(const Event& e);
+  void add(const Event* events, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) add(events[i]);
+  }
+
+  TraceStats build() const;
+
+ private:
+  TraceStats stats_;
+  Tick min_ = 0;
+  Tick max_ = 0;
+  Tick begin_ = 0;
+  Tick end_ = 0;
+  bool have_begin_ = false;
+  bool have_end_ = false;
+};
+
 /// Renders stats as an aligned text table.
 std::string render_stats(const TraceStats& stats);
 

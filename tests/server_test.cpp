@@ -29,6 +29,7 @@
 #include "experiments/experiments.hpp"
 #include "server/protocol.hpp"
 #include "server/server.hpp"
+#include "server/socket.hpp"
 #include "trace/io.hpp"
 
 namespace perturb::server {
@@ -450,6 +451,207 @@ TEST(Server, RepliesBitIdenticalAt1And2And8Workers) {
   ASSERT_EQ(one.size(), 18u);
   EXPECT_EQ(one, two);
   EXPECT_EQ(one, eight);
+}
+
+// ---- chunked (streamed) jobs ---------------------------------------------
+
+TEST(Server, ChunkedJobReplyMatchesInline) {
+  const std::string socket_path = test_socket();
+  PerturbServer daemon(base_config(socket_path, 2));
+  daemon.start();
+  Client client(socket_path);
+
+  const JobRequest request = job(1, kMaskTimeBased | kMaskEventBased);
+  const JobReply inline_reply = client.call(request);
+  ASSERT_EQ(inline_reply.status, JobStatus::kOk);
+
+  // The same trace in 4 KiB chunks: one reply, bit-identical result text.
+  JobRequest chunked = request;
+  chunked.job_id = 2;
+  const JobReply stream_reply = client.call_stream(chunked, 4096);
+  EXPECT_EQ(stream_reply.status, JobStatus::kOk);
+  EXPECT_EQ(stream_reply.attempts, 1u);
+  EXPECT_EQ(stream_reply.detail, inline_reply.detail);
+
+  // Tiny chunks stress reassembly; the reply must not change.
+  chunked.job_id = 3;
+  const JobReply tiny_reply = client.call_stream(chunked, 101);
+  EXPECT_EQ(tiny_reply.status, JobStatus::kOk);
+  EXPECT_EQ(tiny_reply.detail, inline_reply.detail);
+  daemon.shutdown();
+}
+
+TEST(Server, ChunkedJobDecodeFailureRepliesAtTheFailingFrame) {
+  const std::string socket_path = test_socket();
+  PerturbServer daemon(base_config(socket_path, 1));
+  daemon.start();
+  Client client(socket_path);
+
+  // A torn image in strict mode (repair off) dies inside the reader-side
+  // decode with a structured I/O error; no worker ever sees the job.
+  JobRequest torn = job(10);
+  torn.payload.resize(torn.payload.size() - 50);
+  const JobReply strict = client.call_stream(torn, 4096);
+  EXPECT_EQ(strict.status, JobStatus::kIoError);
+
+  // With a repair mode set, the reader-side decode salvages the valid
+  // prefix (the streaming analogue of acquire_file's salvage load) and the
+  // job runs over it, flagged degraded.
+  JobRequest salvaged = torn;
+  salvaged.job_id = 11;
+  salvaged.repair =
+      static_cast<std::uint8_t>(core::RepairMode::kConservative);
+  const JobReply repaired = client.call_stream(salvaged, 4096);
+  EXPECT_EQ(repaired.status, JobStatus::kOk);
+  EXPECT_NE(repaired.detail.find("salvaged=1"), std::string::npos);
+  EXPECT_NE(repaired.detail.find("degraded=1"), std::string::npos);
+  daemon.shutdown();
+}
+
+/// Raw-frame client for protocol-edge tests the Client API cannot express.
+struct RawClient {
+  Fd fd;
+  explicit RawClient(const std::string& socket_path) {
+    std::string error;
+    fd = connect_unix(socket_path, error);
+    EXPECT_TRUE(fd.valid()) << error;
+  }
+  void send(const JobRequest& request) {
+    ASSERT_TRUE(send_frame(fd.get(), encode_request(request)));
+  }
+  JobReply recv() {
+    std::string payload;
+    EXPECT_EQ(recv_frame(fd.get(), payload), FrameResult::kOk);
+    JobReply reply;
+    EXPECT_TRUE(decode_reply(payload.data(), payload.size(), reply));
+    return reply;
+  }
+};
+
+TEST(Server, OrphanChunkIsDroppedOrphanCloseIsBadRequest) {
+  const std::string socket_path = test_socket();
+  PerturbServer daemon(base_config(socket_path, 1));
+  daemon.start();
+  RawClient raw(socket_path);
+
+  // A CHUNK for a stream that was never opened: silently dropped (it is the
+  // tail of an already-terminated stream).  The orphan CLOSE that follows is
+  // answered kBadRequest — proving the CHUNK produced no reply, since
+  // replies on one connection come back in order.
+  JobRequest chunk;
+  chunk.job_id = 77;
+  chunk.flags = kFlagStreamChunk;
+  chunk.payload = "some bytes";
+  raw.send(chunk);
+  JobRequest orphan_close = chunk;
+  orphan_close.flags = kFlagStreamClose;
+  orphan_close.payload.clear();
+  raw.send(orphan_close);
+  const JobReply reply = raw.recv();
+  EXPECT_EQ(reply.job_id, 77u);
+  EXPECT_EQ(reply.status, JobStatus::kBadRequest);
+
+  // The connection survives: a normal inline job still runs.
+  JobRequest healthy = job(78);
+  raw.send(healthy);
+  const JobReply ok = raw.recv();
+  EXPECT_EQ(ok.status, JobStatus::kOk);
+  daemon.shutdown();
+}
+
+TEST(Server, StreamFlagMisuseIsRejected) {
+  const std::string socket_path = test_socket();
+  PerturbServer daemon(base_config(socket_path, 1));
+  daemon.start();
+  RawClient raw(socket_path);
+
+  // More than one stream bit on a frame.
+  JobRequest both;
+  both.job_id = 1;
+  both.flags = kFlagStreamOpen | kFlagStreamClose;
+  raw.send(both);
+  EXPECT_EQ(raw.recv().status, JobStatus::kBadRequest);
+
+  // A stream frame cannot carry a path payload.
+  JobRequest path_open;
+  path_open.job_id = 2;
+  path_open.flags = kFlagStreamOpen | kFlagPayloadIsPath;
+  path_open.payload = "/tmp/nope";
+  raw.send(path_open);
+  EXPECT_EQ(raw.recv().status, JobStatus::kBadRequest);
+
+  // Opening the same job id twice is a bad request for the second OPEN.
+  JobRequest open;
+  open.job_id = 3;
+  open.flags = kFlagStreamOpen;
+  raw.send(open);
+  raw.send(open);
+  EXPECT_EQ(raw.recv().status, JobStatus::kBadRequest);
+  daemon.shutdown();
+}
+
+TEST(Server, MidStreamOverloadShedsTheStream) {
+  const std::string socket_path = test_socket();
+  ServerConfig config = base_config(socket_path, 1);
+  config.max_inflight_bytes = 8 * 1024;
+  PerturbServer daemon(std::move(config));
+  daemon.start();
+  RawClient raw(socket_path);
+
+  JobRequest open;
+  open.job_id = 5;
+  open.flags = kFlagStreamOpen;
+  raw.send(open);
+
+  // A chunk that blows the byte budget terminates the stream with a
+  // structured rejection; its charge is refunded.
+  JobRequest big;
+  big.job_id = 5;
+  big.flags = kFlagStreamChunk;
+  big.payload.assign(16 * 1024, 'x');
+  raw.send(big);
+  const JobReply shed = raw.recv();
+  EXPECT_EQ(shed.job_id, 5u);
+  EXPECT_EQ(shed.status, JobStatus::kRejectedOverload);
+
+  // The CLOSE behind it is now an orphan.
+  JobRequest late_close;
+  late_close.job_id = 5;
+  late_close.flags = kFlagStreamClose;
+  raw.send(late_close);
+  EXPECT_EQ(raw.recv().status, JobStatus::kBadRequest);
+
+  // The refund restored the budget: a small inline job fits again.
+  JobRequest small = job(6);
+  small.payload = small.payload.substr(0, 1024);  // corrupt but admitted
+  raw.send(small);
+  const JobReply after = raw.recv();
+  EXPECT_NE(after.status, JobStatus::kRejectedOverload);
+  daemon.shutdown();
+}
+
+TEST(Server, StreamDeadlineAnchorsAtOpen) {
+  const std::string socket_path = test_socket();
+  ServerConfig config = base_config(socket_path, 1);
+  config.default_deadline_ms = 150;
+  PerturbServer daemon(std::move(config));
+  daemon.start();
+  RawClient raw(socket_path);
+
+  // Transfer time counts against the deadline: OPEN, dawdle past it, CLOSE.
+  JobRequest open;
+  open.job_id = 9;
+  open.flags = kFlagStreamOpen;
+  raw.send(open);
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  JobRequest slow_close;
+  slow_close.job_id = 9;
+  slow_close.flags = kFlagStreamClose;
+  slow_close.payload = payload();
+  raw.send(slow_close);
+  const JobReply reply = raw.recv();
+  EXPECT_EQ(reply.status, JobStatus::kDeadlineExceeded);
+  daemon.shutdown();
 }
 
 TEST(Server, FaultInjectionIsAPureFunctionOfSeedIdAttempt) {

@@ -1,0 +1,536 @@
+// Streaming trace analysis suite: the chunk-incremental load → index →
+// reconstruct path must be bit-identical to the batch path it shadows.
+//
+// What must hold:
+//   * ChunkReader parity — on any byte sequence (clean, torn, bit-flipped),
+//     the chunks concatenate to exactly what read_binary /
+//     read_binary_salvage produce, with the same SalvageReport and the same
+//     exceptions, in both borrowed-image and feed mode;
+//   * IncrementalTraceIndex::seal answers every query like a batch-built
+//     TraceIndex, with ReferenceBuild as the common oracle;
+//   * the windowed StreamingReconstructor reproduces the batch event-based
+//     approximation bit for bit — including when an await's partner advance
+//     lands in a later window, when the final chunk is torn, and across the
+//     Livermore grid {3,4,17} x {1,2,8} processors under fault injection;
+//   * AnalysisPipeline::run_stream_file matches run_file's event-based
+//     output and publishes the pipeline.stream.* metrics;
+//   * run_sealed (the server's prebuilt-index entry) matches run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/eventbased.hpp"
+#include "core/pipeline.hpp"
+#include "experiments/experiments.hpp"
+#include "support/metrics.hpp"
+#include "trace/chunk_reader.hpp"
+#include "trace/faults.hpp"
+#include "trace/index.hpp"
+#include "trace/io.hpp"
+
+namespace perturb {
+namespace {
+
+using core::AnalysisOverheads;
+using core::CollectSink;
+using core::EventBasedOptions;
+using core::StreamingReconstructor;
+using trace::ChunkReader;
+using trace::Event;
+using trace::Trace;
+
+/// Serialized v2 image of a trace.
+std::string image_of(const Trace& t) {
+  std::ostringstream out;
+  trace::write_binary(out, t);
+  return out.str();
+}
+
+/// Drains a reader, concatenating every chunk.
+std::vector<Event> drain(ChunkReader& reader) {
+  std::vector<Event> all;
+  std::vector<Event> chunk;
+  while (reader.next(chunk) == ChunkReader::Status::kChunk)
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  return all;
+}
+
+/// The shared concurrent workload (loop 17, full instrumentation: advances,
+/// awaits, loop markers — everything the index and reconstructor model).
+const experiments::LoopRun& loop17() {
+  static const experiments::LoopRun run = [] {
+    experiments::Setup setup;
+    return experiments::run_concurrent_experiment(17, 1000, setup,
+                                                  experiments::PlanKind::kFull);
+  }();
+  return run;
+}
+
+AnalysisOverheads overheads() {
+  experiments::Setup setup;
+  return experiments::overheads_for(
+      experiments::make_plan(experiments::PlanKind::kFull, setup),
+      setup.machine);
+}
+
+// ---- ChunkReader parity ---------------------------------------------------
+
+TEST(ChunkReader, MatchesBatchOnCleanImage) {
+  const std::string bytes = image_of(loop17().measured);
+  ChunkReader reader(bytes.data(), bytes.size(), /*salvage=*/false);
+  const std::vector<Event> streamed = drain(reader);
+
+  const Trace batch = trace::read_binary(bytes.data(), bytes.size());
+  EXPECT_EQ(streamed, batch.events());
+  EXPECT_EQ(reader.info().name, batch.info().name);
+  EXPECT_EQ(reader.info().num_procs, batch.info().num_procs);
+  EXPECT_EQ(reader.events_declared(), batch.size());
+  EXPECT_EQ(reader.events_read(), batch.size());
+  EXPECT_TRUE(reader.report().complete);
+}
+
+TEST(ChunkReader, FeedModeMatchesBorrowedAtAnyGranularity) {
+  const std::string bytes = image_of(loop17().measured);
+  const Trace batch = trace::read_binary(bytes.data(), bytes.size());
+  // Pathological feed sizes: single bytes across the header, then odd
+  // primes, then the rest — chunk boundaries never align with feed calls.
+  for (const std::size_t piece : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{4093}}) {
+    ChunkReader reader(/*salvage=*/false);
+    std::vector<Event> streamed;
+    std::vector<Event> chunk;
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const std::size_t n = std::min(piece, bytes.size() - off);
+      reader.feed(bytes.data() + off, n);
+      off += n;
+      while (reader.next(chunk) == ChunkReader::Status::kChunk)
+        streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+    }
+    reader.finish();
+    while (reader.next(chunk) == ChunkReader::Status::kChunk)
+      streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+    EXPECT_EQ(streamed, batch.events()) << "feed piece " << piece;
+    EXPECT_TRUE(reader.report().complete);
+  }
+}
+
+TEST(ChunkReader, TornFinalChunkSalvagesPrefix) {
+  const std::string full = image_of(loop17().measured);
+  // Cut mid-way through the last chunk's payload.
+  const std::string torn = full.substr(0, full.size() - 100);
+
+  trace::SalvageReport batch_report;
+  const Trace batch =
+      trace::read_binary_salvage(torn.data(), torn.size(), batch_report);
+
+  ChunkReader reader(torn.data(), torn.size(), /*salvage=*/true);
+  const std::vector<Event> streamed = drain(reader);
+
+  EXPECT_FALSE(batch_report.complete);
+  EXPECT_EQ(streamed, batch.events());
+  EXPECT_EQ(reader.report().complete, batch_report.complete);
+  EXPECT_EQ(reader.report().events_recovered, batch_report.events_recovered);
+  EXPECT_EQ(reader.report().chunks_recovered, batch_report.chunks_recovered);
+  EXPECT_EQ(reader.report().detail, batch_report.detail);
+}
+
+TEST(ChunkReader, SalvageParityUnderByteFaults) {
+  const std::string clean = image_of(loop17().measured);
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    std::string bytes = clean;
+    if (seed % 3 == 0) {
+      bytes = trace::truncate_bytes(bytes, 0.03 * static_cast<double>(seed));
+    } else {
+      trace::flip_bits(bytes, 1 + seed % 5, seed);
+    }
+
+    bool batch_threw = false;
+    Trace batch(trace::TraceInfo{});
+    trace::SalvageReport batch_report;
+    try {
+      batch = trace::read_binary_salvage(bytes.data(), bytes.size(),
+                                         batch_report);
+    } catch (const CheckError&) {
+      batch_threw = true;
+    }
+
+    bool stream_threw = false;
+    ChunkReader reader(bytes.data(), bytes.size(), /*salvage=*/true);
+    std::vector<Event> streamed;
+    try {
+      streamed = drain(reader);
+    } catch (const CheckError&) {
+      stream_threw = true;
+    }
+
+    EXPECT_EQ(stream_threw, batch_threw) << "seed " << seed;
+    if (batch_threw || stream_threw) continue;
+    EXPECT_EQ(streamed, batch.events()) << "seed " << seed;
+    EXPECT_EQ(reader.report().complete, batch_report.complete)
+        << "seed " << seed;
+    EXPECT_EQ(reader.report().events_recovered, batch_report.events_recovered)
+        << "seed " << seed;
+    EXPECT_EQ(reader.report().detail, batch_report.detail) << "seed " << seed;
+  }
+}
+
+TEST(ChunkReader, RejectsUnframedV1) {
+  // A v1 header: magic + version 1.  v1 has no chunk frames, so the
+  // streaming reader refuses it outright (batch readers still accept it).
+  std::string bytes = "PTRC";
+  bytes.append(4, '\0');
+  bytes[4] = 1;
+  ChunkReader reader(bytes.data(), bytes.size(), /*salvage=*/true);
+  std::vector<Event> chunk;
+  EXPECT_THROW(reader.next(chunk), trace::MalformedTraceError);
+}
+
+// ---- IncrementalTraceIndex ------------------------------------------------
+
+/// Compares every query the index answers on the two builds.
+void expect_index_equal(const trace::TraceIndex& a, const trace::TraceIndex& b,
+                        const Trace& t) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_procs(), b.num_procs());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.prev_on_proc(i), b.prev_on_proc(i)) << "event " << i;
+    EXPECT_EQ(a.fork_dep(i), b.fork_dep(i)) << "event " << i;
+    EXPECT_EQ(a.lock_dep(i), b.lock_dep(i)) << "event " << i;
+    EXPECT_EQ(a.sem_ordinal(i), b.sem_ordinal(i)) << "event " << i;
+  }
+  for (std::size_t p = 0; p < a.num_procs(); ++p) {
+    const auto proc = static_cast<trace::ProcId>(p);
+    EXPECT_EQ(a.events_of(proc), b.events_of(proc)) << "proc " << p;
+  }
+  EXPECT_EQ(a.duplicate_advances(), b.duplicate_advances());
+
+  ASSERT_EQ(a.loops().size(), b.loops().size());
+  for (std::size_t i = 0; i < a.loops().size(); ++i) {
+    EXPECT_EQ(a.loops()[i].begin_index, b.loops()[i].begin_index);
+    EXPECT_EQ(a.loops()[i].end_index, b.loops()[i].end_index);
+    EXPECT_EQ(a.loops()[i].object, b.loops()[i].object);
+    EXPECT_EQ(a.loops()[i].proc, b.loops()[i].proc);
+  }
+  ASSERT_EQ(a.iterations().size(), b.iterations().size());
+  for (std::size_t i = 0; i < a.iterations().size(); ++i) {
+    EXPECT_EQ(a.iterations()[i].begin_index, b.iterations()[i].begin_index);
+    EXPECT_EQ(a.iterations()[i].end_index, b.iterations()[i].end_index);
+    EXPECT_EQ(a.iterations()[i].iteration, b.iterations()[i].iteration);
+  }
+
+  // Sync tables, probed through every event's key.
+  for (const Event& e : t) {
+    const trace::SyncKey key{e.object, e.payload};
+    const auto ar = a.advances(key);
+    const auto br = b.advances(key);
+    EXPECT_EQ(std::vector<std::size_t>(ar.begin(), ar.end()),
+              std::vector<std::size_t>(br.begin(), br.end()));
+    const auto aw = a.await_begins(key, e.proc);
+    const auto bw = b.await_begins(key, e.proc);
+    EXPECT_EQ(std::vector<std::size_t>(aw.begin(), aw.end()),
+              std::vector<std::size_t>(bw.begin(), bw.end()));
+    EXPECT_EQ(a.sem_releases(e.object), b.sem_releases(e.object));
+  }
+
+  ASSERT_EQ(a.barrier_episodes().size(), b.barrier_episodes().size());
+  for (std::size_t i = 0; i < a.barrier_episodes().size(); ++i) {
+    EXPECT_EQ(a.barrier_episodes()[i].key, b.barrier_episodes()[i].key);
+    EXPECT_EQ(a.barrier_episodes()[i].arrivals,
+              b.barrier_episodes()[i].arrivals);
+    EXPECT_EQ(a.barrier_episodes()[i].departs, b.barrier_episodes()[i].departs);
+  }
+}
+
+TEST(IncrementalTraceIndex, SealMatchesBatchAndReference) {
+  const Trace& t = loop17().measured;
+  trace::IncrementalTraceIndex builder;
+  // Append in uneven slices, crossing no particular boundary.
+  std::size_t off = 0;
+  std::size_t piece = 1;
+  while (off < t.size()) {
+    const std::size_t n = std::min(piece, t.size() - off);
+    builder.append(t.events().data() + off, n);
+    off += n;
+    piece = piece * 2 + 1;
+  }
+  EXPECT_EQ(builder.size(), t.size());
+  const trace::TraceIndex sealed = std::move(builder).seal(t);
+
+  const trace::TraceIndex batch(t);
+  const trace::TraceIndex reference(trace::TraceIndex::ReferenceBuild{}, t);
+  expect_index_equal(sealed, batch, t);
+  expect_index_equal(sealed, reference, t);
+}
+
+// ---- StreamingReconstructor ----------------------------------------------
+
+/// Batch oracle: the event-based approximation of `measured`.
+Trace batch_approx(const Trace& measured) {
+  return core::event_based_approximation(measured, overheads()).approx;
+}
+
+/// Streams `measured` through a windowed reconstructor in `push_size`-event
+/// pushes and returns the collected approximation.
+Trace stream_approx(const Trace& measured, std::size_t window,
+                    std::size_t push_size) {
+  CollectSink sink;
+  StreamingReconstructor recon(overheads(), EventBasedOptions{}, window, sink);
+  std::size_t off = 0;
+  while (off < measured.size()) {
+    const std::size_t n = std::min(push_size, measured.size() - off);
+    recon.push(measured.events().data() + off, n);
+    off += n;
+  }
+  recon.finish();
+  return sink.take(measured.info());
+}
+
+TEST(StreamingReconstructor, WindowBoundarySplitsAdvanceAwaitPairs) {
+  // Tiny windows and single-event pushes force every advance/await pair that
+  // spans a drain boundary through the blocked-event path: the await is
+  // resident while its partner advance arrives windows later.
+  const Trace& measured = loop17().measured;
+  const Trace oracle = batch_approx(measured);
+  for (const std::size_t window : {std::size_t{4}, std::size_t{64},
+                                   std::size_t{1024}}) {
+    const Trace streamed = stream_approx(measured, window, 1);
+    EXPECT_EQ(streamed.events(), oracle.events()) << "window " << window;
+    EXPECT_EQ(streamed.info().name, oracle.info().name);
+  }
+}
+
+TEST(StreamingReconstructor, ReportsWindowAndResidencyStats) {
+  const Trace& measured = loop17().measured;
+  CollectSink sink;
+  StreamingReconstructor recon(overheads(), EventBasedOptions{}, 256, sink);
+  recon.push(measured.events().data(), measured.size());
+  recon.finish();
+  EXPECT_EQ(recon.events_pushed(), measured.size());
+  EXPECT_GT(recon.windows_processed(), 0u);
+  EXPECT_GT(recon.segments_spilled(), 0u);
+  EXPECT_GT(recon.resident_high_water(), 0u);
+}
+
+TEST(StreamingReconstructor, MatchesBatchAcrossLivermoreGrid) {
+  for (const int loop : {3, 4, 17}) {
+    for (const std::uint32_t procs : {1u, 2u, 8u}) {
+      experiments::Setup setup;
+      setup.machine.num_procs = procs;
+      const auto run = experiments::run_concurrent_experiment(
+          loop, 300, setup, experiments::PlanKind::kFull);
+      const AnalysisOverheads oh = experiments::overheads_for(
+          experiments::make_plan(experiments::PlanKind::kFull, setup),
+          setup.machine);
+
+      const Trace oracle =
+          core::event_based_approximation(run.measured, oh).approx;
+      CollectSink sink;
+      StreamingReconstructor recon(oh, EventBasedOptions{},
+                                   trace::kStreamChunkEvents, sink);
+      recon.push(run.measured.events().data(), run.measured.size());
+      recon.finish();
+      const Trace streamed = sink.take(run.measured.info());
+      EXPECT_EQ(streamed.events(), oracle.events())
+          << "loop " << loop << " procs " << procs;
+    }
+  }
+}
+
+TEST(StreamingReconstructor, MatchesBatchOnFaultInjectedTraces) {
+  // 30 seeds of byte-level corruption: whatever prefix salvage recovers,
+  // streaming and batch reconstruction of that prefix must agree exactly.
+  const std::string clean = image_of(loop17().measured);
+  const AnalysisOverheads oh = overheads();
+  std::size_t compared = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    std::string bytes = clean;
+    if (seed % 2 == 0)
+      bytes = trace::truncate_bytes(bytes,
+                                    0.5 + 0.015 * static_cast<double>(seed));
+    else
+      trace::flip_bits(bytes, 1, seed * 7919);
+
+    ChunkReader reader(bytes.data(), bytes.size(), /*salvage=*/true);
+    Trace salvaged(trace::TraceInfo{});
+    CollectSink sink;
+    StreamingReconstructor recon(oh, EventBasedOptions{},
+                                 trace::kStreamChunkEvents, sink);
+    try {
+      std::vector<Event> chunk;
+      bool have_info = false;
+      while (reader.next(chunk) == ChunkReader::Status::kChunk) {
+        if (!have_info) {
+          salvaged = Trace(reader.info());
+          have_info = true;
+        }
+        for (const Event& e : chunk) salvaged.append(e);
+        recon.push(chunk);
+      }
+      if (!have_info) continue;  // header corrupted away; nothing to compare
+    } catch (const CheckError&) {
+      continue;  // unsalvageable image; strict/salvage parity covered above
+    }
+    if (salvaged.size() == 0) continue;
+    recon.finish();
+    const Trace streamed = sink.take(salvaged.info());
+    const Trace oracle = core::event_based_approximation(salvaged, oh).approx;
+    EXPECT_EQ(streamed.events(), oracle.events()) << "seed " << seed;
+    ++compared;
+  }
+  // The corruption schedule must leave a healthy number of comparable runs.
+  EXPECT_GE(compared, 15u);
+}
+
+// ---- pipeline entry points ------------------------------------------------
+
+std::string temp_trace_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/perturb_stream_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".bin";
+}
+
+core::PipelineOptions pipeline_options() {
+  experiments::Setup setup;
+  core::PipelineOptions options;
+  options.overheads = overheads();
+  options.machine = setup.machine;
+  options.sync_slack = 130;
+  return options;
+}
+
+TEST(AnalysisPipeline, StreamFileMatchesBatchEventBased) {
+  const std::string path = temp_trace_path();
+  trace::save(path, loop17().measured);
+
+  core::AnalysisPipeline pipeline(pipeline_options());
+  pipeline.add(core::AnalyzerKind::kEventBased);
+  const core::PipelineResult batch = pipeline.run_file(path);
+  ASSERT_TRUE(batch.acquire.ok);
+  const core::AnalyzerOutput* eb = batch.output("event-based");
+  ASSERT_NE(eb, nullptr);
+
+  support::Metrics::enable(true);
+  support::Metrics::reset();
+  const core::StreamOutcome streamed =
+      pipeline.run_stream_file(path, /*collect=*/true);
+  ASSERT_TRUE(streamed.ok);
+  EXPECT_EQ(streamed.event_stats.approx.events(), eb->approx.events());
+  EXPECT_EQ(streamed.measured_events, loop17().measured.size());
+  EXPECT_EQ(streamed.measured_span, loop17().measured.span());
+  EXPECT_EQ(streamed.measured_total, loop17().measured.total_time());
+  EXPECT_EQ(streamed.approx_span, eb->approx.span());
+  EXPECT_EQ(streamed.approx_total, eb->approx.total_time());
+  EXPECT_EQ(streamed.event_stats.awaits_total,
+            eb->event_stats->awaits_total);
+  EXPECT_EQ(streamed.event_stats.waits_removed,
+            eb->event_stats->waits_removed);
+  EXPECT_GT(streamed.chunks, 0u);
+  EXPECT_GT(streamed.windows, 0u);
+
+  // The streaming run publishes its observability metrics.
+  const support::MetricsSnapshot snap = support::Metrics::snapshot();
+  support::Metrics::enable(false);
+  EXPECT_EQ(snap.counters.at("pipeline.stream.chunks"), streamed.chunks);
+  EXPECT_EQ(snap.counters.at("pipeline.stream.windows"), streamed.windows);
+  EXPECT_EQ(snap.counters.at("pipeline.stream.spills"), streamed.spills);
+  EXPECT_EQ(
+      static_cast<std::size_t>(
+          snap.gauges.at("pipeline.stream.resident_events.hwm")),
+      streamed.resident_high_water);
+
+  // Summary mode (collect=false) reports the same totals without the trace.
+  const core::StreamOutcome summary =
+      pipeline.run_stream_file(path, /*collect=*/false);
+  ASSERT_TRUE(summary.ok);
+  EXPECT_EQ(summary.approx_span, streamed.approx_span);
+  EXPECT_EQ(summary.approx_total, streamed.approx_total);
+  EXPECT_EQ(summary.event_stats.approx.size(), 0u);
+
+  std::remove(path.c_str());
+}
+
+TEST(AnalysisPipeline, StreamFileBoundsResidencyByWindow) {
+  const std::string path = temp_trace_path();
+  trace::save(path, loop17().measured);
+  core::PipelineOptions options = pipeline_options();
+  options.stream_window = trace::kStreamChunkEvents;
+  const core::AnalysisPipeline pipeline(options);
+  const core::StreamOutcome out =
+      pipeline.run_stream_file(path, /*collect=*/false);
+  ASSERT_TRUE(out.ok);
+  ASSERT_GT(loop17().measured.size(), 4 * trace::kStreamChunkEvents)
+      << "workload too small to exercise windowing";
+  // The drain threshold is soft (blocked events may ride past it), but on a
+  // consistent trace residency stays well below the full trace.
+  EXPECT_LT(out.resident_high_water, loop17().measured.size() / 2);
+  std::remove(path.c_str());
+}
+
+TEST(AnalysisPipeline, StreamFileRejectsTextTraces) {
+  const std::string path = temp_trace_path() + ".ptt";
+  trace::save(path, loop17().measured);
+  const core::AnalysisPipeline pipeline(pipeline_options());
+  EXPECT_THROW(pipeline.run_stream_file(path, false),
+               trace::MalformedTraceError);
+  std::remove(path.c_str());
+}
+
+TEST(AnalysisPipeline, StreamFileSalvagesTornInputWhenRepairing) {
+  const std::string full = image_of(loop17().measured);
+  const std::string torn = full.substr(0, full.size() - 100);
+  const std::string path = temp_trace_path();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(torn.data(), 1, torn.size(), f);
+    std::fclose(f);
+  }
+
+  // Strict mode refuses the torn tail like trace::load.
+  const core::AnalysisPipeline strict(pipeline_options());
+  EXPECT_THROW(strict.run_stream_file(path, false), trace::IoError);
+
+  // Salvage mode analyzes the valid prefix and says so.
+  core::PipelineOptions options = pipeline_options();
+  options.repair = core::RepairMode::kConservative;
+  const core::AnalysisPipeline salvaging(options);
+  const core::StreamOutcome out = salvaging.run_stream_file(path, false);
+  ASSERT_TRUE(out.ok);
+  EXPECT_TRUE(out.salvaged);
+  EXPECT_FALSE(out.salvage.complete);
+  EXPECT_LT(out.measured_events, loop17().measured.size());
+  std::remove(path.c_str());
+}
+
+TEST(AnalysisPipeline, RunSealedMatchesRun) {
+  const Trace& measured = loop17().measured;
+  core::AnalysisPipeline pipeline(pipeline_options());
+  pipeline.add(core::AnalyzerKind::kTimeBased);
+  pipeline.add(core::AnalyzerKind::kEventBased);
+
+  const core::PipelineResult batch = pipeline.run(measured);
+  ASSERT_TRUE(batch.acquire.ok);
+
+  trace::IncrementalTraceIndex builder;
+  builder.append(measured.events().data(), measured.size());
+  const core::PipelineResult sealed =
+      pipeline.run_sealed(measured, std::move(builder));
+  ASSERT_TRUE(sealed.acquire.ok);
+  ASSERT_EQ(sealed.outputs.size(), batch.outputs.size());
+  for (std::size_t i = 0; i < batch.outputs.size(); ++i) {
+    EXPECT_EQ(sealed.outputs[i].analyzer, batch.outputs[i].analyzer);
+    EXPECT_EQ(sealed.outputs[i].approx.events(),
+              batch.outputs[i].approx.events());
+  }
+}
+
+}  // namespace
+}  // namespace perturb

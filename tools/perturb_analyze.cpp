@@ -23,6 +23,20 @@
 //                              violations are repaired per-kind, and the
 //                              repair manifest is printed; "aggressive"
 //                              additionally drops whatever cannot be repaired
+//   --stream[=WINDOW]          stream the trace: decode chunk by chunk and
+//                              re-time with the windowed event-based
+//                              reconstructor holding ~WINDOW resident events
+//                              (default 8192; must hold at least one chunk,
+//                              1024 events — smaller values are a usage
+//                              error, never a silent fall back to batch).
+//                              Requires --mode event; incompatible with
+//                              --actual (scoring needs the full traces).
+//                              With --repair, torn input is salvaged to its
+//                              valid prefix, but repair passes do not run —
+//                              use batch mode to repair causality violations.
+//                              --output/--report still work: they collect
+//                              the merged approximated trace (O(trace)
+//                              memory), bit-identical to batch output.
 //   --report                   print waiting/parallelism/critical-path report
 //   --metrics[=FILE]           emit a self-observability snapshot (JSON) to
 //                              stdout or FILE: per-stage pipeline timings,
@@ -49,6 +63,7 @@
 #include "support/metrics.hpp"
 #include "support/text.hpp"
 #include "tool_util.hpp"
+#include "trace/chunk_reader.hpp"
 #include "trace/io.hpp"
 
 namespace {
@@ -59,7 +74,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: perturb-analyze <measured-trace> [options]\n"
                "  --mode event|time  --repair[=aggressive]  --sync-slack <t>\n"
-               "  --output <f>  --actual <f>  --report  --metrics[=FILE]\n"
+               "  --stream[=WINDOW]  --output <f>  --actual <f>  --report\n"
+               "  --metrics[=FILE]\n"
                "  (see header for all)\n"
                "%s",
                tools::kExitCodeHelp);
@@ -136,6 +152,40 @@ int main(int argc, char** argv) {
     return usage();
   }
 
+  // --stream[=WINDOW]: 0 keeps the batch path.  An unusable window is a hard
+  // usage error — silently analyzing in batch mode would defeat the memory
+  // bound the flag asks for.
+  std::size_t stream_window = 0;
+  if (cli->has("stream")) {
+    if (mode != "event") {
+      std::fprintf(stderr, "--stream requires --mode event\n");
+      return usage();
+    }
+    if (cli->has("actual")) {
+      std::fprintf(stderr, "--stream cannot score against --actual (scoring "
+                           "needs the full traces); run batch mode\n");
+      return usage();
+    }
+    const std::string window_arg = cli->get("stream", "");
+    if (window_arg == "true") {  // bare --stream
+      stream_window = 8192;
+    } else {
+      char* end = nullptr;
+      const unsigned long long n =
+          std::strtoull(window_arg.c_str(), &end, 10);
+      if (window_arg.empty() || *end != '\0' ||
+          n < trace::kStreamChunkEvents) {
+        std::fprintf(stderr,
+                     "bad --stream window '%s': the window must hold at "
+                     "least one chunk (%zu events); refusing to fall back "
+                     "to batch mode\n",
+                     window_arg.c_str(), trace::kStreamChunkEvents);
+        return usage();
+      }
+      stream_window = static_cast<std::size_t>(n);
+    }
+  }
+
   const tools::MetricsFlag metrics(*cli);
   const int code = tools::run_tool([&]() -> int {
     core::PipelineOptions options;
@@ -148,17 +198,65 @@ int main(int argc, char** argv) {
       options.repair = repair_arg == "aggressive"
                            ? core::RepairMode::kAggressive
                            : core::RepairMode::kConservative;
+    if (stream_window != 0) options.stream_window = stream_window;
 
     core::AnalysisPipeline pipeline(options);
     pipeline.add(mode == "time" ? core::AnalyzerKind::kTimeBased
                                 : core::AnalyzerKind::kEventBased);
 
-    std::optional<trace::Trace> actual;
-    if (cli->has("actual")) actual = trace::load(cli->get("actual", ""));
-
     // End-to-end span around the pipeline; a metrics snapshot can relate the
     // per-stage timings to this to see what the stage timers fail to cover.
     static const support::HistogramMetric run_span("tool.run.ns");
+
+    if (stream_window != 0) {
+      // Writing the approximated trace or reporting on it needs the full
+      // merge; summaries stay O(window).
+      const bool collect =
+          cli->has("output") || cli->get_bool("report", false);
+      const core::StreamOutcome out = [&] {
+        const support::PhaseTimer timer(run_span);
+        return pipeline.run_stream_file(cli->positional()[0], collect);
+      }();
+      if (out.salvaged)
+        std::printf("salvage: %s\n", out.salvage.describe().c_str());
+      if (!out.ok) {
+        std::fprintf(stderr, "%s\n", out.diagnosis.c_str());
+        return tools::kExitBadTrace;
+      }
+      std::printf("awaits: %zu, measured waits: %zu, approximated waits: %zu "
+                  "(removed %zu, introduced %zu)\n",
+                  out.event_stats.awaits_total, out.event_stats.waits_measured,
+                  out.event_stats.waits_approx, out.event_stats.waits_removed,
+                  out.event_stats.waits_introduced);
+      std::printf("measured total time: %lld%s\n",
+                  static_cast<long long>(out.measured_total),
+                  out.salvaged ? "  (degraded input)" : "");
+      std::printf("approximated total:  %lld  (%.3fx of measured)\n",
+                  static_cast<long long>(out.approx_total),
+                  static_cast<double>(out.approx_total) /
+                      static_cast<double>(out.measured_total));
+      std::printf("streaming: %zu events in %zu chunks, %llu windows, "
+                  "%llu spills, resident high-water %zu events\n",
+                  out.measured_events, out.chunks,
+                  static_cast<unsigned long long>(out.windows),
+                  static_cast<unsigned long long>(out.spills),
+                  out.resident_high_water);
+      if (cli->has("output")) {
+        const std::string path = cli->get("output", "");
+        trace::save(path, out.event_stats.approx);
+        std::printf("approximated trace written to %s\n", path.c_str());
+      }
+      if (cli->get_bool("report", false))
+        std::printf(
+            "%s",
+            core::render_pipeline_report(out.event_stats.approx, options)
+                .c_str());
+      return tools::kExitOk;
+    }
+
+    std::optional<trace::Trace> actual;
+    if (cli->has("actual")) actual = trace::load(cli->get("actual", ""));
+
     const auto result = [&] {
       const support::PhaseTimer timer(run_span);
       return pipeline.run_file(cli->positional()[0],
