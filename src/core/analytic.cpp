@@ -1,0 +1,25 @@
+#include "core/analytic.hpp"
+
+#include <utility>
+
+#include "model/model.hpp"
+
+namespace perturb::core {
+
+AnalyticResult analytic_approximation(const DoacrossShape& shape,
+                                      const LiberalOptions& options) {
+  const sim::Program prog = lower_doacross_shape(shape, options.schedule);
+  // No probes: the replay program models the de-instrumented execution, like
+  // the liberal re-simulation's NullInstrumentation run.  With zero probe
+  // charges the program markers carry no cost, so the predicted end-to-end
+  // time IS the loop time.
+  model::Prediction pred =
+      model::predict_program(prog, options.machine, model::no_probes());
+  AnalyticResult result;
+  result.loop_time = pred.total;
+  result.uncertainty = pred.uncertainty;
+  result.caveats = std::move(pred.caveats);
+  return result;
+}
+
+}  // namespace perturb::core

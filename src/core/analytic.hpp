@@ -1,0 +1,36 @@
+// Analytic perturbation analysis: closed-form prediction (ROADMAP item 2).
+//
+// The liberal mode answers "what would the de-instrumented loop have done
+// under policy S?" by re-simulating the extracted shape.  The analytic mode
+// answers the same question without simulating: the extracted shape is
+// lowered to the identical replay program (core::lower_doacross_shape) and
+// evaluated by the compositional model (model::predict_program), which is
+// tick-exact on the single-chain DOACROSS/DOALL shapes the extraction
+// produces — so `loop_time` is bit-identical to the liberal re-simulation's,
+// at a fraction of the cost and with an uncertainty estimate attached.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/liberal.hpp"
+#include "trace/trace.hpp"
+
+namespace perturb::core {
+
+struct AnalyticResult {
+  /// Predicted de-instrumented loop time; equals LiberalResult::loop_time on
+  /// the shapes the model supports exactly (all extracted shapes).
+  Tick loop_time = 0;
+  /// Model confidence estimate in [0, 1] (see model::Prediction).
+  double uncertainty = 0.0;
+  /// Why uncertainty is elevated, one reason per structural feature.
+  std::vector<std::string> caveats;
+};
+
+/// Predicts the extracted loop's de-instrumented run under the asserted
+/// scheduling policy, without simulating.
+AnalyticResult analytic_approximation(const DoacrossShape& shape,
+                                      const LiberalOptions& options);
+
+}  // namespace perturb::core

@@ -139,8 +139,8 @@ DoacrossShape extract_doacross_shape(const Trace& measured,
   return extract_doacross_shape(index, ov);
 }
 
-LiberalResult liberal_approximation(const DoacrossShape& shape,
-                                    const LiberalOptions& options) {
+sim::Program lower_doacross_shape(const DoacrossShape& shape,
+                                  sim::Schedule schedule) {
   const auto iters =
       std::make_shared<const std::vector<IterationShape>>(shape.iterations);
   const auto trip = static_cast<std::int64_t>(iters->size());
@@ -176,8 +176,15 @@ LiberalResult liberal_approximation(const DoacrossShape& shape,
   prog.root().nodes.push_back(sim::par_loop(
       "liberal-replay",
       any_advance ? sim::LoopKind::kDoacross : sim::LoopKind::kDoall,
-      options.schedule, trip, std::move(body)));
+      schedule, trip, std::move(body)));
   prog.finalize();
+  return prog;
+}
+
+LiberalResult liberal_approximation(const DoacrossShape& shape,
+                                    const LiberalOptions& options) {
+  const sim::Program prog = lower_doacross_shape(shape, options.schedule);
+  const auto trip = static_cast<std::int64_t>(shape.iterations.size());
 
   LiberalResult result;
   result.approx =

@@ -71,6 +71,13 @@ struct LiberalResult {
   std::vector<trace::ProcId> iteration_to_proc;  ///< re-simulated mapping
 };
 
+/// Lowers the extracted shape back to a finalized IR program: one parallel
+/// loop under `schedule` with per-iteration segment cost functions (the
+/// liberal replay program).  Shared by the liberal re-simulation and the
+/// analytical model so both evaluate exactly the same program.
+sim::Program lower_doacross_shape(const DoacrossShape& shape,
+                                  sim::Schedule schedule);
+
 /// Re-simulates the extracted loop under the asserted scheduling policy.
 LiberalResult liberal_approximation(const DoacrossShape& shape,
                                     const LiberalOptions& options);

@@ -166,6 +166,24 @@ class LikelyAnalyzer final : public Analyzer {
   }
 };
 
+class AnalyticAnalyzer final : public Analyzer {
+ public:
+  const char* name() const noexcept override { return "analytic"; }
+  bool produces_trace() const noexcept override { return false; }
+  AnalyzerOutput run(const TraceIndex& index,
+                     const PipelineOptions& options) const override {
+    AnalyzerOutput out;
+    out.analyzer = name();
+    const DoacrossShape shape =
+        extract_doacross_shape(index, options.overheads);
+    LiberalOptions replay;
+    replay.machine = options.machine;
+    replay.schedule = options.schedule;
+    out.analytic = analytic_approximation(shape, replay);
+    return out;
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Analyzer> make_analyzer(AnalyzerKind kind) {
@@ -175,6 +193,8 @@ std::unique_ptr<Analyzer> make_analyzer(AnalyzerKind kind) {
       return std::make_unique<EventBasedAnalyzer>();
     case AnalyzerKind::kLiberal: return std::make_unique<LiberalAnalyzer>();
     case AnalyzerKind::kLikely: return std::make_unique<LikelyAnalyzer>();
+    case AnalyzerKind::kAnalytic:
+      return std::make_unique<AnalyticAnalyzer>();
   }
   PERTURB_CHECK_MSG(false, "unknown analyzer kind");
   return nullptr;

@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/analytic.hpp"
 #include "core/eventbased.hpp"
 #include "core/likely.hpp"
 #include "core/overheads.hpp"
@@ -110,6 +111,7 @@ struct AnalyzerOutput {
   std::optional<EventBasedResult> event_stats;  ///< event-based only
   std::optional<LiberalResult> liberal;         ///< liberal only
   std::optional<LikelyDistribution> distribution;  ///< likely only
+  std::optional<AnalyticResult> analytic;       ///< analytic only
   std::optional<ApproximationQuality> quality;  ///< vs actual, when provided
 };
 
@@ -133,6 +135,7 @@ enum class AnalyzerKind : std::uint8_t {
   kEventBased,  ///< §4 dependency-model reconstruction
   kLiberal,     ///< §4.3 scheduling re-simulation
   kLikely,      ///< §4.1 Monte-Carlo distribution of likely executions
+  kAnalytic,    ///< §12 closed-form model prediction (no simulation)
 };
 
 std::unique_ptr<Analyzer> make_analyzer(AnalyzerKind kind);

@@ -1,5 +1,7 @@
 #include "experiments/grid.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <unordered_map>
 #include <utility>
@@ -99,6 +101,13 @@ const support::Counter kGridCells("grid.cells");
 const support::Counter kGridMemoHits("grid.memo.hits");
 const support::Counter kGridMemoMisses("grid.memo.misses");
 const support::HistogramMetric kGridWorkerCells("grid.worker.cells");
+// Screening effectiveness: cells answered by the model alone vs cells that
+// paid the simulate+reconstruct path, and the model's observed accuracy on
+// fall-through cells (|model - event-based| relative error in basis points;
+// confident cells never simulate, so only fall-through cells can report it).
+const support::Counter kScreenConfident("grid.screen.confident");
+const support::Counter kScreenFallthrough("grid.screen.fallthrough");
+const support::HistogramMetric kModelError("grid.model.error");
 
 void record_grid_metrics(std::size_t cells, std::size_t unique,
                          const support::TaskPool& pool) {
@@ -172,6 +181,100 @@ std::vector<LoopRun> run_grid(const std::vector<Scenario>& scenarios,
                        arenas[worker]);
   });
   return runs;
+}
+
+namespace {
+
+model::ProbeTable probe_table_for(const instr::InstrumentationPlan& plan) {
+  model::ProbeTable table{};
+  for (std::uint8_t k = 0; k < trace::kNumEventKinds; ++k)
+    table[k] = plan.mean_cost(static_cast<trace::EventKind>(k));
+  return table;
+}
+
+/// Largest probe-jitter fraction the plan's recorded categories carry; the
+/// model predicts with the means, so this is pure uncertainty input.
+double plan_jitter(const Scenario& s) {
+  switch (s.plan) {
+    case PlanKind::kStatementsOnly: return s.setup.stmt.jitter_frac;
+    case PlanKind::kSyncOnly: return s.setup.sync.jitter_frac;
+    case PlanKind::kFull:
+      return std::max({s.setup.stmt.jitter_frac, s.setup.sync.jitter_frac,
+                       s.setup.control.jitter_frac});
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+CellPrediction predict_scenario(const Scenario& s) {
+  CellPrediction out;
+  if (!s.measured_path.empty() || s.mutate_measured ||
+      s.repair != core::RepairMode::kOff) {
+    // The model sees program structure; a cell whose measured trace comes
+    // from a file, gets mutated, or needs repair is opaque to it.
+    out.uncertainty = 1.0;
+    out.actual.uncertainty = 1.0;
+    out.measured.uncertainty = 1.0;
+    out.actual.caveats.push_back(
+        "cell input is not a pure simulation (file/fault/repair)");
+    out.measured.caveats = out.actual.caveats;
+    return out;
+  }
+  const sim::Program program = make_program(s);
+  out.actual = model::predict_program(program, s.setup.machine,
+                                      model::no_probes());
+  const instr::InstrumentationPlan plan = make_plan(s.plan, s.setup);
+  model::ModelOptions measured_opts;
+  measured_opts.probe_jitter = plan_jitter(s);
+  out.measured = model::predict_program(program, s.setup.machine,
+                                        probe_table_for(plan), measured_opts);
+  out.uncertainty =
+      std::max(out.actual.uncertainty, out.measured.uncertainty);
+  return out;
+}
+
+ScreenedGrid run_grid_screened(const std::vector<Scenario>& scenarios,
+                               const ScreenOptions& options) {
+  ScreenedGrid grid;
+  grid.cells.resize(scenarios.size());
+
+  // Screen serially: each prediction is microseconds of arithmetic, and a
+  // timing-independent partition keeps the whole sweep deterministic.
+  std::vector<std::size_t> fallthrough_index;
+  std::vector<Scenario> fallthrough_cells;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    ScreenedCell& cell = grid.cells[i];
+    cell.prediction = predict_scenario(scenarios[i]);
+    cell.screened = cell.prediction.uncertainty <= options.uncertainty_threshold;
+    if (!cell.screened) {
+      fallthrough_index.push_back(i);
+      fallthrough_cells.push_back(scenarios[i]);
+    }
+  }
+  grid.fallthrough = fallthrough_cells.size();
+  grid.confident = scenarios.size() - grid.fallthrough;
+
+  std::vector<LoopRun> runs = run_grid(fallthrough_cells, options.grid);
+  for (std::size_t k = 0; k < runs.size(); ++k)
+    grid.cells[fallthrough_index[k]].run = std::move(runs[k]);
+
+  if (support::Metrics::enabled()) {
+    kScreenConfident.add(grid.confident);
+    kScreenFallthrough.add(grid.fallthrough);
+    // Fall-through cells ran both paths, so they can score the model against
+    // the event-based reconstruction it would have replaced.
+    for (const std::size_t i : fallthrough_index) {
+      const ScreenedCell& cell = grid.cells[i];
+      const trace::Tick eb = cell.run.event_based.approx.total_time();
+      const trace::Tick predicted = cell.prediction.actual.total;
+      if (eb <= 0 || predicted <= 0) continue;
+      const double rel = std::abs(static_cast<double>(predicted - eb)) /
+                         static_cast<double>(eb);
+      kModelError.observe(static_cast<std::uint64_t>(rel * 10000.0));
+    }
+  }
+  return grid;
 }
 
 std::vector<LoopRun> run_grid_reference(

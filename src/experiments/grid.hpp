@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "experiments/experiments.hpp"
+#include "model/model.hpp"
 
 namespace perturb::experiments {
 
@@ -78,5 +79,59 @@ std::vector<LoopRun> run_grid(const std::vector<Scenario>& scenarios,
 /// and compare_reference for quality scoring.  Produces results identical
 /// to run_grid; exists as the reference timing in bench/bench_sim.
 std::vector<LoopRun> run_grid_reference(const std::vector<Scenario>& scenarios);
+
+// ---- analytical screening (ROADMAP item 2) -------------------------------
+
+/// Analytical verdict for one grid cell: the model evaluated under both of
+/// the cell's parameterizations.  Screening must trust the prediction of the
+/// *actual* run AND the prediction of the *measured* run (the reconstruction
+/// a fall-through cell would be scored against), so the screening-relevant
+/// uncertainty is the max over both — e.g. Livermore 17's chain is nearly
+/// saturated uninstrumented but firmly saturated instrumented: either
+/// parameterization alone would miss half the risk.
+struct CellPrediction {
+  model::Prediction actual;    ///< uninstrumented run, no probes
+  model::Prediction measured;  ///< instrumented run, plan probe means
+  /// max(actual.uncertainty, measured.uncertainty); forced to 1.0 for cells
+  /// the model cannot see (file-loaded traces, fault injection, repair).
+  double uncertainty = 1.0;
+};
+
+/// Evaluates one cell analytically — no simulation, microseconds per cell.
+CellPrediction predict_scenario(const Scenario& s);
+
+/// Screening threshold calibrated by the bench_model cross-validation sweep
+/// over the full Livermore grid (see DESIGN.md §12): at 0.25 every cell
+/// whose model error exceeds the confident-cell accuracy gate carries a
+/// higher uncertainty than this, with margin on both sides.
+inline constexpr double kDefaultScreenThreshold = 0.25;
+
+struct ScreenOptions {
+  GridOptions grid;  ///< fall-through execution options
+  double uncertainty_threshold = kDefaultScreenThreshold;
+};
+
+/// One screened cell: `prediction` is always filled; `run` only when the
+/// cell fell through (screened == false).
+struct ScreenedCell {
+  bool screened = false;
+  CellPrediction prediction;
+  LoopRun run;
+};
+
+struct ScreenedGrid {
+  std::vector<ScreenedCell> cells;  ///< one per scenario, same order
+  std::size_t confident = 0;        ///< cells answered by the model alone
+  std::size_t fallthrough = 0;      ///< cells that paid simulate + analyze
+};
+
+/// The screened sweep: every scenario is first evaluated analytically; cells
+/// with prediction uncertainty <= the threshold take the model's answer in
+/// O(model) time, the rest run through run_grid.  Fall-through results are
+/// bit-identical to run_grid over the full list (same per-cell semantics,
+/// any thread count); a sweep of model-confident cells costs near-O(1)
+/// simulation work regardless of grid size.
+ScreenedGrid run_grid_screened(const std::vector<Scenario>& scenarios,
+                               const ScreenOptions& options = {});
 
 }  // namespace perturb::experiments

@@ -231,4 +231,24 @@ std::int64_t default_trip(int k) {
   }
 }
 
+LoopFeatures loop_features(int k) {
+  const LoopIrSpec& spec = loop_ir_spec(k);
+  LoopFeatures f;
+  f.parallelizable = spec.parallelizable;
+  f.distance = spec.distance;
+  const auto fold = [&f](const std::vector<StatementSpec>& stmts,
+                         sim::Cycles& total) {
+    for (const StatementSpec& s : stmts) {
+      total += s.cost;
+      f.data_dependent = f.data_dependent || s.spread > 0;
+    }
+  };
+  fold(spec.pre, f.pre_cost);
+  fold(spec.guarded, f.guarded_cost);
+  fold(spec.post, f.post_cost);
+  for (const StatementSpec& s : spec.guarded)
+    f.guarded_traced = f.guarded_traced || s.traced;
+  return f;
+}
+
 }  // namespace perturb::loops

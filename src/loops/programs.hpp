@@ -80,4 +80,20 @@ sim::Program make_vector_ir(int k, std::int64_t n,
 /// Default iteration counts used in the paper-scale experiments.
 std::int64_t default_trip(int k);
 
+/// Structural features of kernel `k`'s IR, summarized from its statement
+/// shape.  These are the features the analytical model's uncertainty
+/// estimate keys on (DESIGN.md §12); exposed here so experiment drivers and
+/// benchmarks can group sweeps by feature without re-deriving them from IR.
+struct LoopFeatures {
+  bool parallelizable = false;   ///< DOALL-safe when distance == 0
+  std::int64_t distance = 0;     ///< loop-carried dependence distance
+  bool data_dependent = false;   ///< any statement cost varies per iteration
+  bool guarded_traced = false;   ///< the guarded region carries probes (lfk17)
+  sim::Cycles pre_cost = 0;      ///< summed mean cost before the region
+  sim::Cycles guarded_cost = 0;  ///< summed mean cost of the guarded region
+  sim::Cycles post_cost = 0;     ///< summed mean cost after the region
+};
+
+LoopFeatures loop_features(int k);
+
 }  // namespace perturb::loops

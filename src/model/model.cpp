@@ -1,0 +1,758 @@
+#include "model/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/text.hpp"
+
+namespace perturb::model {
+
+namespace {
+
+using sim::Block;
+using sim::MachineConfig;
+using sim::Node;
+using sim::NodeKind;
+using sim::Schedule;
+using trace::EventKind;
+
+// Uncertainty feature weights (DESIGN.md §12).  Calibrated against the
+// model-vs-event-based cross-validation sweep in bench/bench_model.cpp: every
+// term that can push a cell past the screening threshold corresponds to a
+// feature that measurably widens the reconstruction error.
+constexpr double kJitterWeight = 1.2;      ///< per unit of probe jitter frac
+constexpr double kChainPeakWeight = 0.6;   ///< near-saturated DOACROSS chain
+constexpr double kChainPeakWidth = 0.35;   ///< half-width of the rho=1 peak
+constexpr double kSpreadWeight = 0.5;      ///< data-dependent costs + sync
+constexpr double kRegionBase = 0.35;       ///< any critical/semaphore region
+constexpr double kRegionContention = 0.3;  ///< scaled by serialization ratio
+constexpr double kSelfJitter = 0.3;        ///< self-sched mapping brittleness
+constexpr double kZeroAdvance = 0.3;       ///< same-tick await races
+constexpr double kUnsupported = 0.9;       ///< coarse-bound fallback
+
+/// Sample points for per-iteration cost statistics on non-uniform loops.
+constexpr std::int64_t kCostSamples = 8;
+
+// ---- structural queries --------------------------------------------------
+
+bool subtree_has_cost_fn(const Node& n) {
+  if (n.kind == NodeKind::kCompute && n.cost_fn) return true;
+  for (const auto& child : n.body.nodes)
+    if (subtree_has_cost_fn(*child)) return true;
+  return false;
+}
+
+bool subtree_has_sync(const Node& n) {
+  if (n.kind == NodeKind::kAdvance || n.kind == NodeKind::kAwait) return true;
+  for (const auto& child : n.body.nodes)
+    if (subtree_has_sync(*child)) return true;
+  return false;
+}
+
+bool subtree_has_region(const Node& n) {
+  if (n.kind == NodeKind::kCritical || n.kind == NodeKind::kSemRegion)
+    return true;
+  for (const auto& child : n.body.nodes)
+    if (subtree_has_region(*child)) return true;
+  return false;
+}
+
+/// Only constant-cost computation and sequential loops: a block whose master
+/// walk collapses to one closed-form cost.
+bool block_is_static(const Block& b) {
+  for (const auto& n : b.nodes) {
+    switch (n->kind) {
+      case NodeKind::kCompute:
+        if (n->cost_fn) return false;
+        break;
+      case NodeKind::kSeqLoop:
+        if (!block_is_static(n->body)) return false;
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+/// Structure of one parallel-loop body, segmented around the (single)
+/// await/advance pair the exact recurrence supports.
+struct LoopShape {
+  std::vector<const Node*> pre;    ///< before the await
+  std::vector<const Node*> chain;  ///< between await and advance
+  std::vector<const Node*> post;   ///< after the advance
+  const Node* await_node = nullptr;
+  const Node* advance_node = nullptr;
+  std::int64_t distance = 0;  ///< await(i) reads the advance of i - distance
+  bool exact = true;          ///< recurrence-supported shape
+  bool has_region = false;    ///< critical/semaphore regions anywhere
+  bool has_cost_fn = false;   ///< per-iteration cost functions anywhere
+};
+
+LoopShape classify_body(const Block& body) {
+  LoopShape s;
+  int seg = 0;  // 0 = pre, 1 = chain, 2 = post
+  auto push = [&](const Node* n) {
+    (seg == 0 ? s.pre : seg == 1 ? s.chain : s.post).push_back(n);
+  };
+  for (const auto& np : body.nodes) {
+    const Node& n = *np;
+    s.has_cost_fn = s.has_cost_fn || subtree_has_cost_fn(n);
+    switch (n.kind) {
+      case NodeKind::kCompute:
+      case NodeKind::kSeqLoop:
+      case NodeKind::kCritical:
+      case NodeKind::kSemRegion:
+        // Sync operations hidden below the top level escape the segment
+        // model; regions are costed (approximately) in place.
+        if (subtree_has_sync(n)) s.exact = false;
+        s.has_region = s.has_region || subtree_has_region(n);
+        push(&n);
+        break;
+      case NodeKind::kAwait:
+        if (s.await_node != nullptr || s.advance_node != nullptr ||
+            n.index.scale != 1 || n.index.offset >= 0) {
+          s.exact = false;
+          break;
+        }
+        s.await_node = &n;
+        seg = 1;
+        break;
+      case NodeKind::kAdvance:
+        if (s.advance_node != nullptr) {
+          s.exact = false;
+          break;
+        }
+        s.advance_node = &n;
+        if (s.await_node != nullptr &&
+            (n.object != s.await_node->object || n.index.scale != 1 ||
+             n.index.offset != 0)) {
+          s.exact = false;
+        }
+        seg = 2;
+        break;
+      case NodeKind::kParLoop:
+        s.exact = false;  // the IR forbids this; stay defensive
+        break;
+    }
+  }
+  if (s.await_node != nullptr) {
+    if (s.advance_node == nullptr) {
+      s.exact = false;  // an await nothing ever advances
+    } else {
+      s.distance = -s.await_node->index.offset;
+      if (s.distance < 1) s.exact = false;
+    }
+  }
+  return s;
+}
+
+// ---- the evaluator -------------------------------------------------------
+
+class Evaluator {
+ public:
+  Evaluator(const sim::Program& program, const MachineConfig& machine,
+            const ProbeTable& probes, const ModelOptions& options)
+      : prog_(program), m_(machine), probes_(probes), opt_(options) {
+    PERTURB_CHECK(m_.num_procs > 0);
+    clocks_.assign(m_.num_procs, 0);
+  }
+
+  Prediction run() {
+    if (opt_.probe_jitter > 0.0)
+      raise(std::min(1.0, kJitterWeight * opt_.probe_jitter),
+            "probe costs jitter around the modeled means");
+    clocks_[0] += probe(EventKind::kProgramBegin);
+    const Tick begin = clocks_[0];
+    eval_block_master(prog_.root());
+    clocks_[0] += probe(EventKind::kProgramEnd);
+    Prediction out;
+    out.total = clocks_[0] - begin;
+    out.uncertainty = std::min(1.0, uncertainty_);
+    out.caveats = std::move(caveats_);
+    return out;
+  }
+
+ private:
+  Tick probe(EventKind kind) const {
+    return probes_[static_cast<std::size_t>(kind)];
+  }
+
+  void raise(double amount, std::string caveat) {
+    uncertainty_ += amount;
+    for (const auto& c : caveats_)
+      if (c == caveat) return;
+    caveats_.push_back(std::move(caveat));
+  }
+
+  // ---- master (sequential) timeline ----
+
+  std::int64_t seq_context() const {
+    return seq_iters_.empty() ? 0 : seq_iters_.back();
+  }
+
+  /// Constant cost of a static block on the master path (no context needed).
+  Tick static_block_cost(const Block& b) const {
+    Tick c = 0;
+    for (const auto& n : b.nodes) {
+      if (n->kind == NodeKind::kCompute) {
+        c += n->cost;
+        if (n->traced)
+          c += probe(EventKind::kStmtEnter) + probe(EventKind::kStmtExit);
+      } else {  // kSeqLoop (block_is_static admits nothing else)
+        c += n->trip * (m_.seq_loop_iter_cost + static_block_cost(n->body));
+      }
+    }
+    return c;
+  }
+
+  void eval_block_master(const Block& b) {
+    for (const auto& n : b.nodes) eval_node_master(*n);
+  }
+
+  void eval_node_master(const Node& n) {
+    switch (n.kind) {
+      case NodeKind::kCompute: {
+        if (n.traced) clocks_[0] += probe(EventKind::kStmtEnter);
+        const Tick cost = n.cost_fn ? n.cost_fn(seq_context()) : n.cost;
+        clocks_[0] += cost;
+        if (n.traced) clocks_[0] += probe(EventKind::kStmtExit);
+        return;
+      }
+      case NodeKind::kSeqLoop: {
+        if (block_is_static(n.body)) {
+          clocks_[0] +=
+              n.trip * (m_.seq_loop_iter_cost + static_block_cost(n.body));
+          return;
+        }
+        for (std::int64_t i = 0; i < n.trip; ++i) {
+          clocks_[0] += m_.seq_loop_iter_cost;
+          seq_iters_.push_back(i);
+          eval_block_master(n.body);
+          seq_iters_.pop_back();
+        }
+        return;
+      }
+      case NodeKind::kParLoop:
+        eval_par_loop(n);
+        return;
+      default:
+        // Sync/region nodes outside parallel loops are rejected by
+        // Program::finalize; cover the path defensively.
+        raise(kUnsupported, "synchronization outside a parallel loop");
+        return;
+    }
+  }
+
+  // ---- per-iteration body costs (inside a parallel loop) ----
+
+  /// Cost a body node contributes to iteration `iter`'s processor path.
+  /// Regions are priced uncontended here; contention is bounded separately.
+  Tick body_node_cost(const Node& n, std::int64_t iter) const {
+    switch (n.kind) {
+      case NodeKind::kCompute: {
+        Tick c = n.cost_fn ? n.cost_fn(iter) : n.cost;
+        if (n.traced)
+          c += probe(EventKind::kStmtEnter) + probe(EventKind::kStmtExit);
+        return c;
+      }
+      case NodeKind::kSeqLoop: {
+        // Nested sequential iterations all evaluate cost functions with the
+        // governing parallel iteration, so the body cost is constant across
+        // them.
+        Tick inner = 0;
+        for (const auto& child : n.body.nodes)
+          inner += body_node_cost(*child, iter);
+        return n.trip * (m_.seq_loop_iter_cost + inner);
+      }
+      case NodeKind::kCritical: {
+        Tick inner = 0;
+        for (const auto& child : n.body.nodes)
+          inner += body_node_cost(*child, iter);
+        return m_.lock_acquire_cost + probe(EventKind::kLockAcquire) + inner +
+               m_.lock_release_cost + probe(EventKind::kLockRelease);
+      }
+      case NodeKind::kSemRegion: {
+        Tick inner = 0;
+        for (const auto& child : n.body.nodes)
+          inner += body_node_cost(*child, iter);
+        return m_.sem_acquire_cost + probe(EventKind::kSemAcquire) + inner +
+               m_.sem_release_cost + probe(EventKind::kSemRelease);
+      }
+      default:
+        return 0;  // sync nodes priced by the caller
+    }
+  }
+
+  Tick segment_cost(const std::vector<const Node*>& nodes,
+                    std::int64_t iter) const {
+    Tick c = 0;
+    for (const Node* n : nodes) c += body_node_cost(*n, iter);
+    return c;
+  }
+
+  /// Fallback per-iteration cost for unsupported shapes: every node priced
+  /// as local work, synchronization as its uncontended operation cost.
+  Tick fallback_iteration_cost(const Block& body, std::int64_t iter,
+                               std::int64_t trip) const {
+    Tick c = 0;
+    for (const auto& np : body.nodes) {
+      const Node& n = *np;
+      switch (n.kind) {
+        case NodeKind::kAwait: {
+          const std::int64_t idx = n.index.eval(iter);
+          if (idx >= 0 && idx < trip)
+            c += probe(EventKind::kAwaitBegin) + m_.await_check_cost +
+                 probe(EventKind::kAwaitEnd);
+          break;
+        }
+        case NodeKind::kAdvance:
+          c += m_.advance_cost + probe(EventKind::kAdvance);
+          break;
+        default:
+          c += body_node_cost(n, iter);
+          break;
+      }
+    }
+    return c;
+  }
+
+  // ---- parallel loops ----
+
+  /// Iterations processor q receives under a static schedule.
+  std::int64_t static_count(Schedule schedule, std::int64_t trip,
+                            std::size_t q) const {
+    const auto p = static_cast<std::int64_t>(m_.num_procs);
+    const auto qi = static_cast<std::int64_t>(q);
+    if (trip <= 0) return 0;
+    if (schedule == Schedule::kCyclic)
+      return qi >= trip ? 0 : (trip - qi + p - 1) / p;
+    const std::int64_t chunk = (trip + p - 1) / p;
+    const std::int64_t lo = chunk * qi;
+    const std::int64_t hi = std::min(trip, chunk * (qi + 1));
+    return std::max<std::int64_t>(0, hi - lo);
+  }
+
+  void eval_par_loop(const Node& loop) {
+    clocks_[0] += probe(EventKind::kLoopBegin) + m_.loop_spawn_cost;
+    const Tick start = clocks_[0];
+    for (std::size_t q = 1; q < clocks_.size(); ++q)
+      clocks_[q] = std::max(clocks_[q], start);
+
+    const LoopShape shape = classify_body(loop.body);
+    const bool uniform = !shape.has_cost_fn;
+
+    if (!shape.exact) {
+      run_fallback(loop);
+      raise(kUnsupported,
+            "loop structure outside the analytical model (" + loop.label +
+                ")");
+    } else if (shape.await_node == nullptr && uniform &&
+               loop.schedule != Schedule::kSelf) {
+      run_doall_closed_form(loop, shape);
+    } else if (loop.schedule == Schedule::kSelf) {
+      run_self_scheduled(loop, shape, uniform);
+    } else {
+      run_static_recurrence(loop, shape, uniform);
+    }
+
+    if (shape.exact) assess_loop_uncertainty(loop, shape);
+    Tick serial_arrival = 0;
+    if (shape.exact && shape.has_region)
+      serial_arrival = region_serialization_bound(loop, start);
+
+    // Barrier: max-plus composition of the per-processor arrivals.
+    for (Tick& c : clocks_) c += probe(EventKind::kBarrierArrive);
+    Tick release = serial_arrival;
+    for (const Tick c : clocks_) release = std::max(release, c);
+    for (Tick& c : clocks_)
+      c = release + m_.barrier_depart_cost + probe(EventKind::kBarrierDepart);
+    clocks_[0] += probe(EventKind::kLoopEnd);
+  }
+
+  /// DOALL with uniform costs under a static schedule: pure max over the
+  /// per-processor partition sums — O(P).
+  void run_doall_closed_form(const Node& loop, const LoopShape& shape) {
+    Tick per_iter = m_.iter_dispatch_cost + probe(EventKind::kIterBegin) +
+                    segment_cost(shape.pre, 0) + segment_cost(shape.chain, 0) +
+                    segment_cost(shape.post, 0) + probe(EventKind::kIterEnd);
+    if (shape.advance_node != nullptr)
+      per_iter += m_.advance_cost + probe(EventKind::kAdvance);
+    for (std::size_t q = 0; q < clocks_.size(); ++q)
+      clocks_[q] += static_count(loop.schedule, loop.trip, q) * per_iter;
+  }
+
+  /// The exact blocking recurrence for cyclic/block schedules, processed in
+  /// ascending iteration order (a topological order of the dependence
+  /// chain).  Term-for-term the engine's arithmetic: dispatch, IterBegin
+  /// probe, pre work, await begin + check, visibility test (resume when the
+  /// advance lands in this processor's future), chain work, advance
+  /// visibility before its probe, post work, IterEnd probe.
+  void run_static_recurrence(const Node& loop, const LoopShape& shape,
+                             bool uniform) {
+    const std::int64_t trip = loop.trip;
+    if (trip <= 0) return;
+    const auto p = static_cast<std::int64_t>(m_.num_procs);
+    const std::int64_t chunk = (trip + p - 1) / p;
+    const bool has_await = shape.await_node != nullptr;
+    const bool has_advance = shape.advance_node != nullptr;
+    const std::int64_t d = shape.distance;
+
+    std::vector<Tick> adv;
+    if (has_advance) adv.assign(static_cast<std::size_t>(trip), 0);
+
+    Tick upre = 0, uchain = 0, upost = 0;
+    if (uniform) {
+      upre = segment_cost(shape.pre, 0);
+      uchain = segment_cost(shape.chain, 0);
+      upost = segment_cost(shape.post, 0);
+    }
+    const Tick iter_head = m_.iter_dispatch_cost + probe(EventKind::kIterBegin);
+    const Tick await_head =
+        probe(EventKind::kAwaitBegin) + m_.await_check_cost;
+
+    // Steady-state extrapolation: once two consecutive rounds of P
+    // iterations shift every processor clock and the advance window by one
+    // common delta, the recurrence (max/+ with constant terms, hence
+    // shift-invariant) repeats that delta for every following round.
+    bool extrapolate = opt_.extrapolate && uniform && has_await &&
+                       has_advance && loop.schedule == Schedule::kCyclic &&
+                       d < trip;
+    std::vector<Tick> prev_state;
+    bool have_prev = false;
+    const auto snapshot = [&](std::int64_t i) {
+      std::vector<Tick> state(clocks_);
+      for (std::int64_t w = 1; w <= d; ++w)
+        state.push_back(adv[static_cast<std::size_t>(i - w)]);
+      return state;
+    };
+
+    std::int64_t i = 0;
+    while (i < trip) {
+      if (extrapolate && i % p == 0 && i >= d && i + p <= trip) {
+        std::vector<Tick> state = snapshot(i);
+        if (have_prev) {
+          const Tick delta = state[0] - prev_state[0];
+          bool steady = true;
+          for (std::size_t k = 1; k < state.size(); ++k)
+            if (state[k] - prev_state[k] != delta) {
+              steady = false;
+              break;
+            }
+          const std::int64_t jump = (trip - i) / p - 1;
+          if (steady && jump > 0) {
+            for (Tick& c : clocks_) c += jump * delta;
+            for (std::int64_t w = 1; w <= d; ++w)
+              adv[static_cast<std::size_t>(i + jump * p - w)] =
+                  adv[static_cast<std::size_t>(i - w)] + jump * delta;
+            i += jump * p;
+            extrapolate = false;  // tail runs the exact recurrence
+            continue;
+          }
+        }
+        prev_state = std::move(state);
+        have_prev = true;
+      }
+
+      const auto q = static_cast<std::size_t>(
+          loop.schedule == Schedule::kCyclic ? i % p : i / chunk);
+      Tick t = clocks_[q] + iter_head;
+      t += uniform ? upre : segment_cost(shape.pre, i);
+      if (has_await && i >= d) {
+        t += await_head;
+        const Tick vis = adv[static_cast<std::size_t>(i - d)];
+        if (vis > t) t = vis + m_.await_resume_cost;
+        t += probe(EventKind::kAwaitEnd);
+      }
+      t += uniform ? uchain : segment_cost(shape.chain, i);
+      if (has_advance) {
+        t += m_.advance_cost;
+        adv[static_cast<std::size_t>(i)] = t;
+        t += probe(EventKind::kAdvance);
+      }
+      t += uniform ? upost : segment_cost(shape.post, i);
+      t += probe(EventKind::kIterEnd);
+      clocks_[q] = t;
+      ++i;
+    }
+  }
+
+  /// Self-scheduling: replay the shared counter's grant order exactly.  A
+  /// dispatch is granted to the queued processor with the minimal (clock,
+  /// id) — the engine's conservative pop order — and counter serialization
+  /// back-pressures exactly like sim::SelfScheduler.
+  void run_self_scheduled(const Node& loop, const LoopShape& shape,
+                          bool uniform) {
+    const std::int64_t trip = loop.trip;
+    const bool has_await = shape.await_node != nullptr;
+    const bool has_advance = shape.advance_node != nullptr;
+    const std::int64_t d = shape.distance;
+
+    std::vector<Tick> adv;
+    if (has_advance) adv.assign(static_cast<std::size_t>(std::max<std::int64_t>(trip, 0)), 0);
+    Tick upre = 0, uchain = 0, upost = 0;
+    if (uniform) {
+      upre = segment_cost(shape.pre, 0);
+      uchain = segment_cost(shape.chain, 0);
+      upost = segment_cost(shape.post, 0);
+    }
+    const Tick await_head =
+        probe(EventKind::kAwaitBegin) + m_.await_check_cost;
+
+    using Entry = std::pair<Tick, std::uint32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    for (std::uint32_t q = 0; q < m_.num_procs; ++q)
+      heap.push({clocks_[q], q});
+    Tick available = 0;
+    std::int64_t next = 0;
+    while (!heap.empty()) {
+      const auto [c, q] = heap.top();
+      heap.pop();
+      if (next >= trip) continue;  // exhausted: this processor arrives
+      const Tick grant = std::max(c, available);
+      available = grant + m_.self_sched_serialize;
+      const std::int64_t i = next++;
+      Tick t = grant + m_.self_sched_fetch_cost;
+      t += probe(EventKind::kIterBegin);
+      t += uniform ? upre : segment_cost(shape.pre, i);
+      if (has_await && i >= d) {
+        t += await_head;
+        const Tick vis = adv[static_cast<std::size_t>(i - d)];
+        if (vis > t) t = vis + m_.await_resume_cost;
+        t += probe(EventKind::kAwaitEnd);
+      }
+      t += uniform ? uchain : segment_cost(shape.chain, i);
+      if (has_advance) {
+        t += m_.advance_cost;
+        adv[static_cast<std::size_t>(i)] = t;
+        t += probe(EventKind::kAdvance);
+      }
+      t += uniform ? upost : segment_cost(shape.post, i);
+      t += probe(EventKind::kIterEnd);
+      clocks_[q] = t;
+      heap.push({t, q});
+    }
+  }
+
+  /// Coarse bound for unsupported shapes: every iteration priced as local
+  /// work (synchronization at its uncontended cost), no blocking modeled.
+  void run_fallback(const Node& loop) {
+    const std::int64_t trip = loop.trip;
+    if (trip <= 0) return;
+    const Tick iter_head = m_.iter_dispatch_cost + probe(EventKind::kIterBegin);
+    if (loop.schedule == Schedule::kSelf) {
+      // Approximate the counter round-robin as a cyclic assignment.
+      for (std::int64_t i = 0; i < trip; ++i) {
+        const auto q = static_cast<std::size_t>(
+            i % static_cast<std::int64_t>(m_.num_procs));
+        clocks_[q] += m_.self_sched_fetch_cost + probe(EventKind::kIterBegin) +
+                      fallback_iteration_cost(loop.body, i, trip) +
+                      probe(EventKind::kIterEnd);
+      }
+      return;
+    }
+    const auto p = static_cast<std::int64_t>(m_.num_procs);
+    const std::int64_t chunk = (trip + p - 1) / p;
+    for (std::int64_t i = 0; i < trip; ++i) {
+      const auto q = static_cast<std::size_t>(
+          loop.schedule == Schedule::kCyclic ? i % p : i / chunk);
+      clocks_[q] += iter_head + fallback_iteration_cost(loop.body, i, trip) +
+                    probe(EventKind::kIterEnd);
+    }
+  }
+
+  // ---- critical-section serialization bound ----
+
+  /// Accumulates each region's per-holder demand (the serial busy period a
+  /// holder contributes: acquire + body + release-visibility) per object.
+  void accumulate_region_demand(const Node& n, std::int64_t iter,
+                                std::unordered_map<std::uint64_t, Tick>& demand,
+                                std::int64_t multiplier) const {
+    switch (n.kind) {
+      case NodeKind::kCritical:
+      case NodeKind::kSemRegion: {
+        Tick inner = 0;
+        for (const auto& child : n.body.nodes)
+          inner += body_node_cost(*child, iter);
+        Tick hold;
+        std::uint64_t key;
+        if (n.kind == NodeKind::kCritical) {
+          hold = m_.lock_acquire_cost + probe(EventKind::kLockAcquire) +
+                 inner + m_.lock_release_cost;
+          key = n.object;
+        } else {
+          hold = m_.sem_acquire_cost + probe(EventKind::kSemAcquire) + inner +
+                 m_.sem_release_cost;
+          key = (std::uint64_t{1} << 32) | n.object;
+        }
+        demand[key] += multiplier * hold;
+        return;
+      }
+      case NodeKind::kSeqLoop:
+        for (const auto& child : n.body.nodes)
+          accumulate_region_demand(*child, iter, demand,
+                                   multiplier * n.trip);
+        return;
+      default:
+        return;
+    }
+  }
+
+  /// M/D/1-style serialization term: the busiest lock's total demand D,
+  /// started at the earliest possible entry, bounds the last holder's exit;
+  /// the loop cannot release its barrier before that exit plus the holder's
+  /// trailing work.  Returns the serial arrival bound (pre-arrival-probe)
+  /// and raises uncertainty with the serialization ratio.
+  Tick region_serialization_bound(const Node& loop, Tick start) {
+    const std::int64_t trip = loop.trip;
+    std::unordered_map<std::uint64_t, Tick> demand;
+    for (std::int64_t i = 0; i < trip; ++i)
+      for (const auto& np : loop.body.nodes)
+        accumulate_region_demand(*np, i, demand, 1);
+    Tick busiest = 0;
+    for (const auto& [key, total] : demand) {
+      Tick scaled = total;
+      if ((key >> 32) != 0) {
+        const auto capacity = prog_.semaphore_capacity(
+            static_cast<trace::ObjectId>(key & 0xffffffffu));
+        scaled = (total + capacity - 1) / capacity;
+      }
+      busiest = std::max(busiest, scaled);
+    }
+    if (busiest == 0) return 0;
+
+    // Earliest entry: first iteration's path up to the first region; exit
+    // tail: the first iteration's work after it (iteration 0 stands in for
+    // the mean — this is a bound, not the recurrence).
+    Tick before = m_.iter_dispatch_cost + probe(EventKind::kIterBegin);
+    Tick after = probe(EventKind::kIterEnd);
+    bool seen_region = false;
+    for (const auto& np : loop.body.nodes) {
+      const bool is_region = subtree_has_region(*np);
+      if (!seen_region && is_region) {
+        seen_region = true;
+        continue;
+      }
+      (seen_region ? after : before) += body_node_cost(*np, 0);
+    }
+    const Tick serial_arrival = start + before + busiest + after;
+
+    Tick parallel_arrival = start;
+    for (const Tick c : clocks_) parallel_arrival = std::max(parallel_arrival, c);
+    const double ratio =
+        static_cast<double>(busiest) /
+        std::max(1.0, static_cast<double>(parallel_arrival - start));
+    raise(kRegionBase + kRegionContention * std::min(1.0, ratio),
+          support::strf("critical-section contention bounded, not replayed "
+                        "(serialization ratio %.2f)",
+                        ratio));
+    return serial_arrival;
+  }
+
+  // ---- uncertainty features ----
+
+  void assess_loop_uncertainty(const Node& loop, const LoopShape& shape) {
+    const std::int64_t trip = loop.trip;
+    if (trip <= 0) return;
+
+    // Sampled per-iteration segment statistics (exact when uniform).
+    double pre_m = 0, chain_m = 0, post_m = 0;
+    double total_min = 0, total_max = 0;
+    const std::int64_t samples = shape.has_cost_fn
+                                     ? std::min<std::int64_t>(kCostSamples, trip)
+                                     : 1;
+    for (std::int64_t k = 0; k < samples; ++k) {
+      const std::int64_t i =
+          samples == 1 ? 0 : k * (trip - 1) / (samples - 1);
+      const auto pre = static_cast<double>(segment_cost(shape.pre, i));
+      const auto chain = static_cast<double>(segment_cost(shape.chain, i));
+      const auto post = static_cast<double>(segment_cost(shape.post, i));
+      pre_m += pre;
+      chain_m += chain;
+      post_m += post;
+      const double total = pre + chain + post;
+      if (k == 0 || total < total_min) total_min = total;
+      if (k == 0 || total > total_max) total_max = total;
+    }
+    const auto ns = static_cast<double>(samples);
+    pre_m /= ns;
+    chain_m /= ns;
+    post_m /= ns;
+
+    const bool has_chain =
+        shape.await_node != nullptr && shape.advance_node != nullptr;
+    if (has_chain) {
+      // Chain utilization: serial token hold per link versus the parallel
+      // iteration supply.  rho near 1 means blocking flips on marginal cost
+      // changes — exactly where probe jitter (and hence reconstruction)
+      // turns unpredictable; far from 1 the loop is stably parallel or
+      // stably serial.
+      const double serial =
+          static_cast<double>(m_.await_resume_cost +
+                              probe(EventKind::kAwaitEnd) + m_.advance_cost) +
+          chain_m;
+      const double per_iter =
+          static_cast<double>(m_.iter_dispatch_cost +
+                              probe(EventKind::kIterBegin) +
+                              probe(EventKind::kAwaitBegin) +
+                              m_.await_check_cost + probe(EventKind::kAwaitEnd) +
+                              m_.advance_cost + probe(EventKind::kAdvance) +
+                              probe(EventKind::kIterEnd)) +
+          pre_m + chain_m + post_m;
+      const double procs = std::min<double>(m_.num_procs,
+                                            static_cast<double>(trip));
+      const double rho = procs * serial /
+                         std::max(1.0, static_cast<double>(shape.distance) *
+                                           per_iter);
+      const double peak =
+          std::max(0.0, 1.0 - std::abs(rho - 1.0) / kChainPeakWidth);
+      if (peak > 0.0)
+        raise(kChainPeakWeight * peak,
+              support::strf("dependence chain near saturation (rho %.2f)",
+                            rho));
+      if (m_.advance_cost == 0)
+        raise(kZeroAdvance,
+              "zero-cost advance leaves same-tick await races unresolved");
+    }
+
+    if (shape.has_cost_fn && (has_chain || shape.has_region)) {
+      const double rel = (total_max - total_min) /
+                         std::max(1.0, pre_m + chain_m + post_m);
+      if (rel > 0.0)
+        raise(kSpreadWeight * std::min(1.0, rel),
+              "data-dependent statement costs feed the dependence chain");
+    }
+
+    if (loop.schedule == Schedule::kSelf && opt_.probe_jitter > 0.0)
+      raise(kSelfJitter,
+            "self-scheduled iteration mapping is probe-jitter sensitive");
+  }
+
+  const sim::Program& prog_;
+  const MachineConfig& m_;
+  const ProbeTable& probes_;
+  const ModelOptions& opt_;
+  std::vector<Tick> clocks_;
+  std::vector<std::int64_t> seq_iters_;
+  double uncertainty_ = 0.0;
+  std::vector<std::string> caveats_;
+};
+
+}  // namespace
+
+Prediction predict_program(const sim::Program& program,
+                           const sim::MachineConfig& machine,
+                           const ProbeTable& probes,
+                           const ModelOptions& options) {
+  PERTURB_CHECK_MSG(program.finalized(), "predict_program needs a finalized program");
+  Evaluator evaluator(program, machine, probes, options);
+  return evaluator.run();
+}
+
+}  // namespace perturb::model

@@ -1,0 +1,90 @@
+// Compositional analytical performance model over the loop IR.
+//
+// Where the rest of the repo *executes* a program (simulator) or *replays*
+// its measured events (event-based analysis), this module predicts run time
+// directly from program structure, composing closed forms the way extra-p
+// composes parallel patterns:
+//
+//  - DOALL loops: max over per-processor partitions of the summed statement
+//    costs (an O(P) closed form when costs are uniform),
+//  - DOACROSS loops: the blocking recurrence unrolled over the dependence
+//    distance, with the loop-spawn fill and barrier drain terms composed
+//    max-plus around it (plus a steady-state extrapolation that makes long
+//    uniform cyclic loops O(P + d)),
+//  - critical sections: a serialization (M/D/1-style busy-period) bound on
+//    the lock's total demand,
+//  - barriers / program phases: max-plus composition across phases on
+//    per-processor clocks.
+//
+// The recurrence mirrors the discrete-event engine's cost arithmetic term
+// for term (probe charged before each recorded event's timestamp, advance
+// visibility before its probe, dispatch costs from the scheduler), so for
+// the supported loop shapes the prediction is *tick-exact* against
+// sim::simulate with a zero-jitter hook — property-tested in
+// tests/model_test.cpp.  What the closed form cannot capture is reported as
+// an uncertainty estimate in [0, 1]: structural features (near-saturated
+// dependence chains, data-dependent statement costs, critical-section
+// density, jitter-sensitive self-scheduled mappings) that make the *real*
+// measured execution — and hence event-based reconstruction of it — drift
+// from the mean-cost prediction.  The experiment grid uses that estimate to
+// screen cells: confident cells take the model's answer, uncertain ones
+// fall through to simulate + reconstruct (experiments::run_grid_screened).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/ir.hpp"
+#include "sim/machine.hpp"
+#include "trace/event.hpp"
+
+namespace perturb::model {
+
+using sim::Cycles;
+using trace::Tick;
+
+/// Mean probe charge the model assumes per event kind, mirroring
+/// instr::InstrumentationPlan::mean_cost: 0 for kinds the plan does not
+/// record.  An all-zero table models the uninstrumented (actual) run.
+using ProbeTable = std::array<Cycles, trace::kNumEventKinds>;
+
+/// The uninstrumented parameterization: no probes anywhere.
+constexpr ProbeTable no_probes() { return ProbeTable{}; }
+
+struct ModelOptions {
+  /// Steady-state extrapolation for long uniform-cost cyclic loops: once two
+  /// consecutive rounds of P iterations advance every processor clock and
+  /// the advance-visibility window by the same delta, the remaining full
+  /// rounds are jumped in O(1).  Exact (the recurrence is shift-invariant);
+  /// switchable only so tests can compare against the unrolled recurrence.
+  bool extrapolate = true;
+  /// Maximum probe-cost jitter fraction of the instrumentation the probe
+  /// table was taken from; feeds the uncertainty estimate (the model itself
+  /// always uses the means).  0 for the uninstrumented run.
+  double probe_jitter = 0.0;
+};
+
+struct Prediction {
+  /// Predicted end-to-end run time: ProgramEnd - ProgramBegin of the
+  /// equivalent simulation.
+  Tick total = 0;
+  /// Structural confidence estimate in [0, 1]: 0 = the closed form captures
+  /// this program exactly, 1 = the prediction is a coarse bound.  See
+  /// DESIGN.md §12 for the feature terms.
+  double uncertainty = 0.0;
+  /// Why uncertainty is elevated, one human-readable reason per feature.
+  std::vector<std::string> caveats;
+};
+
+/// Predicts the run time of `program` (which must be finalized) on
+/// `machine` under the given probe charges.  Deterministic: identical
+/// inputs produce identical predictions, on any host and at any thread
+/// count (the evaluation is single-threaded arithmetic).
+Prediction predict_program(const sim::Program& program,
+                           const sim::MachineConfig& machine,
+                           const ProbeTable& probes,
+                           const ModelOptions& options = {});
+
+}  // namespace perturb::model

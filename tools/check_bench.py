@@ -30,10 +30,28 @@ LEGACY_FLOOR_KEYS = ("binary_load", "end_to_end")
 
 
 def load(path):
-    with open(path, "r", encoding="utf-8") as f:
-        data = json.load(f)
-    if "speedups" not in data:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read bench file: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: not valid JSON: {e}")
+    if not isinstance(data, dict) or "speedups" not in data:
         sys.exit(f"{path}: no 'speedups' object (not a speedup bench file?)")
+    speedups = data["speedups"]
+    if not isinstance(speedups, dict):
+        sys.exit(f"{path}: 'speedups' is not an object")
+    for key, value in speedups.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            sys.exit(f"{path}: speedup '{key}' is not a number: {value!r}")
+    floors = data.get("floors")
+    if floors is not None:
+        if not isinstance(floors, dict):
+            sys.exit(f"{path}: 'floors' is not an object")
+        for key, value in floors.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                sys.exit(f"{path}: floor '{key}' is not a number: {value!r}")
     return data
 
 
@@ -59,8 +77,8 @@ def main():
     for key, base in sorted(baseline["speedups"].items()):
         got = result["speedups"].get(key)
         if got is None:
-            failures.append(f"{key}: missing from {args.result}")
-            continue
+            sys.exit(f"{args.result}: baseline key '{key}' missing from "
+                     f"'speedups' (did the bench emit all keys?)")
         allowed = base * (1.0 - args.tolerance)
         verdict = "ok"
         if got < allowed:

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Smoke tests for tools/check_bench.py.
+
+Runs the checker as a subprocess against small synthetic bench files and
+asserts on exit codes and the shape of its diagnostics — in particular that
+malformed inputs and missing keys produce a clear one-line error on stderr,
+never a traceback.  Works under pytest and as a plain script (ctest runs it
+via unittest).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CHECK_BENCH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "check_bench.py")
+
+
+def run_check(result, baseline, *extra):
+    return subprocess.run(
+        [sys.executable, CHECK_BENCH, result, "--baseline", baseline, *extra],
+        capture_output=True, text=True)
+
+
+class CheckBenchSmoke(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def assert_one_line_error(self, proc, *needles):
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertNotIn("Traceback", proc.stderr)
+        err = proc.stderr.strip()
+        self.assertEqual(len(err.splitlines()), 1, err)
+        for needle in needles:
+            self.assertIn(needle, err)
+
+    def test_passes_on_matching_files(self):
+        base = self.write("base.json", {
+            "speedups": {"a": 4.0, "b": 2.0},
+            "floors": {"a": 3.0}})
+        res = self.write("res.json", {"speedups": {"a": 4.5, "b": 1.9}})
+        proc = run_check(res, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("bench check passed", proc.stdout)
+
+    def test_missing_baseline_key_is_one_line(self):
+        base = self.write("base.json", {"speedups": {"a": 4.0, "b": 2.0}})
+        res = self.write("res.json", {"speedups": {"a": 4.0}})
+        proc = run_check(res, base)
+        self.assert_one_line_error(proc, "baseline key 'b' missing")
+
+    def test_regression_fails(self):
+        base = self.write("base.json", {"speedups": {"a": 4.0}})
+        res = self.write("res.json", {"speedups": {"a": 2.0}})
+        proc = run_check(res, base)
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_below_floor_fails(self):
+        base = self.write("base.json", {
+            "speedups": {"a": 3.0}, "floors": {"a": 3.0}})
+        res = self.write("res.json", {"speedups": {"a": 2.9}})
+        proc = run_check(res, base)
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("floor", proc.stderr)
+
+    def test_missing_file_is_one_line(self):
+        base = self.write("base.json", {"speedups": {}})
+        proc = run_check(os.path.join(self.dir.name, "nope.json"), base)
+        self.assert_one_line_error(proc, "nope.json", "cannot read")
+
+    def test_invalid_json_is_one_line(self):
+        base = self.write("base.json", {"speedups": {}})
+        res = self.write("res.json", "{not json")
+        proc = run_check(res, base)
+        self.assert_one_line_error(proc, "not valid JSON")
+
+    def test_non_object_speedups_is_one_line(self):
+        base = self.write("base.json", {"speedups": {}})
+        res = self.write("res.json", {"speedups": [1, 2]})
+        proc = run_check(res, base)
+        self.assert_one_line_error(proc, "'speedups' is not an object")
+
+    def test_non_numeric_speedup_is_one_line(self):
+        base = self.write("base.json", {"speedups": {"a": 1.0}})
+        res = self.write("res.json", {"speedups": {"a": "fast"}})
+        proc = run_check(res, base)
+        self.assert_one_line_error(proc, "speedup 'a' is not a number")
+
+    def test_non_numeric_floor_is_one_line(self):
+        base = self.write("base.json", {
+            "speedups": {"a": 1.0}, "floors": {"a": None}})
+        res = self.write("res.json", {"speedups": {"a": 1.0}})
+        proc = run_check(res, base)
+        self.assert_one_line_error(proc, "floor 'a' is not a number")
+
+
+if __name__ == "__main__":
+    unittest.main()

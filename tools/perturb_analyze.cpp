@@ -3,7 +3,15 @@
 //   perturb-analyze <measured-trace> [options]
 //
 // Options:
-//   --mode event|time          analysis to run (default: event)
+//   --mode event|time|analytic analysis to run (default: event).  analytic
+//                              extracts the loop shape like the liberal mode
+//                              but predicts the de-instrumented run with the
+//                              closed-form model (src/model) instead of
+//                              simulating — it prints the predicted loop
+//                              time with an uncertainty estimate and caveats,
+//                              produces no approximated trace (--output and
+//                              --report do not apply), and asserts a cyclic
+//                              schedule on the default machine model
 //   --output <file>            write the approximated trace
 //   --actual <file>            score the approximation against this trace
 //   --stmt-probe <c>           mean statement probe cost (cycles/ticks)
@@ -73,7 +81,8 @@ using namespace perturb;
 int usage() {
   std::fprintf(stderr,
                "usage: perturb-analyze <measured-trace> [options]\n"
-               "  --mode event|time  --repair[=aggressive]  --sync-slack <t>\n"
+               "  --mode event|time|analytic  --repair[=aggressive]\n"
+               "  --sync-slack <t>\n"
                "  --stream[=WINDOW]  --output <f>  --actual <f>  --report\n"
                "  --metrics[=FILE]\n"
                "  (see header for all)\n"
@@ -147,8 +156,15 @@ int main(int argc, char** argv) {
     return usage();
   }
   const std::string mode = cli->get("mode", "event");
-  if (mode != "event" && mode != "time") {
-    std::fprintf(stderr, "unknown --mode %s (use event|time)\n", mode.c_str());
+  if (mode != "event" && mode != "time" && mode != "analytic") {
+    std::fprintf(stderr, "unknown --mode %s (use event|time|analytic)\n",
+                 mode.c_str());
+    return usage();
+  }
+  if (mode == "analytic" &&
+      (cli->has("output") || cli->get_bool("report", false))) {
+    std::fprintf(stderr, "--mode analytic produces no approximated trace; "
+                         "--output/--report do not apply\n");
     return usage();
   }
 
@@ -201,8 +217,9 @@ int main(int argc, char** argv) {
     if (stream_window != 0) options.stream_window = stream_window;
 
     core::AnalysisPipeline pipeline(options);
-    pipeline.add(mode == "time" ? core::AnalyzerKind::kTimeBased
-                                : core::AnalyzerKind::kEventBased);
+    pipeline.add(mode == "time"       ? core::AnalyzerKind::kTimeBased
+                 : mode == "analytic" ? core::AnalyzerKind::kAnalytic
+                                      : core::AnalyzerKind::kEventBased);
 
     // End-to-end span around the pipeline; a metrics snapshot can relate the
     // per-stage timings to this to see what the stage timers fail to cover.
@@ -269,6 +286,20 @@ int main(int argc, char** argv) {
     }
 
     const core::AnalyzerOutput& out = result.outputs.front();
+    if (out.analytic) {
+      const trace::Trace& m = result.acquire.measured;
+      std::printf("measured total time: %lld%s\n",
+                  static_cast<long long>(m.total_time()),
+                  result.acquire.degraded ? "  (degraded input)" : "");
+      std::printf("predicted loop time: %lld  (model, no simulation)\n",
+                  static_cast<long long>(out.analytic->loop_time));
+      std::printf("model uncertainty:   %.2f%s\n",
+                  out.analytic->uncertainty,
+                  out.analytic->caveats.empty() ? "" : "  caveats:");
+      for (const auto& caveat : out.analytic->caveats)
+        std::printf("  - %s\n", caveat.c_str());
+      return tools::kExitOk;
+    }
     if (out.event_stats) {
       std::printf("awaits: %zu, measured waits: %zu, approximated waits: %zu "
                   "(removed %zu, introduced %zu)\n",
