@@ -116,13 +116,48 @@ std::string render_critical_path(const CriticalPathStats& stats) {
       stats.cross_processor_links);
   for (std::size_t k = 0; k < trace::kNumEventKinds; ++k) {
     if (stats.time_by_kind[k] == 0) continue;
-    const double pct = stats.length > 0
-                           ? 100.0 * static_cast<double>(stats.time_by_kind[k]) /
-                                 static_cast<double>(stats.length)
-                           : 0.0;
+    const double pct =
+        stats.length > 0 ? 100.0 * static_cast<double>(stats.time_by_kind[k]) /
+                               static_cast<double>(stats.length)
+                         : 0.0;
     out += support::strf("  %-12s %10lld  (%5.1f%%)\n",
                          trace::event_kind_name(static_cast<EventKind>(k)),
                          static_cast<long long>(stats.time_by_kind[k]), pct);
+  }
+  return out;
+}
+
+std::vector<Tick> path_time_by_site(const CriticalPathStats& stats,
+                                    const Trace& t,
+                                    const SiteRegistry& sites) {
+  std::vector<Tick> total(sites.size(), 0);
+  for (std::size_t k = 1; k < stats.path.size(); ++k) {
+    const std::size_t cur = stats.path[k];
+    const std::size_t pred = stats.path[k - 1];
+    const SiteId s = sites.site_of_event(t[cur]);
+    if (s != SiteRegistry::npos) total[s] += t[cur].time - t[pred].time;
+  }
+  return total;
+}
+
+std::string render_critical_path_sites(const CriticalPathStats& stats,
+                                       const Trace& t,
+                                       const SiteRegistry& sites) {
+  const std::vector<Tick> total = path_time_by_site(stats, t, sites);
+  std::vector<SiteId> order;
+  for (SiteId s = 0; s < total.size(); ++s)
+    if (total[s] > 0) order.push_back(s);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](SiteId a, SiteId b) { return total[a] > total[b]; });
+  std::string out = "Critical path by site\n";
+  if (order.empty()) return out + "  (none)\n";
+  for (const SiteId s : order) {
+    const double pct =
+        stats.length > 0 ? 100.0 * static_cast<double>(total[s]) /
+                               static_cast<double>(stats.length)
+                         : 0.0;
+    out += support::strf("  %-12s %10lld  (%5.1f%%)\n", sites.name(s).c_str(),
+                         static_cast<long long>(total[s]), pct);
   }
   return out;
 }

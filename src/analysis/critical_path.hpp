@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/sites.hpp"
 #include "trace/index.hpp"
 #include "trace/trace.hpp"
 
@@ -52,5 +53,18 @@ CriticalPathStats critical_path(const trace::TraceIndex& index);
 
 /// Renders a per-kind breakdown table of the path time.
 std::string render_critical_path(const CriticalPathStats& stats);
+
+/// Path time attributed to the interned site of the event each link arrives
+/// at, indexed by SiteId (registry order).  Links arriving at events that
+/// name no region (program markers, user events) are dropped.
+std::vector<Tick> path_time_by_site(const CriticalPathStats& stats,
+                                    const trace::Trace& trace,
+                                    const SiteRegistry& sites);
+
+/// Renders the nonzero per-site path-time totals, worst first, using the
+/// registry's canonical names (shared with waiting and what-if reports).
+std::string render_critical_path_sites(const CriticalPathStats& stats,
+                                       const trace::Trace& trace,
+                                       const SiteRegistry& sites);
 
 }  // namespace perturb::analysis

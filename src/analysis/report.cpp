@@ -2,6 +2,7 @@
 
 #include "analysis/critical_path.hpp"
 #include "analysis/parallelism.hpp"
+#include "analysis/sites.hpp"
 #include "analysis/timeline.hpp"
 #include <algorithm>
 
@@ -32,9 +33,15 @@ std::string render_report(const trace::Trace& approx,
         quality->p95_event_error, quality->matched_events);
   }
 
-  const auto waits = waiting_analysis(approx, options.classifier);
+  // One index + site registry shared by every per-region section, so the
+  // same region is named identically in waiting and critical-path output.
+  const trace::TraceIndex index(approx);
+  const SiteRegistry sites(index);
+
+  const auto waits = waiting_analysis(index, options.classifier);
   out += "\n-- waiting --\n";
   out += render_waiting_table(waits);
+  if (!waits.intervals.empty()) out += render_waiting_by_site(waits, sites);
   if (!waits.intervals.empty()) {
     // Duration histogram: distinguishes many short stalls from few long ones.
     Tick longest = 0;
@@ -61,8 +68,10 @@ std::string render_report(const trace::Trace& approx,
     out += render_parallelism_plot(approx, profile, options.timeline_width);
 
   if (options.include_critical_path) {
+    const auto cp = critical_path(index);
     out += "\n-- critical path --\n";
-    out += render_critical_path(critical_path(approx));
+    out += render_critical_path(cp);
+    out += render_critical_path_sites(cp, approx, sites);
   }
   return out;
 }

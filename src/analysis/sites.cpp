@@ -1,0 +1,136 @@
+#include "analysis/sites.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/text.hpp"
+#include "trace/trace.hpp"
+
+namespace perturb::analysis {
+
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+
+/// Classifies one event into the region class it names; false when the event
+/// names no region.  The single source of the event → site mapping: the
+/// registry builder and site_of_event must agree event for event.
+bool classify(const Event& e, Site& out) noexcept {
+  switch (e.kind) {
+    case EventKind::kStmtEnter:
+    case EventKind::kStmtExit:
+      if (e.id == 0) return false;  // synthesized/unknown provenance
+      out = {SiteKind::kStatement, e.id};
+      return true;
+    case EventKind::kLoopBegin:
+    case EventKind::kLoopEnd:
+    case EventKind::kIterBegin:
+    case EventKind::kIterEnd:
+      out = {SiteKind::kLoop, e.object};
+      return true;
+    case EventKind::kLockAcquire:
+    case EventKind::kLockRelease:
+      out = {SiteKind::kLock, e.object};
+      return true;
+    case EventKind::kAdvance:
+    case EventKind::kAwaitBegin:
+    case EventKind::kAwaitEnd:
+      out = {SiteKind::kSync, e.object};
+      return true;
+    case EventKind::kSemAcquire:
+    case EventKind::kSemRelease:
+      out = {SiteKind::kSemaphore, e.object};
+      return true;
+    case EventKind::kBarrierArrive:
+    case EventKind::kBarrierDepart:
+      out = {SiteKind::kBarrier, e.object};
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool site_less(const Site& a, const Site& b) noexcept {
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+const char* site_kind_name(SiteKind kind) noexcept {
+  switch (kind) {
+    case SiteKind::kStatement:
+      return "stmt";
+    case SiteKind::kLoop:
+      return "loop";
+    case SiteKind::kLock:
+      return "lock";
+    case SiteKind::kSync:
+      return "sync";
+    case SiteKind::kSemaphore:
+      return "sem";
+    case SiteKind::kBarrier:
+      return "barrier";
+  }
+  return "?";
+}
+
+SiteRegistry::SiteRegistry(const trace::TraceIndex& index) {
+  const trace::Trace& t = index.trace();
+  sites_.reserve(64);
+  Site site;
+  for (const Event& e : t)
+    if (classify(e, site)) sites_.push_back(site);
+  std::sort(sites_.begin(), sites_.end(), site_less);
+  sites_.erase(std::unique(sites_.begin(), sites_.end()), sites_.end());
+  names_.reserve(sites_.size());
+  for (const Site& s : sites_)
+    names_.push_back(
+        support::strf("%s#%u", site_kind_name(s.kind), s.id));
+}
+
+SiteId SiteRegistry::find(Site site) const noexcept {
+  const auto it =
+      std::lower_bound(sites_.begin(), sites_.end(), site, site_less);
+  if (it == sites_.end() || !(*it == site)) return npos;
+  return static_cast<SiteId>(it - sites_.begin());
+}
+
+std::optional<SiteId> SiteRegistry::parse(std::string_view name) const {
+  const std::size_t hash = name.find('#');
+  if (hash == std::string_view::npos || hash + 1 >= name.size())
+    return std::nullopt;
+  const std::string_view prefix = name.substr(0, hash);
+  SiteKind kind;
+  if (prefix == "stmt") {
+    kind = SiteKind::kStatement;
+  } else if (prefix == "loop") {
+    kind = SiteKind::kLoop;
+  } else if (prefix == "lock") {
+    kind = SiteKind::kLock;
+  } else if (prefix == "sync") {
+    kind = SiteKind::kSync;
+  } else if (prefix == "sem") {
+    kind = SiteKind::kSemaphore;
+  } else if (prefix == "barrier") {
+    kind = SiteKind::kBarrier;
+  } else {
+    return std::nullopt;
+  }
+  std::uint32_t id = 0;
+  for (const char c : name.substr(hash + 1)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return find({kind, id});
+}
+
+SiteId SiteRegistry::site_of_event(
+    const trace::Event& e) const noexcept {
+  Site site;
+  if (!classify(e, site)) return npos;
+  return find(site);
+}
+
+}  // namespace perturb::analysis

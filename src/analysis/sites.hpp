@@ -1,0 +1,90 @@
+// Shared site registry: one canonical name per code region.
+//
+// Every report that attributes time to a code region — critical-path
+// breakdowns, per-site waiting, what-if rankings — needs to name the region
+// it is talking about.  Events only carry numeric identities (the statement
+// site id of stmt events, the object id of synchronization events), and each
+// report used to format those numbers independently, so the same region
+// could appear as three different strings.  The registry interns every
+// (kind, numeric id) region of a trace once, in a deterministic order, and
+// hands out one canonical name per region ("stmt#5", "loop#2", "lock#1",
+// "sync#3", "sem#4", "barrier#6") that every consumer shares.
+//
+// Site ids are dense indices into the registry (stable for a given trace),
+// so per-site accumulators are plain vectors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/index.hpp"
+
+namespace perturb::analysis {
+
+/// The region classes a trace can name.
+enum class SiteKind : std::uint8_t {
+  kStatement,  ///< an instrumented statement (EventId of stmt events)
+  kLoop,       ///< a parallel loop body (loop marker object)
+  kLock,       ///< a lock-guarded critical section (lock object)
+  kSync,       ///< an advance/await synchronization variable (sync object)
+  kSemaphore,  ///< a counting semaphore (sem object)
+  kBarrier,    ///< a barrier (barrier object)
+};
+
+constexpr std::size_t kNumSiteKinds = 6;
+
+/// Canonical name prefix of a kind ("stmt", "loop", ...).
+const char* site_kind_name(SiteKind kind) noexcept;
+
+/// One interned region: its class plus the numeric identity events carry
+/// (EventId for statements, ObjectId for everything else).
+struct Site {
+  SiteKind kind = SiteKind::kStatement;
+  std::uint32_t id = 0;
+
+  friend bool operator==(const Site&, const Site&) = default;
+};
+
+/// Dense site index within a registry.
+using SiteId = std::uint32_t;
+
+class SiteRegistry {
+ public:
+  /// "No site": returned by lookups that can miss.
+  static constexpr SiteId npos = static_cast<SiteId>(-1);
+
+  SiteRegistry() = default;
+
+  /// Interns every region the indexed trace mentions: statement ids of
+  /// stmt events, loop objects of loop/iteration markers, lock objects,
+  /// advance/await sync variables, semaphore and barrier objects.  Sites
+  /// are ordered by (kind, numeric id), so equal traces produce equal
+  /// registries.
+  explicit SiteRegistry(const trace::TraceIndex& index);
+
+  std::size_t size() const noexcept { return sites_.size(); }
+  const Site& site(SiteId s) const { return sites_[s]; }
+  const std::string& name(SiteId s) const { return names_[s]; }
+
+  /// Dense id of an interned region; npos when the trace never mentions it.
+  SiteId find(Site site) const noexcept;
+  /// Parses a canonical name ("stmt#5"); npos for unknown regions and
+  /// std::nullopt for strings that are not canonical site names at all.
+  std::optional<SiteId> parse(std::string_view name) const;
+
+  /// The region an event belongs to for attribution purposes: stmt events
+  /// map to their statement site, sync/loop-marker events to their object's
+  /// site; npos for events that name no region (program markers, user
+  /// events, events synthesized by repair with id 0).
+  SiteId site_of_event(const trace::Event& e) const noexcept;
+
+ private:
+  std::vector<Site> sites_;         ///< sorted by (kind, id)
+  std::vector<std::string> names_;  ///< canonical names, same order
+};
+
+}  // namespace perturb::analysis

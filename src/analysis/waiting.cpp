@@ -1,5 +1,6 @@
 #include "analysis/waiting.hpp"
 
+#include <algorithm>
 #include <map>
 #include <utility>
 
@@ -26,11 +27,12 @@ WaitingStats waiting_analysis(const TraceIndex& index,
   // nothing.  The index supplies the candidates, this map the consumption.
   std::map<std::pair<SyncKey, ProcId>, std::size_t> consumed;
 
-  auto add = [&](ProcId proc, Tick begin, Tick end, EventKind cause) {
+  auto add = [&](ProcId proc, Tick begin, Tick end, EventKind cause,
+                 trace::ObjectId object) {
     if (end <= begin) return;
     if (proc < stats.waiting_time.size())
       stats.waiting_time[proc] += end - begin;
-    stats.intervals.push_back({proc, begin, end, cause});
+    stats.intervals.push_back({proc, begin, end, cause, object});
   };
 
   // Latest unconsumed begin-marker index for (key, proc) before trace
@@ -57,7 +59,7 @@ WaitingStats waiting_analysis(const TraceIndex& index,
         if (ab != TraceIndex::npos) {
           const Tick begin = t[ab].time;
           if (e.time - begin > c.await_nowait + c.tolerance)
-            add(e.proc, begin, e.time, EventKind::kAwaitEnd);
+            add(e.proc, begin, e.time, EventKind::kAwaitEnd, e.object);
         }
         break;
       }
@@ -66,7 +68,7 @@ WaitingStats waiting_analysis(const TraceIndex& index,
         if (prev != TraceIndex::npos) {
           const Tick begin = t[prev].time;
           if (e.time - begin > c.lock_acquire + c.tolerance)
-            add(e.proc, begin, e.time, EventKind::kLockAcquire);
+            add(e.proc, begin, e.time, EventKind::kLockAcquire, e.object);
         }
         break;
       }
@@ -75,7 +77,7 @@ WaitingStats waiting_analysis(const TraceIndex& index,
         if (prev != TraceIndex::npos) {
           const Tick begin = t[prev].time;
           if (e.time - begin > c.sem_acquire + c.tolerance)
-            add(e.proc, begin, e.time, EventKind::kSemAcquire);
+            add(e.proc, begin, e.time, EventKind::kSemAcquire, e.object);
         }
         break;
       }
@@ -93,7 +95,7 @@ WaitingStats waiting_analysis(const TraceIndex& index,
         if (arrive != TraceIndex::npos) {
           const Tick begin = t[arrive].time;
           if (e.time - begin > c.barrier_depart + c.tolerance)
-            add(e.proc, begin, e.time, EventKind::kBarrierDepart);
+            add(e.proc, begin, e.time, EventKind::kBarrierDepart, e.object);
         }
         break;
       }
@@ -115,6 +117,35 @@ WaitingStats waiting_analysis(const trace::Trace& t,
                               const WaitClassifier& c) {
   const TraceIndex index(t);
   return waiting_analysis(index, c);
+}
+
+std::vector<Tick> waiting_by_site(const WaitingStats& stats,
+                                  const SiteRegistry& sites) {
+  std::vector<Tick> total(sites.size(), 0);
+  for (const WaitInterval& w : stats.intervals) {
+    Event probe;
+    probe.object = w.object;
+    probe.kind = w.cause;
+    const SiteId s = sites.site_of_event(probe);
+    if (s != SiteRegistry::npos) total[s] += w.end - w.begin;
+  }
+  return total;
+}
+
+std::string render_waiting_by_site(const WaitingStats& stats,
+                                   const SiteRegistry& sites) {
+  const std::vector<Tick> total = waiting_by_site(stats, sites);
+  std::vector<SiteId> order;
+  for (SiteId s = 0; s < total.size(); ++s)
+    if (total[s] > 0) order.push_back(s);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](SiteId a, SiteId b) { return total[a] > total[b]; });
+  std::string out = "Waiting by site\n";
+  if (order.empty()) return out + "  (none)\n";
+  for (const SiteId s : order)
+    out += support::strf("  %-12s %12lld\n", sites.name(s).c_str(),
+                         static_cast<long long>(total[s]));
+  return out;
 }
 
 std::string render_waiting_table(const WaitingStats& stats) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/sites.hpp"
 #include "trace/index.hpp"
 #include "trace/trace.hpp"
 
@@ -33,6 +34,9 @@ struct WaitInterval {
   Tick begin = 0;
   Tick end = 0;
   trace::EventKind cause = trace::EventKind::kAwaitEnd;
+  /// Synchronization object waited on (sync var, lock, semaphore, barrier);
+  /// names the interval's region through the shared SiteRegistry.
+  trace::ObjectId object = 0;
 };
 
 struct WaitingStats {
@@ -52,5 +56,16 @@ WaitingStats waiting_analysis(const trace::TraceIndex& index,
 /// Renders the per-processor waiting percentages as a one-row table
 /// (Table 3's layout).
 std::string render_waiting_table(const WaitingStats& stats);
+
+/// Waiting time attributed to the interned site of each interval's
+/// synchronization object, indexed by SiteId (registry order).
+std::vector<Tick> waiting_by_site(const WaitingStats& stats,
+                                  const SiteRegistry& sites);
+
+/// Renders the nonzero per-site waiting totals, worst first, using the
+/// registry's canonical names (shared with critical-path and what-if
+/// reports).
+std::string render_waiting_by_site(const WaitingStats& stats,
+                                   const SiteRegistry& sites);
 
 }  // namespace perturb::analysis

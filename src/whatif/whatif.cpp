@@ -1,0 +1,926 @@
+#include "whatif/whatif.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "support/metrics.hpp"
+#include "support/text.hpp"
+#include "trace/event.hpp"
+
+namespace perturb::whatif {
+
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+using trace::ObjectId;
+using trace::ProcId;
+using trace::SyncKey;
+using trace::Trace;
+using trace::TraceIndex;
+
+constexpr std::size_t kNone = TraceIndex::npos;
+
+const support::Counter& experiments_counter() {
+  static const support::Counter c("whatif.experiments");
+  return c;
+}
+const support::Counter& frontier_counter() {
+  static const support::Counter c("whatif.frontier.events");
+  return c;
+}
+const support::Counter& memo_counter() {
+  static const support::Counter c("whatif.memo.hits");
+  return c;
+}
+const support::Gauge& edges_gauge() {
+  static const support::Gauge g("whatif.dag.edges");
+  return g;
+}
+
+/// Enumerates event i's cross-processor dependencies, mirroring the
+/// critical-path predecessor rules: the advance an awaitE waited for, the
+/// hand-off release of a lock acquisition, every episode arrival a barrier
+/// departure waited for (all of them, since re-evaluation can reorder which
+/// one is latest), and otherwise the spawning LoopBegin (fork dependency).
+/// Emission order is deterministic (arrivals in trace order), which both
+/// evaluation paths rely on for identical tie-breaks.
+template <typename Fn>
+void for_each_cross_pred(const TraceIndex& idx, std::size_t i, Fn&& fn) {
+  const Trace& t = idx.trace();
+  const Event& e = t[i];
+  switch (e.kind) {
+    case EventKind::kAwaitEnd: {
+      const std::size_t adv =
+          idx.last_advance_before(SyncKey{e.object, e.payload}, i);
+      if (adv != kNone) {
+        fn(adv);
+        return;
+      }
+      break;
+    }
+    case EventKind::kLockAcquire: {
+      const std::size_t dep = idx.lock_dep(i);
+      if (dep != kNone) {
+        fn(dep);
+        return;
+      }
+      break;
+    }
+    case EventKind::kBarrierDepart: {
+      const auto* ep = idx.barrier_episode(e.object, e.payload);
+      if (ep != nullptr) {
+        bool any = false;
+        for (const std::size_t a : ep->arrivals) {
+          if (a >= i) break;
+          fn(a);
+          any = true;
+        }
+        if (any) return;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  const std::size_t fork = idx.fork_dep(i);
+  if (fork != kNone) fn(fork);
+}
+
+/// Events whose times other events' evaluations read: they must keep an
+/// individually tracked time (be anchors) even without cross deps of their
+/// own.
+bool is_dependency_source(EventKind kind) {
+  return kind == EventKind::kAdvance || kind == EventKind::kLockRelease ||
+         kind == EventKind::kBarrierArrive || kind == EventKind::kLoopBegin;
+}
+
+/// Cost removed from `d` by a `pct`-percent virtual speedup.  Truncating
+/// integer division, applied per event — the one arithmetic both the engine
+/// and the reference must share for bit-identity.
+Tick removal_of(Tick d, std::int64_t pct) { return (d * pct) / 100; }
+
+}  // namespace
+
+std::optional<WhatIfSpec> parse_whatif_spec(std::string_view spec,
+                                            std::string* error) {
+  const auto fail = [&](std::string msg) -> std::optional<WhatIfSpec> {
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos)
+    return fail(support::strf("--whatif expects <site>:<pct>, got '%.*s'",
+                              static_cast<int>(spec.size()), spec.data()));
+  const std::string_view site = spec.substr(0, colon);
+  const std::string_view pct = spec.substr(colon + 1);
+  if (site.empty())
+    return fail(support::strf("--whatif site name is empty in '%.*s'",
+                              static_cast<int>(spec.size()), spec.data()));
+  if (pct.empty())
+    return fail(support::strf("--whatif pct is empty in '%.*s'",
+                              static_cast<int>(spec.size()), spec.data()));
+  std::int64_t value = 0;
+  for (const char c : pct) {
+    if (c < '0' || c > '9')
+      return fail(
+          support::strf("--whatif pct must be an integer, got '%.*s'",
+                        static_cast<int>(pct.size()), pct.data()));
+    value = value * 10 + (c - '0');
+    if (value > 1000) break;  // avoid overflow on absurd digit strings
+  }
+  if (value < 1 || value > 100)
+    return fail(support::strf("--whatif pct must be in (0,100], got '%.*s'",
+                              static_cast<int>(pct.size()), pct.data()));
+  return WhatIfSpec{std::string(site), value};
+}
+
+std::vector<std::size_t> site_member_events(const TraceIndex& idx,
+                                            const SiteRegistry& sites,
+                                            SiteId site) {
+  const Trace& t = idx.trace();
+  const analysis::Site s = sites.site(site);
+  std::vector<std::size_t> members;
+  switch (s.kind) {
+    case analysis::SiteKind::kStatement:
+      for (std::size_t i = 0; i < t.size(); ++i)
+        if (t[i].kind == EventKind::kStmtExit && t[i].id == s.id)
+          members.push_back(i);
+      break;
+    case analysis::SiteKind::kLoop:
+      for (const auto& span : idx.loops()) {
+        if (span.object != s.id || span.begin_index == kNone) continue;
+        const std::size_t last =
+            span.end_index == kNone ? t.size() - 1 : span.end_index;
+        for (std::size_t i = span.begin_index + 1; i <= last; ++i)
+          members.push_back(i);
+      }
+      std::sort(members.begin(), members.end());
+      members.erase(std::unique(members.begin(), members.end()),
+                    members.end());
+      break;
+    case analysis::SiteKind::kLock:
+      for (std::size_t p = 0; p < idx.num_procs(); ++p) {
+        bool holding = false;
+        for (const std::size_t i : idx.events_of(static_cast<ProcId>(p))) {
+          if (holding) members.push_back(i);
+          if (t[i].object == s.id) {
+            if (t[i].kind == EventKind::kLockAcquire) holding = true;
+            if (t[i].kind == EventKind::kLockRelease) holding = false;
+          }
+        }
+      }
+      std::sort(members.begin(), members.end());
+      break;
+    case analysis::SiteKind::kSync:
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        const EventKind k = t[i].kind;
+        if ((k == EventKind::kAdvance || k == EventKind::kAwaitBegin ||
+             k == EventKind::kAwaitEnd) &&
+            t[i].object == s.id)
+          members.push_back(i);
+      }
+      break;
+    case analysis::SiteKind::kSemaphore:
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        const EventKind k = t[i].kind;
+        if ((k == EventKind::kSemAcquire || k == EventKind::kSemRelease) &&
+            t[i].object == s.id)
+          members.push_back(i);
+      }
+      break;
+    case analysis::SiteKind::kBarrier:
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        const EventKind k = t[i].kind;
+        if ((k == EventKind::kBarrierArrive ||
+             k == EventKind::kBarrierDepart) &&
+            t[i].object == s.id)
+          members.push_back(i);
+      }
+      break;
+  }
+  return members;
+}
+
+WhatIfDag::WhatIfDag(const TraceIndex& idx, const SiteRegistry& sites)
+    : index_(&idx), sites_(&sites) {
+  const Trace& t = idx.trace();
+  const std::size_t n = t.size();
+
+  // -- classify anchors ----------------------------------------------------
+  // Anchors: events with cross dependencies, dependency sources, and each
+  // processor's chain endpoints.  Everything else is a plain chain-only
+  // event that folds into a gap.
+  std::vector<std::size_t> cross_off(n + 1, 0);
+  std::vector<std::size_t> cross_flat;
+  std::vector<char> anchor(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    cross_off[i] = cross_flat.size();
+    for_each_cross_pred(idx, i,
+                        [&](std::size_t p) { cross_flat.push_back(p); });
+    if (cross_flat.size() > cross_off[i] || is_dependency_source(t[i].kind))
+      anchor[i] = 1;
+  }
+  cross_off[n] = cross_flat.size();
+  for (std::size_t p = 0; p < idx.num_procs(); ++p) {
+    const auto& evs = idx.events_of(static_cast<ProcId>(p));
+    if (evs.empty()) continue;
+    anchor[evs.front()] = 1;
+    anchor[evs.back()] = 1;
+  }
+
+  // -- per-event local costs ----------------------------------------------
+  // d_i = t0[i] - max over predecessors of t0; baseline re-evaluation then
+  // reproduces the recovered times exactly (telescoping).
+  std::vector<Tick> event_d(n, 0);
+  std::vector<char> has_pred(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    Tick base = 0;
+    bool any = false;
+    const std::size_t prev = idx.prev_on_proc(i);
+    if (prev != kNone) {
+      base = t[prev].time;
+      any = true;
+    }
+    for (std::size_t c = cross_off[i]; c < cross_off[i + 1]; ++c) {
+      const Tick pt = t[cross_flat[c]].time;
+      if (!any || pt > base) base = pt;
+      any = true;
+    }
+    event_d[i] = t[i].time - (any ? base : 0);
+    has_pred[i] = any ? 1 : 0;
+  }
+
+  // -- anchor slots (trace order == topological order) ---------------------
+  std::vector<std::uint32_t> slot_of(n, knone);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!anchor[i]) continue;
+    slot_of[i] = static_cast<std::uint32_t>(event_of_.size());
+    event_of_.push_back(i);
+  }
+  const std::size_t a_n = event_of_.size();
+  chain_.assign(a_n, knone);
+  gap_.assign(a_n, 0);
+  d_.assign(a_n, 0);
+  t0_.assign(a_n, 0);
+  w0_.assign(a_n, 0);
+  proc_.assign(a_n, 0);
+  for (std::size_t s = 0; s < a_n; ++s) {
+    const std::size_t i = event_of_[s];
+    d_[s] = event_d[i];
+    t0_[s] = t[i].time;
+    proc_[s] = t[i].proc;
+  }
+
+  // Chains and gaps: walk each processor's event list; the gap before an
+  // anchor telescopes to t0[immediate predecessor] - t0[previous anchor].
+  std::vector<std::uint32_t> owner_of(n, knone);
+  for (std::size_t p = 0; p < idx.num_procs(); ++p) {
+    const auto& evs = idx.events_of(static_cast<ProcId>(p));
+    std::uint32_t prev_anchor = knone;
+    std::size_t prev_event = kNone;
+    for (const std::size_t i : evs) {
+      if (anchor[i]) {
+        const std::uint32_t s = slot_of[i];
+        chain_[s] = prev_anchor;
+        gap_[s] = (prev_anchor != knone && prev_event != event_of_[prev_anchor])
+                      ? t[prev_event].time - t0_[prev_anchor]
+                      : 0;
+        prev_anchor = s;
+      } else {
+        // Owner = the next anchor on this processor; filled below in the
+        // reverse pass.
+      }
+      prev_event = i;
+    }
+    // Reverse pass: each plain event's owner is the next anchor downstream.
+    std::uint32_t next_anchor = knone;
+    for (std::size_t k = evs.size(); k-- > 0;) {
+      const std::size_t i = evs[k];
+      if (anchor[i])
+        next_anchor = slot_of[i];
+      else
+        owner_of[i] = next_anchor;
+    }
+  }
+
+  // -- cross predecessor / successor tables --------------------------------
+  pred_off_.assign(a_n + 1, 0);
+  for (std::size_t s = 0; s < a_n; ++s) {
+    const std::size_t i = event_of_[s];
+    pred_off_[s + 1] =
+        pred_off_[s] +
+        static_cast<std::uint32_t>(cross_off[i + 1] - cross_off[i]);
+  }
+  pred_.assign(pred_off_[a_n], knone);
+  for (std::size_t s = 0; s < a_n; ++s) {
+    const std::size_t i = event_of_[s];
+    std::uint32_t out = pred_off_[s];
+    for (std::size_t c = cross_off[i]; c < cross_off[i + 1]; ++c)
+      pred_[out++] = slot_of[cross_flat[c]];
+  }
+  std::vector<std::uint32_t> succ_count(a_n, 0);
+  for (std::size_t s = 0; s < a_n; ++s) {
+    if (chain_[s] != knone) ++succ_count[chain_[s]];
+    for (std::uint32_t c = pred_off_[s]; c < pred_off_[s + 1]; ++c)
+      ++succ_count[pred_[c]];
+  }
+  succ_off_.assign(a_n + 1, 0);
+  for (std::size_t s = 0; s < a_n; ++s)
+    succ_off_[s + 1] = succ_off_[s] + succ_count[s];
+  succ_.assign(succ_off_[a_n], knone);
+  std::vector<std::uint32_t> fill(succ_off_.begin(), succ_off_.end() - 1);
+  for (std::size_t s = 0; s < a_n; ++s) {
+    const std::uint32_t me = static_cast<std::uint32_t>(s);
+    if (chain_[s] != knone) succ_[fill[chain_[s]]++] = me;
+    for (std::uint32_t c = pred_off_[s]; c < pred_off_[s + 1]; ++c)
+      succ_[fill[pred_[c]]++] = me;
+  }
+  edges_ = succ_.size();
+
+  // -- baseline waiting ----------------------------------------------------
+  // w = (t0 - d) - chain candidate: how long the chain stalled on a cross
+  // dependency before this anchor.  Plain events wait 0 by construction.
+  for (std::size_t s = 0; s < a_n; ++s) {
+    if (chain_[s] == knone || !has_pred[event_of_[s]]) continue;
+    w0_[s] = (t0_[s] - d_[s]) - (t0_[chain_[s]] + gap_[s]);
+  }
+
+  // -- per-processor endpoints and baseline metrics ------------------------
+  first_slot_.assign(idx.num_procs(), knone);
+  last_slot_.assign(idx.num_procs(), knone);
+  for (std::size_t p = 0; p < idx.num_procs(); ++p) {
+    const auto& evs = idx.events_of(static_cast<ProcId>(p));
+    if (evs.empty()) continue;
+    first_slot_[p] = slot_of[evs.front()];
+    last_slot_[p] = slot_of[evs.back()];
+  }
+  Tick lo = 0, hi = 0;
+  bool seen = false;
+  for (std::size_t p = 0; p < first_slot_.size(); ++p) {
+    if (first_slot_[p] == knone) continue;
+    const Tick f = t0_[first_slot_[p]];
+    const Tick l = t0_[last_slot_[p]];
+    if (!seen || f < lo) lo = f;
+    if (!seen || l > hi) hi = l;
+    seen = true;
+  }
+  baseline_.makespan = seen ? hi - lo : 0;
+  baseline_.waiting.assign(t.info().num_procs, 0);
+  for (std::size_t s = 0; s < a_n; ++s)
+    if (proc_[s] < baseline_.waiting.size())
+      baseline_.waiting[proc_[s]] += w0_[s];
+  baseline_.critical_path = walk_critical_path(
+      [&](std::uint32_t s) { return t0_[s]; },
+      [](std::uint32_t) -> Tick { return 0; });
+
+  // -- site membership -----------------------------------------------------
+  members_.resize(sites.size());
+  for (SiteId site = 0; site < sites.size(); ++site) {
+    SiteMembers& m = members_[static_cast<std::size_t>(site)];
+    for (const std::size_t i : site_member_events(idx, sites, site)) {
+      if (slot_of[i] != knone)
+        m.anchors.push_back(slot_of[i]);
+      else if (owner_of[i] != knone)
+        m.plain.emplace_back(owner_of[i], event_d[i]);
+    }
+  }
+
+  edges_gauge().record_max(static_cast<std::int64_t>(edges_));
+}
+
+template <typename TimeFn, typename GapFn>
+Tick WhatIfDag::walk_critical_path(TimeFn&& time_of,
+                                   GapFn&& gap_removal) const {
+  // End anchor: the latest per-processor chain endpoint; ties go to the
+  // larger trace index (mirrors critical_path's argmax scan).
+  std::uint32_t end = knone;
+  for (std::size_t p = 0; p < last_slot_.size(); ++p) {
+    const std::uint32_t s = last_slot_[p];
+    if (s == knone) continue;
+    if (end == knone || time_of(s) > time_of(end) ||
+        (time_of(s) == time_of(end) && event_of_[s] > event_of_[end]))
+      end = s;
+  }
+  if (end == knone) return 0;
+
+  std::uint32_t cur = end;
+  while (true) {
+    const std::uint32_t q = chain_[cur];
+    bool has_chain = q != knone;
+    Tick chain_t = 0;
+    if (has_chain) chain_t = time_of(q) + gap_[cur] - gap_removal(cur);
+    std::uint32_t best = knone;
+    Tick best_t = 0;
+    for (std::uint32_t c = pred_off_[cur]; c < pred_off_[cur + 1]; ++c) {
+      const Tick pt = time_of(pred_[c]);
+      if (best == knone || pt > best_t) {
+        best = pred_[c];
+        best_t = pt;
+      }
+    }
+    if (has_chain && (best == knone || chain_t >= best_t))
+      cur = q;
+    else if (best != knone)
+      cur = best;
+    else
+      break;
+  }
+  return time_of(end) - time_of(cur);
+}
+
+struct WhatIfEngine::Scratch {
+  std::vector<Tick> time, gapdel, removal, wait;
+  std::vector<std::uint32_t> time_ep, gapdel_ep, removal_ep, queued_ep;
+  std::vector<std::uint32_t> heap;
+  std::uint32_t epoch = 0;
+
+  void ensure(std::size_t anchors, std::size_t procs) {
+    if (time.size() != anchors) {
+      time.assign(anchors, 0);
+      gapdel.assign(anchors, 0);
+      removal.assign(anchors, 0);
+      time_ep.assign(anchors, 0);
+      gapdel_ep.assign(anchors, 0);
+      removal_ep.assign(anchors, 0);
+      queued_ep.assign(anchors, 0);
+      epoch = 0;
+    }
+    wait.assign(procs, 0);
+  }
+};
+
+/// Scratch for one dense sweep block: lane-minor rows (slot s, lane l at
+/// index s * kLaneWidth + l), so the per-anchor chain and predecessor loads
+/// are shared by all lanes of a cache line.  The removal and gapdel arrays
+/// hold the all-zero invariant between blocks — evaluate_block re-zeroes
+/// exactly the member entries it seeded, never the whole arena.
+struct WhatIfEngine::BatchScratch {
+  std::vector<Tick> time, removal, gapdel, wait;
+
+  void ensure(std::size_t anchors, std::size_t procs) {
+    if (time.size() != anchors * kLaneWidth) {
+      time.assign(anchors * kLaneWidth, 0);
+      removal.assign(anchors * kLaneWidth, 0);
+      gapdel.assign(anchors * kLaneWidth, 0);
+    }
+    wait.assign(procs * kLaneWidth, 0);
+  }
+};
+
+WhatIfEngine::WhatIfEngine(const WhatIfDag& dag) : dag_(&dag) {}
+WhatIfEngine::~WhatIfEngine() = default;
+
+void WhatIfEngine::evaluate_block(const WhatIfPlan* plans, std::size_t lanes,
+                                  BatchScratch& sc, WhatIfResult* out) const {
+  const WhatIfDag& g = *dag_;
+  constexpr std::size_t kW = kLaneWidth;
+  const std::size_t anchors = g.num_anchors();
+  const std::size_t procs = g.baseline_.waiting.size();
+  sc.ensure(anchors, procs);
+
+  // Seed every lane's removals: member anchors scale their own cost, plain
+  // members fold into the gap before their owning anchor — the same
+  // arithmetic the sparse path applies, just written into lane columns.
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const WhatIfDag::SiteMembers& m =
+        g.members_[static_cast<std::size_t>(plans[l].site)];
+    for (const auto& [owner, d] : m.plain)
+      sc.gapdel[owner * kW + l] += removal_of(d, plans[l].pct);
+    for (const std::uint32_t s : m.anchors)
+      sc.removal[s * kW + l] = removal_of(g.d_[s], plans[l].pct);
+  }
+
+  // One dense forward pass in slot (= topological) order.  Anchors the
+  // experiment does not touch re-evaluate to their baseline times exactly
+  // (telescoping), so no frontier bookkeeping is needed — each anchor's
+  // shared fields are loaded once and applied row-wise to every lane (the
+  // lane loops are branch-free over contiguous rows, so they vectorize).
+  // All kW columns are computed even on a partial block: unseeded columns
+  // have zero removals and just reproduce the baseline, and ensure() /
+  // the end-of-block re-zeroing keep their state well defined.
+  for (std::size_t s = 0; s < anchors; ++s) {
+    const std::uint32_t q = g.chain_[s];
+    const Tick gap = g.gap_[s];
+    const Tick d0 = g.d_[s];
+    const Tick w0 = g.w0_[s];
+    const std::uint32_t p0 = g.pred_off_[s];
+    const std::uint32_t p1 = g.pred_off_[s + 1];
+    const trace::ProcId proc = g.proc_[s];
+    Tick* row = &sc.time[s * kW];
+    const Tick* rem = &sc.removal[s * kW];
+    const Tick* gde = &sc.gapdel[s * kW];
+    Tick base[kW];
+    if (q != WhatIfDag::knone) {
+      Tick chain_t[kW];
+      const Tick* qrow = &sc.time[q * kW];
+      for (std::size_t l = 0; l < kW; ++l) {
+        chain_t[l] = qrow[l] + gap - gde[l];
+        base[l] = chain_t[l];
+      }
+      for (std::uint32_t c = p0; c < p1; ++c) {
+        const Tick* prow = &sc.time[g.pred_[c] * kW];
+        for (std::size_t l = 0; l < kW; ++l)
+          if (prow[l] > base[l]) base[l] = prow[l];
+      }
+      for (std::size_t l = 0; l < kW; ++l) row[l] = base[l] + d0 - rem[l];
+      if (proc < procs) {
+        Tick* wrow = &sc.wait[proc * kW];
+        for (std::size_t l = 0; l < kW; ++l)
+          wrow[l] += (base[l] - chain_t[l]) - w0;
+      }
+    } else if (p1 > p0) {
+      const Tick* first = &sc.time[g.pred_[p0] * kW];
+      for (std::size_t l = 0; l < kW; ++l) base[l] = first[l];
+      for (std::uint32_t c = p0 + 1; c < p1; ++c) {
+        const Tick* prow = &sc.time[g.pred_[c] * kW];
+        for (std::size_t l = 0; l < kW; ++l)
+          if (prow[l] > base[l]) base[l] = prow[l];
+      }
+      // No chain: the anchor waits on nothing the model charges (w == 0,
+      // and w0 is 0 for chainless anchors by construction).
+      for (std::size_t l = 0; l < kW; ++l) row[l] = base[l] + d0 - rem[l];
+    } else {
+      for (std::size_t l = 0; l < kW; ++l) row[l] = d0 - rem[l];
+    }
+  }
+  frontier_counter().add(anchors * lanes);
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    WhatIfResult& r = out[l];
+    Tick lo = 0, hi = 0;
+    bool seen = false;
+    for (std::size_t p = 0; p < g.first_slot_.size(); ++p) {
+      if (g.first_slot_[p] == WhatIfDag::knone) continue;
+      const Tick f = sc.time[g.first_slot_[p] * kW + l];
+      const Tick t = sc.time[g.last_slot_[p] * kW + l];
+      if (!seen || f < lo) lo = f;
+      if (!seen || t > hi) hi = t;
+      seen = true;
+    }
+    r.makespan = seen ? hi - lo : 0;
+    r.waiting.resize(procs);
+    for (std::size_t p = 0; p < procs; ++p)
+      r.waiting[p] = g.baseline_.waiting[p] + sc.wait[p * kW + l];
+    r.critical_path = g.walk_critical_path(
+        [&](std::uint32_t s) { return sc.time[s * kW + l]; },
+        [&](std::uint32_t s) { return sc.gapdel[s * kW + l]; });
+    experiments_counter().add();
+  }
+
+  // Restore the all-zero invariant for the next block on this scratch.
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const WhatIfDag::SiteMembers& m =
+        g.members_[static_cast<std::size_t>(plans[l].site)];
+    for (const auto& [owner, d] : m.plain) sc.gapdel[owner * kW + l] = 0;
+    for (const std::uint32_t s : m.anchors) sc.removal[s * kW + l] = 0;
+  }
+}
+
+void WhatIfEngine::validate(const WhatIfPlan& plan) const {
+  if (plan.site >= dag_->sites().size())
+    throw std::invalid_argument(
+        support::strf("what-if plan names unknown site id %u", plan.site));
+  if (plan.pct < 1 || plan.pct > 100)
+    throw std::invalid_argument(
+        support::strf("what-if pct must be in (0,100], got %lld",
+                      static_cast<long long>(plan.pct)));
+}
+
+WhatIfResult WhatIfEngine::evaluate(const WhatIfPlan& plan,
+                                    Scratch& sc) const {
+  const WhatIfDag& g = *dag_;
+  const std::size_t procs = g.baseline_.waiting.size();
+  sc.ensure(g.num_anchors(), procs);
+  const std::uint32_t ep = ++sc.epoch;
+  sc.heap.clear();
+
+  const auto push = [&](std::uint32_t s) {
+    if (sc.queued_ep[s] == ep) return;
+    sc.queued_ep[s] = ep;
+    sc.heap.push_back(s);
+    std::push_heap(sc.heap.begin(), sc.heap.end(),
+                   std::greater<std::uint32_t>());
+  };
+  const auto time_of = [&](std::uint32_t s) {
+    return sc.time_ep[s] == ep ? sc.time[s] : g.t0_[s];
+  };
+  const auto gap_removal = [&](std::uint32_t s) -> Tick {
+    return sc.gapdel_ep[s] == ep ? sc.gapdel[s] : 0;
+  };
+
+  // Seed: member anchors scale their own cost; plain members fold their
+  // removals into the gap before their owning anchor.  Zero removals change
+  // nothing and are skipped, keeping the frontier cone tight.
+  const WhatIfDag::SiteMembers& m =
+      g.members_[static_cast<std::size_t>(plan.site)];
+  for (const auto& [owner, d] : m.plain) {
+    const Tick r = removal_of(d, plan.pct);
+    if (r == 0) continue;
+    if (sc.gapdel_ep[owner] != ep) {
+      sc.gapdel_ep[owner] = ep;
+      sc.gapdel[owner] = 0;
+    }
+    sc.gapdel[owner] += r;
+    push(owner);
+  }
+  for (const std::uint32_t s : m.anchors) {
+    const Tick r = removal_of(g.d_[s], plan.pct);
+    if (r == 0) continue;
+    sc.removal_ep[s] = ep;
+    sc.removal[s] = r;
+    push(s);
+  }
+
+  // Forward delta propagation: anchors pop in ascending slot (= trace =
+  // topological) order, so every predecessor is final when read.
+  // Successors are pushed only when a time actually changed.
+  std::uint64_t evaluated = 0;
+  while (!sc.heap.empty()) {
+    std::pop_heap(sc.heap.begin(), sc.heap.end(),
+                  std::greater<std::uint32_t>());
+    const std::uint32_t s = sc.heap.back();
+    sc.heap.pop_back();
+    ++evaluated;
+
+    const std::uint32_t q = g.chain_[s];
+    bool any = false;
+    Tick base = 0;
+    Tick chain_t = 0;
+    if (q != WhatIfDag::knone) {
+      chain_t = time_of(q) + g.gap_[s] - gap_removal(s);
+      base = chain_t;
+      any = true;
+    }
+    for (std::uint32_t c = g.pred_off_[s]; c < g.pred_off_[s + 1]; ++c) {
+      const Tick pt = time_of(g.pred_[c]);
+      if (!any || pt > base) base = pt;
+      any = true;
+    }
+    const Tick d =
+        g.d_[s] - (sc.removal_ep[s] == ep ? sc.removal[s] : 0);
+    const Tick t = (any ? base : 0) + d;
+    const Tick w = (q != WhatIfDag::knone && any) ? base - chain_t : 0;
+    if (g.proc_[s] < sc.wait.size())
+      sc.wait[g.proc_[s]] += w - g.w0_[s];
+
+    const Tick old = g.t0_[s];
+    sc.time_ep[s] = ep;
+    sc.time[s] = t;
+    if (t != old)
+      for (std::uint32_t c = g.succ_off_[s]; c < g.succ_off_[s + 1]; ++c)
+        push(g.succ_[c]);
+  }
+  frontier_counter().add(evaluated);
+  experiments_counter().add();
+
+  WhatIfResult out;
+  Tick lo = 0, hi = 0;
+  bool seen = false;
+  for (std::size_t p = 0; p < g.first_slot_.size(); ++p) {
+    if (g.first_slot_[p] == WhatIfDag::knone) continue;
+    const Tick f = time_of(g.first_slot_[p]);
+    const Tick l = time_of(g.last_slot_[p]);
+    if (!seen || f < lo) lo = f;
+    if (!seen || l > hi) hi = l;
+    seen = true;
+  }
+  out.makespan = seen ? hi - lo : 0;
+  out.waiting.resize(procs);
+  for (std::size_t p = 0; p < procs; ++p)
+    out.waiting[p] = g.baseline_.waiting[p] + sc.wait[p];
+  out.critical_path = g.walk_critical_path(time_of, gap_removal);
+  return out;
+}
+
+const WhatIfResult& WhatIfEngine::run(const WhatIfPlan& plan) {
+  validate(plan);
+  const auto key = std::make_pair(plan.site, plan.pct);
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    memo_counter().add();
+    return it->second;
+  }
+  if (serial_scratch_.empty()) serial_scratch_.resize(1);
+  return memo_.emplace(key, evaluate(plan, serial_scratch_[0]))
+      .first->second;
+}
+
+std::vector<WhatIfResult> WhatIfEngine::run_many(
+    const std::vector<WhatIfPlan>& plans, support::TaskPool& pool) {
+  for (const WhatIfPlan& plan : plans) validate(plan);
+  std::vector<WhatIfResult> results(plans.size());
+  std::vector<char> filled(plans.size(), 0);
+
+  // Serial dedupe against the memo and within the batch, so the parallel
+  // section sees each distinct (site, pct) exactly once — results are then
+  // independent of the worker count by construction.
+  std::vector<std::size_t> miss;
+  std::map<std::pair<SiteId, std::int64_t>, std::size_t> first_of;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const auto key = std::make_pair(plans[i].site, plans[i].pct);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      memo_counter().add();
+      results[i] = it->second;
+      filled[i] = 1;
+      continue;
+    }
+    if (first_of.emplace(key, i).second) miss.push_back(i);
+  }
+
+  // Lane-batched fan-out: consecutive kLaneWidth-wide blocks of the missed
+  // plans, each block one dense sweep.  The block partition depends only on
+  // the (serially built) miss order, and lanes write disjoint columns, so
+  // results are identical at any worker count.
+  const std::size_t blocks = (miss.size() + kLaneWidth - 1) / kLaneWidth;
+  std::vector<BatchScratch> scratch(pool.size());
+  pool.parallel_for(blocks, [&](std::size_t worker, std::size_t b) {
+    const std::size_t begin = b * kLaneWidth;
+    const std::size_t lanes = std::min(kLaneWidth, miss.size() - begin);
+    WhatIfPlan lane_plans[kLaneWidth];
+    WhatIfResult lane_out[kLaneWidth];
+    for (std::size_t l = 0; l < lanes; ++l)
+      lane_plans[l] = plans[miss[begin + l]];
+    evaluate_block(lane_plans, lanes, scratch[worker], lane_out);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const std::size_t i = miss[begin + l];
+      results[i] = std::move(lane_out[l]);
+      filled[i] = 1;
+    }
+  });
+
+  for (const std::size_t i : miss)
+    memo_.emplace(std::make_pair(plans[i].site, plans[i].pct), results[i]);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    if (filled[i]) continue;
+    memo_counter().add();
+    results[i] = memo_.at(std::make_pair(plans[i].site, plans[i].pct));
+  }
+  return results;
+}
+
+std::vector<SiteImpact> WhatIfEngine::rank(std::int64_t pct,
+                                           support::TaskPool& pool,
+                                           std::size_t top_n) {
+  std::vector<WhatIfPlan> plans;
+  plans.reserve(dag_->sites().size());
+  for (SiteId s = 0; s < dag_->sites().size(); ++s)
+    plans.push_back({s, pct});
+  const std::vector<WhatIfResult> results = run_many(plans, pool);
+  std::vector<SiteImpact> ranking(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    ranking[i].site = plans[i].site;
+    ranking[i].savings = dag_->baseline_makespan() - results[i].makespan;
+    ranking[i].result = results[i];
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const SiteImpact& a, const SiteImpact& b) {
+                     if (a.savings != b.savings) return a.savings > b.savings;
+                     return a.site < b.site;
+                   });
+  if (ranking.size() > top_n) ranking.resize(top_n);
+  return ranking;
+}
+
+WhatIfResult whatif_reference(const TraceIndex& idx, const SiteRegistry& sites,
+                              const WhatIfPlan& plan) {
+  const Trace& t = idx.trace();
+  const std::size_t n = t.size();
+  std::vector<char> member(n, 0);
+  for (const std::size_t i : site_member_events(idx, sites, plan.site))
+    member[i] = 1;
+
+  // Full per-event re-simulation with rewritten costs.
+  std::vector<Tick> tp(n, 0);
+  WhatIfResult out;
+  out.waiting.assign(t.info().num_procs, 0);
+  std::vector<std::size_t> cross;
+  for (std::size_t i = 0; i < n; ++i) {
+    cross.clear();
+    for_each_cross_pred(idx, i,
+                        [&](std::size_t p) { cross.push_back(p); });
+    const std::size_t prev = idx.prev_on_proc(i);
+    // Baseline local cost from the recovered times.
+    Tick base0 = 0;
+    bool any = false;
+    if (prev != kNone) {
+      base0 = t[prev].time;
+      any = true;
+    }
+    for (const std::size_t c : cross) {
+      if (!any || t[c].time > base0) base0 = t[c].time;
+      any = true;
+    }
+    Tick d = t[i].time - (any ? base0 : 0);
+    if (member[i]) d -= removal_of(d, plan.pct);
+    // Virtual time under the rewritten cost: same predecessor max as the
+    // baseline pass, over the virtual times.
+    Tick base = 0;
+    bool anyp = false;
+    if (prev != kNone) {
+      base = tp[prev];
+      anyp = true;
+    }
+    for (const std::size_t c : cross) {
+      if (!anyp || tp[c] > base) base = tp[c];
+      anyp = true;
+    }
+    tp[i] = (anyp ? base : 0) + d;
+    if (prev != kNone && t[i].proc < out.waiting.size())
+      out.waiting[t[i].proc] += base - tp[prev];
+  }
+
+  // Makespan over per-processor chain endpoints.
+  Tick lo = 0, hi = 0;
+  bool seen = false;
+  std::size_t end = kNone;
+  for (std::size_t p = 0; p < idx.num_procs(); ++p) {
+    const auto& evs = idx.events_of(static_cast<ProcId>(p));
+    if (evs.empty()) continue;
+    const Tick f = tp[evs.front()];
+    const Tick l = tp[evs.back()];
+    if (!seen || f < lo) lo = f;
+    if (!seen || l > hi) hi = l;
+    seen = true;
+    if (end == kNone || l > tp[end] || (l == tp[end] && evs.back() > end))
+      end = evs.back();
+  }
+  out.makespan = seen ? hi - lo : 0;
+
+  // Per-event critical-path walk: binding predecessor is the latest; ties
+  // prefer the same-processor chain, then the earliest cross dependency.
+  if (end != kNone) {
+    std::size_t cur = end;
+    while (true) {
+      const std::size_t prev = idx.prev_on_proc(cur);
+      cross.clear();
+      for_each_cross_pred(idx, cur,
+                          [&](std::size_t p) { cross.push_back(p); });
+      std::size_t best = kNone;
+      for (const std::size_t c : cross)
+        if (best == kNone || tp[c] > tp[best]) best = c;
+      if (prev != kNone && (best == kNone || tp[prev] >= tp[best]))
+        cur = prev;
+      else if (best != kNone)
+        cur = best;
+      else
+        break;
+    }
+    out.critical_path = tp[end] - tp[cur];
+  }
+  return out;
+}
+
+std::string render_whatif(const WhatIfDag& dag, const WhatIfPlan& plan,
+                          const WhatIfResult& result) {
+  const WhatIfResult& b = dag.baseline();
+  const auto pct_of = [](Tick now, Tick was) {
+    return was > 0 ? 100.0 * static_cast<double>(now) /
+                         static_cast<double>(was)
+                   : 0.0;
+  };
+  std::string out = support::strf(
+      "what-if %s at %lld%% speedup\n",
+      dag.sites().name(plan.site).c_str(), static_cast<long long>(plan.pct));
+  out += support::strf("  makespan      %12lld -> %12lld  (%.1f%%)\n",
+                       static_cast<long long>(b.makespan),
+                       static_cast<long long>(result.makespan),
+                       pct_of(result.makespan, b.makespan));
+  out += support::strf("  critical path %12lld -> %12lld  (%.1f%%)\n",
+                       static_cast<long long>(b.critical_path),
+                       static_cast<long long>(result.critical_path),
+                       pct_of(result.critical_path, b.critical_path));
+  Tick w0 = 0, w1 = 0;
+  for (const Tick w : b.waiting) w0 += w;
+  for (const Tick w : result.waiting) w1 += w;
+  out += support::strf("  waiting (sum) %12lld -> %12lld\n",
+                       static_cast<long long>(w0),
+                       static_cast<long long>(w1));
+  return out;
+}
+
+std::string render_whatif_ranking(const WhatIfDag& dag, std::int64_t pct,
+                                  const std::vector<SiteImpact>& ranking) {
+  std::string out = support::strf(
+      "what-if ranking at %lld%% speedup (baseline makespan %lld)\n",
+      static_cast<long long>(pct),
+      static_cast<long long>(dag.baseline_makespan()));
+  out += "  rank  site            savings      makespan   of baseline\n";
+  std::size_t rank = 1;
+  for (const SiteImpact& e : ranking) {
+    const double of = dag.baseline_makespan() > 0
+                          ? 100.0 *
+                                static_cast<double>(e.result.makespan) /
+                                static_cast<double>(dag.baseline_makespan())
+                          : 0.0;
+    out += support::strf("  %-4zu  %-14s %10lld  %12lld  %10.1f%%\n", rank++,
+                         dag.sites().name(e.site).c_str(),
+                         static_cast<long long>(e.savings),
+                         static_cast<long long>(e.result.makespan), of);
+  }
+  return out;
+}
+
+}  // namespace perturb::whatif

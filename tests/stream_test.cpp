@@ -26,6 +26,7 @@
 
 #include <unistd.h>
 
+#include "analysis/critical_path.hpp"
 #include "core/eventbased.hpp"
 #include "core/pipeline.hpp"
 #include "experiments/experiments.hpp"
@@ -340,6 +341,44 @@ TEST(StreamingReconstructor, MatchesBatchAcrossLivermoreGrid) {
       const Trace streamed = sink.take(run.measured.info());
       EXPECT_EQ(streamed.events(), oracle.events())
           << "loop " << loop << " procs " << procs;
+    }
+  }
+}
+
+TEST(StreamingReconstructor, CriticalPathMatchesBatchAcrossLivermoreGrid) {
+  // PR 7 checked totals-only parity; the critical path exercises the full
+  // dependency structure of the reconstruction, so run it on both the
+  // streamed and the batch approximations and require bit-identical paths.
+  for (const int loop : {3, 4, 17}) {
+    for (const std::uint32_t procs : {1u, 2u, 8u}) {
+      experiments::Setup setup;
+      setup.machine.num_procs = procs;
+      const auto run = experiments::run_concurrent_experiment(
+          loop, 300, setup, experiments::PlanKind::kFull);
+      const AnalysisOverheads oh = experiments::overheads_for(
+          experiments::make_plan(experiments::PlanKind::kFull, setup),
+          setup.machine);
+
+      const Trace oracle =
+          core::event_based_approximation(run.measured, oh).approx;
+      CollectSink sink;
+      StreamingReconstructor recon(oh, EventBasedOptions{},
+                                   trace::kStreamChunkEvents, sink);
+      recon.push(run.measured.events().data(), run.measured.size());
+      recon.finish();
+      const Trace streamed = sink.take(run.measured.info());
+
+      const analysis::CriticalPathStats batch_cp =
+          analysis::critical_path(oracle);
+      const analysis::CriticalPathStats stream_cp =
+          analysis::critical_path(streamed);
+      EXPECT_EQ(stream_cp.path, batch_cp.path)
+          << "loop " << loop << " procs " << procs;
+      EXPECT_EQ(stream_cp.length, batch_cp.length);
+      EXPECT_EQ(stream_cp.time_by_kind, batch_cp.time_by_kind);
+      EXPECT_EQ(stream_cp.time_by_proc, batch_cp.time_by_proc);
+      EXPECT_EQ(stream_cp.cross_processor_links,
+                batch_cp.cross_processor_links);
     }
   }
 }

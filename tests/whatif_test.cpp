@@ -1,0 +1,338 @@
+// What-if engine suite: the delta-propagation engine must be bit-identical
+// to the rewrite-and-resimulate reference oracle on every trace we can
+// produce — the full Livermore kernel suite at 1/2/8 processors, and
+// fault-injected/repaired traces — at any TaskPool thread count, with the
+// (site, pct) memo transparent to results.  Also covers the shared site
+// registry and the --whatif spec parser.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/critical_path.hpp"
+#include "analysis/sites.hpp"
+#include "analysis/waiting.hpp"
+#include "experiments/experiments.hpp"
+#include "loops/kernels.hpp"
+#include "support/metrics.hpp"
+#include "support/parallel.hpp"
+#include "trace/faults.hpp"
+#include "trace/index.hpp"
+#include "trace/repair.hpp"
+#include "whatif/whatif.hpp"
+
+namespace perturb {
+namespace {
+
+using analysis::SiteRegistry;
+using trace::Tick;
+using trace::Trace;
+using trace::TraceIndex;
+using whatif::WhatIfDag;
+using whatif::WhatIfEngine;
+using whatif::WhatIfPlan;
+using whatif::WhatIfResult;
+
+Trace recovered_trace(int loop, std::uint32_t procs, std::int64_t n) {
+  experiments::Setup setup;
+  setup.machine.num_procs = procs;
+  const auto run = experiments::run_concurrent_experiment(
+      loop, n, setup, experiments::PlanKind::kFull);
+  return run.event_based.approx;
+}
+
+/// A deterministic batch of >= `count` (site, pct) plans cycling over every
+/// site of the registry and a spread of speedups.
+std::vector<WhatIfPlan> make_plans(const SiteRegistry& sites,
+                                   std::size_t count) {
+  static constexpr std::int64_t kPcts[] = {5, 10, 20, 25, 50, 75, 100};
+  std::vector<WhatIfPlan> plans;
+  for (std::size_t k = 0; k < count; ++k)
+    plans.push_back(
+        {static_cast<analysis::SiteId>(k % sites.size()),
+         kPcts[k % (sizeof(kPcts) / sizeof(kPcts[0]))]});
+  return plans;
+}
+
+void expect_engine_matches_reference(const Trace& t,
+                                     const std::string& label,
+                                     std::size_t plan_count = 20) {
+  const TraceIndex index(t);
+  const SiteRegistry sites(index);
+  if (sites.size() == 0) return;
+  const WhatIfDag dag(index, sites);
+  WhatIfEngine engine(dag);
+  for (const WhatIfPlan& plan : make_plans(sites, plan_count)) {
+    const WhatIfResult& fast = engine.run(plan);
+    const WhatIfResult slow = whatif_reference(index, sites, plan);
+    ASSERT_EQ(fast, slow) << label << " site "
+                          << sites.name(plan.site) << " pct " << plan.pct;
+  }
+}
+
+// ---- spec parsing ---------------------------------------------------------
+
+TEST(WhatIfSpec, ParsesWellFormedSpecs) {
+  std::string error;
+  const auto spec = whatif::parse_whatif_spec("stmt#5:40", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->site, "stmt#5");
+  EXPECT_EQ(spec->pct, 40);
+  EXPECT_EQ(whatif::parse_whatif_spec("lock#2:100", &error)->pct, 100);
+  EXPECT_EQ(whatif::parse_whatif_spec("loop#1:1", &error)->site, "loop#1");
+}
+
+TEST(WhatIfSpec, RejectsMalformedSpecs) {
+  for (const char* bad : {"no-colon", "stmt#5:", ":50", "stmt#5:0",
+                          "stmt#5:101", "stmt#5:abc", "stmt#5:-3",
+                          "stmt#5:1e2", ""}) {
+    std::string error;
+    EXPECT_FALSE(whatif::parse_whatif_spec(bad, &error).has_value())
+        << "'" << bad << "' should be rejected";
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+// ---- shared site registry -------------------------------------------------
+
+TEST(SiteRegistry, InternsAndParsesCanonicalNames) {
+  const Trace t = recovered_trace(17, 8, 500);
+  const TraceIndex index(t);
+  const SiteRegistry sites(index);
+  ASSERT_GT(sites.size(), 0u);
+  std::set<std::string> seen;
+  for (analysis::SiteId s = 0; s < sites.size(); ++s) {
+    const std::string& name = sites.name(s);
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    // parse() is the exact inverse of name().
+    const auto parsed = sites.parse(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, s) << name;
+  }
+  EXPECT_FALSE(sites.parse("bogus#1").has_value());
+  EXPECT_FALSE(sites.parse("stmt5").has_value());
+  EXPECT_EQ(sites.parse("stmt#4294967295").value_or(SiteRegistry::npos),
+            SiteRegistry::npos);
+}
+
+TEST(SiteRegistry, WaitingAndCriticalPathShareSiteNames) {
+  const Trace t = recovered_trace(17, 8, 500);
+  const TraceIndex index(t);
+  const SiteRegistry sites(index);
+
+  const auto waits = analysis::waiting_analysis(index, {});
+  const std::vector<Tick> by_site = analysis::waiting_by_site(waits, sites);
+  ASSERT_EQ(by_site.size(), sites.size());
+  Tick attributed = 0, total = 0;
+  for (const Tick w : by_site) {
+    EXPECT_GE(w, 0);
+    attributed += w;
+  }
+  for (const Tick w : waits.waiting_time) total += w;
+  EXPECT_EQ(attributed, total);  // every interval names a sync object
+
+  const auto cp = analysis::critical_path(index);
+  const std::vector<Tick> cp_site = analysis::path_time_by_site(cp, t, sites);
+  ASSERT_EQ(cp_site.size(), sites.size());
+  Tick cp_attr = 0;
+  for (const Tick w : cp_site) cp_attr += w;
+  EXPECT_GT(cp_attr, 0);
+  EXPECT_LE(cp_attr, cp.length);
+
+  // Both renderings draw names from the same registry.
+  const std::string wr = analysis::render_waiting_by_site(waits, sites);
+  const std::string cr = analysis::render_critical_path_sites(cp, t, sites);
+  for (analysis::SiteId s = 0; s < sites.size(); ++s) {
+    if (by_site[s] > 0) {
+      EXPECT_NE(wr.find(sites.name(s)), std::string::npos);
+    }
+    if (cp_site[s] > 0) {
+      EXPECT_NE(cr.find(sites.name(s)), std::string::npos);
+    }
+  }
+}
+
+// ---- engine vs reference oracle -------------------------------------------
+
+TEST(WhatIfEngine, MatchesReferenceAcrossLivermoreSuite) {
+  // Every kernel of the suite at 1, 2 and 8 processors, >= 20 plans each.
+  for (int loop = 1; loop <= loops::kNumKernels; ++loop) {
+    for (const std::uint32_t procs : {1u, 2u, 8u}) {
+      const Trace t = recovered_trace(loop, procs, 100);
+      expect_engine_matches_reference(
+          t, "loop " + std::to_string(loop) + " procs " +
+                 std::to_string(procs));
+    }
+  }
+}
+
+TEST(WhatIfEngine, MatchesReferenceOnFaultInjectedRepairedTraces) {
+  experiments::Setup setup;
+  const auto run = experiments::run_concurrent_experiment(
+      17, 400, setup, experiments::PlanKind::kFull);
+  for (const auto kind :
+       {trace::ViolationKind::kNonMonotoneProcessorTime,
+        trace::ViolationKind::kAwaitEndBeforeAdvance,
+        trace::ViolationKind::kDuplicateAdvance,
+        trace::ViolationKind::kLockOverlap,
+        trace::ViolationKind::kBarrierOrder}) {
+    const Trace faulted = trace::inject_violation(run.measured, kind);
+    const trace::RepairResult repaired = trace::repair(faulted);
+    expect_engine_matches_reference(
+        repaired.repaired,
+        std::string("repaired ") + trace::violation_kind_name(kind));
+    // The raw (unrepaired) faulted trace must agree too: the engine and the
+    // oracle share the degenerate-case arithmetic, not just the happy path.
+    expect_engine_matches_reference(
+        faulted, std::string("faulted ") + trace::violation_kind_name(kind),
+        8);
+  }
+  // Degraded capture: dropped events and skewed clocks.
+  const Trace dropped = trace::drop_random_events(run.measured, 0.05, 1991);
+  expect_engine_matches_reference(dropped, "dropped", 8);
+  const Trace skewed = trace::skew_timestamps(run.measured, 40, 0.2, 7);
+  expect_engine_matches_reference(skewed, "skewed", 8);
+}
+
+// ---- determinism, memoization, batching -----------------------------------
+
+TEST(WhatIfEngine, BitIdenticalAtAnyThreadCount) {
+  const Trace t = recovered_trace(17, 8, 1000);
+  const TraceIndex index(t);
+  const SiteRegistry sites(index);
+  const WhatIfDag dag(index, sites);
+  const std::vector<WhatIfPlan> plans = make_plans(sites, 24);
+
+  std::vector<std::vector<WhatIfResult>> by_threads;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    support::TaskPool pool(threads);
+    WhatIfEngine engine(dag);  // fresh engine: no memo carry-over
+    by_threads.push_back(engine.run_many(plans, pool));
+  }
+  EXPECT_EQ(by_threads[0], by_threads[1]);
+  EXPECT_EQ(by_threads[0], by_threads[2]);
+
+  // And the serial run() path agrees with the batched path.
+  WhatIfEngine serial(dag);
+  for (std::size_t i = 0; i < plans.size(); ++i)
+    EXPECT_EQ(serial.run(plans[i]), by_threads[0][i]) << i;
+}
+
+TEST(WhatIfEngine, MemoizesPerSitePctCell) {
+  const Trace t = recovered_trace(17, 2, 300);
+  const TraceIndex index(t);
+  const SiteRegistry sites(index);
+  support::Metrics::enable(true);  // before the DAG: its edge gauge records
+  support::Metrics::reset();       // at construction time
+  const WhatIfDag dag(index, sites);
+  WhatIfEngine engine(dag);
+  const WhatIfPlan plan{0, 50};
+  const WhatIfResult& first = engine.run(plan);
+  const WhatIfResult& again = engine.run(plan);
+  EXPECT_EQ(&first, &again);  // served from the memo, not recomputed
+  auto snap = support::Metrics::snapshot();
+  EXPECT_EQ(snap.counters.at("whatif.experiments"), 1u);
+  EXPECT_EQ(snap.counters.at("whatif.memo.hits"), 1u);
+  EXPECT_GT(snap.counters.at("whatif.frontier.events"), 0u);
+  EXPECT_GT(snap.gauges.at("whatif.dag.edges"), 0);
+
+  // A batch with duplicates evaluates each distinct cell exactly once.
+  support::Metrics::reset();
+  support::TaskPool pool(2);
+  std::vector<WhatIfPlan> plans = {{1, 25}, {1, 25}, {1, 25}, {2, 25}};
+  const auto results = engine.run_many(plans, pool);
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+  snap = support::Metrics::snapshot();
+  EXPECT_EQ(snap.counters.at("whatif.experiments"), 2u);
+  support::Metrics::enable(false);
+}
+
+TEST(WhatIfEngine, SpeedupNeverIncreasesMakespanOnRecoveredTraces) {
+  // Recovered traces are causally consistent, so every local cost is
+  // nonnegative and a virtual speedup can only shrink the execution.
+  const Trace t = recovered_trace(17, 8, 500);
+  const TraceIndex index(t);
+  const SiteRegistry sites(index);
+  const WhatIfDag dag(index, sites);
+  WhatIfEngine engine(dag);
+  for (const WhatIfPlan& plan : make_plans(sites, 20)) {
+    const WhatIfResult& r = engine.run(plan);
+    EXPECT_LE(r.makespan, dag.baseline_makespan()) << sites.name(plan.site);
+    EXPECT_LE(r.critical_path, dag.baseline_critical_path())
+        << sites.name(plan.site);
+  }
+}
+
+TEST(WhatIfEngine, RankOrdersSitesByMakespanSavings) {
+  const Trace t = recovered_trace(17, 8, 500);
+  const TraceIndex index(t);
+  const SiteRegistry sites(index);
+  const WhatIfDag dag(index, sites);
+  WhatIfEngine engine(dag);
+  support::TaskPool pool(2);
+
+  const auto top = engine.rank(50, pool, 5);
+  ASSERT_LE(top.size(), 5u);
+  ASSERT_GT(top.size(), 0u);
+  for (std::size_t i = 1; i < top.size(); ++i)
+    EXPECT_GE(top[i - 1].savings, top[i].savings);
+  for (const auto& e : top) {
+    EXPECT_EQ(e.savings, dag.baseline_makespan() - e.result.makespan);
+    EXPECT_EQ(engine.run({e.site, 50}), e.result);
+  }
+  // Deterministic: a second sweep (fully memoized) ranks identically.
+  const auto again = engine.rank(50, pool, 5);
+  ASSERT_EQ(again.size(), top.size());
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(again[i].site, top[i].site);
+    EXPECT_EQ(again[i].savings, top[i].savings);
+  }
+
+  // The rendering names sites through the shared registry.
+  const std::string table = whatif::render_whatif_ranking(dag, 50, top);
+  for (const auto& e : top)
+    EXPECT_NE(table.find(sites.name(e.site)), std::string::npos);
+}
+
+TEST(WhatIfEngine, RejectsInvalidPlans) {
+  const Trace t = recovered_trace(3, 2, 100);
+  const TraceIndex index(t);
+  const SiteRegistry sites(index);
+  const WhatIfDag dag(index, sites);
+  WhatIfEngine engine(dag);
+  EXPECT_THROW(engine.run({static_cast<analysis::SiteId>(sites.size()), 50}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.run({0, 0}), std::invalid_argument);
+  EXPECT_THROW(engine.run({0, 101}), std::invalid_argument);
+}
+
+TEST(WhatIfDag, BaselineMatchesRecoveredTrace) {
+  for (const std::uint32_t procs : {1u, 2u, 8u}) {
+    const Trace t = recovered_trace(4, procs, 300);
+    const TraceIndex index(t);
+    const SiteRegistry sites(index);
+    const WhatIfDag dag(index, sites);
+    // The DAG's baseline evaluation reproduces the recovered execution: its
+    // makespan spans the per-processor chain endpoints, and its critical
+    // path equals the critical-path analysis on the same trace.
+    Tick lo = 0, hi = 0;
+    bool seen = false;
+    for (std::size_t p = 0; p < index.num_procs(); ++p) {
+      const auto& evs = index.events_of(static_cast<trace::ProcId>(p));
+      if (evs.empty()) continue;
+      if (!seen || t[evs.front()].time < lo) lo = t[evs.front()].time;
+      if (!seen || t[evs.back()].time > hi) hi = t[evs.back()].time;
+      seen = true;
+    }
+    EXPECT_EQ(dag.baseline_makespan(), seen ? hi - lo : 0);
+    EXPECT_EQ(dag.baseline_critical_path(),
+              analysis::critical_path(index).length)
+        << "procs " << procs;
+  }
+}
+
+}  // namespace
+}  // namespace perturb

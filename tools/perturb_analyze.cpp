@@ -45,6 +45,20 @@
 //                              --output/--report still work: they collect
 //                              the merged approximated trace (O(trace)
 //                              memory), bit-identical to batch output.
+//   --whatif=<site>:<pct>      causal what-if experiment on the recovered
+//                              execution: virtually speed up one interned
+//                              site ("stmt#5", "loop#2", "lock#1", "sync#3",
+//                              "sem#4", "barrier#6") by <pct> percent (an
+//                              integer in (0,100]) and report the resulting
+//                              makespan, critical path, and waiting.
+//                              Requires --mode event and the batch path
+//                              (incompatible with --stream).  A malformed
+//                              spec or unknown site is a usage error — the
+//                              tool never silently analyzes without the
+//                              what-if.
+//   --whatif-rank[=N]          sweep every site at a fixed 50%% speedup and
+//                              print the top-N (default 10) regions by
+//                              end-to-end makespan savings
 //   --report                   print waiting/parallelism/critical-path report
 //   --metrics[=FILE]           emit a self-observability snapshot (JSON) to
 //                              stdout or FILE: per-stage pipeline timings,
@@ -65,14 +79,18 @@
 #include <optional>
 #include <string>
 
+#include "analysis/sites.hpp"
 #include "core/pipeline.hpp"
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 #include "support/cli.hpp"
 #include "support/metrics.hpp"
 #include "support/text.hpp"
 #include "tool_util.hpp"
 #include "trace/chunk_reader.hpp"
+#include "trace/index.hpp"
 #include "trace/io.hpp"
+#include "whatif/whatif.hpp"
 
 namespace {
 
@@ -84,7 +102,7 @@ int usage() {
                "  --mode event|time|analytic  --repair[=aggressive]\n"
                "  --sync-slack <t>\n"
                "  --stream[=WINDOW]  --output <f>  --actual <f>  --report\n"
-               "  --metrics[=FILE]\n"
+               "  --whatif=<site>:<pct>  --whatif-rank[=N]  --metrics[=FILE]\n"
                "  (see header for all)\n"
                "%s",
                tools::kExitCodeHelp);
@@ -199,6 +217,50 @@ int main(int argc, char** argv) {
         return usage();
       }
       stream_window = static_cast<std::size_t>(n);
+    }
+  }
+
+  // --whatif / --whatif-rank: validate the specs up front — a malformed
+  // spec must never degrade into a plain analysis (mirrors the --stream
+  // window rule).  The site name resolves later, against the recovered
+  // trace's registry.
+  std::optional<whatif::WhatIfSpec> whatif_spec;
+  std::size_t whatif_rank = 0;  // 0 = off
+  if (cli->has("whatif")) {
+    std::string error;
+    whatif_spec = whatif::parse_whatif_spec(cli->get("whatif", ""), &error);
+    if (!whatif_spec) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return usage();
+    }
+  }
+  if (cli->has("whatif-rank")) {
+    const std::string arg = cli->get("whatif-rank", "");
+    if (arg == "true") {  // bare --whatif-rank
+      whatif_rank = 10;
+    } else {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(arg.c_str(), &end, 10);
+      if (arg.empty() || *end != '\0' || n < 1) {
+        std::fprintf(stderr,
+                     "bad --whatif-rank value '%s': expected a positive "
+                     "site count\n",
+                     arg.c_str());
+        return usage();
+      }
+      whatif_rank = static_cast<std::size_t>(n);
+    }
+  }
+  if (whatif_spec || whatif_rank != 0) {
+    if (mode != "event") {
+      std::fprintf(stderr, "--whatif requires --mode event\n");
+      return usage();
+    }
+    if (stream_window != 0) {
+      std::fprintf(stderr,
+                   "--whatif needs the batch path; it is incompatible with "
+                   "--stream\n");
+      return usage();
     }
   }
 
@@ -337,6 +399,36 @@ int main(int argc, char** argv) {
     if (cli->get_bool("report", false))
       std::printf("%s",
                   core::render_pipeline_report(out.approx, options).c_str());
+
+    if (whatif_spec || whatif_rank != 0) {
+      const trace::TraceIndex index(out.approx);
+      const analysis::SiteRegistry sites(index);
+      std::optional<whatif::WhatIfPlan> plan;
+      if (whatif_spec) {
+        const auto site = sites.parse(whatif_spec->site);
+        if (!site || *site == analysis::SiteRegistry::npos) {
+          std::fprintf(stderr,
+                       "--whatif names unknown site '%s' (not present in "
+                       "this trace)\n",
+                       whatif_spec->site.c_str());
+          return tools::kExitUsage;
+        }
+        plan = whatif::WhatIfPlan{*site, whatif_spec->pct};
+      }
+      const whatif::WhatIfDag dag(index, sites);
+      whatif::WhatIfEngine engine(dag);
+      if (plan)
+        std::printf("%s",
+                    whatif::render_whatif(dag, *plan, engine.run(*plan))
+                        .c_str());
+      if (whatif_rank != 0) {
+        support::TaskPool pool;
+        std::printf("%s",
+                    whatif::render_whatif_ranking(
+                        dag, 50, engine.rank(50, pool, whatif_rank))
+                        .c_str());
+      }
+    }
     return tools::kExitOk;
   });
   return metrics.finish(code);
