@@ -118,12 +118,19 @@ std::optional<SiteId> SiteRegistry::parse(std::string_view name) const {
   } else {
     return std::nullopt;
   }
-  std::uint32_t id = 0;
-  for (const char c : name.substr(hash + 1)) {
+  // Accumulate in 64 bits and reject anything above UINT32_MAX: a wrapped
+  // id ("stmt#4294967297" → stmt#1) would silently resolve to the wrong
+  // site.  The length cap bounds the loop on absurd digit strings (10
+  // digits already covers every representable id).
+  const std::string_view digits = name.substr(hash + 1);
+  if (digits.size() > 10) return std::nullopt;
+  std::uint64_t id = 0;
+  for (const char c : digits) {
     if (c < '0' || c > '9') return std::nullopt;
-    id = id * 10 + static_cast<std::uint32_t>(c - '0');
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
   }
-  return find({kind, id});
+  if (id > 0xffffffffULL) return std::nullopt;
+  return find({kind, static_cast<std::uint32_t>(id)});
 }
 
 SiteId SiteRegistry::site_of_event(

@@ -29,6 +29,10 @@ core::AnalysisOverheads overheads_for(const instr::InstrumentationPlan& plan,
   ov.s_nowait = sync.await_nowait;
   ov.s_wait = sync.await_wait;
   ov.lock_acquire = machine.lock_acquire_cost;
+  // Livermore kernels declare no semaphores, so this was historically left
+  // unset; synthesized contention workloads do, and the reconstruction must
+  // price their acquires like every other sync operation.
+  ov.sem_acquire = machine.sem_acquire_cost;
   ov.barrier_depart = machine.barrier_depart_cost;
   return ov;
 }
@@ -36,13 +40,15 @@ core::AnalysisOverheads overheads_for(const instr::InstrumentationPlan& plan,
 LoopRun analyze_pair(trace::Trace actual, trace::Trace measured,
                      const instr::InstrumentationPlan& plan,
                      const sim::MachineConfig& machine,
-                     core::RepairMode repair) {
+                     core::RepairMode repair,
+                     const std::map<trace::ObjectId, std::int64_t>& sem_capacity) {
   LoopRun run;
   run.actual = std::move(actual);
   run.measured = std::move(measured);
 
   core::PipelineOptions options;
   options.overheads = overheads_for(plan, machine);
+  options.event_based.semaphore_capacity = sem_capacity;
   options.repair = repair;
   core::AnalysisPipeline pipeline(std::move(options));
   pipeline.add(core::AnalyzerKind::kTimeBased)

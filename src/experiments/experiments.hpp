@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "core/eventbased.hpp"
@@ -63,11 +64,15 @@ struct LoopRun {
 /// Analysis tail shared by every experiment driver: runs the time-based and
 /// event-based pipeline over an already-simulated (actual, measured) pair
 /// and scores both approximations.  With a repair mode other than kOff the
-/// measured trace is triaged and repaired before analysis.
-LoopRun analyze_pair(trace::Trace actual, trace::Trace measured,
-                     const instr::InstrumentationPlan& plan,
-                     const sim::MachineConfig& machine,
-                     core::RepairMode repair = core::RepairMode::kOff);
+/// measured trace is triaged and repaired before analysis.  `sem_capacity`
+/// is the event-based analyzer's external semaphore knowledge (synthesized
+/// contention workloads declare semaphores; the Livermore suite never does,
+/// so the default empty map preserves its behavior bit for bit).
+LoopRun analyze_pair(
+    trace::Trace actual, trace::Trace measured,
+    const instr::InstrumentationPlan& plan, const sim::MachineConfig& machine,
+    core::RepairMode repair = core::RepairMode::kOff,
+    const std::map<trace::ObjectId, std::int64_t>& sem_capacity = {});
 
 /// Runs the full pipeline on an arbitrary finalized program.  With a repair
 /// mode other than kOff the measured trace is triaged and repaired before

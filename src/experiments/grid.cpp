@@ -25,12 +25,14 @@ const char* exec_mode_name(ExecMode mode) noexcept {
 }
 
 std::string scenario_name(const Scenario& s) {
+  if (s.workload) return workload::workload_name(*s.workload);
   return "lfk" + std::to_string(s.loop) + "-" + exec_mode_name(s.mode);
 }
 
 namespace {
 
 sim::Program make_program(const Scenario& s) {
+  if (s.workload) return workload::make_program(*s.workload);
   switch (s.mode) {
     case ExecMode::kSequential: return loops::make_sequential_ir(s.loop, s.n);
     case ExecMode::kConcurrent:
@@ -60,6 +62,14 @@ std::string actual_key(const Scenario& s) {
         m.iter_dispatch_cost, m.self_sched_fetch_cost, m.self_sched_serialize,
         m.seq_loop_iter_cost})
     key += support::strf("|%lld", static_cast<long long>(c));
+  // Synthesized cells derive their program from the workload descriptor, so
+  // the key must carry every knob of it: equal keys must imply bit-identical
+  // actual runs.  (The loop/n/schedule fields above are inert for workload
+  // cells but harmless — at worst they split a shareable key.)
+  if (s.workload) {
+    key += '|';
+    key += workload::workload_key(*s.workload);
+  }
   return key;
 }
 
@@ -72,9 +82,17 @@ trace::Trace simulate_actual_for(const Scenario& s) {
 trace::Trace measured_for(const Scenario& s,
                           const instr::InstrumentationPlan& plan,
                           trace::IoArena& arena) {
-  if (s.measured_path.empty())
+  if (s.measured_path.empty()) {
+    if (s.workload && workload::has_interference(*s.workload)) {
+      // Interference perturbs the *measurement*, never the actual run: the
+      // wrapped hook inflates probe costs inside deterministic bursts.
+      const workload::InterferenceHook hook(plan, *s.workload);
+      return sim::simulate(s.setup.machine, make_program(s), hook,
+                           scenario_name(s) + "/measured");
+    }
     return sim::simulate(s.setup.machine, make_program(s), plan,
                          scenario_name(s) + "/measured");
+  }
   if (s.repair == core::RepairMode::kOff)
     return trace::load(s.measured_path, arena);
   // Repairing scenarios tolerate truncated captures the way the pipeline's
@@ -84,6 +102,14 @@ trace::Trace measured_for(const Scenario& s,
   return trace::load_salvage(s.measured_path, report, arena);
 }
 
+/// Semaphore capacities the event-based analyzer needs as external
+/// knowledge.  Only synthesized workloads declare semaphores; rebuilding the
+/// program just for its declarations is cheap next to simulating it.
+std::map<trace::ObjectId, std::int64_t> sem_capacities_for(const Scenario& s) {
+  if (!s.workload) return {};
+  return workload::semaphore_capacities(make_program(s));
+}
+
 /// One grid cell, given its (possibly shared) actual trace.
 LoopRun run_cell(const Scenario& s, trace::Trace actual,
                  trace::IoArena& arena) {
@@ -91,7 +117,7 @@ LoopRun run_cell(const Scenario& s, trace::Trace actual,
   trace::Trace measured = measured_for(s, plan, arena);
   if (s.mutate_measured) s.mutate_measured(measured);
   return analyze_pair(std::move(actual), std::move(measured), plan,
-                      s.setup.machine, s.repair);
+                      s.setup.machine, s.repair, sem_capacities_for(s));
 }
 
 // Self-observability: grid volume, actual-run memoization effectiveness
@@ -210,14 +236,16 @@ double plan_jitter(const Scenario& s) {
 CellPrediction predict_scenario(const Scenario& s) {
   CellPrediction out;
   if (!s.measured_path.empty() || s.mutate_measured ||
-      s.repair != core::RepairMode::kOff) {
+      s.repair != core::RepairMode::kOff ||
+      (s.workload && workload::has_interference(*s.workload))) {
     // The model sees program structure; a cell whose measured trace comes
-    // from a file, gets mutated, or needs repair is opaque to it.
+    // from a file, gets mutated, needs repair, or is inflated by a
+    // measurement-time interference hook is opaque to it.
     out.uncertainty = 1.0;
     out.actual.uncertainty = 1.0;
     out.measured.uncertainty = 1.0;
     out.actual.caveats.push_back(
-        "cell input is not a pure simulation (file/fault/repair)");
+        "cell input is not a pure simulation (file/fault/repair/interference)");
     out.measured.caveats = out.actual.caveats;
     return out;
   }
@@ -291,15 +319,23 @@ std::vector<LoopRun> run_grid_reference(
     LoopRun run;
     run.actual = sim::simulate_reference(s.setup.machine, program, null_hook,
                                          name + "/actual");
-    if (s.measured_path.empty())
-      run.measured = sim::simulate_reference(s.setup.machine, program, plan,
-                                             name + "/measured");
-    else
+    if (s.measured_path.empty()) {
+      if (s.workload && workload::has_interference(*s.workload)) {
+        const workload::InterferenceHook hook(plan, *s.workload);
+        run.measured = sim::simulate_reference(s.setup.machine, program, hook,
+                                               name + "/measured");
+      } else {
+        run.measured = sim::simulate_reference(s.setup.machine, program, plan,
+                                               name + "/measured");
+      }
+    } else {
       run.measured = measured_for(s, plan, arena);
+    }
     if (s.mutate_measured) s.mutate_measured(run.measured);
 
     core::PipelineOptions options;
     options.overheads = overheads_for(plan, s.setup.machine);
+    options.event_based.semaphore_capacity = sem_capacities_for(s);
     options.repair = s.repair;
     core::AnalysisPipeline pipeline(std::move(options));
     pipeline.add(core::AnalyzerKind::kTimeBased)

@@ -20,11 +20,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "experiments/experiments.hpp"
 #include "model/model.hpp"
+#include "workload/workload.hpp"
 
 namespace perturb::experiments {
 
@@ -52,6 +54,12 @@ struct Scenario {
   /// acquisition.  Must be a pure function of the trace for the grid's
   /// determinism guarantee to hold.
   std::function<void(trace::Trace&)> mutate_measured;
+  /// When set, the cell runs a synthesized workload instead of a Livermore
+  /// kernel: loop/n/mode/schedule are ignored (the spec carries its own trip
+  /// and schedule), the actual-run memo key incorporates the full workload
+  /// descriptor, and interference specs wrap the measured run's plan in a
+  /// workload::InterferenceHook.
+  std::optional<workload::WorkloadSpec> workload;
 };
 
 /// Canonical run name, e.g. "lfk17-con"; matches the serial

@@ -110,75 +110,90 @@ const std::vector<LoopIrSpec>& specs() {
   return s;
 }
 
-void append_statements(sim::Block& block, int loop,
-                       const std::vector<StatementSpec>& stmts) {
-  for (const auto& s : stmts) {
-    sim::NodePtr node;
-    if (s.spread > 0) {
-      // Deterministic per-iteration variation keyed on (loop, site ordinal,
-      // iteration): identical across instrumented and uninstrumented runs.
-      const std::uint64_t key =
-          support::hash_combine(static_cast<std::uint64_t>(loop),
-                                block.nodes.size());
-      const sim::Cycles base = s.cost;
-      const sim::Cycles spread = s.spread;
-      node = sim::compute_fn(s.label, [key, base, spread](std::int64_t i) {
-        const double j =
-            support::keyed_jitter(key, 0, static_cast<std::uint64_t>(i));
-        const auto c = base + static_cast<sim::Cycles>(
-                                  std::llround(static_cast<double>(spread) * j));
-        return c < 0 ? sim::Cycles{0} : c;
-      });
-    } else {
-      node = sim::compute(s.label, s.cost);
-    }
-    if (!s.traced) node->traced = false;
-    block.nodes.push_back(std::move(node));
+}  // namespace
+
+sim::NodePtr make_statement(std::uint64_t jitter_key, const StatementSpec& s) {
+  sim::NodePtr node;
+  if (s.spread > 0) {
+    // Deterministic per-iteration variation keyed on (jitter_key,
+    // iteration): identical across instrumented and uninstrumented runs.
+    const sim::Cycles base = s.cost;
+    const sim::Cycles spread = s.spread;
+    node = sim::compute_fn(s.label, [jitter_key, base, spread](std::int64_t i) {
+      const double j =
+          support::keyed_jitter(jitter_key, 0, static_cast<std::uint64_t>(i));
+      const auto c = base + static_cast<sim::Cycles>(
+                                std::llround(static_cast<double>(spread) * j));
+      return c < 0 ? sim::Cycles{0} : c;
+    });
+  } else {
+    node = sim::compute(s.label, s.cost);
   }
+  if (!s.traced) node->traced = false;
+  return node;
 }
 
-}  // namespace
+void append_spec_statements(sim::Block& block, std::uint64_t key_base,
+                            const std::vector<StatementSpec>& stmts) {
+  for (const auto& s : stmts) {
+    const std::uint64_t key =
+        support::hash_combine(key_base, block.nodes.size());
+    block.nodes.push_back(make_statement(key, s));
+  }
+}
 
 const LoopIrSpec& loop_ir_spec(int k) {
   PERTURB_CHECK_MSG(k >= 1 && k <= 24, "kernel number out of range");
   return specs()[static_cast<std::size_t>(k)];
 }
 
-sim::Program make_sequential_ir(int k, std::int64_t n) {
-  const LoopIrSpec& spec = loop_ir_spec(k);
+sim::Program make_sequential_ir(const LoopIrSpec& spec, std::int64_t n,
+                                const std::string& label) {
+  const auto key_base = static_cast<std::uint64_t>(spec.number);
   sim::Program prog;
   sim::Block body;
-  append_statements(body, k, spec.pre);
-  append_statements(body, k, spec.guarded);
-  append_statements(body, k, spec.post);
-  prog.root().nodes.push_back(
-      sim::seq_loop(support::strf("lfk%d", k), n, std::move(body)));
+  append_spec_statements(body, key_base, spec.pre);
+  append_spec_statements(body, key_base, spec.guarded);
+  append_spec_statements(body, key_base, spec.post);
+  prog.root().nodes.push_back(sim::seq_loop(label, n, std::move(body)));
+  prog.finalize();
+  return prog;
+}
+
+sim::Program make_sequential_ir(int k, std::int64_t n) {
+  return make_sequential_ir(loop_ir_spec(k), n, support::strf("lfk%d", k));
+}
+
+sim::Program make_concurrent_ir(const LoopIrSpec& spec, std::int64_t n,
+                                sim::Schedule schedule,
+                                const std::string& label) {
+  if (spec.distance == 0 && !spec.parallelizable)
+    return make_sequential_ir(spec, n, label);
+
+  const auto key_base = static_cast<std::uint64_t>(spec.number);
+  sim::Program prog;
+  sim::Block body;
+  append_spec_statements(body, key_base, spec.pre);
+  if (spec.distance > 0) {
+    const auto var = prog.declare_sync_var(support::strf("S%d", spec.number));
+    body.nodes.push_back(sim::await(var, {1, -spec.distance}));
+    append_spec_statements(body, key_base, spec.guarded);
+    body.nodes.push_back(sim::advance(var, {1, 0}));
+  } else {
+    append_spec_statements(body, key_base, spec.guarded);
+  }
+  append_spec_statements(body, key_base, spec.post);
+  prog.root().nodes.push_back(sim::par_loop(
+      label,
+      spec.distance > 0 ? sim::LoopKind::kDoacross : sim::LoopKind::kDoall,
+      schedule, n, std::move(body)));
   prog.finalize();
   return prog;
 }
 
 sim::Program make_concurrent_ir(int k, std::int64_t n, sim::Schedule schedule) {
-  const LoopIrSpec& spec = loop_ir_spec(k);
-  if (spec.distance == 0 && !spec.parallelizable) return make_sequential_ir(k, n);
-
-  sim::Program prog;
-  sim::Block body;
-  append_statements(body, k, spec.pre);
-  if (spec.distance > 0) {
-    const auto var = prog.declare_sync_var(support::strf("S%d", k));
-    body.nodes.push_back(sim::await(var, {1, -spec.distance}));
-    append_statements(body, k, spec.guarded);
-    body.nodes.push_back(sim::advance(var, {1, 0}));
-  } else {
-    append_statements(body, k, spec.guarded);
-  }
-  append_statements(body, k, spec.post);
-  prog.root().nodes.push_back(sim::par_loop(
-      support::strf("lfk%d", k),
-      spec.distance > 0 ? sim::LoopKind::kDoacross : sim::LoopKind::kDoall,
-      schedule, n, std::move(body)));
-  prog.finalize();
-  return prog;
+  return make_concurrent_ir(loop_ir_spec(k), n, schedule,
+                            support::strf("lfk%d", k));
 }
 
 sim::Program make_vector_ir(int k, std::int64_t n, const VectorParams& params) {
@@ -231,8 +246,9 @@ std::int64_t default_trip(int k) {
   }
 }
 
-LoopFeatures loop_features(int k) {
-  const LoopIrSpec& spec = loop_ir_spec(k);
+LoopFeatures loop_features(int k) { return loop_features(loop_ir_spec(k)); }
+
+LoopFeatures loop_features(const LoopIrSpec& spec) {
   LoopFeatures f;
   f.parallelizable = spec.parallelizable;
   f.distance = spec.distance;

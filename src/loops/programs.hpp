@@ -50,6 +50,17 @@ struct LoopIrSpec {
 /// Statement shape of kernel `k` (1..24).
 const LoopIrSpec& loop_ir_spec(int k);
 
+/// Lowers one statement spec to an IR node.  `jitter_key` seeds the
+/// deterministic per-iteration cost variation when spread > 0; the kernel
+/// lowerings key it on (loop number, site ordinal) so instrumented and
+/// uninstrumented runs see identical costs.
+sim::NodePtr make_statement(std::uint64_t jitter_key, const StatementSpec& s);
+
+/// Appends `stmts` to `block`, keying each statement's jitter on
+/// hash(key_base, ordinal-within-block).
+void append_spec_statements(sim::Block& block, std::uint64_t key_base,
+                            const std::vector<StatementSpec>& stmts);
+
 /// Sequential program: a single seq_loop over all statements (sync structure
 /// elided — sequential execution needs none).
 sim::Program make_sequential_ir(int k, std::int64_t n);
@@ -60,6 +71,17 @@ sim::Program make_sequential_ir(int k, std::int64_t n);
 /// an unparallelizable kernel).
 sim::Program make_concurrent_ir(int k, std::int64_t n,
                                 sim::Schedule schedule = sim::Schedule::kCyclic);
+
+/// Spec-driven lowerings: the same shapes as the kernel entry points above,
+/// but for an arbitrary LoopIrSpec (synthesized workloads, src/workload).
+/// `label` names the loop in the IR; sync variables are named from
+/// spec.number.  The kernel overloads delegate here, so a LoopIrSpec copied
+/// from loop_ir_spec(k) lowers bit-identically.
+sim::Program make_sequential_ir(const LoopIrSpec& spec, std::int64_t n,
+                                const std::string& label);
+sim::Program make_concurrent_ir(const LoopIrSpec& spec, std::int64_t n,
+                                sim::Schedule schedule,
+                                const std::string& label);
 
 /// Vector-mode parameters (the FX/80 CEs had vector units; §3 ran the suite
 /// in scalar, vector, and concurrent modes).
@@ -95,5 +117,6 @@ struct LoopFeatures {
 };
 
 LoopFeatures loop_features(int k);
+LoopFeatures loop_features(const LoopIrSpec& spec);
 
 }  // namespace perturb::loops

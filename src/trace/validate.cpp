@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <iterator>
 #include <map>
 #include <unordered_map>
@@ -60,6 +61,22 @@ class Validator {
   }
 
  private:
+  struct PendingAcquire {
+    std::size_t index;   ///< trace index of the parked acquire
+    Tick release_time;   ///< its own release's timestamp, once seen
+    ProcId proc;
+    ProcId seen_holder;  ///< who appeared to hold the lock at park time
+    bool released;
+  };
+
+  struct LockState {
+    bool held = false;
+    ProcId holder = 0;
+    /// Acquires observed while the lock looked held (slack mode only),
+    /// awaiting the delayed release event that explains them.
+    std::deque<PendingAcquire> pending;
+  };
+
   static void add(std::vector<Violation>& sink, ViolationKind kind,
                   std::size_t index, std::string msg) {
     sink.push_back({kind, std::move(msg), index});
@@ -166,31 +183,78 @@ class Validator {
   /// Acquisitions and releases must alternate globally per lock; the
   /// hand-off order itself (previous release of each acquire) comes from
   /// the index, the held/holder alternation state is a running scan.
+  ///
+  /// With a nonzero slack the alternation check tolerates probe-reordered
+  /// hand-offs.  The recorder stamps each event after charging its probe,
+  /// but a release makes the lock visible to waiters *before* the release
+  /// probe runs, so in measured traces the hand-off acquire can carry an
+  /// earlier timestamp than the release that granted it.  Acquires seen
+  /// while the lock looks held are parked and resolved against the next
+  /// release(s); only overlaps wider than the slack are violations.
   void check_lock(std::size_t i, const Event& e) {
+    auto& st = lock_state_[e.object];
     if (e.kind == EventKind::kLockAcquire) {
-      auto& st = lock_state_[e.object];
-      const std::size_t dep = idx_.lock_dep(i);
       if (st.held) {
+        if (slack_ > 0) {
+          st.pending.push_back({i, 0, e.proc, st.holder, false});
+          return;
+        }
         add(locks_, ViolationKind::kLockUnbalanced, i,
             strf("lock %u acquired by proc %u while held by proc %u",
                  unsigned(e.object), unsigned(e.proc), unsigned(st.holder)));
-      } else if (dep != TraceIndex::npos &&
-                 e.time + slack_ < trace_[dep].time) {
-        add(locks_, ViolationKind::kLockOverlap, i,
-            strf("lock %u acquired at %lld before previous release at %lld",
-                 unsigned(e.object), static_cast<long long>(e.time),
-                 static_cast<long long>(trace_[dep].time)));
+      } else {
+        const std::size_t dep = idx_.lock_dep(i);
+        if (dep != TraceIndex::npos && e.time + slack_ < trace_[dep].time) {
+          add(locks_, ViolationKind::kLockOverlap, i,
+              strf("lock %u acquired at %lld before previous release at %lld",
+                   unsigned(e.object), static_cast<long long>(e.time),
+                   static_cast<long long>(trace_[dep].time)));
+        }
       }
       st.held = true;
       st.holder = e.proc;
-    } else {
-      auto& st = lock_state_[e.object];
-      if (!st.held || st.holder != e.proc) {
-        add(locks_, ViolationKind::kLockUnbalanced, i,
-            strf("lock %u released by proc %u without matching acquire",
-                 unsigned(e.object), unsigned(e.proc)));
-      }
+      return;
+    }
+    if (st.held && st.holder == e.proc) {
       st.held = false;
+      resolve_pending(e.object, st, e.time);
+      return;
+    }
+    // A hand-off acquirer can run its whole critical section before the
+    // previous holder's delayed release event appears; its release then
+    // closes the parked acquire rather than the visible holder's.
+    for (auto& pa : st.pending) {
+      if (!pa.released && pa.proc == e.proc) {
+        pa.released = true;
+        pa.release_time = e.time;
+        return;
+      }
+    }
+    add(locks_, ViolationKind::kLockUnbalanced, i,
+        strf("lock %u released by proc %u without matching acquire",
+             unsigned(e.object), unsigned(e.proc)));
+    st.held = false;
+  }
+
+  /// Pops parked acquires explained by the release at `free_time`.  Each
+  /// entry must overlap its explaining release by at most the slack; the
+  /// first entry whose release is still outstanding becomes the holder, and
+  /// already-closed entries chain the explanation to their own release.
+  void resolve_pending(ObjectId obj, LockState& st, Tick free_time) {
+    while (!st.pending.empty()) {
+      const PendingAcquire pa = st.pending.front();
+      st.pending.pop_front();
+      if (trace_[pa.index].time + slack_ < free_time) {
+        add(locks_, ViolationKind::kLockUnbalanced, pa.index,
+            strf("lock %u acquired by proc %u while held by proc %u",
+                 unsigned(obj), unsigned(pa.proc), unsigned(pa.seen_holder)));
+      }
+      if (!pa.released) {
+        st.held = true;
+        st.holder = pa.proc;
+        return;
+      }
+      free_time = pa.release_time;
     }
   }
 
@@ -199,6 +263,20 @@ class Validator {
       if (st.held)
         add(locks_, ViolationKind::kLockUnbalanced, kNoEvent,
             strf("lock %u never released", unsigned(obj)));
+      // Parked acquires with no explaining release are real overlaps.
+      for (const auto& pa : st.pending) {
+        add(locks_, ViolationKind::kLockUnbalanced, pa.index,
+            strf("lock %u acquired by proc %u while held by proc %u",
+                 unsigned(obj), unsigned(pa.proc), unsigned(pa.seen_holder)));
+      }
+    }
+    // Deferred resolution emits out of scan order; restore the ascending
+    // event order the repair triage expects (kNoEvent sorts last).
+    if (slack_ > 0) {
+      std::stable_sort(locks_.begin(), locks_.end(),
+                       [](const Violation& a, const Violation& b) {
+                         return a.event_index < b.event_index;
+                       });
     }
   }
 
@@ -272,11 +350,6 @@ class Validator {
                  ep.arrivals.size(), ep.departs.size()));
     }
   }
-
-  struct LockState {
-    bool held = false;
-    ProcId holder = 0;
-  };
 
   const TraceIndex& idx_;
   const Trace& trace_;

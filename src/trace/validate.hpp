@@ -40,12 +40,14 @@ struct Violation {
 
 struct ValidateOptions {
   /// Timing slack for cross-processor ordering checks (awaitE vs. advance,
-  /// lock overlap, barrier depart vs. arrive).  In *measured* traces the
-  /// producer-side event's record timestamp is inflated by its own probe
-  /// (the operation became visible before the probe ran), so a dependent
-  /// event can legitimately be recorded up to one probe cost earlier than
-  /// its producer.  Pass the maximum sync probe cost when validating
-  /// instrumented traces; leave 0 for actual or approximated traces.
+  /// lock overlap and hand-off alternation, barrier depart vs. arrive).  In
+  /// *measured* traces the producer-side event's record timestamp is
+  /// inflated by its own probe (the operation became visible before the
+  /// probe ran), so a dependent event can legitimately be recorded up to one
+  /// probe cost earlier than its producer — a lock hand-off acquire can even
+  /// precede the release that granted it.  Pass the maximum sync probe cost
+  /// when validating instrumented traces; leave 0 for actual or approximated
+  /// traces, where the strict alternation rules apply.
   Tick sync_slack = 0;
 };
 

@@ -1,0 +1,534 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/prng.hpp"
+#include "support/text.hpp"
+
+namespace perturb::workload {
+
+namespace {
+
+using loops::LoopIrSpec;
+using loops::StatementSpec;
+using sim::Cycles;
+using support::hash_combine;
+using support::splitmix64;
+
+// Stream salts: structure draws, per-iteration costs, and interference each
+// hash from a disjoint key space so adding draws to one never perturbs the
+// others.
+constexpr std::uint64_t kStructureSalt = 0x5752u;   // "WR"
+constexpr std::uint64_t kCostSalt = 0xC057u;
+constexpr std::uint64_t kBurstSalt = 0xB525u;
+
+/// Uniform double in [0, 1) from a single key — the stateless counterpart of
+/// Xoshiro256::uniform01, for per-iteration draws that must not depend on
+/// evaluation order.
+double keyed_u01(std::uint64_t key) noexcept {
+  return static_cast<double>(splitmix64(key) >> 11) * 0x1.0p-53;
+}
+
+/// Largest single per-iteration cost the tail may draw: heavy tails are the
+/// point, but one unbounded draw must not turn a test grid into minutes of
+/// simulated time.
+constexpr double kMaxDrawnCost = 2.0e6;
+
+Cycles clamp_cost(double c) noexcept {
+  if (!(c >= 1.0)) return 1;  // also catches NaN
+  if (c > kMaxDrawnCost) return static_cast<Cycles>(kMaxDrawnCost);
+  return static_cast<Cycles>(std::llround(c));
+}
+
+/// Pareto(alpha) with unit scale via inverse transform; mean alpha/(alpha-1).
+double pareto_draw(double u, double alpha) noexcept {
+  return std::pow(1.0 - u, -1.0 / alpha);
+}
+
+/// Standard normal from two independent uniforms (Box–Muller).
+double normal_from(double u1, double u2) noexcept {
+  const double r = std::sqrt(-2.0 * std::log(std::max(u1, 1e-12)));
+  return r * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+/// Distribution mean multiplier: drawn statement specs carry the *mean* cost
+/// so loop_features and the analytic model see the synthesized shape.
+double mean_multiplier(const WorkloadSpec& s) noexcept {
+  switch (s.family) {
+    case Family::kPareto:
+      return s.params.alpha / (s.params.alpha - 1.0);
+    case Family::kLognormal:
+      return std::exp(s.params.sigma * s.params.sigma / 2.0);
+    default:
+      return 1.0;
+  }
+}
+
+/// Per-statement guard drawn from the structure stream.
+enum class Guard : std::uint8_t { kNone, kCritical, kSemaphore };
+
+/// Everything one loop's lowering needs: the reportable statement shape plus
+/// the guard assignment LoopIrSpec cannot express.
+struct DrawnLoop {
+  LoopIrSpec spec;
+  std::vector<Guard> guards;  ///< flattened pre, guarded, post order
+  std::vector<double> bases;  ///< per-statement base cost scale (same order)
+};
+
+/// Draws one loop's structure from the (seed, family, stream_salt) stream.
+/// Pure: same spec and salt → same loop, independent of caller state.
+DrawnLoop draw_loop(const WorkloadSpec& s, std::uint64_t stream_salt) {
+  const Params& p = s.params;
+  support::Xoshiro256 rng(hash_combine(
+      hash_combine(s.seed, static_cast<std::uint64_t>(s.family)),
+      hash_combine(kStructureSalt, stream_salt)));
+
+  DrawnLoop d;
+  d.spec.number = static_cast<int>(
+      100 + splitmix64(hash_combine(s.seed, stream_salt)) % 1000000);
+  d.spec.name = family_name(s.family);
+
+  const bool chained = rng.uniform01() < p.chain_prob;
+  d.spec.distance =
+      chained ? 1 + static_cast<std::int64_t>(
+                        rng.below(static_cast<std::uint64_t>(p.max_distance)))
+              : 0;
+  d.spec.parallelizable = d.spec.distance == 0;
+
+  // Chained loops put roughly a quarter of their statements (at least one)
+  // into the guarded segment, mirroring the Figure 3 DOACROSS shapes.
+  const int guarded_count =
+      chained ? std::max(1, p.statements / 4) : 0;
+  const int pre_count = std::max(
+      chained ? 1 : p.statements, p.statements - guarded_count);
+
+  const double mult = mean_multiplier(s);
+  for (int j = 0; j < p.statements; ++j) {
+    const double base = p.cost_scale * (0.5 + rng.uniform01());
+    StatementSpec stmt;
+    stmt.label = support::strf("w%d", j);
+    stmt.cost = clamp_cost(base * mult);
+    stmt.spread = static_cast<Cycles>(
+        std::llround(p.spread_frac * static_cast<double>(stmt.cost)));
+    const double g = rng.uniform01();
+    Guard guard = Guard::kNone;
+    if (g < p.critical_density)
+      guard = Guard::kCritical;
+    else if (g < p.critical_density + p.sem_density)
+      guard = Guard::kSemaphore;
+    (j < pre_count ? d.spec.pre : d.spec.guarded).push_back(std::move(stmt));
+    d.guards.push_back(guard);
+    d.bases.push_back(base);
+  }
+  return d;
+}
+
+/// True when the family replaces plain statement costs with per-iteration
+/// distribution draws.
+bool tail_family(Family f) noexcept {
+  return f == Family::kPareto || f == Family::kLognormal;
+}
+
+/// Lowers one drawn statement.  Tail families get a per-iteration cost
+/// function keyed on (seed, cost salt, ordinal, iteration) — stateless, so
+/// the cost of iteration i is independent of which processor runs it or in
+/// what order the engine evaluates it.
+sim::NodePtr lower_statement(const WorkloadSpec& s, const DrawnLoop& d,
+                             std::size_t ordinal, const StatementSpec& stmt) {
+  const std::uint64_t key = hash_combine(
+      hash_combine(s.seed, kCostSalt),
+      hash_combine(static_cast<std::uint64_t>(d.spec.number), ordinal));
+  if (!tail_family(s.family))
+    return loops::make_statement(key, stmt);
+
+  const double scale = d.bases[ordinal];
+  const double alpha = s.params.alpha;
+  const double sigma = s.params.sigma;
+  const bool pareto = s.family == Family::kPareto;
+  return sim::compute_fn(stmt.label, [key, scale, alpha, sigma,
+                                      pareto](std::int64_t i) {
+    const auto iter = static_cast<std::uint64_t>(i);
+    if (pareto)
+      return clamp_cost(scale *
+                        pareto_draw(keyed_u01(hash_combine(key, iter)), alpha));
+    const double u1 = keyed_u01(hash_combine(key, 2 * iter));
+    const double u2 = keyed_u01(hash_combine(key, 2 * iter + 1));
+    return clamp_cost(scale * std::exp(sigma * normal_from(u1, u2)));
+  });
+}
+
+/// Resources a synthesized program may guard statements with; declared only
+/// when some statement drew the matching guard.
+struct Resources {
+  std::optional<sim::ObjectId> lock;
+  std::optional<sim::ObjectId> semaphore;
+};
+
+sim::NodePtr guard_node(sim::Program& prog, Resources& res, Guard guard,
+                        const Params& p, sim::NodePtr node) {
+  switch (guard) {
+    case Guard::kNone:
+      return node;
+    case Guard::kCritical:
+      if (!res.lock) res.lock = prog.declare_lock("wl-lock");
+      return sim::critical(*res.lock, sim::block(std::move(node)));
+    case Guard::kSemaphore:
+      if (!res.semaphore)
+        res.semaphore = prog.declare_semaphore("wl-sem", p.sem_capacity);
+      return sim::semaphore_region(*res.semaphore, sim::block(std::move(node)));
+  }
+  return node;
+}
+
+/// Lowers one drawn loop into `prog`'s root as a parallel loop (sequential
+/// when the caller asks — irregular nests embed sequential inner loops
+/// separately).  `label` names the loop in traces.
+void emit_loop(sim::Program& prog, Resources& res, const WorkloadSpec& s,
+               const DrawnLoop& d, std::int64_t trip, sim::Schedule schedule,
+               const std::string& label) {
+  sim::Block body;
+  std::size_t ordinal = 0;
+  auto emit = [&](const std::vector<StatementSpec>& stmts) {
+    for (const StatementSpec& stmt : stmts) {
+      body.nodes.push_back(
+          guard_node(prog, res, d.guards[ordinal], s.params,
+                     lower_statement(s, d, ordinal, stmt)));
+      ++ordinal;
+    }
+  };
+  emit(d.spec.pre);
+  if (d.spec.distance > 0) {
+    const auto var =
+        prog.declare_sync_var(support::strf("S%d", d.spec.number));
+    body.nodes.push_back(sim::await(var, {1, -d.spec.distance}));
+    emit(d.spec.guarded);
+    body.nodes.push_back(sim::advance(var, {1, 0}));
+  } else {
+    emit(d.spec.guarded);
+  }
+  emit(d.spec.post);
+  prog.root().nodes.push_back(sim::par_loop(
+      label,
+      d.spec.distance > 0 ? sim::LoopKind::kDoacross : sim::LoopKind::kDoall,
+      schedule, trip, std::move(body)));
+}
+
+sim::Program make_irregular_program(const WorkloadSpec& s) {
+  const Params& p = s.params;
+  support::Xoshiro256 rng(hash_combine(
+      hash_combine(s.seed, static_cast<std::uint64_t>(s.family)),
+      hash_combine(kStructureSalt, 0xF00Du)));
+  static const sim::Schedule kSchedules[] = {
+      sim::Schedule::kSelf, sim::Schedule::kCyclic, sim::Schedule::kBlock};
+
+  sim::Program prog;
+  Resources res;
+  for (int ph = 0; ph < p.phases; ++ph) {
+    // Trip counts vary per phase: [trip/4, trip], drawn from the phase
+    // stream so adding phases never reshapes earlier ones.
+    const std::int64_t lo = std::max<std::int64_t>(1, p.trip / 4);
+    const std::int64_t trip =
+        lo + static_cast<std::int64_t>(
+                 rng.below(static_cast<std::uint64_t>(p.trip - lo + 1)));
+    const sim::Schedule sched = kSchedules[ph % 3];
+    DrawnLoop d = draw_loop(s, static_cast<std::uint64_t>(ph) + 1);
+    // One phase carries an inner sequential loop: a nest shape no Livermore
+    // lowering exercises (seq inside par is legal; par inside par is not).
+    // Only when the phase drew no chain — the flattened guard list must stay
+    // aligned with the statements, and an unchained loop's last drawn
+    // statement is pre.back().
+    if (ph == 1 && d.spec.guarded.empty() && !d.spec.pre.empty()) {
+      StatementSpec inner = d.spec.pre.back();
+      d.spec.pre.pop_back();
+      d.guards.pop_back();
+      const auto inner_trip =
+          static_cast<std::int64_t>(4 + rng.below(12));
+      inner.cost = std::max<Cycles>(1, inner.cost / inner_trip);
+      emit_loop(prog, res, s, d, trip, sched,
+                support::strf("wl-phase%d", ph));
+      // Append the inner nest to the phase body just emitted.
+      sim::Block inner_body;
+      inner_body.nodes.push_back(loops::make_statement(
+          hash_combine(s.seed, 0x1E57u + static_cast<std::uint64_t>(ph)),
+          inner));
+      prog.root().nodes.back()->body.nodes.push_back(sim::seq_loop(
+          support::strf("wl-inner%d", ph), inner_trip,
+          std::move(inner_body)));
+    } else {
+      emit_loop(prog, res, s, d, trip, sched,
+                support::strf("wl-phase%d", ph));
+    }
+    // Root-level glue work between phases (runs on processor 0).
+    const auto glue_cost =
+        clamp_cost(p.cost_scale * (0.5 + rng.uniform01()));
+    StatementSpec glue;
+    glue.label = support::strf("glue%d", ph);
+    glue.cost = glue_cost;
+    prog.root().nodes.push_back(loops::make_statement(
+        hash_combine(s.seed, 0x61u + static_cast<std::uint64_t>(ph)), glue));
+  }
+  prog.finalize();
+  return prog;
+}
+
+}  // namespace
+
+const char* family_name(Family f) noexcept {
+  switch (f) {
+    case Family::kPareto: return "pareto";
+    case Family::kLognormal: return "lognormal";
+    case Family::kContention: return "contention";
+    case Family::kIrregular: return "irregular";
+    case Family::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+std::optional<Family> family_from_name(std::string_view name) noexcept {
+  if (name == "pareto") return Family::kPareto;
+  if (name == "lognormal") return Family::kLognormal;
+  if (name == "contention") return Family::kContention;
+  if (name == "irregular") return Family::kIrregular;
+  if (name == "bursty") return Family::kBursty;
+  return std::nullopt;
+}
+
+Params default_params(Family f) noexcept {
+  Params p;
+  switch (f) {
+    case Family::kPareto:
+      p.schedule = sim::Schedule::kSelf;
+      p.alpha = 1.4;
+      p.cost_scale = 60.0;
+      p.chain_prob = 0.6;
+      break;
+    case Family::kLognormal:
+      p.schedule = sim::Schedule::kSelf;
+      p.sigma = 1.2;
+      p.cost_scale = 60.0;
+      p.chain_prob = 0.6;
+      break;
+    case Family::kContention:
+      p.schedule = sim::Schedule::kSelf;
+      p.trip = 400;
+      p.statements = 6;
+      p.cost_scale = 150.0;
+      p.spread_frac = 0.4;
+      p.critical_density = 0.4;
+      p.sem_density = 0.2;
+      break;
+    case Family::kIrregular:
+      p.trip = 300;
+      p.spread_frac = 0.3;
+      p.chain_prob = 0.5;
+      p.critical_density = 0.1;
+      p.cost_scale = 120.0;
+      break;
+    case Family::kBursty:
+      p.schedule = sim::Schedule::kCyclic;
+      p.cost_scale = 400.0;
+      p.spread_frac = 0.2;
+      p.burst_frac = 0.35;
+      p.burst_cycles = 60;
+      break;
+  }
+  return p;
+}
+
+std::optional<WorkloadSpec> parse_workload(const std::string& text,
+                                           std::string* error) {
+  const auto fail = [error](std::string why) -> std::optional<WorkloadSpec> {
+    if (error) *error = std::move(why);
+    return std::nullopt;
+  };
+  const std::vector<std::string> parts = support::split(text, ':');
+  if (parts.size() < 2 || parts.size() > 3)
+    return fail("--workload expects <family>:<seed>[:k=v,...], got '" + text +
+                "'");
+  const auto family = family_from_name(parts[0]);
+  if (!family)
+    return fail("unknown workload family '" + parts[0] +
+                "' (pareto|lognormal|contention|irregular|bursty)");
+
+  // Strict digits-only seed: a wrapped or partially-parsed seed silently
+  // selects a different workload, which defeats reproducibility.
+  if (parts[1].empty() || parts[1].size() > 19)
+    return fail("bad workload seed '" + parts[1] + "'");
+  std::uint64_t seed = 0;
+  for (const char c : parts[1]) {
+    if (c < '0' || c > '9') return fail("bad workload seed '" + parts[1] + "'");
+    seed = seed * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+
+  WorkloadSpec spec;
+  spec.family = *family;
+  spec.seed = seed;
+  spec.params = default_params(*family);
+  if (parts.size() < 3) return spec;
+
+  Params& p = spec.params;
+  for (const std::string& kv : support::split(parts[2], ',')) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= kv.size())
+      return fail("bad workload parameter '" + kv + "' (expected k=v)");
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    const auto as_int = [&](std::int64_t lo,
+                            std::int64_t hi) -> std::optional<std::int64_t> {
+      if (val.empty() || val.size() > 18) return std::nullopt;
+      std::int64_t v = 0;
+      for (const char c : val) {
+        if (c < '0' || c > '9') return std::nullopt;
+        v = v * 10 + (c - '0');
+      }
+      if (v < lo || v > hi) return std::nullopt;
+      return v;
+    };
+    const auto as_double = [&](double lo, double hi) -> std::optional<double> {
+      if (val.empty()) return std::nullopt;
+      char* end = nullptr;
+      const double v = std::strtod(val.c_str(), &end);
+      if (end != val.c_str() + val.size() || !std::isfinite(v)) return
+          std::nullopt;
+      if (v < lo || v > hi) return std::nullopt;
+      return v;
+    };
+    bool ok = true;
+    if (key == "trip") {
+      const auto v = as_int(1, 1000000); ok = v.has_value(); if (v) p.trip = *v;
+    } else if (key == "stmts") {
+      const auto v = as_int(1, 64); ok = v.has_value();
+      if (v) p.statements = static_cast<int>(*v);
+    } else if (key == "sched") {
+      if (val == "cyclic") p.schedule = sim::Schedule::kCyclic;
+      else if (val == "block") p.schedule = sim::Schedule::kBlock;
+      else if (val == "self") p.schedule = sim::Schedule::kSelf;
+      else ok = false;
+    } else if (key == "alpha") {
+      const auto v = as_double(1.01, 16.0); ok = v.has_value();
+      if (v) p.alpha = *v;
+    } else if (key == "sigma") {
+      const auto v = as_double(0.01, 4.0); ok = v.has_value();
+      if (v) p.sigma = *v;
+    } else if (key == "scale") {
+      const auto v = as_double(1.0, 1.0e6); ok = v.has_value();
+      if (v) p.cost_scale = *v;
+    } else if (key == "spread") {
+      const auto v = as_double(0.0, 1.0); ok = v.has_value();
+      if (v) p.spread_frac = *v;
+    } else if (key == "dist") {
+      const auto v = as_int(1, 16); ok = v.has_value();
+      if (v) p.max_distance = *v;
+    } else if (key == "chain") {
+      const auto v = as_double(0.0, 1.0); ok = v.has_value();
+      if (v) p.chain_prob = *v;
+    } else if (key == "crit") {
+      const auto v = as_double(0.0, 1.0); ok = v.has_value();
+      if (v) p.critical_density = *v;
+    } else if (key == "sem") {
+      const auto v = as_double(0.0, 1.0); ok = v.has_value();
+      if (v) p.sem_density = *v;
+    } else if (key == "cap") {
+      const auto v = as_int(1, 64); ok = v.has_value();
+      if (v) p.sem_capacity = *v;
+    } else if (key == "phases") {
+      const auto v = as_int(1, 8); ok = v.has_value();
+      if (v) p.phases = static_cast<int>(*v);
+    } else if (key == "burst") {
+      const auto v = as_double(0.0, 1.0); ok = v.has_value();
+      if (v) p.burst_frac = *v;
+    } else if (key == "burstcy") {
+      const auto v = as_int(0, 1000000); ok = v.has_value();
+      if (v) p.burst_cycles = *v;
+    } else {
+      return fail("unknown workload parameter '" + key + "'");
+    }
+    if (!ok)
+      return fail("bad value for workload parameter '" + key + "': '" + val +
+                  "'");
+  }
+  if (p.critical_density + p.sem_density > 1.0)
+    return fail("crit + sem densities must not exceed 1");
+  return spec;
+}
+
+std::string workload_key(const WorkloadSpec& s) {
+  const Params& p = s.params;
+  // %a renders doubles losslessly, so distinct knob values never collide.
+  return support::strf(
+      "%s|%llu|trip=%lld|stmts=%d|sched=%d|alpha=%a|sigma=%a|scale=%a|"
+      "spread=%a|dist=%lld|chain=%a|crit=%a|sem=%a|cap=%lld|phases=%d|"
+      "burst=%a|burstcy=%lld",
+      family_name(s.family), static_cast<unsigned long long>(s.seed),
+      static_cast<long long>(p.trip), p.statements,
+      static_cast<int>(p.schedule), p.alpha, p.sigma, p.cost_scale,
+      p.spread_frac, static_cast<long long>(p.max_distance), p.chain_prob,
+      p.critical_density, p.sem_density,
+      static_cast<long long>(p.sem_capacity), p.phases, p.burst_frac,
+      static_cast<long long>(p.burst_cycles));
+}
+
+std::string workload_name(const WorkloadSpec& s) {
+  return support::strf("wl-%s-%llu", family_name(s.family),
+                       static_cast<unsigned long long>(s.seed));
+}
+
+loops::LoopIrSpec synthesize_loop(const WorkloadSpec& spec) {
+  return draw_loop(spec, spec.family == Family::kIrregular ? 1 : 0).spec;
+}
+
+sim::Program make_program(const WorkloadSpec& spec) {
+  if (spec.family == Family::kIrregular) return make_irregular_program(spec);
+  sim::Program prog;
+  Resources res;
+  const DrawnLoop d = draw_loop(spec, 0);
+  emit_loop(prog, res, spec, d, spec.params.trip, spec.params.schedule,
+            workload_name(spec));
+  prog.finalize();
+  return prog;
+}
+
+std::map<sim::ObjectId, std::int64_t> semaphore_capacities(
+    const sim::Program& program) {
+  std::map<sim::ObjectId, std::int64_t> caps;
+  // Object ids are 1-based (Program::declare_semaphore).
+  for (sim::ObjectId id = 1; id <= program.num_semaphores(); ++id)
+    caps[id] = program.semaphore_capacity(id);
+  return caps;
+}
+
+bool has_interference(const WorkloadSpec& spec) noexcept {
+  return spec.params.burst_frac > 0.0 && spec.params.burst_cycles > 0;
+}
+
+InterferenceHook::InterferenceHook(const sim::InstrumentationHook& inner,
+                                   const WorkloadSpec& spec) noexcept
+    : inner_(&inner),
+      seed_(hash_combine(spec.seed, kBurstSalt)),
+      burst_frac_(spec.params.burst_frac),
+      burst_cycles_(spec.params.burst_cycles) {}
+
+bool InterferenceHook::records(trace::EventKind kind,
+                               trace::EventId id) const {
+  return inner_->records(kind, id);
+}
+
+sim::Cycles InterferenceHook::probe_cost(
+    trace::EventKind kind, trace::EventId id, trace::ProcId proc,
+    std::uint64_t proc_event_index) const {
+  Cycles c = inner_->probe_cost(kind, id, proc, proc_event_index);
+  // Burst membership is a pure function of (seed, processor, window): the
+  // same events land in the same bursts at any thread count.
+  const std::uint64_t window = proc_event_index / kBurstWindow;
+  const std::uint64_t key =
+      hash_combine(hash_combine(seed_, proc), window);
+  if (keyed_u01(key) < burst_frac_) c += burst_cycles_;
+  return c;
+}
+
+}  // namespace perturb::workload

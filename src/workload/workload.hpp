@@ -1,0 +1,131 @@
+// Seeded scenario synthesis: workloads beyond the Livermore suite.
+//
+// The Livermore kernels (src/loops) show where event-based reconstruction
+// works — the paper's case study.  This layer generates the programs where
+// it breaks down: heavy-tailed per-iteration costs (Pareto/lognormal with a
+// controllable tail index), randomized DOACROSS distances and critical-
+// section/semaphore densities, irregular multi-phase loop nests, and bursty
+// per-processor interference injected through the instrumentation hook.
+//
+// Seeding discipline: every draw is a pure function of (family, seed) —
+// program *structure* comes from one xoshiro256** stream seeded by
+// hash(seed, family), per-iteration *costs* from stateless splitmix64 keyed
+// on (seed, statement ordinal, iteration).  A (family, seed) pair therefore
+// lowers to a bit-identical program at any thread count and in any process,
+// which is what lets experiments::run_grid memoize synthesized actual runs
+// exactly like Livermore ones (DESIGN.md §14).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "loops/programs.hpp"
+#include "sim/hooks.hpp"
+#include "sim/ir.hpp"
+
+namespace perturb::workload {
+
+/// Workload families, ordered from "Livermore-like" to adversarial.
+enum class Family : std::uint8_t {
+  kPareto,     ///< Pareto(alpha) per-iteration statement costs
+  kLognormal,  ///< lognormal(sigma) per-iteration statement costs
+  kContention, ///< dense critical sections and semaphore regions
+  kIrregular,  ///< multi-phase nest with varying trips and schedules
+  kBursty,     ///< per-processor probe-cost interference bursts
+};
+
+const char* family_name(Family f) noexcept;
+std::optional<Family> family_from_name(std::string_view name) noexcept;
+
+/// Synthesis knobs.  Defaults are per-family (default_params); every field
+/// participates in workload_key(), so two specs differing in any knob never
+/// share a memoized actual run.
+struct Params {
+  std::int64_t trip = 600;   ///< governing loop trip count
+  int statements = 5;        ///< statements drawn per loop body
+  sim::Schedule schedule = sim::Schedule::kSelf;
+  double alpha = 1.4;        ///< Pareto tail index (smaller = heavier tail)
+  double sigma = 1.0;        ///< lognormal shape parameter
+  double cost_scale = 60.0;  ///< cycle scale of drawn statement costs
+  double spread_frac = 0.0;  ///< deterministic uniform per-iteration spread
+  std::int64_t max_distance = 3;  ///< DOACROSS distance drawn in [1, max]
+  double chain_prob = 0.0;        ///< probability the loop carries a chain
+  double critical_density = 0.0;  ///< P(statement is lock-guarded)
+  double sem_density = 0.0;       ///< P(statement is semaphore-guarded)
+  std::int64_t sem_capacity = 2;  ///< permits of the drawn semaphore
+  int phases = 3;                 ///< kIrregular: number of loop phases
+  double burst_frac = 0.0;        ///< fraction of probe windows in a burst
+  std::int64_t burst_cycles = 0;  ///< extra cycles per probe inside a burst
+};
+
+struct WorkloadSpec {
+  Family family = Family::kPareto;
+  std::uint64_t seed = 1;
+  Params params;
+};
+
+Params default_params(Family f) noexcept;
+
+/// Parses "<family>:<seed>[:k=v,...]" (the --workload grammar).  Knobs:
+/// trip, stmts, sched (cyclic|block|self), alpha, sigma, scale, spread,
+/// dist, chain, crit, sem, cap, phases, burst, burstcy.  Returns nullopt
+/// and fills *error on malformed input; never clamps silently.
+std::optional<WorkloadSpec> parse_workload(const std::string& text,
+                                           std::string* error);
+
+/// Canonical descriptor: every field of the spec, formatted losslessly.
+/// Incorporated into the grid's actual-run memo key — the contract is that
+/// equal keys imply bit-identical synthesized programs.
+std::string workload_key(const WorkloadSpec& spec);
+
+/// Short run name, e.g. "wl-pareto-7"; used like "lfk17-con" in trace names.
+std::string workload_name(const WorkloadSpec& spec);
+
+/// Statement shape of the governing loop (single-loop families; for
+/// kIrregular, the first phase).  Costs are the drawn per-statement *means*,
+/// so loops::loop_features over it reports the synthesized shape.
+loops::LoopIrSpec synthesize_loop(const WorkloadSpec& spec);
+
+/// Lowers the spec to a finalized program.  Pure function of the spec.
+sim::Program make_program(const WorkloadSpec& spec);
+
+/// Capacity map of every semaphore a program declares, in the form
+/// core::EventBasedOptions::semaphore_capacity consumes (the analyzer treats
+/// capacities as external knowledge, exactly like a real trace consumer).
+std::map<sim::ObjectId, std::int64_t> semaphore_capacities(
+    const sim::Program& program);
+
+/// True when the spec injects measurement-time interference (the measured
+/// run must wrap its instrumentation plan in an InterferenceHook, and the
+/// analytic model cannot screen the cell).
+bool has_interference(const WorkloadSpec& spec) noexcept;
+
+/// Bursty per-processor interference: forwards to an inner hook and inflates
+/// probe costs by burst_cycles inside deterministically-drawn windows of
+/// kBurstWindow consecutive events per processor.  Models external load
+/// during measurement only — the reconstruction subtracts nominal probe
+/// costs and cannot see the inflation, which is precisely the unmodeled-
+/// overhead residual of §6.  Dispatches through the engine's retained
+/// virtual hook path.
+class InterferenceHook final : public sim::InstrumentationHook {
+ public:
+  static constexpr std::uint64_t kBurstWindow = 64;
+
+  InterferenceHook(const sim::InstrumentationHook& inner,
+                   const WorkloadSpec& spec) noexcept;
+
+  bool records(trace::EventKind kind, trace::EventId id) const override;
+  sim::Cycles probe_cost(trace::EventKind kind, trace::EventId id,
+                         trace::ProcId proc,
+                         std::uint64_t proc_event_index) const override;
+
+ private:
+  const sim::InstrumentationHook* inner_;
+  std::uint64_t seed_;
+  double burst_frac_;
+  sim::Cycles burst_cycles_;
+};
+
+}  // namespace perturb::workload

@@ -5,8 +5,11 @@
 #include <sstream>
 
 #include "analysis/parallelism.hpp"
+#include "analysis/sites.hpp"
 #include "analysis/timeline.hpp"
 #include "analysis/waiting.hpp"
+#include "support/prng.hpp"
+#include "trace/index.hpp"
 
 namespace perturb::analysis {
 namespace {
@@ -189,6 +192,88 @@ TEST(Timeline, CsvDumps) {
   std::ostringstream par_csv;
   write_parallelism_csv(par_csv, parallelism_profile(t, c));
   EXPECT_NE(par_csv.str().find("time,level"), std::string::npos);
+}
+
+/// A trace mentioning every site kind, with ids spanning the full uint32
+/// range (statement ids live in EventId, object ids in ObjectId).
+Trace all_kinds_trace() {
+  Trace t({"sites", 2, 1.0});
+  t.append(ev(0, 0, EventKind::kProgramBegin, 0));
+  auto stmt = [&](Tick at, trace::EventId id) {
+    Event e = ev(at, 0, EventKind::kStmtEnter, 0);
+    e.id = id;
+    t.append(e);
+    e = ev(at + 1, 0, EventKind::kStmtExit, 0);
+    e.id = id;
+    t.append(e);
+  };
+  stmt(1, 1);
+  stmt(3, 17);
+  stmt(5, 4294967295u);  // UINT32_MAX is a legal statement id
+  t.append(ev(10, 0, EventKind::kLoopBegin, 2));
+  t.append(ev(11, 1, EventKind::kAwaitBegin, 3, 1));
+  t.append(ev(12, 0, EventKind::kAdvance, 3, 1));
+  t.append(ev(13, 1, EventKind::kAwaitEnd, 3, 1));
+  t.append(ev(14, 0, EventKind::kLockAcquire, 4));
+  t.append(ev(15, 0, EventKind::kLockRelease, 4));
+  t.append(ev(16, 1, EventKind::kSemAcquire, 5));
+  t.append(ev(17, 1, EventKind::kSemRelease, 5));
+  t.append(ev(18, 0, EventKind::kBarrierArrive, 6));
+  t.append(ev(19, 0, EventKind::kBarrierDepart, 6));
+  t.append(ev(20, 0, EventKind::kLoopEnd, 2));
+  t.append(ev(30, 0, EventKind::kProgramEnd, 0));
+  return t;
+}
+
+TEST(SiteRegistry, NameParseRoundTripsEverySite) {
+  const auto t = all_kinds_trace();
+  const trace::TraceIndex index(t);
+  const SiteRegistry sites(index);
+  ASSERT_GE(sites.size(), 7u);  // 3 stmts + loop + sync + lock + sem + barrier
+  for (SiteId s = 0; s < sites.size(); ++s) {
+    const auto parsed = sites.parse(sites.name(s));
+    ASSERT_TRUE(parsed.has_value()) << sites.name(s);
+    EXPECT_EQ(*parsed, s) << sites.name(s);
+  }
+}
+
+TEST(SiteRegistry, ParseRejectsOverflowAndNonCanonicalNames) {
+  const auto t = all_kinds_trace();
+  const SiteRegistry sites{trace::TraceIndex(t)};
+  // One past UINT32_MAX: a parse failure, not a wrap onto stmt#0.
+  EXPECT_FALSE(sites.parse("stmt#4294967296").has_value());
+  EXPECT_FALSE(sites.parse("stmt#18446744073709551617").has_value());
+  // UINT32_MAX itself is canonical, and this trace mentions it.
+  const auto max_site = sites.parse("stmt#4294967295");
+  ASSERT_TRUE(max_site.has_value());
+  EXPECT_NE(*max_site, SiteRegistry::npos);
+  // Canonical shape, region absent from the trace: npos, not nullopt.
+  const auto absent = sites.parse("stmt#999");
+  ASSERT_TRUE(absent.has_value());
+  EXPECT_EQ(*absent, SiteRegistry::npos);
+  for (const char* bad : {"", "stmt", "stmt#", "stmt#-1", "stmt#1x", "#5",
+                          "stmt#01e", "mutex#1", "stmt#4 ", " stmt#4"})
+    EXPECT_FALSE(sites.parse(bad).has_value()) << '"' << bad << '"';
+}
+
+TEST(SiteRegistry, FuzzedNamesNeverCrashAndRoundTripWhenCanonical) {
+  const auto t = all_kinds_trace();
+  const SiteRegistry sites{trace::TraceIndex(t)};
+  support::Xoshiro256 rng(1991);
+  const std::string alphabet = "stmlockbarrierym#0123456789 -_";
+  for (int i = 0; i < 20000; ++i) {
+    std::string name;
+    const auto len = rng.below(12);
+    for (std::uint64_t c = 0; c < len; ++c)
+      name += alphabet[static_cast<std::size_t>(rng.below(alphabet.size()))];
+    const auto parsed = sites.parse(name);  // must never throw or wrap
+    if (parsed.has_value() && *parsed != SiteRegistry::npos) {
+      // Anything that resolves must agree with the canonical name and the
+      // structural lookup ("stmt#01" may resolve, but only to stmt#1).
+      EXPECT_EQ(sites.parse(sites.name(*parsed)), parsed);
+      EXPECT_EQ(sites.find(sites.site(*parsed)), *parsed);
+    }
+  }
 }
 
 }  // namespace

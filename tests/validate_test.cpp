@@ -143,6 +143,65 @@ TEST(Validate, DetectsLockNeverReleased) {
   EXPECT_TRUE(has_violation(validate(t), ViolationKind::kLockUnbalanced));
 }
 
+// In measured traces a release makes the lock visible to waiters before the
+// release probe runs, so the hand-off acquire can be recorded up to one
+// probe cost before the release that granted it.  With slack the validator
+// must read this as instrumentation reordering, not corruption.
+TEST(Validate, SlackAcceptsProbeReorderedLockHandoff) {
+  Trace t({"t", 2, 1.0});
+  t.append(ev(10, 0, EventKind::kLockAcquire, 3));
+  t.append(ev(100, 1, EventKind::kLockAcquire, 3));  // granted pre-probe
+  t.append(ev(120, 0, EventKind::kLockRelease, 3));  // recorded post-probe
+  t.append(ev(200, 1, EventKind::kLockRelease, 3));
+  EXPECT_EQ(validate(t).size(), 3u);  // strict: overlap cascade
+  ValidateOptions opts;
+  opts.sync_slack = 20;
+  EXPECT_TRUE(validate(t, opts).empty());
+  opts.sync_slack = 19;  // one tick short of the 20-tick overlap
+  EXPECT_TRUE(has_violation(validate(t, opts), ViolationKind::kLockUnbalanced));
+}
+
+TEST(Validate, SlackAcceptsCriticalSectionInsideDelayedRelease) {
+  // The hand-off acquirer finishes its whole critical section before the
+  // previous holder's delayed release event appears, and the lock passes on
+  // to a third processor explained by that inner release.
+  Trace t({"t", 3, 1.0});
+  t.append(ev(10, 0, EventKind::kLockAcquire, 3));
+  t.append(ev(100, 1, EventKind::kLockAcquire, 3));
+  t.append(ev(105, 1, EventKind::kLockRelease, 3));
+  t.append(ev(110, 2, EventKind::kLockAcquire, 3));
+  t.append(ev(120, 0, EventKind::kLockRelease, 3));
+  t.append(ev(130, 2, EventKind::kLockRelease, 3));
+  ValidateOptions opts;
+  opts.sync_slack = 20;
+  EXPECT_TRUE(validate(t, opts).empty());
+}
+
+TEST(Validate, SlackStillDetectsGenuineLockViolations) {
+  ValidateOptions opts;
+  opts.sync_slack = 200;
+  {
+    Trace t({"t", 2, 1.0});  // double acquire, no release ever explains it
+    t.append(ev(1, 0, EventKind::kLockAcquire, 3));
+    t.append(ev(2, 1, EventKind::kLockAcquire, 3));
+    EXPECT_TRUE(
+        has_violation(validate(t, opts), ViolationKind::kLockUnbalanced));
+  }
+  {
+    Trace t({"t", 2, 1.0});  // release by a proc that never acquired
+    t.append(ev(1, 0, EventKind::kLockAcquire, 3));
+    t.append(ev(5, 1, EventKind::kLockRelease, 3));
+    EXPECT_TRUE(
+        has_violation(validate(t, opts), ViolationKind::kLockUnbalanced));
+  }
+  {
+    Trace t({"t", 1, 1.0});  // held at end
+    t.append(ev(1, 0, EventKind::kLockAcquire, 3));
+    EXPECT_TRUE(
+        has_violation(validate(t, opts), ViolationKind::kLockUnbalanced));
+  }
+}
+
 TEST(Validate, WellFormedBarrierIsValid) {
   Trace t({"t", 2, 1.0});
   t.append(ev(1, 0, EventKind::kBarrierArrive, 9, 0));

@@ -1,0 +1,30 @@
+# Cross-process determinism for synthesized workloads: the same
+# (family, seed, params) descriptor must produce byte-identical actual,
+# measured, and approximated traces in two separate tool processes.  This is
+# the strongest form of the reproducibility claim in DESIGN.md §14 — no
+# hidden global state (ASLR-dependent hashing, static RNG seeding, iteration
+# order of unordered containers) may leak into synthesis.
+#
+# Invoked by ctest with -DEXPERIMENT=<perturb-experiment>
+# -DWORK_DIR=<scratch dir>.
+
+set(spec "bursty:11:trip=256,burst=0.4")
+foreach(run a b)
+  execute_process(
+    COMMAND "${EXPERIMENT}" --workload=${spec}
+            --out-prefix ${WORK_DIR}/wdet_${run}
+    RESULT_VARIABLE code OUTPUT_QUIET ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "workload run ${run} failed (${code}): ${err}")
+  endif()
+endforeach()
+
+foreach(kind actual measured approx)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/wdet_a.${kind}.ptt ${WORK_DIR}/wdet_b.${kind}.ptt
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+      "workload ${spec}: ${kind} trace differs between two processes")
+  endif()
+endforeach()

@@ -109,7 +109,22 @@ int usage() {
   return tools::kExitUsage;
 }
 
-core::AnalysisOverheads overheads_from_cli(const support::Cli& cli) {
+/// Builds the analysis overheads from the CLI, rejecting negative costs: a
+/// negative probe cost would flow into the reconstruction as a time *bonus*
+/// per event, which is never what the flag means.  Returns std::nullopt
+/// after printing a one-line usage error.
+std::optional<core::AnalysisOverheads> overheads_from_cli(
+    const support::Cli& cli) {
+  for (const char* name :
+       {"stmt-probe", "sync-probe", "control-probe", "s-nowait", "s-wait",
+        "lock-acquire", "sem-acquire", "barrier-depart"}) {
+    if (cli.get_int(name, 0) < 0) {
+      std::fprintf(stderr,
+                   "--%s must be a non-negative cost (got %lld)\n", name,
+                   static_cast<long long>(cli.get_int(name, 0)));
+      return std::nullopt;
+    }
+  }
   core::AnalysisOverheads ov;
   const auto stmt = cli.get_int("stmt-probe", 0);
   const auto sync = cli.get_int("sync-probe", 0);
@@ -204,11 +219,9 @@ int main(int argc, char** argv) {
     if (window_arg == "true") {  // bare --stream
       stream_window = 8192;
     } else {
-      char* end = nullptr;
-      const unsigned long long n =
-          std::strtoull(window_arg.c_str(), &end, 10);
-      if (window_arg.empty() || *end != '\0' ||
-          n < trace::kStreamChunkEvents) {
+      const auto n = tools::parse_uint(window_arg, trace::kStreamChunkEvents,
+                                       std::uint64_t{1} << 40);
+      if (!n) {
         std::fprintf(stderr,
                      "bad --stream window '%s': the window must hold at "
                      "least one chunk (%zu events); refusing to fall back "
@@ -216,7 +229,7 @@ int main(int argc, char** argv) {
                      window_arg.c_str(), trace::kStreamChunkEvents);
         return usage();
       }
-      stream_window = static_cast<std::size_t>(n);
+      stream_window = static_cast<std::size_t>(*n);
     }
   }
 
@@ -239,16 +252,17 @@ int main(int argc, char** argv) {
     if (arg == "true") {  // bare --whatif-rank
       whatif_rank = 10;
     } else {
-      char* end = nullptr;
-      const unsigned long long n = std::strtoull(arg.c_str(), &end, 10);
-      if (arg.empty() || *end != '\0' || n < 1) {
+      // parse_uint, not strtoull: "-3" must be a usage error, not a wrap
+      // to an 18-quintillion-site ranking.
+      const auto n = tools::parse_uint(arg, 1, 1u << 20);
+      if (!n) {
         std::fprintf(stderr,
                      "bad --whatif-rank value '%s': expected a positive "
                      "site count\n",
                      arg.c_str());
         return usage();
       }
-      whatif_rank = static_cast<std::size_t>(n);
+      whatif_rank = static_cast<std::size_t>(*n);
     }
   }
   if (whatif_spec || whatif_rank != 0) {
@@ -264,10 +278,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  const auto overheads = overheads_from_cli(*cli);
+  if (!overheads) return usage();
+
   const tools::MetricsFlag metrics(*cli);
   const int code = tools::run_tool([&]() -> int {
     core::PipelineOptions options;
-    options.overheads = overheads_from_cli(*cli);
+    options.overheads = *overheads;
     options.event_based.model_locks = !cli->get_bool("no-locks", false);
     options.event_based.model_barriers = !cli->get_bool("no-barriers", false);
     options.event_based.semaphore_capacity = capacities_from_cli(*cli);

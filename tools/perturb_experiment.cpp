@@ -9,6 +9,9 @@
 //   --loop <k>        kernel number, 1..24 (default 17)
 //   --n <trip>        iteration count (default 1001)
 //   --mode <m>        sequential | vector | concurrent (default concurrent)
+//   --workload <w>    <family>:<seed>[:k=v,...] — run a synthesized workload
+//                     (pareto|lognormal|contention|irregular|bursty) instead
+//                     of a Livermore kernel; overrides --loop/--n/--mode
 //   --plan <p>        statements | sync | full (default full)
 //   --schedule <s>    cyclic | block | self (concurrent mode; default cyclic)
 //   --procs <p>       processor count (default 8)
@@ -26,11 +29,13 @@
 #include <string>
 
 #include "experiments/experiments.hpp"
+#include "experiments/grid.hpp"
 #include "loops/kernels.hpp"
 #include "support/check.hpp"
 #include "support/cli.hpp"
 #include "tool_util.hpp"
 #include "trace/io.hpp"
+#include "workload/workload.hpp"
 
 namespace {
 
@@ -39,8 +44,9 @@ int usage(const std::string& what) {
                "error: %s\n"
                "usage: perturb-experiment [--loop k] [--n trip] "
                "[--mode sequential|vector|concurrent]\n"
-               "  [--plan statements|sync|full] "
-               "[--schedule cyclic|block|self] [--procs p]\n"
+               "  [--workload family:seed[:k=v,...]] "
+               "[--plan statements|sync|full]\n"
+               "  [--schedule cyclic|block|self] [--procs p]\n"
                "  [--stmt-probe c] [--seed s] [--repair[=aggressive]] "
                "[--out-prefix p] [--metrics[=FILE]]\n"
                "%s",
@@ -76,6 +82,13 @@ int main(int argc, char** argv) {
   if (mode != "sequential" && mode != "vector" && mode != "concurrent")
     return usage("unknown --mode " + mode);
 
+  std::optional<workload::WorkloadSpec> wl;
+  if (cli.has("workload")) {
+    std::string error;
+    wl = workload::parse_workload(cli.get("workload", ""), &error);
+    if (!wl) return usage(error);
+  }
+
   const std::string repair_arg = cli.get("repair", "");
   if (cli.has("repair") && repair_arg != "true" && repair_arg != "aggressive")
     return usage("bad --repair value '" + repair_arg +
@@ -94,7 +107,19 @@ int main(int argc, char** argv) {
     setup.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1991));
 
     experiments::LoopRun run;
-    if (mode == "sequential") {
+    if (wl) {
+      experiments::Scenario cell;
+      cell.setup = setup;
+      cell.plan = plan;
+      cell.repair = repair;
+      cell.workload = wl;
+      run = experiments::run_scenario(cell);
+      std::printf("%s (synthesized %s workload, seed %llu), %s plan\n",
+                  workload::workload_name(*wl).c_str(),
+                  workload::family_name(wl->family),
+                  static_cast<unsigned long long>(wl->seed),
+                  plan_name.c_str());
+    } else if (mode == "sequential") {
       run = experiments::run_sequential_experiment(loop, n, setup, plan,
                                                    repair);
     } else if (mode == "vector") {
@@ -104,8 +129,9 @@ int main(int argc, char** argv) {
                                                    schedule, repair);
     }
 
-    std::printf("lfk%d (%s), %s mode, %s plan\n", loop,
-                loops::kernel_name(loop), mode.c_str(), plan_name.c_str());
+    if (!wl)
+      std::printf("lfk%d (%s), %s mode, %s plan\n", loop,
+                  loops::kernel_name(loop), mode.c_str(), plan_name.c_str());
     std::printf("  measured/actual: %.3f\n",
                 run.eb_quality.measured_over_actual);
     std::printf("  time-based approx/actual:  %.3f (%+.1f%%)\n",

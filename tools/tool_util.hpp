@@ -9,8 +9,10 @@
 //   4  internal error (unexpected exception; bug or resource exhaustion)
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <exception>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -31,6 +33,24 @@ inline constexpr int kExitInternal = 4;
 inline constexpr const char* kExitCodeHelp =
     "exit codes: 0 success, 1 usage error, 2 unsalvageable/invalid trace, "
     "3 I/O error, 4 internal error\n";
+
+/// Strict decimal parse for CLI integer operands: digits only, no sign, no
+/// leading/trailing garbage, result in [min, max].  strtoull alone is not
+/// enough at an option boundary — it silently wraps "-1" to ULLONG_MAX and
+/// accepts trailing junk, so "--whatif-rank=-3" would become a gigantic
+/// rank instead of a usage error.
+inline std::optional<std::uint64_t> parse_uint(const std::string& text,
+                                               std::uint64_t min,
+                                               std::uint64_t max) {
+  if (text.empty() || text.size() > 19) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value < min || value > max) return std::nullopt;
+  return value;
+}
 
 /// Runs a tool body, reporting failures on stderr and mapping them onto the
 /// standard exit codes above.  Catch order matters: IoError derives from
